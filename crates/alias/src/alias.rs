@@ -1,0 +1,285 @@
+use rand::Rng;
+
+use crate::space::{vec_words, SpaceUsage};
+use crate::{validate_weights, WeightError};
+
+/// Walker's alias structure (Theorem 1 of the paper).
+///
+/// Given `n` positive weights `w(0..n)` with total `W`, the structure
+/// occupies `O(n)` space, is built in `O(n)` time, and draws an index `i`
+/// with probability `w(i)/W` in `O(1)` worst-case time per draw. Draws are
+/// mutually independent because each consumes fresh randomness from the
+/// caller's RNG.
+///
+/// The construction is the urn-filling procedure of Section 3.1, implemented
+/// in its classical two-worklist ("Vose") form: every urn (column) holds at
+/// most two elements and total probability exactly `1/n`, so a draw picks a
+/// uniform column and then flips one biased coin.
+///
+/// # Example
+/// ```
+/// use iqs_alias::AliasTable;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let table = AliasTable::new(&[1.0, 2.0, 7.0]).unwrap();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let counts = (0..10_000).fold([0u32; 3], |mut c, _| {
+///     c[table.sample(&mut rng)] += 1;
+///     c
+/// });
+/// assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// `prob[i]`: probability that column `i` resolves to `i` itself
+    /// (as opposed to `alias[i]`), scaled to `[0, 1]`.
+    prob: Vec<f64>,
+    /// `alias[i]`: the second element sharing urn `i`.
+    alias: Vec<u32>,
+    /// Total weight of the input, retained for composition with other
+    /// structures (e.g. when this table represents one canonical node).
+    total: f64,
+}
+
+impl AliasTable {
+    /// Builds the table from positive weights in `O(n)` time.
+    ///
+    /// # Errors
+    /// [`WeightError`] if `weights` is empty or contains a non-finite or
+    /// non-positive entry, or if `n > u32::MAX` elements are supplied.
+    pub fn new(weights: &[f64]) -> Result<Self, WeightError> {
+        let total = validate_weights(weights)?;
+        if weights.len() > u32::MAX as usize {
+            return Err(WeightError::TotalOverflow);
+        }
+        let n = weights.len();
+        // Scale so the average weight is exactly 1: p[i] = w[i] * n / W.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        // Worklists of under-full and over-full columns. We store indices
+        // and partition in place to avoid two extra Vec allocations.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Column `s` is closed: it keeps probability prob[s] for itself
+            // and routes the rest to `l`.
+            alias[s as usize] = l;
+            // `l` donated (1 - prob[s]) of its mass.
+            let donated = 1.0 - prob[s as usize];
+            prob[l as usize] -= donated;
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical slack: any column left in either list keeps itself.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+
+        Ok(AliasTable { prob, alias, total })
+    }
+
+    /// Builds a table for `n` *equal* weights. The resulting table degrades
+    /// to uniform index sampling but keeps the same API, which simplifies
+    /// with-replacement (WR) callers.
+    pub fn uniform(n: usize) -> Result<Self, WeightError> {
+        if n == 0 {
+            return Err(WeightError::Empty);
+        }
+        Ok(AliasTable {
+            prob: vec![1.0; n],
+            alias: (0..n as u32).collect(),
+            total: n as f64,
+        })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no elements (never constructible; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Total input weight `W`.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Draws one index in `O(1)` worst-case time.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let col = rng.random_range(0..n);
+        // A single uniform decides the coin; branchless-friendly.
+        if rng.random::<f64>() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+
+    /// Draws `s` independent indices, appending to `out`.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, s: usize, out: &mut Vec<usize>) {
+        out.reserve(s);
+        for _ in 0..s {
+            out.push(self.sample(rng));
+        }
+    }
+
+    /// Exact probability with which [`Self::sample`] returns `i`, computed
+    /// from the table itself (used by tests to confirm the urn conditions
+    /// of Section 3.1 hold *exactly*, not merely statistically).
+    pub fn realized_probability(&self, i: usize) -> f64 {
+        let n = self.prob.len() as f64;
+        let mut p = self.prob[i] / n;
+        for (col, &a) in self.alias.iter().enumerate() {
+            if a as usize == i && col != i {
+                p += (1.0 - self.prob[col]) / n;
+            }
+        }
+        p
+    }
+}
+
+impl SpaceUsage for AliasTable {
+    fn space_words(&self) -> usize {
+        vec_words(&self.prob) + vec_words(&self.alias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chi_square_uniformish(weights: &[f64], draws: usize, seed: u64) -> f64 {
+        let table = AliasTable::new(weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        let mut chi = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = draws as f64 * weights[i] / total;
+            chi += (c as f64 - expect).powi(2) / expect;
+        }
+        chi
+    }
+
+    #[test]
+    fn single_element() {
+        let t = AliasTable::new(&[42.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::uniform(0).is_err());
+    }
+
+    #[test]
+    fn realized_probabilities_match_weights_exactly() {
+        // Verifies urn condition (2): the weight of e is spread over the
+        // urns containing e. The realized probability must equal w/W to
+        // floating point accuracy.
+        let weights = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let total: f64 = weights.iter().sum();
+        let t = AliasTable::new(&weights).unwrap();
+        for (i, &w) in weights.iter().enumerate() {
+            let p = t.realized_probability(i);
+            assert!(
+                (p - w / total).abs() < 1e-12,
+                "element {i}: realized {p}, want {}",
+                w / total
+            );
+        }
+    }
+
+    #[test]
+    fn realized_probabilities_sum_to_one() {
+        let weights: Vec<f64> = (1..=257).map(|i| 1.0 / i as f64).collect();
+        let t = AliasTable::new(&weights).unwrap();
+        let sum: f64 = (0..weights.len()).map(|i| t.realized_probability(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavily_skewed_weights() {
+        let weights = [1e-12, 1.0, 1e12];
+        let t = AliasTable::new(&weights).unwrap();
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            assert!((t.realized_probability(i) - w / total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_is_plausible() {
+        // chi^2 with k-1 = 3 dof; 30 is far beyond any sane quantile.
+        let chi = chi_square_uniformish(&[1.0, 2.0, 3.0, 4.0], 200_000, 99);
+        assert!(chi < 30.0, "chi^2 = {chi}");
+    }
+
+    #[test]
+    fn uniform_table_is_uniform() {
+        let t = AliasTable::uniform(16).unwrap();
+        for i in 0..16 {
+            assert!((t.realized_probability(i) - 1.0 / 16.0).abs() < 1e-12);
+        }
+        assert_eq!(t.total_weight(), 16.0);
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let t = AliasTable::uniform(1000).unwrap();
+        // 1000 f64 + 1000 u32 = 1000 + 500 words.
+        assert_eq!(t.space_words(), 1500);
+    }
+
+    #[test]
+    fn sample_many_appends() {
+        let t = AliasTable::uniform(4).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut out = vec![77usize];
+        t.sample_many(&mut rng, 5, &mut out);
+        assert_eq!(out.len(), 6);
+        assert_eq!(out[0], 77);
+        assert!(out[1..].iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let t = AliasTable::new(&[1.0, 2.0, 3.0]).unwrap();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..32).map(|_| t.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+}

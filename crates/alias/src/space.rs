@@ -1,0 +1,35 @@
+//! Space accounting.
+//!
+//! The paper's structures trade space for query time (e.g. Lemma 2's
+//! `O(n log n)` words versus Theorem 3's `O(n)` words). To verify those
+//! claims numerically rather than rhetorically, every structure in this
+//! workspace reports its resident size in *words* (8-byte units) through
+//! [`SpaceUsage`]. Only heap payload is counted; constant-size headers are
+//! ignored, matching how the paper counts space.
+
+/// Structures that can report their resident size in 8-byte words.
+pub trait SpaceUsage {
+    /// Number of 8-byte words of heap memory held by `self`.
+    fn space_words(&self) -> usize;
+}
+
+/// Words occupied by a `Vec<T>`'s heap payload (capacity is ignored;
+/// the paper counts occupied entries).
+pub fn vec_words<T>(v: &[T]) -> usize {
+    std::mem::size_of_val(v).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_words_rounds_up() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(vec_words(&v), 2); // 12 bytes -> 2 words
+        let w: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(vec_words(&w), 3);
+        let e: Vec<u64> = vec![];
+        assert_eq!(vec_words(&e), 0);
+    }
+}

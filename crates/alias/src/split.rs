@@ -1,0 +1,111 @@
+//! Multinomial sample splitting (Section 4.1 of the paper).
+//!
+//! Every composite IQS structure answers a query by (1) finding a small
+//! collection of groups (canonical nodes, chunks, …) that partition the
+//! query result, (2) deciding how many of the `s` requested samples come
+//! from each group, and (3) delegating into the groups. Step (2) is an
+//! instance of weighted set sampling: build an alias table over the group
+//! weights and draw `s` times, counting occurrences — `O(t + s)` for `t`
+//! groups, exactly as prescribed after Lemma 2.
+
+use rand::Rng;
+
+use crate::{AliasTable, WeightError};
+
+/// Decides how many of `s` samples each of the `t` weighted groups
+/// contributes. Returns a vector of counts summing to `s`.
+///
+/// Runs in `O(t + s)` time. Each of the `s` unit decisions is an
+/// independent weighted draw, so the joint counts are multinomial
+/// `(s; w_1/W, …, w_t/W)` — which is precisely what makes the composed
+/// two-level sample an unbiased weighted sample of the union.
+///
+/// # Errors
+/// [`WeightError`] if `weights` is empty or invalid.
+pub fn split_samples<R: Rng + ?Sized>(
+    weights: &[f64],
+    s: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>, WeightError> {
+    let table = AliasTable::new(weights)?;
+    let mut counts = vec![0usize; weights.len()];
+    for _ in 0..s {
+        counts[table.sample(rng)] += 1;
+    }
+    Ok(counts)
+}
+
+/// Like [`split_samples`] but reuses a prebuilt alias table (the
+/// Corollary-7 optimization: when the group set is known in advance, the
+/// `O(t)` table construction is moved to preprocessing and a query costs
+/// only `O(s)`).
+pub fn split_samples_with(table: &AliasTable, s: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut counts = vec![0usize; table.len()];
+    for _ in 0..s {
+        counts[table.sample(rng)] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_sum_to_s() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = split_samples(&[1.0, 2.0, 3.0], 1000, &mut rng).unwrap();
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn zero_samples_gives_zero_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = split_samples(&[1.0, 1.0], 0, &mut rng).unwrap();
+        assert_eq!(counts, vec![0, 0]);
+    }
+
+    #[test]
+    fn means_match_weights() {
+        let weights = [1.0, 4.0, 5.0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sums = [0usize; 3];
+        let trials = 500;
+        let s = 100;
+        for _ in 0..trials {
+            let c = split_samples(&weights, s, &mut rng).unwrap();
+            for i in 0..3 {
+                sums[i] += c[i];
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        for i in 0..3 {
+            let mean = sums[i] as f64 / trials as f64;
+            let want = s as f64 * weights[i] / total;
+            assert!((mean - want).abs() < 2.0, "group {i}: {mean} vs {want}");
+        }
+    }
+
+    #[test]
+    fn empty_groups_error() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(split_samples(&[], 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn prebuilt_table_agrees() {
+        let weights = [2.0, 8.0];
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut heavy = 0usize;
+        for _ in 0..200 {
+            let c = split_samples_with(&table, 50, &mut rng);
+            assert_eq!(c.iter().sum::<usize>(), 50);
+            heavy += c[1];
+        }
+        let frac = heavy as f64 / (200.0 * 50.0);
+        assert!((frac - 0.8).abs() < 0.02, "frac {frac}");
+    }
+}

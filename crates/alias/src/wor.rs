@@ -1,0 +1,339 @@
+//! With/without-replacement conversions.
+//!
+//! The paper (Section 2) notes that a without-replacement (WoR) sample of
+//! size `s` can be converted into a with-replacement (WR) sample of the same
+//! size in `O(s)` time (citing \[19\]), and vice versa IQS structures that
+//! natively produce WR samples can be driven to produce WoR samples by
+//! rejection. This module provides those conversions plus Floyd's direct
+//! WoR algorithm for index ranges.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+/// Draws a uniformly random size-`s` subset of `0..n` in `O(s)` expected
+/// time and `O(s)` space using Floyd's algorithm. Returns the chosen indices
+/// in the (arbitrary) insertion order of the algorithm.
+///
+/// # Panics
+/// Panics if `s > n` — a WoR sample larger than the population does not
+/// exist (the paper's WoR definition assumes `s ≤ |S_q|`).
+pub fn floyd_sample_indices<R: Rng + ?Sized>(n: usize, s: usize, rng: &mut R) -> Vec<usize> {
+    assert!(s <= n, "WoR sample size {s} exceeds population {n}");
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(s * 2);
+    let mut out = Vec::with_capacity(s);
+    for j in n - s..n {
+        let t = rng.random_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+/// Converts a WoR sample (drawn from a population of `pop_size` elements)
+/// into a WR sample of the same size, in `O(s)` time.
+///
+/// The trick: simulate the duplicate pattern of `s` WR draws first. The
+/// `i`-th WR draw repeats one of the previous draws with probability
+/// `d_i / pop_size`, where `d_i` is the number of *distinct* values seen so
+/// far; otherwise it is a fresh element — and a fresh element of a uniform
+/// WR process is distributed exactly like the next unused entry of a uniform
+/// WoR sample. The input must contain at least as many elements as the
+/// number of fresh draws the simulation produces; supplying a WoR sample of
+/// the full size `s` is always sufficient.
+///
+/// # Panics
+/// Panics if `pop_size == 0`, or if `wor` is too short for the simulated
+/// number of distinct draws (cannot happen when `wor.len() == s ≤ pop_size`).
+pub fn wor_to_wr<T: Clone, R: Rng + ?Sized>(
+    wor: &[T],
+    pop_size: usize,
+    s: usize,
+    rng: &mut R,
+) -> Vec<T> {
+    assert!(pop_size > 0, "population must be non-empty");
+    // The fresh draws consume WoR entries front-to-back, which is only
+    // correct if the WoR sample is in uniformly random (exchangeable)
+    // order. Floyd's algorithm — and many other WoR producers — emit a
+    // uniform *set* in a biased order, so we shuffle an index permutation
+    // first (O(s), keeping the conversion linear overall).
+    let mut perm: Vec<usize> = (0..wor.len()).collect();
+    for i in (1..perm.len()).rev() {
+        perm.swap(i, rng.random_range(0..=i));
+    }
+    let mut out: Vec<T> = Vec::with_capacity(s);
+    let mut fresh = 0usize; // number of distinct values so far
+    for _ in 0..s {
+        let dup = rng.random_range(0..pop_size) < fresh;
+        if dup {
+            // Repeat a uniformly random previously-seen *distinct* value:
+            // in a true WR process, conditioned on the i-th draw hitting
+            // the already-seen set D, it is uniform over D (not over the
+            // previous draws, which would over-weight repeated values).
+            let j = rng.random_range(0..fresh);
+            let v = wor[perm[j]].clone();
+            out.push(v);
+        } else {
+            assert!(
+                fresh < wor.len(),
+                "WoR input exhausted: need more than {} distinct elements",
+                wor.len()
+            );
+            out.push(wor[perm[fresh]].clone());
+            fresh += 1;
+        }
+    }
+    out
+}
+
+/// Draws a WoR sample of size `s` from a population of size `pop_size`
+/// using only a WR oracle, by rejecting duplicates. Expected `O(s)` oracle
+/// calls when `s ≤ pop_size / 2`; for larger `s` the coupon-collector
+/// slowdown applies (`O(pop_size log pop_size)` worst case), which is why
+/// callers should prefer structure-native WoR when `s` approaches `|S_q|`.
+///
+/// `draw` must return values identifying population elements uniquely.
+///
+/// # Panics
+/// Panics if `s > pop_size`.
+pub fn wor_by_rejection<T, R, F>(pop_size: usize, s: usize, rng: &mut R, mut draw: F) -> Vec<T>
+where
+    T: Clone + std::hash::Hash + Eq,
+    R: Rng + ?Sized,
+    F: FnMut(&mut R) -> T,
+{
+    assert!(s <= pop_size, "WoR sample size {s} exceeds population {pop_size}");
+    let mut seen: HashSet<T> = HashSet::with_capacity(s * 2);
+    let mut out = Vec::with_capacity(s);
+    while out.len() < s {
+        let v = draw(rng);
+        if seen.insert(v.clone()) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn floyd_produces_distinct_in_range() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let v = floyd_sample_indices(20, 7, &mut rng);
+            assert_eq!(v.len(), 7);
+            let set: HashSet<_> = v.iter().copied().collect();
+            assert_eq!(set.len(), 7);
+            assert!(v.iter().all(|&x| x < 20));
+        }
+    }
+
+    #[test]
+    fn floyd_full_population() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = floyd_sample_indices(5, 5, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn floyd_oversample_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        floyd_sample_indices(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn floyd_subsets_are_uniform() {
+        // All C(4,2)=6 subsets of {0..3} should appear equally often.
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut counts: HashMap<Vec<usize>, u32> = HashMap::new();
+        let trials = 60_000;
+        for _ in 0..trials {
+            let mut v = floyd_sample_indices(4, 2, &mut rng);
+            v.sort_unstable();
+            *counts.entry(v).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (k, &c) in &counts {
+            let p = c as f64 / trials as f64;
+            assert!((p - 1.0 / 6.0).abs() < 0.01, "{k:?}: {p}");
+        }
+    }
+
+    #[test]
+    fn wor_to_wr_matches_direct_wr_distribution() {
+        // Population {0..9}; compare per-position marginals of converted WR
+        // versus direct WR. Each position must be uniform over 0..9.
+        let mut rng = StdRng::seed_from_u64(11);
+        let pop = 10usize;
+        let s = 6usize;
+        let trials = 40_000;
+        let mut counts = vec![0u32; pop];
+        for _ in 0..trials {
+            let wor = floyd_sample_indices(pop, s, &mut rng);
+            let wr = wor_to_wr(&wor, pop, s, &mut rng);
+            assert_eq!(wr.len(), s);
+            counts[wr[s - 1]] += 1; // check the last (most processed) slot
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.1).abs() < 0.01, "value {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn wor_to_wr_duplicate_rate_is_correct() {
+        // For pop=2, s=2: P(both draws equal) = 1/2 under WR.
+        let mut rng = StdRng::seed_from_u64(12);
+        let trials = 60_000;
+        let mut dup = 0;
+        for _ in 0..trials {
+            let wor = floyd_sample_indices(2, 2, &mut rng);
+            let wr = wor_to_wr(&wor, 2, 2, &mut rng);
+            if wr[0] == wr[1] {
+                dup += 1;
+            }
+        }
+        let p = dup as f64 / trials as f64;
+        assert!((p - 0.5).abs() < 0.01, "dup rate {p}");
+    }
+
+    #[test]
+    fn rejection_wor_is_distinct_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut counts = [0u32; 6];
+        let trials = 30_000;
+        for _ in 0..trials {
+            let v = wor_by_rejection(6, 3, &mut rng, |r| r.random_range(0..6usize));
+            let set: HashSet<_> = v.iter().copied().collect();
+            assert_eq!(set.len(), 3);
+            for &x in &v {
+                counts[x] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = c as f64 / (trials as f64 * 3.0);
+            assert!((p - 1.0 / 6.0).abs() < 0.01, "value {i}: {p}");
+        }
+    }
+}
+
+/// Weighted WoR via Efraimidis–Spirakis **A-Res**: assign each element
+/// the key `u^(1/w)` for `u ~ U(0,1)` and keep the `s` largest keys.
+/// Equivalent to drawing `s` successive weighted samples without
+/// replacement (renormalizing after each draw). `O(m log s)` time over
+/// `m` elements — the *reporting-cost* baseline that
+/// `iqs_core`'s exponential-jump sampler improves on.
+///
+/// Returns the chosen indices (arbitrary order).
+///
+/// # Panics
+/// Panics if `s > weights.len()` or any weight is not finite-positive.
+pub fn a_res_weighted_wor<R: Rng + ?Sized>(
+    weights: &[f64],
+    s: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(s <= weights.len(), "WoR sample larger than population");
+    // Min-heap of (key, index) keeping the s largest keys.
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(OrdF64, usize)>> =
+        std::collections::BinaryHeap::with_capacity(s + 1);
+    for (i, &w) in weights.iter().enumerate() {
+        assert!(w.is_finite() && w > 0.0, "weight {w} at {i}");
+        // ln(key) = ln(u)/w is a monotone transform of u^(1/w); use the
+        // log form for numerical stability with tiny weights.
+        let key = OrdF64(rng.random::<f64>().ln() / w);
+        if heap.len() < s {
+            heap.push(std::cmp::Reverse((key, i)));
+        } else if let Some(&std::cmp::Reverse((lowest, _))) = heap.peek() {
+            if key > lowest {
+                heap.pop();
+                heap.push(std::cmp::Reverse((key, i)));
+            }
+        }
+    }
+    heap.into_iter().map(|std::cmp::Reverse((_, i))| i).collect()
+}
+
+/// Total-order wrapper for the A-Res keys (never NaN: `ln(u)/w` with
+/// `u ∈ (0,1)`, `w > 0` is finite or `-inf`, both totally ordered).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("keys are never NaN")
+    }
+}
+
+#[cfg(test)]
+mod ares_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn a_res_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let weights: Vec<f64> = (1..=50).map(f64::from).collect();
+        for _ in 0..20 {
+            let out = a_res_weighted_wor(&weights, 10, &mut rng);
+            assert_eq!(out.len(), 10);
+            let set: std::collections::HashSet<_> = out.iter().collect();
+            assert_eq!(set.len(), 10);
+            assert!(out.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn a_res_full_population() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut out = a_res_weighted_wor(&[1.0, 2.0, 3.0], 3, &mut rng);
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn a_res_first_inclusion_probability_tracks_weight() {
+        // For s = 1, P(pick i) = w_i / W exactly.
+        let weights = [1.0, 3.0, 6.0];
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut counts = [0u32; 3];
+        let trials = 60_000;
+        for _ in 0..trials {
+            counts[a_res_weighted_wor(&weights, 1, &mut rng)[0]] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let p = counts[i] as f64 / trials as f64;
+            assert!((p - w / 10.0).abs() < 0.01, "i={i}: {p}");
+        }
+    }
+
+    #[test]
+    fn a_res_heavy_element_nearly_always_included() {
+        let mut weights = vec![1.0; 40];
+        weights[7] = 1e6;
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut hit = 0;
+        for _ in 0..500 {
+            if a_res_weighted_wor(&weights, 5, &mut rng).contains(&7) {
+                hit += 1;
+            }
+        }
+        assert!(hit >= 499, "heavy element missed {} times", 500 - hit);
+    }
+}

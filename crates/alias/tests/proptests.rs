@@ -1,0 +1,103 @@
+//! Property tests for the alias-method primitives.
+
+use iqs_alias::{split, validate_weights, wor, AliasTable, CdfSampler, DynamicAlias};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// validate_weights accepts exactly the finite-positive vectors.
+    #[test]
+    fn validation_is_sound(weights in pvec(-10.0f64..10.0, 0..50)) {
+        let ok = !weights.is_empty() && weights.iter().all(|&w| w > 0.0);
+        prop_assert_eq!(validate_weights(&weights).is_ok(), ok);
+    }
+
+    /// Alias and CDF samplers agree on support for any weights: both
+    /// return indices < n, and indices with large weight are reachable.
+    #[test]
+    fn samplers_share_support(weights in pvec(0.01f64..100.0, 1..60), seed in 0u64..500) {
+        let alias = AliasTable::new(&weights).unwrap();
+        let cdf = CdfSampler::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(alias.sample(&mut rng) < weights.len());
+            prop_assert!(cdf.sample(&mut rng) < weights.len());
+        }
+        prop_assert!((alias.total_weight() - cdf.total_weight()).abs() < 1e-9);
+    }
+
+    /// The realized probability mass of an alias table is exactly the
+    /// normalized weight vector (urn conditions of §3.1).
+    #[test]
+    fn alias_mass_is_exact(weights in pvec(0.001f64..1000.0, 1..80)) {
+        let t = AliasTable::new(&weights).unwrap();
+        let total: f64 = weights.iter().sum();
+        let mass: f64 = (0..weights.len()).map(|i| t.realized_probability(i)).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        for (i, &w) in weights.iter().enumerate() {
+            prop_assert!((t.realized_probability(i) - w / total).abs() < 1e-9);
+        }
+    }
+
+    /// split_samples returns counts summing to s with zero counts for
+    /// zero demand.
+    #[test]
+    fn split_counts_sum(weights in pvec(0.1f64..10.0, 1..30), s in 0usize..500, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = split::split_samples(&weights, s, &mut rng).unwrap();
+        prop_assert_eq!(counts.len(), weights.len());
+        prop_assert_eq!(counts.iter().sum::<usize>(), s);
+    }
+
+    /// DynamicAlias sampling never returns a removed id and respects
+    /// replacement semantics for duplicate inserts.
+    #[test]
+    fn dynamic_alias_replacement(
+        ids in pvec(0u64..20, 1..40),
+        seed in 0u64..200,
+    ) {
+        let mut d = DynamicAlias::new();
+        let mut last_weight = std::collections::HashMap::new();
+        for (i, &id) in ids.iter().enumerate() {
+            let w = 1.0 + i as f64;
+            d.insert(id, w).unwrap();
+            last_weight.insert(id, w);
+        }
+        prop_assert_eq!(d.len(), last_weight.len());
+        for (&id, &w) in &last_weight {
+            prop_assert_eq!(d.weight_of(id), Some(w));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let got = d.sample(&mut rng).unwrap();
+            prop_assert!(last_weight.contains_key(&got));
+        }
+    }
+
+    /// wor_by_rejection always emits s distinct values.
+    #[test]
+    fn rejection_wor_distinct(pop in 1usize..60, s_frac in 0.0f64..1.0, seed in 0u64..200) {
+        let s = ((pop as f64) * s_frac) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = wor::wor_by_rejection(pop, s, &mut rng, |r| {
+            use rand::Rng;
+            r.random_range(0..pop)
+        });
+        let set: std::collections::HashSet<_> = out.iter().collect();
+        prop_assert_eq!(set.len(), s);
+    }
+
+    /// A-Res output is a valid WoR sample for arbitrary positive weights.
+    #[test]
+    fn a_res_shape(weights in pvec(0.001f64..1e6, 1..80), s_frac in 0.0f64..1.0, seed in 0u64..200) {
+        let s = ((weights.len() as f64) * s_frac) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = wor::a_res_weighted_wor(&weights, s, &mut rng);
+        prop_assert_eq!(out.len(), s);
+        let set: std::collections::HashSet<_> = out.iter().collect();
+        prop_assert_eq!(set.len(), s);
+        prop_assert!(out.iter().all(|&i| i < weights.len()));
+    }
+}

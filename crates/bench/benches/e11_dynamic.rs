@@ -1,0 +1,56 @@
+//! Criterion bench for experiment E11: the dynamic alias structure
+//! (Direction 1) — sampling and update costs under churn.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iqs_alias::{AliasTable, DynamicAlias};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn build(n: usize, rng: &mut StdRng) -> DynamicAlias {
+    let mut d = DynamicAlias::new();
+    for i in 0..n as u64 {
+        d.insert(i, 0.1 + rng.random::<f64>() * 100.0).unwrap();
+    }
+    d
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_sample");
+    let mut rng = StdRng::seed_from_u64(10);
+    for exp in [12u32, 16, 20] {
+        let n = 1usize << exp;
+        let d = build(n, &mut rng);
+        let static_alias = {
+            let weights: Vec<f64> = (0..n).map(|_| 0.1 + rng.random::<f64>()).collect();
+            AliasTable::new(&weights).unwrap()
+        };
+        group.bench_function(BenchmarkId::new("dynamic", n), |b| {
+            b.iter(|| black_box(d.sample(&mut rng).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("static", n), |b| {
+            b.iter(|| black_box(static_alias.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_churn");
+    let mut rng = StdRng::seed_from_u64(11);
+    let n = 1usize << 16;
+    let mut d = build(n, &mut rng);
+    let mut next = n as u64;
+    group.bench_function("insert_remove_sample", |b| {
+        b.iter(|| {
+            d.insert(next, 1.0 + (next % 89) as f64).unwrap();
+            d.remove(next - n as u64);
+            next += 1;
+            black_box(d.sample(&mut rng).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample, bench_churn);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench for experiments E12 (dynamized range sampling) and
+//! E13 (weighted WoR methods).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iqs_bench::{keyed_weights, Weights};
+use iqs_core::dynamic_range::DynamicRange;
+use iqs_core::wor_exact::ExpJumpWor;
+use iqs_core::{ChunkedRange, RangeSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_dynamic_range");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(12);
+    let n = 1usize << 16;
+    let mut d = DynamicRange::new();
+    for i in 0..n as u64 {
+        d.insert(i, i as f64, 1.0 + (i % 7) as f64).unwrap();
+    }
+    let statics = ChunkedRange::new(
+        (0..n as u64).map(|i| (i as f64, 1.0 + (i % 7) as f64)).collect(),
+    )
+    .unwrap();
+    let (x, y) = (n as f64 * 0.1, n as f64 * 0.9);
+    group.bench_function("dynamic_query_s64", |b| {
+        b.iter(|| black_box(d.sample_wr(x, y, 64, &mut rng).unwrap().len()))
+    });
+    group.bench_function("static_query_s64", |b| {
+        b.iter(|| black_box(statics.sample_wr(x, y, 64, &mut rng).unwrap().len()))
+    });
+    let mut next = n as u64;
+    group.bench_function("insert_remove_pair", |b| {
+        b.iter(|| {
+            d.insert(next, (next % 1000) as f64, 1.0).unwrap();
+            d.remove(next - n as u64);
+            next += 1;
+            black_box(next)
+        })
+    });
+    group.finish();
+}
+
+fn bench_wor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_wor");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(13);
+    let n = 1usize << 16;
+    let pairs = keyed_weights(n, Weights::Uniform, 131);
+    let chunked = ChunkedRange::new(pairs.clone()).unwrap();
+    let expj = ExpJumpWor::new(pairs).unwrap();
+    let (x, y) = (n as f64 * 0.25, n as f64 * 0.75);
+    let (a, b) = chunked.rank_range(x, y);
+    let range_weights: Vec<f64> = chunked.weights()[a..b].to_vec();
+    for s in [16usize, 1024] {
+        group.bench_function(BenchmarkId::new("rejection", s), |bch| {
+            bch.iter(|| black_box(chunked.sample_wor(x, y, s, &mut rng).unwrap().len()))
+        });
+        group.bench_function(BenchmarkId::new("a_res", s), |bch| {
+            bch.iter(|| {
+                black_box(iqs_alias::wor::a_res_weighted_wor(&range_weights, s, &mut rng).len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("a_expj", s), |bch| {
+            bch.iter(|| black_box(expj.sample_wor(x, y, s, &mut rng).unwrap().len()))
+        });
+    }
+    // The regime rejection cannot handle: s = |S_q|.
+    let full = b - a;
+    group.bench_function(BenchmarkId::new("a_expj", full), |bch| {
+        bch.iter(|| black_box(expj.sample_wor(x, y, full, &mut rng).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic, bench_wor);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for experiment E1 (Theorem 1): alias-table build and
+//! per-sample cost versus the inverse-CDF baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iqs_alias::{AliasTable, CdfSampler};
+use iqs_bench::{keyed_weights, Weights};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_build");
+    for exp in [12u32, 16, 20] {
+        let n = 1usize << exp;
+        let weights: Vec<f64> =
+            keyed_weights(n, Weights::Zipf, exp as u64).into_iter().map(|p| p.1).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("alias", n), &weights, |b, w| {
+            b.iter(|| black_box(AliasTable::new(w).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("cdf", n), &weights, |b, w| {
+            b.iter(|| black_box(CdfSampler::new(w).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_sample");
+    for exp in [12u32, 16, 20] {
+        let n = 1usize << exp;
+        let weights: Vec<f64> =
+            keyed_weights(n, Weights::Zipf, exp as u64).into_iter().map(|p| p.1).collect();
+        let alias = AliasTable::new(&weights).unwrap();
+        let cdf = CdfSampler::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(BenchmarkId::new("alias", n), |b| {
+            b.iter(|| black_box(alias.sample(&mut rng)))
+        });
+        group.bench_function(BenchmarkId::new("cdf", n), |b| {
+            b.iter(|| black_box(cdf.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_sample);
+criterion_main!(benches);

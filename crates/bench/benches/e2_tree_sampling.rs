@@ -1,0 +1,47 @@
+//! Criterion bench for experiment E2: §3.2 tree sampling (root-to-leaf
+//! descent) versus the Lemma-4 SubtreeSampler (worst-case O(1) draws).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iqs_tree::{SubtreeSampler, Tree, TreeSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_subtree_draw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_subtree_draw");
+    let mut rng = StdRng::seed_from_u64(2);
+    for exp in [12u32, 16, 18] {
+        let n = 1usize << exp;
+        let tree = Tree::random(n, 4, &mut rng);
+        let descend = TreeSampler::new(tree.clone());
+        let lemma4 = SubtreeSampler::new(&tree);
+        group.bench_function(BenchmarkId::new("descend", n), |b| {
+            b.iter(|| black_box(descend.sample_leaf(0, &mut rng)))
+        });
+        group.bench_function(BenchmarkId::new("lemma4", n), |b| {
+            b.iter(|| black_box(lemma4.sample_leaf(0, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_with_s(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_query_s");
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 1usize << 16;
+    let tree = Tree::random(n, 4, &mut rng);
+    let descend = TreeSampler::new(tree.clone());
+    let lemma4 = SubtreeSampler::new(&tree);
+    for s in [1usize, 64, 1024] {
+        group.bench_function(BenchmarkId::new("descend", s), |b| {
+            b.iter(|| black_box(descend.sample_leaves(0, s, &mut rng).len()))
+        });
+        group.bench_function(BenchmarkId::new("lemma4", s), |b| {
+            b.iter(|| black_box(lemma4.sample_leaves(0, s, &mut rng).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subtree_draw, bench_query_with_s);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench for experiments E3/E4: the three 1-D weighted range
+//! sampling structures (§3.2 / Lemma 2 / Theorem 3) across n and s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iqs_bench::{keyed_weights, Weights};
+use iqs_core::{AliasAugmentedRange, ChunkedRange, RangeSampler, TreeSamplingRange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn samplers(n: usize) -> Vec<(&'static str, Box<dyn RangeSampler>)> {
+    vec![
+        ("tree32", Box::new(TreeSamplingRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap())),
+        ("lemma2", Box::new(AliasAugmentedRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap())),
+        ("thm3", Box::new(ChunkedRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap())),
+    ]
+}
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_e4_query_vs_n");
+    let mut rng = StdRng::seed_from_u64(4);
+    let s = 64usize;
+    for exp in [14u32, 17, 20] {
+        let n = 1usize << exp;
+        for (name, sampler) in samplers(n) {
+            let (x, y) = (n as f64 * 0.1, n as f64 * 0.9);
+            group.bench_function(BenchmarkId::new(name, n), |b| {
+                b.iter(|| black_box(sampler.sample_wr(x, y, s, &mut rng).unwrap().len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_vs_s(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_e4_query_vs_s");
+    let mut rng = StdRng::seed_from_u64(5);
+    let n = 1usize << 18;
+    let all = samplers(n);
+    for s in [1usize, 16, 256, 4096] {
+        for (name, sampler) in &all {
+            let (x, y) = (n as f64 * 0.1, n as f64 * 0.9);
+            group.bench_function(BenchmarkId::new(*name, s), |b| {
+                b.iter(|| black_box(sampler.sample_wr(x, y, s, &mut rng).unwrap().len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_e4_build");
+    group.sample_size(10);
+    let n = 1usize << 16;
+    let pairs = keyed_weights(n, Weights::Uniform, 31);
+    group.bench_function("tree32", |b| {
+        b.iter(|| black_box(TreeSamplingRange::new(pairs.clone()).unwrap().len()))
+    });
+    group.bench_function("lemma2", |b| {
+        b.iter(|| black_box(AliasAugmentedRange::new(pairs.clone()).unwrap().len()))
+    });
+    group.bench_function("thm3", |b| {
+        b.iter(|| black_box(ChunkedRange::new(pairs.clone()).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_n, bench_vs_s, bench_build);
+criterion_main!(benches);

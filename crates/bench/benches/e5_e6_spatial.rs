@@ -1,0 +1,59 @@
+//! Criterion bench for experiments E5/E6: Theorem-5 coverage sampling on
+//! kd-trees, quadtrees and range trees, versus report-then-sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iqs_bench::uniform_points2;
+use iqs_core::coverage::CoverageSampler;
+use iqs_spatial::{KdTree, QuadTree, RangeTree, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_query_by_selectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_kd_query_by_selectivity");
+    let mut rng = StdRng::seed_from_u64(6);
+    let n = 1usize << 16;
+    let kd = CoverageSampler::new(KdTree::with_unit_weights(uniform_points2(n, 50)).unwrap());
+    let s = 64usize;
+    for side in [5usize, 20, 80] {
+        // side in percent of the square.
+        let half = side as f64 / 200.0;
+        let q: Rect<2> = Rect::new([0.5 - half, 0.5 - half], [0.5 + half, 0.5 + half]);
+        group.bench_function(BenchmarkId::new("iqs", side), |b| {
+            b.iter(|| black_box(kd.sample_wr(&q, s, &mut rng).unwrap().len()))
+        });
+        group.bench_function(BenchmarkId::new("report_then_sample", side), |b| {
+            b.iter(|| {
+                let all = kd.index().report(&q);
+                black_box(all[rng.random_range(0..all.len())])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_e6_structures");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 1usize << 14;
+    let pts = uniform_points2(n, 51);
+    let kd = CoverageSampler::new(KdTree::with_unit_weights(pts.clone()).unwrap());
+    let qt = CoverageSampler::new(QuadTree::with_unit_weights(pts.clone()).unwrap());
+    let rt = CoverageSampler::new(RangeTree::with_unit_weights(pts).unwrap());
+    let q: Rect<2> = Rect::new([0.2, 0.3], [0.8, 0.7]);
+    let s = 64usize;
+    group.bench_function("kdtree", |b| {
+        b.iter(|| black_box(kd.sample_wr(&q, s, &mut rng).unwrap().len()))
+    });
+    group.bench_function("quadtree", |b| {
+        b.iter(|| black_box(qt.sample_wr(&q, s, &mut rng).unwrap().len()))
+    });
+    group.bench_function("rangetree", |b| {
+        b.iter(|| black_box(rt.sample_wr(&q, s, &mut rng).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_by_selectivity, bench_structures);
+criterion_main!(benches);

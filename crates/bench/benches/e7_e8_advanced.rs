@@ -1,0 +1,64 @@
+//! Criterion bench for experiments E7 (approximate coverage / complement
+//! sampling) and E8 (set-union sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iqs_bench::{keyed_weights, overlapping_sets, Weights};
+use iqs_core::complement::ComplementRange;
+use iqs_core::setunion::{naive_union_sample, SetUnionSampler};
+use iqs_core::{ChunkedRange, RangeSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_complement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_complement");
+    let mut rng = StdRng::seed_from_u64(8);
+    let n = 1usize << 18;
+    let comp = ComplementRange::new(keyed_weights(n, Weights::Unit, 70)).unwrap();
+    let exact = ChunkedRange::new(keyed_weights(n, Weights::Unit, 70)).unwrap();
+    let (x, y) = (n as f64 * 0.3, n as f64 * 0.7);
+    let (a, b) = exact.rank_range(x, y);
+    let (pre_hi, suf_lo) = (exact.keys()[a - 1], exact.keys()[b]);
+    for s in [1usize, 16, 256] {
+        group.bench_function(BenchmarkId::new("approx_cover", s), |b2| {
+            b2.iter(|| black_box(comp.sample_wr(x, y, s, &mut rng).unwrap().len()))
+        });
+        group.bench_function(BenchmarkId::new("exact_covers", s), |b2| {
+            b2.iter(|| {
+                // Prefix + suffix via two Theorem-3 queries.
+                let s1 = s / 2;
+                let mut total = 0usize;
+                if s1 > 0 {
+                    total += exact
+                        .sample_wr(f64::NEG_INFINITY, pre_hi, s1, &mut rng)
+                        .unwrap()
+                        .len();
+                }
+                total += exact.sample_wr(suf_lo, f64::INFINITY, s - s1, &mut rng).unwrap().len();
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_setunion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_setunion");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(9);
+    let family = overlapping_sets(32, 100_000, 10_000, 80);
+    let mut sampler = SetUnionSampler::new(family.clone(), &mut rng).unwrap();
+    for g_size in [2usize, 8, 32] {
+        let g: Vec<usize> = (0..g_size).collect();
+        group.bench_function(BenchmarkId::new("theorem8", g_size), |b| {
+            b.iter(|| black_box(sampler.sample(&g, &mut rng).unwrap()))
+        });
+        group.bench_function(BenchmarkId::new("naive_union", g_size), |b| {
+            b.iter(|| black_box(naive_union_sample(&family, &g, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_complement, bench_setunion);
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! **Theorem 6** — approximate coverage with rejection.
+//!
+//! An *approximate cover* `Ĉ_q` may over-cover the query (its nodes'
+//! union is a superset of `S_q`) as long as a constant fraction of the
+//! union satisfies the predicate. The adapter samples from the union via
+//! the Lemma-4 engine and rejects non-matching elements — expected `O(1)`
+//! attempts per sample under the density condition, giving
+//! `O(|Ĉ_q| + s)` expected query time.
+//!
+//! The payoff over Theorem 5 is that approximate covers can be *much
+//! smaller* than exact ones (the complement-range example of \[18\] needs
+//! only 2 nodes where exact covers need `Ω(log n)` — see
+//! [`crate::complement`]); the instance here is circular range sampling
+//! over a quadtree, whose boundary cells are kept whole instead of being
+//! refined to points.
+
+use iqs_alias::AliasTable;
+use iqs_spatial::{dist2, Point, QuadTree};
+use iqs_tree::IntervalSampler;
+use rand::RngCore;
+
+use crate::error::QueryError;
+
+/// The contract an index must satisfy for Theorem 6: approximate covers
+/// plus a membership test for rejection.
+pub trait ApproxCoverIndex {
+    /// The query predicate type.
+    type Query;
+
+    /// Per-position weights in the index's layout order.
+    fn position_weights(&self) -> Vec<f64>;
+
+    /// Position range per node id.
+    fn node_ranges(&self) -> Vec<(usize, usize)>;
+
+    /// Computes an approximate cover: disjoint nodes whose union contains
+    /// `S_q`, with `|S_q| = Ω(|union|)` for well-behaved data.
+    fn approx_cover(&self, q: &Self::Query) -> Vec<u32>;
+
+    /// Membership test: does the element at `pos` satisfy `q`?
+    fn matches(&self, q: &Self::Query, pos: usize) -> bool;
+
+    /// Maps a position back to the caller's original element id.
+    fn original_id(&self, pos: usize) -> usize;
+}
+
+/// The Theorem-6 adapter.
+#[derive(Debug)]
+pub struct ApproxCoverageSampler<I: ApproxCoverIndex> {
+    index: I,
+    engine: IntervalSampler,
+    node_weights: Vec<f64>,
+}
+
+/// Rejection budget per requested sample; exceeding it means the density
+/// condition (Theorem 6's third bullet) failed badly.
+const ATTEMPTS_PER_SAMPLE: usize = 256;
+
+impl<I: ApproxCoverIndex> ApproxCoverageSampler<I> {
+    /// Builds the adapter (`O(m)` additional space for `m` nodes).
+    pub fn new(index: I) -> Self {
+        let weights = index.position_weights();
+        let ranges = index.node_ranges();
+        let engine = IntervalSampler::new(&weights, &ranges);
+        let node_weights: Vec<f64> =
+            (0..ranges.len()).map(|u| engine.interval_weight(u)).collect();
+        ApproxCoverageSampler { index, engine, node_weights }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Draws `s` independent weighted samples of `S_q` (original element
+    /// ids), in `O(|Ĉ_q| + s)` *expected* time.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when the approximate cover is empty;
+    /// [`QueryError::DensityTooLow`] when the rejection budget is
+    /// exhausted (the data violates the density assumption, or `S_q` is
+    /// empty while the cover is not).
+    pub fn sample_wr(
+        &self,
+        q: &I::Query,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, QueryError> {
+        let cover = self.index.approx_cover(q);
+        if cover.is_empty() {
+            return Err(QueryError::EmptyRange);
+        }
+        let weights: Vec<f64> =
+            cover.iter().map(|&u| self.node_weights[u as usize]).collect();
+        let chooser = AliasTable::new(&weights).expect("positive node weights");
+        let mut out = Vec::with_capacity(s);
+        let mut budget = ATTEMPTS_PER_SAMPLE * (s + 4);
+        while out.len() < s {
+            if budget == 0 {
+                return Err(QueryError::DensityTooLow);
+            }
+            budget -= 1;
+            let u = cover[chooser.sample(rng)];
+            let pos = self.engine.sample(u as usize, rng);
+            if self.index.matches(q, pos) {
+                out.push(self.index.original_id(pos));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Observed density of a query: fraction of the cover union
+    /// satisfying the predicate (diagnostic; linear scan of the cover).
+    pub fn density(&self, q: &I::Query) -> f64 {
+        let cover = self.index.approx_cover(q);
+        let ranges = self.index.node_ranges();
+        let mut total = 0usize;
+        let mut matching = 0usize;
+        for &u in &cover {
+            let (lo, hi) = ranges[u as usize];
+            for pos in lo..hi {
+                total += 1;
+                if self.index.matches(q, pos) {
+                    matching += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            matching as f64 / total as f64
+        }
+    }
+}
+
+/// Circular range query: `(center, radius)`.
+pub type Circle = (Point<2>, f64);
+
+impl ApproxCoverIndex for QuadTree {
+    type Query = Circle;
+
+    fn position_weights(&self) -> Vec<f64> {
+        QuadTree::position_weights(self).to_vec()
+    }
+
+    fn node_ranges(&self) -> Vec<(usize, usize)> {
+        self.all_node_ranges()
+    }
+
+    fn approx_cover(&self, q: &Circle) -> Vec<u32> {
+        self.approx_cover_circle(&q.0, q.1)
+    }
+
+    fn matches(&self, q: &Circle, pos: usize) -> bool {
+        dist2(self.point_at(pos), &q.0) <= q.1 * q.1
+    }
+
+    fn original_id(&self, pos: usize) -> usize {
+        QuadTree::original_id(self, pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>()].into()).collect()
+    }
+
+    #[test]
+    fn circle_sampling_is_uniform_over_disc() {
+        let pts = random_points(1500, 520);
+        let sampler =
+            ApproxCoverageSampler::new(QuadTree::with_unit_weights(pts.clone()).unwrap());
+        let q: Circle = ([0.5, 0.5].into(), 0.25);
+        let inside: Vec<usize> = (0..pts.len())
+            .filter(|&i| dist2(&pts[i], &q.0) <= q.1 * q.1)
+            .collect();
+        assert!(!inside.is_empty());
+        assert!(sampler.density(&q) > 0.3, "density {}", sampler.density(&q));
+
+        let mut rng = StdRng::seed_from_u64(521);
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        let draws = 150_000;
+        for id in sampler.sample_wr(&q, draws, &mut rng).unwrap() {
+            *counts.entry(id).or_default() += 1;
+        }
+        assert_eq!(counts.len(), inside.len(), "support must be exactly the disc");
+        let want = 1.0 / inside.len() as f64;
+        for &i in &inside {
+            let p = *counts.get(&i).unwrap_or(&0) as f64 / draws as f64;
+            assert!((p - want).abs() < 0.3 * want + 0.001, "id {i}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn empty_disc_errors() {
+        let pts = random_points(200, 522);
+        let sampler = ApproxCoverageSampler::new(QuadTree::with_unit_weights(pts).unwrap());
+        let mut rng = StdRng::seed_from_u64(523);
+        // Far away: empty cover.
+        let far: Circle = ([50.0, 50.0].into(), 0.1);
+        assert_eq!(sampler.sample_wr(&far, 1, &mut rng).unwrap_err(), QueryError::EmptyRange);
+    }
+
+    #[test]
+    fn zero_density_reports_density_too_low() {
+        // Points on a coarse lattice; a tiny disc between lattice points
+        // intersects a leaf cell (non-empty cover) but contains no point.
+        let pts: Vec<Point<2>> =
+            (0..100).map(|i| [(i % 10) as f64, (i / 10) as f64].into()).collect();
+        let sampler = ApproxCoverageSampler::new(QuadTree::with_unit_weights(pts).unwrap());
+        let mut rng = StdRng::seed_from_u64(524);
+        let q: Circle = ([0.5, 0.5].into(), 0.2);
+        match sampler.sample_wr(&q, 2, &mut rng) {
+            Err(QueryError::DensityTooLow) | Err(QueryError::EmptyRange) => {}
+            other => panic!("expected density failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expected_attempts_stay_constant() {
+        // With uniform data the density is Θ(1); sampling many should
+        // succeed well within budget at several radii.
+        let pts = random_points(3000, 525);
+        let sampler = ApproxCoverageSampler::new(QuadTree::with_unit_weights(pts).unwrap());
+        let mut rng = StdRng::seed_from_u64(526);
+        for r in [0.05, 0.1, 0.2, 0.4] {
+            let q: Circle = ([0.5, 0.5].into(), r);
+            let out = sampler.sample_wr(&q, 500, &mut rng).unwrap();
+            assert_eq!(out.len(), 500, "r={r}");
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! **Theorem 5** — the coverage technique, as a generic adapter.
+//!
+//! Any tree-based reporting structure whose nodes own contiguous position
+//! ranges of a weighted sequence, and which can produce a disjoint *cover*
+//! of a query (fully-contained nodes plus stray boundary positions), is
+//! converted into an IQS structure:
+//!
+//! * preprocessing adds the Lemma-4 interval engine
+//!   ([`iqs_tree::IntervalSampler`]) over the node ranges — `O(m)` extra
+//!   space for `m` nodes;
+//! * a query finds the cover `C_q`, builds an alias table over the cover
+//!   elements' weights on the fly (`O(|C_q|)`), and resolves each of the
+//!   `s` samples with `O(1)` work — `O(|C_q| + s)` plus cover-finding
+//!   time, exactly Theorem 5's bound.
+//!
+//! Implementations of [`CoverIndex`] are provided for
+//! [`iqs_spatial::KdTree`] (cover `O(n^{1-1/d})`),
+//! [`iqs_spatial::QuadTree`], and [`iqs_spatial::RangeTree`]
+//! (cover `O(log^d n)`).
+
+use iqs_alias::space::SpaceUsage;
+use iqs_alias::AliasTable;
+use iqs_spatial::{KdTree, QuadTree, RangeTree, Rect, Region};
+use iqs_tree::IntervalSampler;
+use rand::RngCore;
+
+use crate::error::QueryError;
+
+/// A disjoint cover: fully-contained `nodes` plus stray boundary
+/// `positions`; together their position sets are exactly `S_q`.
+#[derive(Debug, Clone, Default)]
+pub struct Cover {
+    /// Fully contained node ids.
+    pub nodes: Vec<u32>,
+    /// Individual in-range positions from boundary leaves.
+    pub positions: Vec<u32>,
+}
+
+impl Cover {
+    /// `|C_q|`.
+    pub fn len(&self) -> usize {
+        self.nodes.len() + self.positions.len()
+    }
+
+    /// True when the query matched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.positions.is_empty()
+    }
+}
+
+/// The contract a tree-based reporting index must satisfy for Theorem 5.
+///
+/// Positions refer to the index's (permuted) element layout; node ranges
+/// are contiguous in that layout and are reported once at build time.
+pub trait CoverIndex {
+    /// The query predicate type (e.g. a rectangle).
+    type Query;
+
+    /// Per-position weights in the index's layout order.
+    fn position_weights(&self) -> Vec<f64>;
+
+    /// Position range per node id (the Lemma-4 interval family).
+    fn node_ranges(&self) -> Vec<(usize, usize)>;
+
+    /// Computes the disjoint cover of `q`.
+    fn cover(&self, q: &Self::Query) -> Cover;
+
+    /// Maps a position back to the caller's original element id.
+    fn original_id(&self, pos: usize) -> usize;
+}
+
+/// The Theorem-5 adapter: wraps a [`CoverIndex`] and answers IQS queries
+/// in `O(|C_q| + s)` time (plus cover finding).
+#[derive(Debug)]
+pub struct CoverageSampler<I: CoverIndex> {
+    index: I,
+    engine: IntervalSampler,
+    weights: Vec<f64>,
+    ranges: Vec<(usize, usize)>,
+    node_weights: Vec<f64>,
+}
+
+impl<I: CoverIndex> CoverageSampler<I> {
+    /// Builds the adapter: `O(m)` additional space over the index.
+    pub fn new(index: I) -> Self {
+        let weights = index.position_weights();
+        let ranges = index.node_ranges();
+        let engine = IntervalSampler::new(&weights, &ranges);
+        let node_weights: Vec<f64> =
+            (0..ranges.len()).map(|u| engine.interval_weight(u)).collect();
+        CoverageSampler { index, engine, weights, ranges, node_weights }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// Number of positions (elements, counted with the index's own
+    /// duplication — e.g. `n log^{d-1} n` for a range tree).
+    pub fn position_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `|S_q|` via the cover.
+    pub fn count(&self, q: &I::Query) -> usize {
+        let cover = self.index.cover(q);
+        cover.positions.len()
+            + cover
+                .nodes
+                .iter()
+                .map(|&u| {
+                    let (lo, hi) = self.ranges[u as usize];
+                    hi - lo
+                })
+                .sum::<usize>()
+    }
+
+    /// Total weight of `S_q` via the cover.
+    pub fn range_weight(&self, q: &I::Query) -> f64 {
+        let cover = self.index.cover(q);
+        let nodes: f64 = cover.nodes.iter().map(|&u| self.node_weights[u as usize]).sum();
+        let strays: f64 =
+            cover.positions.iter().map(|&p| self.weights[p as usize]).sum();
+        nodes + strays
+    }
+
+    /// Draws a weighted WoR sample of `s` distinct element ids by
+    /// rejecting duplicate WR draws (successive-renormalized semantics;
+    /// expected `O(s)` extra draws while `s ≤ |S_q|/2`).
+    ///
+    /// # Errors
+    /// [`QueryError::SampleTooLarge`] when `s > |S_q|`, otherwise as
+    /// [`CoverageSampler::sample_wr`].
+    pub fn sample_wor(
+        &self,
+        q: &I::Query,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, QueryError> {
+        let available = self.count(q);
+        if available == 0 {
+            return Err(QueryError::EmptyRange);
+        }
+        if s > available {
+            return Err(QueryError::SampleTooLarge { requested: s, available });
+        }
+        let mut seen = std::collections::HashSet::with_capacity(2 * s);
+        let mut out = Vec::with_capacity(s);
+        while out.len() < s {
+            for id in self.sample_wr(q, s - out.len(), rng)? {
+                if out.len() < s && seen.insert(id) {
+                    out.push(id);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Draws `s` independent weighted samples of `S_q`, returned as the
+    /// caller's original element ids. `O(|C_q| + s)` plus cover finding.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when the query matches nothing.
+    pub fn sample_wr(
+        &self,
+        q: &I::Query,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, QueryError> {
+        let cover = self.index.cover(q);
+        self.sample_from_cover(&cover, s, rng)
+    }
+
+    /// The Theorem-5 query body, shared by the typed and generic-region
+    /// entry points: alias over the cover elements, then `O(1)` per
+    /// sample.
+    fn sample_from_cover(
+        &self,
+        cover: &Cover,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, QueryError> {
+        if cover.is_empty() {
+            return Err(QueryError::EmptyRange);
+        }
+        // Alias over the cover elements: nodes first, then strays.
+        let mut elem_weights = Vec::with_capacity(cover.len());
+        elem_weights.extend(cover.nodes.iter().map(|&u| self.node_weights[u as usize]));
+        elem_weights.extend(cover.positions.iter().map(|&p| self.weights[p as usize]));
+        let chooser = AliasTable::new(&elem_weights).expect("positive cover weights");
+        let mut out = Vec::with_capacity(s);
+        for _ in 0..s {
+            let e = chooser.sample(rng);
+            let pos = if e < cover.nodes.len() {
+                self.engine.sample(cover.nodes[e] as usize, rng)
+            } else {
+                cover.positions[e - cover.nodes.len()] as usize
+            };
+            out.push(self.index.original_id(pos));
+        }
+        Ok(out)
+    }
+}
+
+impl<const D: usize> CoverageSampler<KdTree<D>> {
+    /// Generic-region cover: Theorem 5 for any [`Region`] predicate
+    /// (halfspaces, discs, rectangles) over a kd-tree — *exact* covers,
+    /// the counterpart of the Theorem-6 approximate route.
+    pub fn region_cover<Rg: Region<D>>(&self, q: &Rg) -> Cover {
+        let c = self.index.cover_region(q);
+        Cover { nodes: c.nodes, positions: c.points }
+    }
+
+    /// `|S_q|` for a generic region.
+    pub fn region_count<Rg: Region<D>>(&self, q: &Rg) -> usize {
+        let cover = self.region_cover(q);
+        cover.positions.len()
+            + cover
+                .nodes
+                .iter()
+                .map(|&u| {
+                    let (lo, hi) = self.ranges[u as usize];
+                    hi - lo
+                })
+                .sum::<usize>()
+    }
+
+    /// Draws `s` independent weighted samples of the elements satisfying
+    /// a generic region predicate, in `O(|C_q| + s)` plus cover finding.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when the region matches nothing.
+    pub fn sample_region_wr<Rg: Region<D>>(
+        &self,
+        q: &Rg,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, QueryError> {
+        let cover = self.region_cover(q);
+        self.sample_from_cover(&cover, s, rng)
+    }
+}
+
+impl<I: CoverIndex + SpaceUsage> SpaceUsage for CoverageSampler<I> {
+    fn space_words(&self) -> usize {
+        self.index.space_words()
+            + self.engine.space_words()
+            + self.weights.len()
+            + 2 * self.ranges.len()
+            + self.node_weights.len()
+    }
+}
+
+impl<const D: usize> CoverIndex for KdTree<D> {
+    type Query = Rect<D>;
+
+    fn position_weights(&self) -> Vec<f64> {
+        self.position_weights().to_vec()
+    }
+
+    fn node_ranges(&self) -> Vec<(usize, usize)> {
+        self.all_node_ranges()
+    }
+
+    fn cover(&self, q: &Rect<D>) -> Cover {
+        let c = KdTree::cover(self, q);
+        Cover { nodes: c.nodes, positions: c.points }
+    }
+
+    fn original_id(&self, pos: usize) -> usize {
+        KdTree::original_id(self, pos)
+    }
+}
+
+impl CoverIndex for QuadTree {
+    type Query = Rect<2>;
+
+    fn position_weights(&self) -> Vec<f64> {
+        self.position_weights().to_vec()
+    }
+
+    fn node_ranges(&self) -> Vec<(usize, usize)> {
+        self.all_node_ranges()
+    }
+
+    fn cover(&self, q: &Rect<2>) -> Cover {
+        let c = QuadTree::cover(self, q);
+        Cover { nodes: c.nodes, positions: c.points }
+    }
+
+    fn original_id(&self, pos: usize) -> usize {
+        QuadTree::original_id(self, pos)
+    }
+}
+
+impl<const D: usize> CoverIndex for RangeTree<D> {
+    type Query = Rect<D>;
+
+    fn position_weights(&self) -> Vec<f64> {
+        self.position_weights().to_vec()
+    }
+
+    fn node_ranges(&self) -> Vec<(usize, usize)> {
+        self.all_node_ranges()
+    }
+
+    fn cover(&self, q: &Rect<D>) -> Cover {
+        Cover { nodes: RangeTree::cover(self, q), positions: Vec::new() }
+    }
+
+    fn original_id(&self, pos: usize) -> usize {
+        RangeTree::original_id(self, pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqs_spatial::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>()].into()).collect()
+    }
+
+    fn check_uniform<I: CoverIndex>(
+        sampler: &CoverageSampler<I>,
+        q: &I::Query,
+        inside: &[usize],
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        let rounds = 200;
+        let s = 300;
+        for _ in 0..rounds {
+            for id in sampler.sample_wr(q, s, &mut rng).unwrap() {
+                *counts.entry(id).or_default() += 1;
+            }
+        }
+        // Every sampled id is in S_q; every element of S_q is sampleable.
+        let inside_set: std::collections::HashSet<usize> = inside.iter().copied().collect();
+        for id in counts.keys() {
+            assert!(inside_set.contains(id), "sampled id {id} outside S_q");
+        }
+        let draws = (rounds * s) as f64;
+        let want = 1.0 / inside.len() as f64;
+        for &id in inside {
+            let p = *counts.get(&id).unwrap_or(&0) as f64 / draws;
+            assert!(
+                (p - want).abs() < 0.35 * want + 0.002,
+                "id {id}: {p} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn kdtree_sampling_is_uniform_over_sq() {
+        let pts = random_points(400, 500);
+        let q: Rect<2> = Rect::new([0.2, 0.25], [0.75, 0.8]);
+        let inside: Vec<usize> =
+            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let sampler =
+            CoverageSampler::new(KdTree::with_unit_weights(pts).unwrap());
+        assert_eq!(sampler.count(&q), inside.len());
+        check_uniform(&sampler, &q, &inside, 501);
+    }
+
+    #[test]
+    fn quadtree_sampling_is_uniform_over_sq() {
+        let pts = random_points(400, 502);
+        let q: Rect<2> = Rect::new([0.1, 0.4], [0.6, 0.95]);
+        let inside: Vec<usize> =
+            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let sampler = CoverageSampler::new(QuadTree::with_unit_weights(pts).unwrap());
+        assert_eq!(sampler.count(&q), inside.len());
+        check_uniform(&sampler, &q, &inside, 503);
+    }
+
+    #[test]
+    fn rangetree_sampling_is_uniform_over_sq() {
+        let pts = random_points(300, 504);
+        let q: Rect<2> = Rect::new([0.3, 0.1], [0.9, 0.7]);
+        let inside: Vec<usize> =
+            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let sampler = CoverageSampler::new(RangeTree::with_unit_weights(pts).unwrap());
+        assert_eq!(sampler.count(&q), inside.len());
+        check_uniform(&sampler, &q, &inside, 505);
+    }
+
+    #[test]
+    fn weighted_kdtree_sampling() {
+        let pts = random_points(200, 506);
+        let mut rng = StdRng::seed_from_u64(507);
+        let weights: Vec<f64> = (0..200).map(|_| rng.random::<f64>() * 4.0 + 0.2).collect();
+        let q: Rect<2> = Rect::new([0.0, 0.0], [0.7, 0.7]);
+        let inside: Vec<usize> =
+            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let total: f64 = inside.iter().map(|&i| weights[i]).sum();
+        let sampler = CoverageSampler::new(KdTree::new(pts, weights.clone()).unwrap());
+        assert!((sampler.range_weight(&q) - total).abs() < 1e-9);
+
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        let draws = 120_000;
+        for id in sampler.sample_wr(&q, draws, &mut rng).unwrap() {
+            *counts.entry(id).or_default() += 1;
+        }
+        for &i in inside.iter().take(20) {
+            let p = *counts.get(&i).unwrap_or(&0) as f64 / draws as f64;
+            let want = weights[i] / total;
+            assert!((p - want).abs() < 0.3 * want + 0.003, "id {i}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn wor_on_spatial_queries() {
+        let pts = random_points(200, 511);
+        let sampler = CoverageSampler::new(KdTree::with_unit_weights(pts.clone()).unwrap());
+        let q: Rect<2> = Rect::new([0.0, 0.0], [0.5, 0.5]);
+        let inside = pts.iter().filter(|p| q.contains_point(p)).count();
+        assert!(inside >= 10);
+        let mut rng = StdRng::seed_from_u64(512);
+        let out = sampler.sample_wor(&q, 10, &mut rng).unwrap();
+        assert_eq!(out.len(), 10);
+        let set: std::collections::HashSet<_> = out.iter().collect();
+        assert_eq!(set.len(), 10);
+        assert!(matches!(
+            sampler.sample_wor(&q, inside + 1, &mut rng),
+            Err(QueryError::SampleTooLarge { .. })
+        ));
+        // Full-population WoR enumerates S_q exactly.
+        let mut all = sampler.sample_wor(&q, inside, &mut rng).unwrap();
+        all.sort_unstable();
+        let mut want: Vec<usize> =
+            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let sampler =
+            CoverageSampler::new(KdTree::with_unit_weights(random_points(64, 508)).unwrap());
+        let mut rng = StdRng::seed_from_u64(509);
+        let q: Rect<2> = Rect::new([5.0, 5.0], [6.0, 6.0]);
+        assert_eq!(sampler.sample_wr(&q, 3, &mut rng).unwrap_err(), QueryError::EmptyRange);
+        assert_eq!(sampler.count(&q), 0);
+    }
+
+    #[test]
+    fn halfplane_sampling_is_uniform() {
+        use iqs_spatial::HalfSpace;
+        let pts = random_points(500, 513);
+        let sampler = CoverageSampler::new(KdTree::with_unit_weights(pts.clone()).unwrap());
+        // x + 2y <= 1.2
+        let h = HalfSpace::new([1.0, 2.0], 1.2);
+        let inside: Vec<usize> = (0..pts.len())
+            .filter(|&i| pts[i].coords[0] + 2.0 * pts[i].coords[1] <= 1.2)
+            .collect();
+        assert_eq!(sampler.region_count(&h), inside.len());
+        let mut rng = StdRng::seed_from_u64(514);
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        let draws = 100_000;
+        for id in sampler.sample_region_wr(&h, draws, &mut rng).unwrap() {
+            *counts.entry(id).or_default() += 1;
+        }
+        assert_eq!(counts.len(), inside.len(), "support must be exactly the halfplane");
+        let want = 1.0 / inside.len() as f64;
+        for &i in inside.iter().take(30) {
+            let p = *counts.get(&i).unwrap_or(&0) as f64 / draws as f64;
+            assert!((p - want).abs() < 0.35 * want + 0.002, "id {i}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn disc_sampling_exact_cover() {
+        use iqs_spatial::{dist2, Disc};
+        let pts = random_points(800, 515);
+        let sampler = CoverageSampler::new(KdTree::with_unit_weights(pts.clone()).unwrap());
+        let d = Disc::new([0.5, 0.5].into(), 0.3);
+        let inside = pts.iter().filter(|p| dist2(p, &d.center) <= 0.09).count();
+        assert_eq!(sampler.region_count(&d), inside);
+        let mut rng = StdRng::seed_from_u64(516);
+        let out = sampler.sample_region_wr(&d, 500, &mut rng).unwrap();
+        assert!(out
+            .iter()
+            .all(|&i| dist2(&pts[i], &d.center) <= 0.09 + 1e-12));
+        // An empty disc errors.
+        let far = Disc::new([9.0, 9.0].into(), 0.1);
+        assert!(sampler.sample_region_wr(&far, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn three_d_kdtree() {
+        let mut rng = StdRng::seed_from_u64(510);
+        let pts: Vec<Point<3>> = (0..300)
+            .map(|_| [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()].into())
+            .collect();
+        let q: Rect<3> = Rect::new([0.0, 0.0, 0.0], [0.6, 0.6, 0.6]);
+        let inside = pts.iter().filter(|p| q.contains_point(p)).count();
+        let sampler = CoverageSampler::new(KdTree::with_unit_weights(pts).unwrap());
+        assert_eq!(sampler.count(&q), inside);
+        let out = sampler.sample_wr(&q, 50, &mut rng).unwrap();
+        assert_eq!(out.len(), 50);
+    }
+}

@@ -1,0 +1,121 @@
+//! Benefit 1 (Section 2): query estimation on top of IQS.
+//!
+//! To estimate the fraction of `S_q` satisfying a secondary predicate up
+//! to absolute error `ε` with probability `1 - δ`, draw
+//! `s = ⌈ln(2/δ) / (2ε²)⌉` independent samples of `S_q` and return the
+//! empirical fraction (Hoeffding). Because the underlying sampler is IQS,
+//! *repeated* estimates are mutually independent, so over `m` estimates
+//! the number of failures concentrates sharply around `mδ` — the property
+//! experiment F2 contrasts against the dependent baseline.
+
+use rand::RngCore;
+
+use crate::error::QueryError;
+use crate::range1d::RangeSampler;
+
+/// Samples needed for an (ε, δ) additive-error fraction estimate.
+pub fn required_sample_size(eps: f64, delta: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0, "ε in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "δ in (0,1)");
+    ((2.0 / delta).ln() / (2.0 * eps * eps)).ceil() as usize
+}
+
+/// An (ε, δ) estimator of `|{e ∈ S_q : pred(e)}| / |S_q|` driven by any
+/// [`RangeSampler`]. The predicate receives element *ranks* (positions in
+/// the sampler's sorted key order).
+#[derive(Debug)]
+pub struct SelectivityEstimator<'a, S: RangeSampler + ?Sized> {
+    sampler: &'a S,
+}
+
+impl<'a, S: RangeSampler + ?Sized> SelectivityEstimator<'a, S> {
+    /// Wraps a range sampler.
+    pub fn new(sampler: &'a S) -> Self {
+        SelectivityEstimator { sampler }
+    }
+
+    /// Estimates the fraction of `S_q ∩ [x, y]` satisfying `pred`, with
+    /// additive error ≤ `eps` with probability ≥ `1 - delta`. Costs one
+    /// IQS query of `required_sample_size(eps, delta)` samples.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when `[x, y]` contains no elements.
+    pub fn estimate_fraction(
+        &self,
+        x: f64,
+        y: f64,
+        pred: &dyn Fn(usize) -> bool,
+        eps: f64,
+        delta: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, QueryError> {
+        let s = required_sample_size(eps, delta);
+        let samples = self.sampler.sample_wr(x, y, s, rng)?;
+        let hits = samples.iter().filter(|&&r| pred(r)).count();
+        Ok(hits as f64 / s as f64)
+    }
+
+    /// Exact fraction (linear scan; ground truth for the experiments).
+    pub fn exact_fraction(&self, x: f64, y: f64, pred: &dyn Fn(usize) -> bool) -> f64 {
+        let (a, b) = self.sampler.rank_range(x, y);
+        if a == b {
+            return 0.0;
+        }
+        (a..b).filter(|&r| pred(r)).count() as f64 / (b - a) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range1d::ChunkedRange;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_size_formula() {
+        // ln(2/0.01)/(2*0.05^2) = 5.2983/0.005 ≈ 1060.
+        let s = required_sample_size(0.05, 0.01);
+        assert!((1000..1100).contains(&s), "s = {s}");
+        assert!(required_sample_size(0.01, 0.01) > s);
+    }
+
+    #[test]
+    fn estimates_are_within_eps_usually() {
+        let pairs: Vec<(f64, f64)> = (0..5000).map(|i| (i as f64, 1.0)).collect();
+        let sampler = ChunkedRange::new(pairs).unwrap();
+        let est = SelectivityEstimator::new(&sampler);
+        // Predicate: rank divisible by 7 (≈ 14.3%).
+        let pred = |r: usize| r.is_multiple_of(7);
+        let exact = est.exact_fraction(1000.0, 4000.0, &pred);
+        let mut rng = StdRng::seed_from_u64(600);
+        let mut failures = 0;
+        let trials = 200;
+        let (eps, delta) = (0.05, 0.05);
+        for _ in 0..trials {
+            let e = est.estimate_fraction(1000.0, 4000.0, &pred, eps, delta, &mut rng).unwrap();
+            if (e - exact).abs() > eps {
+                failures += 1;
+            }
+        }
+        // Failure rate must be ≤ δ with generous slack.
+        assert!(failures <= 25, "{failures}/{trials} failures");
+    }
+
+    #[test]
+    fn empty_range_errors() {
+        let sampler = ChunkedRange::new(vec![(0.0, 1.0)]).unwrap();
+        let est = SelectivityEstimator::new(&sampler);
+        let mut rng = StdRng::seed_from_u64(601);
+        assert!(est
+            .estimate_fraction(5.0, 6.0, &|_| true, 0.1, 0.1, &mut rng)
+            .is_err());
+        assert_eq!(est.exact_fraction(5.0, 6.0, &|_| true), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_eps() {
+        required_sample_size(0.0, 0.1);
+    }
+}

@@ -1,0 +1,648 @@
+//! Weighted range sampling on the line — the paper's running problem.
+//!
+//! Input: `n` real keys, each with a positive weight. A query `([x, y],
+//! s)` returns `s` independent weighted samples from `S_q = [x, y] ∩ S`;
+//! outputs of all queries are mutually independent.
+//!
+//! Three interchangeable structures implement [`RangeSampler`]:
+//!
+//! | structure | space | query | paper |
+//! |---|---|---|---|
+//! | [`TreeSamplingRange`] | `O(n)` | `O(s log n)` | §3.2 |
+//! | [`AliasAugmentedRange`] | `O(n log n)` | `O(log n + s)` | Lemma 2 |
+//! | [`ChunkedRange`] | `O(n)` | `O(log n + s)` | Theorem 3 |
+//!
+//! Samples are reported as *ranks* (positions in the sorted key order);
+//! [`RangeSampler::keys`] maps ranks back to key values, and callers with
+//! satellite data index it by rank.
+
+use iqs_alias::space::{vec_words, SpaceUsage};
+use iqs_alias::AliasTable;
+use iqs_tree::{Fenwick, RankBst};
+use rand::{Rng, RngCore};
+
+use crate::error::QueryError;
+use crate::rank_alias::RankAliasAugmented;
+
+/// Validates and sorts `(key, weight)` input; returns keys and weights in
+/// key order.
+fn prepare(
+    mut pairs: Vec<(f64, f64)>,
+) -> Result<(Vec<f64>, Vec<f64>), QueryError> {
+    if pairs.is_empty() {
+        return Err(QueryError::EmptyRange);
+    }
+    for &(k, w) in &pairs {
+        if !k.is_finite() || !w.is_finite() || w <= 0.0 {
+            return Err(QueryError::EmptyRange);
+        }
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+    Ok(pairs.into_iter().unzip())
+}
+
+/// The common interface of the 1-D weighted range sampling structures.
+///
+/// All methods refer to elements by *rank* in the sorted key order.
+/// `&mut dyn RngCore` keeps the trait object-safe so benchmark harnesses
+/// can hold heterogeneous sampler collections.
+pub trait RangeSampler {
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// True when the structure is empty (not constructible).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sorted keys, by rank.
+    fn keys(&self) -> &[f64];
+
+    /// Per-element weights, by rank.
+    fn weights(&self) -> &[f64];
+
+    /// Half-open rank interval of the keys inside the closed interval
+    /// `[x, y]`, in `O(log n)`.
+    fn rank_range(&self, x: f64, y: f64) -> (usize, usize) {
+        let keys = self.keys();
+        let a = keys.partition_point(|&k| k < x);
+        let b = keys.partition_point(|&k| k <= y);
+        (a, b.max(a))
+    }
+
+    /// `|S_q|`.
+    fn range_count(&self, x: f64, y: f64) -> usize {
+        let (a, b) = self.rank_range(x, y);
+        b - a
+    }
+
+    /// Total weight of `S_q`.
+    fn range_weight(&self, x: f64, y: f64) -> f64;
+
+    /// Draws `s` independent weighted samples (ranks) from `S_q`.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when `[x, y]` contains no elements.
+    fn sample_wr(
+        &self,
+        x: f64,
+        y: f64,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, QueryError>;
+
+    /// Draws a weighted without-replacement sample of `s` distinct ranks
+    /// by rejecting duplicate WR draws — equivalent to successive
+    /// renormalized weighted draws. Expected `O(s)` extra draws while
+    /// `s ≤ |S_q|/2`; callers requesting `s` close to `|S_q|` should
+    /// report instead.
+    ///
+    /// # Errors
+    /// [`QueryError::SampleTooLarge`] when `s > |S_q|`, otherwise as
+    /// [`RangeSampler::sample_wr`].
+    fn sample_wor(
+        &self,
+        x: f64,
+        y: f64,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, QueryError> {
+        let available = self.range_count(x, y);
+        if available == 0 {
+            return Err(QueryError::EmptyRange);
+        }
+        if s > available {
+            return Err(QueryError::SampleTooLarge { requested: s, available });
+        }
+        let mut seen = std::collections::HashSet::with_capacity(2 * s);
+        let mut out = Vec::with_capacity(s);
+        while out.len() < s {
+            // Draw in small batches to amortize per-call overhead.
+            let need = s - out.len();
+            for r in self.sample_wr(x, y, need, rng)? {
+                if out.len() < s && seen.insert(r) {
+                    out.push(r);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resident size in 8-byte words (see `iqs_alias::space`).
+    fn space_words(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------
+// §3.2: tree sampling.
+// ---------------------------------------------------------------------
+
+/// The Section-3.2 structure: a balanced tree over the sorted keys where
+/// a sample is drawn by (1) choosing a canonical node proportionally to
+/// its subtree weight and (2) descending to a leaf with per-node
+/// two-way weighted coin flips.
+///
+/// `O(n)` space; `O(log n)` per sample, so `O(s log n)` per query — the
+/// baseline that Lemma 2 and Theorem 3 improve to `O(log n + s)`.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct TreeSamplingRange {
+    keys: Vec<f64>,
+    weights: Vec<f64>,
+    tree: RankBst,
+}
+
+impl TreeSamplingRange {
+    /// Builds the structure in `O(n log n)` time (dominated by sorting).
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] on empty or invalid input.
+    pub fn new(pairs: Vec<(f64, f64)>) -> Result<Self, QueryError> {
+        let (keys, weights) = prepare(pairs)?;
+        let tree = RankBst::new(&weights).expect("validated weights");
+        Ok(TreeSamplingRange { keys, weights, tree })
+    }
+
+    fn descend(&self, mut u: u32, rng: &mut dyn RngCore) -> usize {
+        while !self.tree.is_leaf(u) {
+            let (l, r) = self.tree.children(u);
+            let wl = self.tree.node_weight(l);
+            let wr = self.tree.node_weight(r);
+            u = if rng.random::<f64>() * (wl + wr) < wl { l } else { r };
+        }
+        self.tree.leaf_range(u).0
+    }
+}
+
+impl RangeSampler for TreeSamplingRange {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn keys(&self) -> &[f64] {
+        &self.keys
+    }
+
+    fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn range_weight(&self, x: f64, y: f64) -> f64 {
+        let (a, b) = self.rank_range(x, y);
+        self.tree.canonical_nodes(a, b).iter().map(|&u| self.tree.node_weight(u)).sum()
+    }
+
+    fn sample_wr(
+        &self,
+        x: f64,
+        y: f64,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, QueryError> {
+        let (a, b) = self.rank_range(x, y);
+        let canon = self.tree.canonical_nodes(a, b);
+        if canon.is_empty() {
+            return Err(QueryError::EmptyRange);
+        }
+        let weights: Vec<f64> = canon.iter().map(|&u| self.tree.node_weight(u)).collect();
+        let chooser = AliasTable::new(&weights).expect("positive node weights");
+        Ok((0..s).map(|_| self.descend(canon[chooser.sample(rng)], rng)).collect())
+    }
+
+    fn space_words(&self) -> usize {
+        vec_words(&self.keys) + vec_words(&self.weights) + self.tree.space_words()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lemma 2: alias augmentation.
+// ---------------------------------------------------------------------
+
+/// The Lemma-2 structure (Section 4.1): every tree node stores an alias
+/// table over its subtree. `O(n log n)` space, `O(log n + s)` query.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct AliasAugmentedRange {
+    keys: Vec<f64>,
+    weights: Vec<f64>,
+    engine: RankAliasAugmented,
+}
+
+impl AliasAugmentedRange {
+    /// Builds the structure in `O(n log n)` time and space.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] on empty or invalid input.
+    pub fn new(pairs: Vec<(f64, f64)>) -> Result<Self, QueryError> {
+        let (keys, weights) = prepare(pairs)?;
+        let engine = RankAliasAugmented::new(&weights);
+        Ok(AliasAugmentedRange { keys, weights, engine })
+    }
+}
+
+impl RangeSampler for AliasAugmentedRange {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn keys(&self) -> &[f64] {
+        &self.keys
+    }
+
+    fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn range_weight(&self, x: f64, y: f64) -> f64 {
+        let (a, b) = self.rank_range(x, y);
+        self.engine.range_weight(a, b)
+    }
+
+    fn sample_wr(
+        &self,
+        x: f64,
+        y: f64,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, QueryError> {
+        let (a, b) = self.rank_range(x, y);
+        let mut out = Vec::with_capacity(s);
+        if self.engine.sample_into(a, b, s, rng, &mut out) {
+            Ok(out)
+        } else {
+            Err(QueryError::EmptyRange)
+        }
+    }
+
+    fn space_words(&self) -> usize {
+        vec_words(&self.keys) + vec_words(&self.weights) + self.engine.space_words()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Theorem 3: chunking.
+// ---------------------------------------------------------------------
+
+/// The Theorem-3 structure (Section 4.2): the keys are cut into
+/// `g = Θ(n / log n)` chunks of `c = ⌈log₂ n⌉` elements;
+///
+/// * a Lemma-2 structure `T_chunk` over the *chunks* supports
+///   chunk-aligned weighted range sampling in `O(log n + s)` — its
+///   `O(g log g) = O(n)` space is what makes the whole structure linear;
+/// * a Fenwick tree gives `w(S₂)` of the middle run in `O(log n)`;
+/// * each chunk has its own alias table for intra-chunk sampling.
+///
+/// A query splits `[x, y]` into the partial boundary pieces `q₁, q₃`
+/// (read whole, `O(log n)`) and the chunk-aligned middle `q₂` (Figure 2),
+/// splits `s` multinomially among the three, and recurses — `O(log n + s)`
+/// total with `O(n)` space.
+///
+/// # Example
+/// ```
+/// use iqs_core::{ChunkedRange, RangeSampler};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let pairs: Vec<(f64, f64)> = (0..10_000).map(|i| (i as f64, 1.0)).collect();
+/// let sampler = ChunkedRange::new(pairs)?;
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let ranks = sampler.sample_wr(2_500.0, 7_500.0, 5, &mut rng)?;
+/// assert_eq!(ranks.len(), 5);
+/// assert!(ranks.iter().all(|&r| (2_500..=7_500).contains(&r)));
+/// # Ok::<(), iqs_core::QueryError>(())
+/// ```
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct ChunkedRange {
+    keys: Vec<f64>,
+    weights: Vec<f64>,
+    /// Chunk length `c`.
+    chunk: usize,
+    chunk_alias: Vec<AliasTable>,
+    tchunk: RankAliasAugmented,
+    fenwick: Fenwick,
+}
+
+impl ChunkedRange {
+    /// Builds the structure in `O(n log n)` time (sorting) and `O(n)`
+    /// space, with the paper's chunk length `c = ⌈log₂ n⌉`.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] on empty or invalid input.
+    pub fn new(pairs: Vec<(f64, f64)>) -> Result<Self, QueryError> {
+        let chunk = ((pairs.len() as f64).log2().ceil() as usize).max(1);
+        Self::with_chunk_len(pairs, chunk)
+    }
+
+    /// Builds with an explicit chunk length (ablation A1): smaller
+    /// chunks shrink the boundary-scan term but grow `T_chunk`'s
+    /// `O((n/c) log(n/c))` space; `c = Θ(log n)` balances them.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] on empty or invalid input or a zero
+    /// chunk length.
+    pub fn with_chunk_len(pairs: Vec<(f64, f64)>, chunk: usize) -> Result<Self, QueryError> {
+        if chunk == 0 {
+            return Err(QueryError::EmptyRange);
+        }
+        let (keys, weights) = prepare(pairs)?;
+        let n = keys.len();
+        let g = n.div_ceil(chunk);
+        let mut chunk_alias = Vec::with_capacity(g);
+        let mut chunk_weights = Vec::with_capacity(g);
+        for k in 0..g {
+            let lo = k * chunk;
+            let hi = ((k + 1) * chunk).min(n);
+            let table = AliasTable::new(&weights[lo..hi]).expect("validated weights");
+            chunk_weights.push(table.total_weight());
+            chunk_alias.push(table);
+        }
+        let tchunk = RankAliasAugmented::new(&chunk_weights);
+        let fenwick = Fenwick::from_values(&chunk_weights);
+        Ok(ChunkedRange { keys, weights, chunk, chunk_alias, tchunk, fenwick })
+    }
+
+    /// The chunk length `c = ⌈log₂ n⌉`.
+    pub fn chunk_len(&self) -> usize {
+        self.chunk
+    }
+
+    /// Draws one rank from chunk `k` via its alias table.
+    #[inline]
+    fn sample_chunk(&self, k: usize, rng: &mut dyn RngCore) -> usize {
+        k * self.chunk + self.chunk_alias[k].sample(rng)
+    }
+}
+
+impl RangeSampler for ChunkedRange {
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn keys(&self) -> &[f64] {
+        &self.keys
+    }
+
+    fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    fn range_weight(&self, x: f64, y: f64) -> f64 {
+        let (ra, rb) = self.rank_range(x, y);
+        if ra >= rb {
+            return 0.0;
+        }
+        let ca = ra / self.chunk;
+        let cl = (rb - 1) / self.chunk; // chunk of the last element
+        if ca == cl {
+            return self.weights[ra..rb].iter().sum();
+        }
+        let w1: f64 = self.weights[ra..(ca + 1) * self.chunk].iter().sum();
+        let w3: f64 = self.weights[cl * self.chunk..rb].iter().sum();
+        w1 + self.fenwick.range_sum(ca + 1, cl) + w3
+    }
+
+    fn sample_wr(
+        &self,
+        x: f64,
+        y: f64,
+        s: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<usize>, QueryError> {
+        let (ra, rb) = self.rank_range(x, y);
+        if ra >= rb {
+            return Err(QueryError::EmptyRange);
+        }
+        let ca = ra / self.chunk;
+        let cl = (rb - 1) / self.chunk;
+        let mut out = Vec::with_capacity(s);
+
+        if ca == cl {
+            // Entire query inside one chunk: enumerate it (≤ c = O(log n)
+            // elements) and sample directly.
+            let table = AliasTable::new(&self.weights[ra..rb]).expect("positive weights");
+            for _ in 0..s {
+                out.push(ra + table.sample(rng));
+            }
+            return Ok(out);
+        }
+
+        // Figure 2's three-way decomposition.
+        let b1 = (ca + 1) * self.chunk; // end of q1
+        let b3 = cl * self.chunk; // start of q3
+        let w1: f64 = self.weights[ra..b1].iter().sum();
+        let w2 = self.fenwick.range_sum(ca + 1, cl);
+        let w3: f64 = self.weights[b3..rb].iter().sum();
+
+        // Split s among the non-empty parts.
+        let total = w1 + w2 + w3;
+        let (mut s1, mut s2, mut s3) = (0usize, 0usize, 0usize);
+        for _ in 0..s {
+            let t = rng.random::<f64>() * total;
+            if t < w1 {
+                s1 += 1;
+            } else if t < w1 + w2 {
+                s2 += 1;
+            } else {
+                s3 += 1;
+            }
+        }
+
+        if s1 > 0 {
+            let table = AliasTable::new(&self.weights[ra..b1]).expect("positive weights");
+            for _ in 0..s1 {
+                out.push(ra + table.sample(rng));
+            }
+        }
+        if s3 > 0 {
+            let table = AliasTable::new(&self.weights[b3..rb]).expect("positive weights");
+            for _ in 0..s3 {
+                out.push(b3 + table.sample(rng));
+            }
+        }
+        if s2 > 0 {
+            // Chunk-aligned middle via T_chunk, then intra-chunk aliases.
+            let mut picks = Vec::with_capacity(s2);
+            let ok = self.tchunk.sample_into(ca + 1, cl, s2, rng, &mut picks);
+            debug_assert!(ok, "w2 > 0 implies non-empty middle");
+            for k in picks {
+                out.push(self.sample_chunk(k, rng));
+            }
+        }
+        Ok(out)
+    }
+
+    fn space_words(&self) -> usize {
+        vec_words(&self.keys)
+            + vec_words(&self.weights)
+            + self.chunk_alias.iter().map(|a| a.space_words()).sum::<usize>()
+            + self.tchunk.space_words()
+            + self.fenwick.space_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pairs(n: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|i| (i as f64, rng.random::<f64>() + 0.1)).collect()
+    }
+
+    fn samplers(n: usize, seed: u64) -> Vec<(&'static str, Box<dyn RangeSampler>)> {
+        vec![
+            ("tree", Box::new(TreeSamplingRange::new(pairs(n, seed)).unwrap())),
+            ("alias", Box::new(AliasAugmentedRange::new(pairs(n, seed)).unwrap())),
+            ("chunked", Box::new(ChunkedRange::new(pairs(n, seed)).unwrap())),
+        ]
+    }
+
+    #[test]
+    fn all_structures_reject_bad_input() {
+        assert!(TreeSamplingRange::new(vec![]).is_err());
+        assert!(AliasAugmentedRange::new(vec![(1.0, 0.0)]).is_err());
+        assert!(ChunkedRange::new(vec![(f64::NAN, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn all_structures_agree_on_counts_and_weights() {
+        for (name, s) in samplers(500, 7) {
+            let (a, b) = s.rank_range(100.0, 350.0);
+            assert_eq!((a, b), (100, 351), "{name}");
+            assert_eq!(s.range_count(100.0, 350.0), 251, "{name}");
+            let want: f64 = s.weights()[100..351].iter().sum();
+            assert!((s.range_weight(100.0, 350.0) - want).abs() < 1e-9, "{name}");
+            // Degenerate ranges.
+            assert_eq!(s.range_count(1000.0, 2000.0), 0, "{name}");
+            assert_eq!(s.range_weight(600.0, 400.0), 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn wr_samples_match_weight_distribution() {
+        for (name, sampler) in samplers(256, 8) {
+            let mut rng = StdRng::seed_from_u64(9);
+            let (x, y) = (30.0, 200.0);
+            let (a, b) = sampler.rank_range(x, y);
+            let total: f64 = sampler.weights()[a..b].iter().sum();
+            let mut counts = vec![0u64; 256];
+            let rounds = 400;
+            let s = 250;
+            for _ in 0..rounds {
+                for r in sampler.sample_wr(x, y, s, &mut rng).unwrap() {
+                    assert!((a..b).contains(&r), "{name}: rank {r} outside [{a},{b})");
+                    counts[r] += 1;
+                }
+            }
+            let draws = (rounds * s) as f64;
+            #[allow(clippy::needless_range_loop)]
+            for r in a..b {
+                let p = counts[r] as f64 / draws;
+                let want = sampler.weights()[r] / total;
+                assert!(
+                    (p - want).abs() < 0.2 * want + 0.002,
+                    "{name} rank {r}: {p} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_errors() {
+        for (name, s) in samplers(64, 10) {
+            let mut rng = StdRng::seed_from_u64(11);
+            assert_eq!(
+                s.sample_wr(1000.0, 2000.0, 5, &mut rng).unwrap_err(),
+                QueryError::EmptyRange,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn wor_samples_are_distinct_and_bounded() {
+        for (name, s) in samplers(128, 12) {
+            let mut rng = StdRng::seed_from_u64(13);
+            let out = s.sample_wor(10.0, 40.0, 20, &mut rng).unwrap();
+            assert_eq!(out.len(), 20, "{name}");
+            let set: std::collections::HashSet<_> = out.iter().collect();
+            assert_eq!(set.len(), 20, "{name}: duplicates in WoR output");
+            assert!(matches!(
+                s.sample_wor(10.0, 12.0, 20, &mut rng),
+                Err(QueryError::SampleTooLarge { available: 3, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn single_element_range() {
+        for (name, s) in samplers(64, 14) {
+            let mut rng = StdRng::seed_from_u64(15);
+            let out = s.sample_wr(17.0, 17.0, 8, &mut rng).unwrap();
+            assert_eq!(out, vec![17; 8], "{name}");
+        }
+    }
+
+    #[test]
+    fn full_range_queries() {
+        for (name, s) in samplers(300, 16) {
+            let mut rng = StdRng::seed_from_u64(17);
+            let out = s.sample_wr(f64::NEG_INFINITY, f64::INFINITY, 100, &mut rng).unwrap();
+            assert_eq!(out.len(), 100, "{name}");
+        }
+    }
+
+    #[test]
+    fn chunked_space_is_linear_but_alias_augmented_is_not() {
+        let small_c = ChunkedRange::new(pairs(1 << 10, 18)).unwrap();
+        let large_c = ChunkedRange::new(pairs(1 << 14, 18)).unwrap();
+        let ratio_c = large_c.space_words() as f64 / small_c.space_words() as f64;
+        assert!(ratio_c < 20.0, "chunked space ratio {ratio_c} for 16x n");
+
+        let small_a = AliasAugmentedRange::new(pairs(1 << 10, 18)).unwrap();
+        let large_a = AliasAugmentedRange::new(pairs(1 << 14, 18)).unwrap();
+        let ratio_a = large_a.space_words() as f64 / small_a.space_words() as f64;
+        assert!(ratio_a > ratio_c, "alias-augmented should use more space");
+        // And chunked must be much smaller in absolute terms at n = 16k.
+        assert!(large_c.space_words() * 2 < large_a.space_words());
+    }
+
+    #[test]
+    fn duplicate_keys_are_supported() {
+        let pairs: Vec<(f64, f64)> = (0..100).map(|i| ((i / 10) as f64, 1.0)).collect();
+        for s in [
+            Box::new(TreeSamplingRange::new(pairs.clone()).unwrap()) as Box<dyn RangeSampler>,
+            Box::new(ChunkedRange::new(pairs.clone()).unwrap()),
+        ] {
+            assert_eq!(s.range_count(3.0, 5.0), 30);
+            let mut rng = StdRng::seed_from_u64(19);
+            let out = s.sample_wr(3.0, 5.0, 50, &mut rng).unwrap();
+            assert!(out.iter().all(|&r| (30..60).contains(&r)));
+        }
+    }
+
+    #[test]
+    fn chunked_boundary_alignment_cases() {
+        // n = 64, c = 6 → chunks of 6; craft queries hitting alignment
+        // edge cases.
+        let s = ChunkedRange::new(pairs(64, 20)).unwrap();
+        let c = s.chunk_len();
+        let mut rng = StdRng::seed_from_u64(21);
+        for (a, b) in [
+            (0.0, 63.0),                       // everything
+            (0.0, (c - 1) as f64),             // exactly chunk 0
+            (c as f64, (2 * c - 1) as f64),    // exactly chunk 1
+            ((c - 1) as f64, (c) as f64),      // straddles one boundary
+            (1.0, 62.0),                       // both ends partial
+            ((c) as f64, (3 * c - 1) as f64),  // aligned start, aligned end
+        ] {
+            let out = s.sample_wr(a, b, 64, &mut rng).unwrap();
+            let (lo, hi) = s.rank_range(a, b);
+            assert!(
+                out.iter().all(|&r| (lo..hi).contains(&r)),
+                "query [{a},{b}] produced out-of-range rank"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The alias-augmentation engine of Lemma 2 (Section 4.1), factored over
+//! rank space so both the element-level structure and Theorem 3's
+//! chunk-level structure (`T_chunk`) can share it.
+
+use iqs_alias::space::SpaceUsage;
+use iqs_alias::AliasTable;
+use iqs_tree::RankBst;
+use rand::Rng;
+
+/// A balanced tree over `n` weighted rank slots where **every node stores
+/// an alias table over its subtree's slots** (Section 4.1). Space
+/// `O(n log n)`; a query over rank range `[a, b)` draws `s` weighted
+/// samples in `O(log n + s)`:
+///
+/// 1. find the `O(log n)` canonical nodes;
+/// 2. build an alias table over their weights on the fly (`O(log n)`);
+/// 3. draw `s` canonical-node choices (`O(s)`), then resolve each through
+///    the chosen node's stored alias table (`O(1)` each).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone)]
+pub struct RankAliasAugmented {
+    tree: RankBst,
+    /// Per-node alias over the node's rank slots (offset by the node's
+    /// leaf-range start).
+    node_alias: Vec<AliasTable>,
+}
+
+impl RankAliasAugmented {
+    /// Builds the structure in `O(n log n)` time and space.
+    ///
+    /// # Panics
+    /// Panics on empty or non-positive weights (caller validates input).
+    pub fn new(weights: &[f64]) -> Self {
+        let tree = RankBst::new(weights).expect("non-empty weights");
+        let node_alias: Vec<AliasTable> = (0..tree.node_count() as u32)
+            .map(|u| {
+                let (lo, hi) = tree.leaf_range(u);
+                AliasTable::new(&weights[lo..hi]).expect("positive weights")
+            })
+            .collect();
+        RankAliasAugmented { tree, node_alias }
+    }
+
+    /// Number of rank slots.
+    #[allow(dead_code)] // part of the engine's API surface; used by tests
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True when there are no slots (never constructible).
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The underlying rank tree.
+    #[allow(dead_code)]
+    pub fn tree(&self) -> &RankBst {
+        &self.tree
+    }
+
+    /// Total weight of ranks `[a, b)` in `O(log n)` via canonical nodes.
+    pub fn range_weight(&self, a: usize, b: usize) -> f64 {
+        self.tree.canonical_nodes(a, b).iter().map(|&u| self.tree.node_weight(u)).sum()
+    }
+
+    /// Draws `s` independent weighted rank samples from `[a, b)` in
+    /// `O(log n + s)` time, appending to `out`. Returns `false` (and
+    /// appends nothing) when the range is empty.
+    pub fn sample_into<R: Rng + ?Sized>(
+        &self,
+        a: usize,
+        b: usize,
+        s: usize,
+        rng: &mut R,
+        out: &mut Vec<usize>,
+    ) -> bool {
+        let canon = self.tree.canonical_nodes(a, b);
+        if canon.is_empty() {
+            return false;
+        }
+        if canon.len() == 1 {
+            let u = canon[0];
+            let (lo, _) = self.tree.leaf_range(u);
+            for _ in 0..s {
+                out.push(lo + self.node_alias[u as usize].sample(rng));
+            }
+            return true;
+        }
+        let weights: Vec<f64> = canon.iter().map(|&u| self.tree.node_weight(u)).collect();
+        let chooser = AliasTable::new(&weights).expect("positive node weights");
+        for _ in 0..s {
+            let u = canon[chooser.sample(rng)];
+            let (lo, _) = self.tree.leaf_range(u);
+            out.push(lo + self.node_alias[u as usize].sample(rng));
+        }
+        true
+    }
+}
+
+impl SpaceUsage for RankAliasAugmented {
+    fn space_words(&self) -> usize {
+        self.tree.space_words()
+            + self.node_alias.iter().map(|a| a.space_words()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distribution_matches_weights() {
+        let weights: Vec<f64> = (1..=32).map(f64::from).collect();
+        let r = RankAliasAugmented::new(&weights);
+        let (a, b) = (5usize, 20usize);
+        let total: f64 = weights[a..b].iter().sum();
+        let mut rng = StdRng::seed_from_u64(300);
+        let mut counts = vec![0u64; 32];
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            out.clear();
+            assert!(r.sample_into(a, b, 200, &mut rng, &mut out));
+            for &pos in &out {
+                assert!((a..b).contains(&pos));
+                counts[pos] += 1;
+            }
+        }
+        let draws = 500.0 * 200.0;
+        for pos in a..b {
+            let p = counts[pos] as f64 / draws;
+            let want = weights[pos] / total;
+            assert!((p - want).abs() < 0.15 * want + 0.002, "pos {pos}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn empty_range_returns_false() {
+        let r = RankAliasAugmented::new(&[1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(301);
+        let mut out = Vec::new();
+        assert!(!r.sample_into(1, 1, 5, &mut rng, &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_weight_is_exact() {
+        let weights = [0.5, 1.5, 2.0, 4.0, 8.0];
+        let r = RankAliasAugmented::new(&weights);
+        for a in 0..5 {
+            for b in a..=5 {
+                let want: f64 = weights[a..b].iter().sum();
+                assert!((r.range_weight(a, b) - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn space_is_n_log_n() {
+        let small = RankAliasAugmented::new(&vec![1.0; 1 << 8]);
+        let large = RankAliasAugmented::new(&vec![1.0; 1 << 12]);
+        let ratio = large.space_words() as f64 / small.space_words() as f64;
+        // (n log n) ratio = 16 * (12/8) = 24; linear would be 16.
+        assert!(ratio > 19.0, "ratio {ratio} suggests space is not n log n");
+    }
+}

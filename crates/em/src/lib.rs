@@ -1,0 +1,46 @@
+//! An external-memory (EM) machine simulator and the EM sampling
+//! structures of Section 8 of Tao (PODS 2022).
+//!
+//! The EM model of Aggarwal–Vitter: a machine with `M` words of memory and
+//! a disk formatted into blocks of `B` words (`M ≥ 2B`). An algorithm's
+//! cost is the number of block transfers (I/Os); CPU time is free.
+//!
+//! We *simulate* the model rather than run on a real disk — which is
+//! faithful, because the model's metric **is** the count of block
+//! transfers, and a buffer-pool simulator counts exactly those:
+//!
+//! * [`EmMachine`] — a buffer pool of `M/B` block frames with LRU
+//!   eviction, shared by all arrays, counting block reads and (dirty)
+//!   writes;
+//! * [`EmArray`] — a disk-resident array whose element accesses fault
+//!   blocks through the machine;
+//! * [`external_sort`] — multi-way external merge sort,
+//!   `O((n/B) log_{M/B}(n/B))` I/Os;
+//! * [`SamplePool`] — Section 8's set-sampling structure: `n` pre-drawn WR
+//!   samples consumed sequentially and rebuilt (by sorting) on exhaustion;
+//!   amortized `O((1/B) log_{M/B}(n/B))` I/Os per sample, matching the
+//!   Hu et al. lower bound, versus the naive `O(1)`-I/O-per-sample
+//!   random-access baseline ([`NaiveEmSampler`]);
+//! * [`EmRangeSampler`] — the Hu-et-al-style WR *range* sampling
+//!   structure: chunked keys under a binary supernode hierarchy whose
+//!   every node keeps a pre-drawn sample pool, giving amortized
+//!   `O(log(n/B) + (s/B) log_{M/B}(n/B))` I/Os per query;
+//! * [`EmWeightedRangeSampler`] — a Direction-2 exploration: the natural
+//!   *weighted* generalization (the paper lists worst-case weighted EM
+//!   range sampling as open), measured to match the conjectured
+//!   amortized shape on our workloads.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod machine;
+mod rangesampler;
+mod samplepool;
+mod sort;
+mod weighted;
+
+pub use machine::{EmArray, EmMachine, IoStats};
+pub use weighted::EmWeightedRangeSampler;
+pub use rangesampler::{EmRangeSampler, NaiveEmRangeSampler};
+pub use samplepool::{NaiveEmSampler, SamplePool};
+pub use sort::external_sort;

@@ -1,0 +1,380 @@
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// Cumulative I/O counters of an [`EmMachine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStats {
+    /// Blocks read from disk into the buffer pool.
+    pub reads: u64,
+    /// Dirty blocks written back to disk.
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Total block transfers.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Identity of a block: (array id, block index within the array).
+type BlockKey = (u32, u64);
+
+#[derive(Debug)]
+struct Pool {
+    /// Number of block frames the memory holds (`M / B`).
+    capacity: usize,
+    /// Block size in words (`B`). One array item occupies
+    /// `size_of::<T>() / 8` words.
+    block_words: usize,
+    /// Resident blocks: key → (LRU stamp, dirty).
+    resident: HashMap<BlockKey, (u64, bool)>,
+    /// LRU order: stamp → key.
+    lru: BTreeMap<u64, BlockKey>,
+    clock: u64,
+    stats: IoStats,
+    next_array: u32,
+}
+
+impl Pool {
+    /// Touches `key`; faults it in (counting a read unless `no_fetch`) if
+    /// absent, updates LRU, marks dirty if `write`. Evicting a dirty block
+    /// counts a write. `no_fetch` models write-allocate of a block the
+    /// caller fully overwrites: no read transfer is needed.
+    fn touch(&mut self, key: BlockKey, write: bool, no_fetch: bool) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some((old_stamp, dirty)) = self.resident.get_mut(&key) {
+            self.lru.remove(&std::mem::replace(old_stamp, stamp));
+            *dirty |= write;
+            self.lru.insert(stamp, key);
+            return;
+        }
+        // Fault: evict if full.
+        if self.resident.len() >= self.capacity {
+            let (&victim_stamp, &victim) =
+                self.lru.iter().next().expect("non-empty pool at capacity");
+            self.lru.remove(&victim_stamp);
+            let (_, dirty) = self.resident.remove(&victim).expect("victim resident");
+            if dirty {
+                self.stats.writes += 1;
+            }
+        }
+        if !no_fetch {
+            self.stats.reads += 1;
+        }
+        self.resident.insert(key, (stamp, write));
+        self.lru.insert(stamp, key);
+    }
+
+    fn flush(&mut self) {
+        for (_, (_, dirty)) in self.resident.drain() {
+            if dirty {
+                self.stats.writes += 1;
+            }
+        }
+        self.lru.clear();
+    }
+
+    /// Drops an array's blocks without counting write-backs (the array is
+    /// being destroyed, e.g. a sort scratch file).
+    fn discard_array(&mut self, array: u32) {
+        let keys: Vec<BlockKey> =
+            self.resident.keys().copied().filter(|&(a, _)| a == array).collect();
+        for k in keys {
+            let (stamp, _) = self.resident.remove(&k).expect("present");
+            self.lru.remove(&stamp);
+        }
+    }
+}
+
+/// The Aggarwal–Vitter machine: a buffer pool of `M/B` frames over an
+/// unbounded block-addressed disk, counting block transfers. All
+/// [`EmArray`]s created from one machine share its memory — exactly the
+/// model's single-memory semantics.
+///
+/// # Example
+/// ```
+/// use iqs_em::EmMachine;
+///
+/// // M = 8 blocks of memory, B = 64 words per block.
+/// let machine = EmMachine::new(8 * 64, 64);
+/// let arr = machine.array_from((0..640u64).collect::<Vec<_>>());
+/// machine.reset_stats();
+/// for i in 0..640 {
+///     arr.get(i); // sequential scan
+/// }
+/// assert_eq!(machine.stats().reads, 10); // 640 items / 64 per block
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmMachine {
+    pool: Rc<RefCell<Pool>>,
+}
+
+impl EmMachine {
+    /// Creates a machine with `mem_words` words of memory (`M`) and
+    /// `block_words` words per block (`B`).
+    ///
+    /// # Panics
+    /// Panics unless `M ≥ 2B` and `B ≥ 1` (the model's own requirement).
+    pub fn new(mem_words: usize, block_words: usize) -> Self {
+        assert!(block_words >= 1, "block size must be positive");
+        assert!(mem_words >= 2 * block_words, "EM model requires M >= 2B");
+        EmMachine {
+            pool: Rc::new(RefCell::new(Pool {
+                capacity: mem_words / block_words,
+                block_words,
+                resident: HashMap::new(),
+                lru: BTreeMap::new(),
+                clock: 0,
+                stats: IoStats::default(),
+                next_array: 0,
+            })),
+        }
+    }
+
+    /// Block size `B` in words.
+    pub fn block_words(&self) -> usize {
+        self.pool.borrow().block_words
+    }
+
+    /// Number of buffer frames `M/B`.
+    pub fn frame_count(&self) -> usize {
+        self.pool.borrow().capacity
+    }
+
+    /// Cumulative I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.pool.borrow().stats
+    }
+
+    /// Resets the I/O counters (keeps the buffer contents).
+    pub fn reset_stats(&self) {
+        self.pool.borrow_mut().stats = IoStats::default();
+    }
+
+    /// Empties the buffer pool, writing back dirty blocks (counted).
+    pub fn flush(&self) {
+        self.pool.borrow_mut().flush();
+    }
+
+    /// Creates a disk-resident array from the given items. The initial
+    /// placement is free (it models data that is already on disk);
+    /// subsequent accesses are counted.
+    pub fn array_from<T: Copy>(&self, items: Vec<T>) -> EmArray<T> {
+        let id = {
+            let mut pool = self.pool.borrow_mut();
+            let id = pool.next_array;
+            pool.next_array += 1;
+            id
+        };
+        EmArray {
+            machine: self.clone(),
+            id,
+            data: RefCell::new(items),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a zero-initialized disk-resident array of the given length.
+    pub fn array_zeroed<T: Copy + Default>(&self, len: usize) -> EmArray<T> {
+        self.array_from(vec![T::default(); len])
+    }
+
+    fn items_per_block<T>(&self) -> usize {
+        let words_per_item = std::mem::size_of::<T>().div_ceil(8).max(1);
+        (self.pool.borrow().block_words / words_per_item).max(1)
+    }
+}
+
+/// A disk-resident array of `Copy` items. Every element access faults the
+/// containing block through the machine's buffer pool, so sequential scans
+/// cost `⌈n/B⌉` I/Os while scattered accesses cost up to one I/O each —
+/// the asymmetry at the heart of Section 8.
+#[derive(Debug)]
+pub struct EmArray<T: Copy> {
+    machine: EmMachine,
+    id: u32,
+    data: RefCell<Vec<T>>,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Copy> EmArray<T> {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    /// True when the array has no items.
+    pub fn is_empty(&self) -> bool {
+        self.data.borrow().is_empty()
+    }
+
+    /// Items per block for this element type.
+    pub fn items_per_block(&self) -> usize {
+        self.machine.items_per_block::<T>()
+    }
+
+    fn touch(&self, index: usize, write: bool, no_fetch: bool) {
+        let block = (index / self.items_per_block()) as u64;
+        self.machine.pool.borrow_mut().touch((self.id, block), write, no_fetch);
+    }
+
+    /// Reads item `index` (counts an I/O on a buffer miss).
+    pub fn get(&self, index: usize) -> T {
+        self.touch(index, false, false);
+        self.data.borrow()[index]
+    }
+
+    /// Writes item `index` (counts an I/O on a buffer miss; the dirty
+    /// block costs another I/O when evicted or flushed).
+    pub fn set(&self, index: usize, value: T) {
+        self.touch(index, true, false);
+        self.data.borrow_mut()[index] = value;
+    }
+
+    /// Writes item `index` into a block the caller is overwriting wholesale
+    /// (sequential output): on a miss the block is installed dirty without
+    /// a read transfer — write-allocate-no-fetch, as a real buffer manager
+    /// does for append-style writes. The eventual write-back is counted.
+    pub fn set_fresh(&self, index: usize, value: T) {
+        self.touch(index, true, true);
+        self.data.borrow_mut()[index] = value;
+    }
+
+    /// Marks item `index`'s block dirty without a read transfer and without
+    /// changing the value — used to account for a sequential write pass of
+    /// data that is already materialized (e.g. freshly generated pairs).
+    pub fn touch_fresh(&self, index: usize) {
+        self.touch(index, true, true);
+    }
+
+    /// Reads a contiguous range into a `Vec` (sequential, so `⌈len/B⌉`
+    /// I/Os when the range is block-aligned and cold).
+    pub fn read_range(&self, start: usize, end: usize) -> Vec<T> {
+        (start..end).map(|i| self.get(i)).collect()
+    }
+
+    /// Number of blocks the array occupies.
+    pub fn block_count(&self) -> usize {
+        self.len().div_ceil(self.items_per_block())
+    }
+
+    /// Destroys the array, dropping its buffered blocks without counting
+    /// write-backs (scratch-file semantics).
+    pub fn discard(self) {
+        self.machine.pool.borrow_mut().discard_array(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_memory() {
+        EmMachine::new(10, 8);
+    }
+
+    #[test]
+    fn sequential_scan_costs_n_over_b() {
+        let m = EmMachine::new(1024, 64);
+        let a = m.array_from((0..6400u64).collect::<Vec<_>>());
+        m.reset_stats();
+        let mut acc = 0u64;
+        for i in 0..6400 {
+            acc = acc.wrapping_add(a.get(i));
+        }
+        assert!(acc > 0);
+        assert_eq!(m.stats().reads, 100, "6400 items / 64 per block");
+    }
+
+    #[test]
+    fn random_access_costs_one_io_each_when_memory_small() {
+        let m = EmMachine::new(128, 64); // 2 frames only
+        let n = 64 * 1024;
+        let a = m.array_from(vec![1u64; n]);
+        m.reset_stats();
+        // Stride exactly one block so every access faults.
+        for b in 0..1000 {
+            a.get((b * 64) % n);
+        }
+        // Some repeats may hit; require at least 90% misses.
+        assert!(m.stats().reads >= 900, "reads {}", m.stats().reads);
+    }
+
+    #[test]
+    fn buffer_hits_are_free() {
+        let m = EmMachine::new(1024, 64);
+        let a = m.array_from(vec![0u64; 64]);
+        m.reset_stats();
+        for _ in 0..100 {
+            a.get(0);
+        }
+        assert_eq!(m.stats().reads, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_a_write() {
+        let m = EmMachine::new(128, 64); // 2 frames
+        let a = m.array_from(vec![0u64; 64 * 4]);
+        m.reset_stats();
+        a.set(0, 7); // block 0 dirty
+        a.get(64); // block 1
+        a.get(128); // block 2 -> evicts block 0 (dirty)
+        assert_eq!(m.stats().writes, 1);
+        assert_eq!(a.get(0), 7, "data survives eviction");
+    }
+
+    #[test]
+    fn flush_writes_back_dirty_blocks() {
+        let m = EmMachine::new(1024, 64);
+        let a = m.array_from(vec![0u64; 256]);
+        m.reset_stats();
+        a.set(0, 1);
+        a.set(100, 2);
+        m.flush();
+        assert_eq!(m.stats().writes, 2);
+        m.flush();
+        assert_eq!(m.stats().writes, 2, "clean blocks not rewritten");
+    }
+
+    #[test]
+    fn wide_items_pack_fewer_per_block() {
+        let m = EmMachine::new(1024, 64);
+        let a: EmArray<(u64, u64)> = m.array_from(vec![(0, 0); 10]);
+        assert_eq!(a.items_per_block(), 32);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let m = EmMachine::new(192, 64); // 3 frames
+        let a = m.array_from(vec![0u64; 64 * 4]);
+        m.reset_stats();
+        a.get(0); // block 0
+        a.get(64); // block 1
+        a.get(128); // block 2
+        a.get(0); // refresh block 0
+        a.get(192); // block 3: must evict block 1 (LRU)
+        m.reset_stats();
+        a.get(0); // hit
+        a.get(128); // hit
+        assert_eq!(m.stats().reads, 0);
+        a.get(64); // miss (was evicted)
+        assert_eq!(m.stats().reads, 1);
+    }
+
+    #[test]
+    fn discard_skips_writeback() {
+        let m = EmMachine::new(1024, 64);
+        let a = m.array_from(vec![0u64; 64]);
+        m.reset_stats();
+        a.set(0, 9);
+        a.discard();
+        m.flush();
+        assert_eq!(m.stats().writes, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Mergeable distinct-count sketches for set-union sampling (Section 7).
+//!
+//! Theorem 8 of Tao (PODS 2022) needs, for every set in the family, a small
+//! sketch from which `|∪G|` can be estimated within relative error ½ with
+//! high probability, where the sketches of the sets in `G` can be *merged*
+//! in time linear in their size. The paper invokes the sketch of its
+//! reference \[9\]; any mergeable (ε, δ)-distinct-count sketch satisfies the
+//! contract. We implement the classical **bottom-k (KMV)** sketch: keep the
+//! `k` smallest values of a random hash of the elements; the `k`-th
+//! smallest value `h₍k₎` (scaled to `(0,1)`) estimates the distinct count
+//! as `(k-1)/h₍k₎`, with relative standard error `≈ 1/√(k-2)`.
+//!
+//! The hash is a fixed bijective 64-bit mixer ([`splitmix64`]) applied to
+//! `element_id XOR seed`, so two sketches built with the same seed are
+//! mergeable by multiset union of their bottom values.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod hash;
+mod kmv;
+
+pub use hash::{splitmix64, HashSeed};
+pub use kmv::KmvSketch;

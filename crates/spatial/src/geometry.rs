@@ -1,0 +1,179 @@
+/// A point in `D`-dimensional Euclidean space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    /// Cartesian coordinates.
+    pub coords: [f64; D],
+}
+
+impl<const D: usize> Point<D> {
+    /// Constructs a point from its coordinates.
+    pub fn new(coords: [f64; D]) -> Self {
+        Point { coords }
+    }
+
+    /// Coordinate along axis `d`.
+    #[inline]
+    pub fn coord(&self, d: usize) -> f64 {
+        self.coords[d]
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Point { coords }
+    }
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist2<const D: usize>(a: &Point<D>, b: &Point<D>) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..D {
+        let diff = a.coords[d] - b.coords[d];
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn dist<const D: usize>(a: &Point<D>, b: &Point<D>) -> f64 {
+    dist2(a, b).sqrt()
+}
+
+/// An axis-aligned closed rectangle `[min₁,max₁] × … × [min_D,max_D]` —
+/// the orthogonal range query predicate of Section 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect<const D: usize> {
+    /// Lower corner (inclusive).
+    pub min: [f64; D],
+    /// Upper corner (inclusive).
+    pub max: [f64; D],
+}
+
+impl<const D: usize> Rect<D> {
+    /// Constructs a rectangle from its corners.
+    pub fn new(min: [f64; D], max: [f64; D]) -> Self {
+        Rect { min, max }
+    }
+
+    /// The all-space rectangle.
+    pub fn everything() -> Self {
+        Rect { min: [f64::NEG_INFINITY; D], max: [f64::INFINITY; D] }
+    }
+
+    /// True when `p` lies inside (boundary inclusive).
+    #[inline]
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        (0..D).all(|d| self.min[d] <= p.coords[d] && p.coords[d] <= self.max[d])
+    }
+
+    /// True when `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|d| self.min[d] <= other.min[d] && other.max[d] <= self.max[d])
+    }
+
+    /// True when the two rectangles share at least one point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect<D>) -> bool {
+        (0..D).all(|d| self.min[d] <= other.max[d] && other.min[d] <= self.max[d])
+    }
+
+    /// Smallest rectangle enclosing the given points.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn bounding(points: &[Point<D>]) -> Self {
+        assert!(!points.is_empty(), "bounding box of an empty point set");
+        let mut min = [f64::INFINITY; D];
+        let mut max = [f64::NEG_INFINITY; D];
+        for p in points {
+            for d in 0..D {
+                min[d] = min[d].min(p.coords[d]);
+                max[d] = max[d].max(p.coords[d]);
+            }
+        }
+        Rect { min, max }
+    }
+
+    /// Squared distance from `p` to the closest point of the rectangle
+    /// (zero when `p` is inside).
+    pub fn dist2_to_point(&self, p: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..D {
+            let c = p.coords[d];
+            let nearest = c.clamp(self.min[d], self.max[d]);
+            let diff = c - nearest;
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Squared distance from `p` to the farthest point of the rectangle.
+    pub fn max_dist2_to_point(&self, p: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..D {
+            let c = p.coords[d];
+            let far = if (c - self.min[d]).abs() > (c - self.max[d]).abs() {
+                self.min[d]
+            } else {
+                self.max[d]
+            };
+            let diff = c - far;
+            acc += diff * diff;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_is_boundary_inclusive() {
+        let r: Rect<2> = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        assert!(r.contains_point(&[0.0, 0.0].into()));
+        assert!(r.contains_point(&[1.0, 1.0].into()));
+        assert!(r.contains_point(&[0.5, 0.5].into()));
+        assert!(!r.contains_point(&[1.0001, 0.5].into()));
+    }
+
+    #[test]
+    fn intersection_and_nesting() {
+        let a: Rect<2> = Rect::new([0.0, 0.0], [2.0, 2.0]);
+        let b: Rect<2> = Rect::new([1.0, 1.0], [3.0, 3.0]);
+        let c: Rect<2> = Rect::new([0.5, 0.5], [1.5, 1.5]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(a.contains_rect(&c));
+        assert!(!a.contains_rect(&b));
+        let far: Rect<2> = Rect::new([10.0, 10.0], [11.0, 11.0]);
+        assert!(!a.intersects(&far));
+        // Touching edges intersect (closed rectangles).
+        let touch: Rect<2> = Rect::new([2.0, 0.0], [3.0, 1.0]);
+        assert!(a.intersects(&touch));
+    }
+
+    #[test]
+    fn bounding_box() {
+        let pts: Vec<Point<3>> =
+            vec![[0.0, 5.0, -1.0].into(), [2.0, 1.0, 4.0].into(), [-3.0, 2.0, 0.0].into()];
+        let bb = Rect::bounding(&pts);
+        assert_eq!(bb.min, [-3.0, 1.0, -1.0]);
+        assert_eq!(bb.max, [2.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let a: Point<2> = [0.0, 0.0].into();
+        let b: Point<2> = [3.0, 4.0].into();
+        assert_eq!(dist2(&a, &b), 25.0);
+        assert_eq!(dist(&a, &b), 5.0);
+        let r: Rect<2> = Rect::new([1.0, 1.0], [2.0, 2.0]);
+        assert_eq!(r.dist2_to_point(&a), 2.0);
+        assert_eq!(r.dist2_to_point(&[1.5, 1.5].into()), 0.0);
+        assert_eq!(r.max_dist2_to_point(&a), 8.0);
+    }
+}

@@ -1,0 +1,390 @@
+use iqs_alias::space::{vec_words, SpaceUsage};
+
+use crate::geometry::{Point, Rect};
+use crate::region::{Containment, Region};
+use crate::{validate_points, SpatialError};
+
+const NIL: u32 = u32::MAX;
+/// Default leaf bucket capacity: small enough that boundary enumeration
+/// stays `O(1)` per leaf, large enough to keep the node arena compact.
+const DEFAULT_LEAF_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+struct KdNode<const D: usize> {
+    left: u32,
+    right: u32,
+    /// Positions `[lo, hi)` in the permuted point array.
+    lo: u32,
+    hi: u32,
+    weight: f64,
+    /// Tight bounding box of the points below.
+    bbox: Rect<D>,
+}
+
+/// The exact cover a [`KdTree`] produces for an orthogonal range query
+/// (Theorem 5's `C_q`, kd-tree instance): `nodes` are fully-contained
+/// subtrees, `points` are the individual in-range positions from boundary
+/// leaves. Together (and disjointly) they are exactly `S_q`.
+#[derive(Debug, Clone, Default)]
+pub struct KdCover {
+    /// Fully contained node ids.
+    pub nodes: Vec<u32>,
+    /// In-range point positions (into the permuted order) from partially
+    /// overlapping leaves.
+    pub points: Vec<u32>,
+}
+
+impl KdCover {
+    /// Total number of cover elements `|C_q|`.
+    pub fn len(&self) -> usize {
+        self.nodes.len() + self.points.len()
+    }
+
+    /// True when the query range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.points.is_empty()
+    }
+}
+
+/// A median-split kd-tree over weighted `D`-dimensional points.
+///
+/// `O(n)` space; for any orthogonal range the cover returned by
+/// [`KdTree::cover`] has `O(n^{1-1/d})` elements (the classical kd-tree
+/// partition bound). Points are permuted at build time so every node owns
+/// a contiguous position range — the layout the Lemma-4 interval engine
+/// needs for `O(1)` per-node sampling in the Theorem-5 adapter.
+#[derive(Debug, Clone)]
+pub struct KdTree<const D: usize> {
+    points: Vec<Point<D>>,
+    /// Original index of the point at each permuted position.
+    ids: Vec<u32>,
+    weights: Vec<f64>,
+    nodes: Vec<KdNode<D>>,
+    root: u32,
+    leaf_cap: usize,
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Builds the tree in `O(n log n)` time with the default leaf
+    /// capacity.
+    ///
+    /// # Errors
+    /// [`SpatialError`] on empty input, length mismatch, or bad values.
+    pub fn new(points: Vec<Point<D>>, weights: Vec<f64>) -> Result<Self, SpatialError> {
+        Self::with_leaf_cap(points, weights, DEFAULT_LEAF_CAP)
+    }
+
+    /// Builds with an explicit leaf capacity (ablation A3): larger
+    /// leaves shrink the node arena and deepen boundary scans.
+    ///
+    /// # Errors
+    /// [`SpatialError`] as for [`KdTree::new`]; a zero capacity is
+    /// clamped to 1.
+    pub fn with_leaf_cap(
+        points: Vec<Point<D>>,
+        weights: Vec<f64>,
+        leaf_cap: usize,
+    ) -> Result<Self, SpatialError> {
+        validate_points(&points, &weights)?;
+        let leaf_cap = leaf_cap.max(1);
+        let n = points.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::with_capacity(2 * n / leaf_cap + 2);
+        let root = Self::build(&points, &weights, &mut perm, &mut nodes, 0, n, 0, leaf_cap);
+        let perm_points: Vec<Point<D>> = perm.iter().map(|&i| points[i as usize]).collect();
+        let perm_weights: Vec<f64> = perm.iter().map(|&i| weights[i as usize]).collect();
+        Ok(KdTree { points: perm_points, ids: perm, weights: perm_weights, nodes, root, leaf_cap })
+    }
+
+    /// Builds with unit weights (the WR-sampling configuration).
+    pub fn with_unit_weights(points: Vec<Point<D>>) -> Result<Self, SpatialError> {
+        let w = vec![1.0; points.len()];
+        Self::new(points, w)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        points: &[Point<D>],
+        weights: &[f64],
+        perm: &mut [u32],
+        nodes: &mut Vec<KdNode<D>>,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        leaf_cap: usize,
+    ) -> u32 {
+        let slice = &mut perm[lo..hi];
+        let bbox = {
+            let pts: Vec<Point<D>> = slice.iter().map(|&i| points[i as usize]).collect();
+            Rect::bounding(&pts)
+        };
+        let weight: f64 = slice.iter().map(|&i| weights[i as usize]).sum();
+        if hi - lo <= leaf_cap {
+            nodes.push(KdNode { left: NIL, right: NIL, lo: lo as u32, hi: hi as u32, weight, bbox });
+            return (nodes.len() - 1) as u32;
+        }
+        let axis = depth % D;
+        let mid = (hi - lo) / 2;
+        slice.select_nth_unstable_by(mid, |&a, &b| {
+            points[a as usize]
+                .coord(axis)
+                .partial_cmp(&points[b as usize].coord(axis))
+                .expect("coordinates are finite")
+        });
+        let left = Self::build(points, weights, perm, nodes, lo, lo + mid, depth + 1, leaf_cap);
+        let right = Self::build(points, weights, perm, nodes, lo + mid, hi, depth + 1, leaf_cap);
+        nodes.push(KdNode { left, right, lo: lo as u32, hi: hi as u32, weight, bbox });
+        (nodes.len() - 1) as u32
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are stored (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of arena nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The leaf bucket capacity this tree was built with.
+    pub fn leaf_cap(&self) -> usize {
+        self.leaf_cap
+    }
+
+    /// Per-position weights in permuted order (the Lemma-4 engine input).
+    pub fn position_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Original point id at a permuted position.
+    pub fn original_id(&self, pos: usize) -> usize {
+        self.ids[pos] as usize
+    }
+
+    /// Point at a permuted position.
+    pub fn point_at(&self, pos: usize) -> &Point<D> {
+        &self.points[pos]
+    }
+
+    /// Position range `[lo, hi)` of node `u`.
+    pub fn node_range(&self, u: u32) -> (usize, usize) {
+        let n = &self.nodes[u as usize];
+        (n.lo as usize, n.hi as usize)
+    }
+
+    /// Subtree weight of node `u`.
+    pub fn node_weight(&self, u: u32) -> f64 {
+        self.nodes[u as usize].weight
+    }
+
+    /// All node position ranges, indexed by node id (the interval family
+    /// for the Lemma-4 engine).
+    pub fn all_node_ranges(&self) -> Vec<(usize, usize)> {
+        self.nodes.iter().map(|n| (n.lo as usize, n.hi as usize)).collect()
+    }
+
+    /// Computes the cover `C_q` of an orthogonal range query: disjoint
+    /// fully-contained nodes plus individual boundary positions, together
+    /// exactly `S_q`. `O(n^{1-1/d} + |C_q|)` time.
+    pub fn cover(&self, q: &Rect<D>) -> KdCover {
+        self.cover_region(q)
+    }
+
+    /// Generic-predicate cover (Theorem 5 beyond rectangles): works for
+    /// any [`Region`] — halfspaces, discs, rectangles — with the same
+    /// disjoint-and-exact contract. Cover size depends on the region's
+    /// boundary complexity (`O(n^{1-1/d})` for the flat and convex cases
+    /// here).
+    pub fn cover_region<Rg: Region<D>>(&self, q: &Rg) -> KdCover {
+        let mut cover = KdCover::default();
+        self.cover_rec(self.root, q, &mut cover);
+        cover
+    }
+
+    fn cover_rec<Rg: Region<D>>(&self, u: u32, q: &Rg, out: &mut KdCover) {
+        let node = &self.nodes[u as usize];
+        match q.classify(&node.bbox) {
+            Containment::None => return,
+            Containment::Full => {
+                out.nodes.push(u);
+                return;
+            }
+            Containment::Partial => {}
+        }
+        if node.left == NIL {
+            for pos in node.lo..node.hi {
+                if q.contains(&self.points[pos as usize]) {
+                    out.points.push(pos);
+                }
+            }
+            return;
+        }
+        self.cover_rec(node.left, q, out);
+        self.cover_rec(node.right, q, out);
+    }
+
+    /// Conventional range reporting (`O(n^{1-1/d} + k)`): all permuted
+    /// positions inside `q` — the report-then-sample baseline's workhorse.
+    pub fn report(&self, q: &Rect<D>) -> Vec<u32> {
+        let cover = self.cover(q);
+        let mut out = cover.points.clone();
+        for &u in &cover.nodes {
+            let (lo, hi) = self.node_range(u);
+            out.extend(lo as u32..hi as u32);
+        }
+        out
+    }
+
+    /// Count of points inside `q` without materializing them.
+    pub fn count(&self, q: &Rect<D>) -> usize {
+        let cover = self.cover(q);
+        cover.points.len()
+            + cover
+                .nodes
+                .iter()
+                .map(|&u| {
+                    let (lo, hi) = self.node_range(u);
+                    hi - lo
+                })
+                .sum::<usize>()
+    }
+
+    /// Total weight of the points inside `q`.
+    pub fn range_weight(&self, q: &Rect<D>) -> f64 {
+        let cover = self.cover(q);
+        let node_w: f64 = cover.nodes.iter().map(|&u| self.node_weight(u)).sum();
+        let point_w: f64 = cover.points.iter().map(|&p| self.weights[p as usize]).sum();
+        node_w + point_w
+    }
+}
+
+impl<const D: usize> SpaceUsage for KdTree<D> {
+    fn space_words(&self) -> usize {
+        vec_words(&self.points)
+            + vec_words(&self.ids)
+            + vec_words(&self.weights)
+            + vec_words(&self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>()].into()).collect()
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(KdTree::<2>::with_unit_weights(vec![]).is_err());
+        assert!(KdTree::<2>::new(vec![[0.0, 0.0].into()], vec![]).is_err());
+        assert!(KdTree::<2>::new(vec![[0.0, 0.0].into()], vec![-1.0]).is_err());
+        assert!(KdTree::<2>::new(vec![[f64::NAN, 0.0].into()], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn report_matches_linear_scan() {
+        let pts = random_points(500, 50);
+        let tree = KdTree::with_unit_weights(pts.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..50 {
+            let x0 = rng.random::<f64>();
+            let y0 = rng.random::<f64>();
+            let q: Rect<2> =
+                Rect::new([x0, y0], [x0 + rng.random::<f64>() * 0.5, y0 + rng.random::<f64>() * 0.5]);
+            let mut want: Vec<usize> =
+                (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+            want.sort_unstable();
+            let mut got: Vec<usize> =
+                tree.report(&q).iter().map(|&pos| tree.original_id(pos as usize)).collect();
+            got.sort_unstable();
+            assert_eq!(got, want);
+            assert_eq!(tree.count(&q), want.len());
+        }
+    }
+
+    #[test]
+    fn cover_is_disjoint_and_exact() {
+        let pts = random_points(300, 52);
+        let tree = KdTree::with_unit_weights(pts).unwrap();
+        let q: Rect<2> = Rect::new([0.2, 0.3], [0.7, 0.9]);
+        let cover = tree.cover(&q);
+        let mut seen = std::collections::HashSet::new();
+        for &u in &cover.nodes {
+            let (lo, hi) = tree.node_range(u);
+            for pos in lo..hi {
+                assert!(seen.insert(pos), "overlap at {pos}");
+                assert!(q.contains_point(tree.point_at(pos)), "node point outside q");
+            }
+        }
+        for &p in &cover.points {
+            assert!(seen.insert(p as usize), "overlap at {p}");
+            assert!(q.contains_point(tree.point_at(p as usize)));
+        }
+        assert_eq!(seen.len(), tree.count(&q));
+    }
+
+    #[test]
+    fn cover_size_scales_sublinearly() {
+        // For the full-height query strip, cover size should grow like
+        // sqrt(n) in 2-D, so quadrupling n should roughly double it.
+        let small = KdTree::with_unit_weights(random_points(4_096, 53)).unwrap();
+        let large = KdTree::with_unit_weights(random_points(16_384, 54)).unwrap();
+        let strip: Rect<2> = Rect::new([0.4, f64::NEG_INFINITY], [0.6, f64::INFINITY]);
+        let cs = small.cover(&strip).len();
+        let cl = large.cover(&strip).len();
+        let ratio = cl as f64 / cs as f64;
+        assert!(ratio < 3.2, "cover ratio {ratio} (cs={cs}, cl={cl}) not ~2");
+    }
+
+    #[test]
+    fn range_weight_matches_scan() {
+        let pts = random_points(200, 55);
+        let mut rng = StdRng::seed_from_u64(56);
+        let weights: Vec<f64> = (0..200).map(|_| rng.random::<f64>() + 0.1).collect();
+        let tree = KdTree::new(pts.clone(), weights.clone()).unwrap();
+        let q: Rect<2> = Rect::new([0.1, 0.1], [0.8, 0.5]);
+        let want: f64 =
+            (0..200).filter(|&i| q.contains_point(&pts[i])).map(|i| weights[i]).sum();
+        assert!((tree.range_weight(&q) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_dimensional() {
+        let mut rng = StdRng::seed_from_u64(57);
+        let pts: Vec<Point<3>> = (0..400)
+            .map(|_| [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()].into())
+            .collect();
+        let tree = KdTree::with_unit_weights(pts.clone()).unwrap();
+        let q: Rect<3> = Rect::new([0.0, 0.2, 0.4], [0.5, 0.8, 1.0]);
+        let want = (0..400).filter(|&i| q.contains_point(&pts[i])).count();
+        assert_eq!(tree.count(&q), want);
+    }
+
+    #[test]
+    fn empty_query_range() {
+        let tree = KdTree::with_unit_weights(random_points(64, 58)).unwrap();
+        let q: Rect<2> = Rect::new([2.0, 2.0], [3.0, 3.0]);
+        assert!(tree.cover(&q).is_empty());
+        assert_eq!(tree.count(&q), 0);
+        assert_eq!(tree.range_weight(&q), 0.0);
+    }
+
+    #[test]
+    fn duplicate_points_are_kept() {
+        let pts: Vec<Point<2>> = vec![[0.5, 0.5].into(); 20];
+        let tree = KdTree::with_unit_weights(pts).unwrap();
+        let q: Rect<2> = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        assert_eq!(tree.count(&q), 20);
+    }
+}

@@ -1,0 +1,101 @@
+//! Spatial index substrates for independent query sampling.
+//!
+//! These are the tree-based reporting structures that Section 5 of Tao
+//! (PODS 2022) converts into IQS structures via Theorem 5:
+//!
+//! * [`KdTree`] — a median-split kd-tree over `d`-dimensional points,
+//!   producing covers of size `O(n^{1-1/d})` for orthogonal range queries
+//!   with `O(n)` space;
+//! * [`RangeTree`] — a layered range tree producing covers of size
+//!   `O(log^d n)` with `O(n log^{d-1} n)` space (the cover is taken in the
+//!   last dimension's trees, which are disjoint as point sets — the remedy
+//!   the paper's footnote 4 alludes to);
+//! * [`QuadTree`] — a point-region quadtree (the Looz–Meyerhenke substrate
+//!   mentioned in Section 3.2), which additionally produces *approximate*
+//!   covers for circular ranges (Theorem 6's input);
+//! * [`ShiftedGrids`] — a family of independently shifted grids standing in
+//!   for the LSH bucketing of the fair near-neighbor literature: a query
+//!   point maps to one (possibly overlapping) bucket per grid, which is
+//!   exactly the overlapping-set-family regime where set-union sampling
+//!   (Theorem 8) is required.
+//!
+//! All structures permute their points so that every node owns a contiguous
+//! range of positions; this is what lets the Lemma-4 interval engine
+//! (`iqs_tree::IntervalSampler`) serve `O(1)` per-node sampling in the
+//! coverage adapters of `iqs-core`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod geometry;
+mod grids;
+mod kdtree;
+mod quadtree;
+mod rangetree;
+mod region;
+
+pub use geometry::{dist, dist2, Point, Rect};
+pub use region::{Containment, Disc, HalfSpace, Region};
+pub use grids::ShiftedGrids;
+pub use kdtree::{KdCover, KdTree};
+pub use quadtree::QuadTree;
+pub use rangetree::RangeTree;
+
+/// Errors when building a spatial index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpatialError {
+    /// No points were supplied.
+    Empty,
+    /// Points and weights had different lengths.
+    LengthMismatch,
+    /// A weight was non-finite or non-positive.
+    BadWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// A coordinate was non-finite.
+    BadCoordinate {
+        /// Index of the offending point.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for SpatialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpatialError::Empty => write!(f, "point set is empty"),
+            SpatialError::LengthMismatch => write!(f, "points and weights differ in length"),
+            SpatialError::BadWeight { index } => {
+                write!(f, "weight at index {index} is not finite-positive")
+            }
+            SpatialError::BadCoordinate { index } => {
+                write!(f, "point at index {index} has a non-finite coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpatialError {}
+
+pub(crate) fn validate_points<const D: usize>(
+    points: &[Point<D>],
+    weights: &[f64],
+) -> Result<(), SpatialError> {
+    if points.is_empty() {
+        return Err(SpatialError::Empty);
+    }
+    if points.len() != weights.len() {
+        return Err(SpatialError::LengthMismatch);
+    }
+    for (i, p) in points.iter().enumerate() {
+        if p.coords.iter().any(|c| !c.is_finite()) {
+            return Err(SpatialError::BadCoordinate { index: i });
+        }
+    }
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w <= 0.0 {
+            return Err(SpatialError::BadWeight { index: i });
+        }
+    }
+    Ok(())
+}

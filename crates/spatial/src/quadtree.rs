@@ -1,0 +1,377 @@
+use iqs_alias::space::{vec_words, SpaceUsage};
+
+use crate::geometry::{Point, Rect};
+use crate::kdtree::KdCover;
+use crate::{validate_points, SpatialError};
+
+const NIL: u32 = u32::MAX;
+/// Maximum points per leaf cell before subdividing.
+const LEAF_CAP: usize = 8;
+/// Depth cap: duplicate-heavy inputs stop subdividing here.
+const MAX_DEPTH: usize = 32;
+
+#[derive(Debug, Clone)]
+struct QNode {
+    /// Child node ids in NW/NE/SW/SE order; `NIL` for leaves.
+    children: [u32; 4],
+    /// Positions `[lo, hi)` in the permuted point array.
+    lo: u32,
+    hi: u32,
+    weight: f64,
+    /// The node's square cell.
+    cell: Rect<2>,
+}
+
+/// A point-region quadtree over weighted 2-D points — the substrate of the
+/// Looz–Meyerhenke structure mentioned in Section 3.2, and our source of
+/// *approximate covers* for circular ranges (Theorem 6).
+///
+/// `O(n)` space (for bounded duplicate depth). Exact rectangular covers via
+/// [`QuadTree::cover`]; approximate circular covers via
+/// [`QuadTree::approx_cover_circle`], whose union is a superset of the disc
+/// contents with boundary leaf cells providing the slack the Theorem-6
+/// rejection loop absorbs.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    points: Vec<Point<2>>,
+    ids: Vec<u32>,
+    weights: Vec<f64>,
+    nodes: Vec<QNode>,
+    root: u32,
+}
+
+impl QuadTree {
+    /// Builds the quadtree in `O(n log n)` expected time for
+    /// bounded-duplicate inputs.
+    ///
+    /// # Errors
+    /// [`SpatialError`] on empty input, length mismatch, or bad values.
+    pub fn new(points: Vec<Point<2>>, weights: Vec<f64>) -> Result<Self, SpatialError> {
+        validate_points(&points, &weights)?;
+        let n = points.len();
+        // Root cell: the bounding square (quadtrees subdivide squares).
+        let bb = Rect::bounding(&points);
+        let side = (bb.max[0] - bb.min[0]).max(bb.max[1] - bb.min[1]).max(f64::MIN_POSITIVE);
+        let cell = Rect::new(bb.min, [bb.min[0] + side, bb.min[1] + side]);
+
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut nodes = Vec::new();
+        let root = Self::build(&points, &weights, &mut perm, &mut nodes, 0, n, cell, 0);
+        let perm_points: Vec<Point<2>> = perm.iter().map(|&i| points[i as usize]).collect();
+        let perm_weights: Vec<f64> = perm.iter().map(|&i| weights[i as usize]).collect();
+        Ok(QuadTree { points: perm_points, ids: perm, weights: perm_weights, nodes, root })
+    }
+
+    /// Builds with unit weights.
+    pub fn with_unit_weights(points: Vec<Point<2>>) -> Result<Self, SpatialError> {
+        let w = vec![1.0; points.len()];
+        Self::new(points, w)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        points: &[Point<2>],
+        weights: &[f64],
+        perm: &mut Vec<u32>,
+        nodes: &mut Vec<QNode>,
+        lo: usize,
+        hi: usize,
+        cell: Rect<2>,
+        depth: usize,
+    ) -> u32 {
+        let weight: f64 = perm[lo..hi].iter().map(|&i| weights[i as usize]).sum();
+        if hi - lo <= LEAF_CAP || depth >= MAX_DEPTH {
+            nodes.push(QNode {
+                children: [NIL; 4],
+                lo: lo as u32,
+                hi: hi as u32,
+                weight,
+                cell,
+            });
+            return (nodes.len() - 1) as u32;
+        }
+        let cx = (cell.min[0] + cell.max[0]) / 2.0;
+        let cy = (cell.min[1] + cell.max[1]) / 2.0;
+        // Quadrant assignment: half-open split so every point lands in
+        // exactly one child.
+        let quadrant = |p: &Point<2>| -> usize {
+            let east = p.coords[0] >= cx;
+            let north = p.coords[1] >= cy;
+            match (north, east) {
+                (true, false) => 0,  // NW
+                (true, true) => 1,   // NE
+                (false, false) => 2, // SW
+                (false, true) => 3,  // SE
+            }
+        };
+        // Stable 4-way partition of perm[lo..hi].
+        let mut groups: [Vec<u32>; 4] = Default::default();
+        for &i in &perm[lo..hi] {
+            groups[quadrant(&points[i as usize])].push(i);
+        }
+        let child_cells = [
+            Rect::new([cell.min[0], cy], [cx, cell.max[1]]),
+            Rect::new([cx, cy], [cell.max[0], cell.max[1]]),
+            Rect::new([cell.min[0], cell.min[1]], [cx, cy]),
+            Rect::new([cx, cell.min[1]], [cell.max[0], cy]),
+        ];
+        let mut children = [NIL; 4];
+        let mut cursor = lo;
+        for (g, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            perm[cursor..cursor + group.len()].copy_from_slice(group);
+            children[g] = Self::build(
+                points,
+                weights,
+                perm,
+                nodes,
+                cursor,
+                cursor + group.len(),
+                child_cells[g],
+                depth + 1,
+            );
+            cursor += group.len();
+        }
+        nodes.push(QNode { children, lo: lo as u32, hi: hi as u32, weight, cell });
+        (nodes.len() - 1) as u32
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are stored (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of arena nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-position weights in permuted order.
+    pub fn position_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Original point id at a permuted position.
+    pub fn original_id(&self, pos: usize) -> usize {
+        self.ids[pos] as usize
+    }
+
+    /// Point at a permuted position.
+    pub fn point_at(&self, pos: usize) -> &Point<2> {
+        &self.points[pos]
+    }
+
+    /// Position range of node `u`.
+    pub fn node_range(&self, u: u32) -> (usize, usize) {
+        let n = &self.nodes[u as usize];
+        (n.lo as usize, n.hi as usize)
+    }
+
+    /// Subtree weight of node `u`.
+    pub fn node_weight(&self, u: u32) -> f64 {
+        self.nodes[u as usize].weight
+    }
+
+    /// All node position ranges (the Lemma-4 interval family).
+    pub fn all_node_ranges(&self) -> Vec<(usize, usize)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.lo as usize, n.hi as usize))
+            .collect()
+    }
+
+    /// Exact cover for a rectangular query (same contract as
+    /// [`crate::KdTree::cover`]).
+    pub fn cover(&self, q: &Rect<2>) -> KdCover {
+        let mut out = KdCover::default();
+        self.cover_rec(self.root, q, &mut out);
+        out
+    }
+
+    fn cover_rec(&self, u: u32, q: &Rect<2>, out: &mut KdCover) {
+        let node = &self.nodes[u as usize];
+        if node.lo == node.hi || !q.intersects(&node.cell) {
+            return;
+        }
+        if q.contains_rect(&node.cell) {
+            out.nodes.push(u);
+            return;
+        }
+        if node.children[0] == NIL && node.children.iter().all(|&c| c == NIL) {
+            for pos in node.lo..node.hi {
+                if q.contains_point(&self.points[pos as usize]) {
+                    out.points.push(pos);
+                }
+            }
+            return;
+        }
+        for &c in &node.children {
+            if c != NIL {
+                self.cover_rec(c, q, out);
+            }
+        }
+    }
+
+    /// Approximate cover for a circular range (center, radius): node ids
+    /// whose cells intersect the disc, descending until a cell is fully
+    /// inside the disc or a leaf. The union of the returned nodes'
+    /// points is a superset of the disc contents; for data that is not
+    /// pathologically concentrated on the disc boundary, a constant
+    /// fraction of the union lies inside — the Theorem-6 premise. Points
+    /// must be re-checked (rejection) by the caller.
+    pub fn approx_cover_circle(&self, center: &Point<2>, r: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        let r2 = r * r;
+        self.circle_rec(self.root, center, r2, &mut out);
+        out
+    }
+
+    fn circle_rec(&self, u: u32, center: &Point<2>, r2: f64, out: &mut Vec<u32>) {
+        let node = &self.nodes[u as usize];
+        if node.lo == node.hi || node.cell.dist2_to_point(center) > r2 {
+            return; // cell entirely outside the disc
+        }
+        if node.cell.max_dist2_to_point(center) <= r2 {
+            out.push(u); // cell entirely inside the disc
+            return;
+        }
+        if node.children.iter().all(|&c| c == NIL) {
+            out.push(u); // boundary leaf: kept whole, caller rejects
+            return;
+        }
+        for &c in &node.children {
+            if c != NIL {
+                self.circle_rec(c, center, r2, out);
+            }
+        }
+    }
+
+    /// Count of points inside a rectangle.
+    pub fn count(&self, q: &Rect<2>) -> usize {
+        let cover = self.cover(q);
+        cover.points.len()
+            + cover
+                .nodes
+                .iter()
+                .map(|&u| {
+                    let (lo, hi) = self.node_range(u);
+                    hi - lo
+                })
+                .sum::<usize>()
+    }
+}
+
+impl SpaceUsage for QuadTree {
+    fn space_words(&self) -> usize {
+        vec_words(&self.points)
+            + vec_words(&self.ids)
+            + vec_words(&self.weights)
+            + vec_words(&self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::dist2;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>()].into()).collect()
+    }
+
+    #[test]
+    fn rect_count_matches_scan() {
+        let pts = random_points(600, 80);
+        let qt = QuadTree::with_unit_weights(pts.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(81);
+        for _ in 0..40 {
+            let x0 = rng.random::<f64>() * 0.7;
+            let y0 = rng.random::<f64>() * 0.7;
+            let q: Rect<2> = Rect::new([x0, y0], [x0 + 0.3, y0 + 0.3]);
+            let want = pts.iter().filter(|p| q.contains_point(p)).count();
+            assert_eq!(qt.count(&q), want);
+        }
+    }
+
+    #[test]
+    fn cover_positions_disjoint() {
+        let pts = random_points(300, 82);
+        let qt = QuadTree::with_unit_weights(pts).unwrap();
+        let q: Rect<2> = Rect::new([0.2, 0.2], [0.8, 0.8]);
+        let cover = qt.cover(&q);
+        let mut seen = std::collections::HashSet::new();
+        for &u in &cover.nodes {
+            let (lo, hi) = qt.node_range(u);
+            for pos in lo..hi {
+                assert!(seen.insert(pos));
+                assert!(q.contains_point(qt.point_at(pos)));
+            }
+        }
+        for &p in &cover.points {
+            assert!(seen.insert(p as usize));
+        }
+    }
+
+    #[test]
+    fn circle_cover_is_superset_with_constant_density() {
+        let pts = random_points(2_000, 83);
+        let qt = QuadTree::with_unit_weights(pts.clone()).unwrap();
+        let center: Point<2> = [0.5, 0.5].into();
+        let r = 0.2;
+        let cover = qt.approx_cover_circle(&center, r);
+        let mut union = 0usize;
+        let mut inside_union = 0usize;
+        let mut union_ids = std::collections::HashSet::new();
+        for &u in &cover {
+            let (lo, hi) = qt.node_range(u);
+            for pos in lo..hi {
+                assert!(union_ids.insert(pos), "approx cover nodes overlap");
+                union += 1;
+                if dist2(qt.point_at(pos), &center) <= r * r {
+                    inside_union += 1;
+                }
+            }
+        }
+        let truly_inside = pts.iter().filter(|p| dist2(p, &center) <= r * r).count();
+        // Superset: every true inside point is in the union.
+        assert_eq!(inside_union, truly_inside);
+        // Constant-fraction density (uniform data): at least 25%.
+        assert!(
+            inside_union * 4 >= union,
+            "density too low: {inside_union}/{union}"
+        );
+    }
+
+    #[test]
+    fn duplicates_bounded_by_depth_cap() {
+        let pts: Vec<Point<2>> = vec![[0.25, 0.75].into(); 100];
+        let qt = QuadTree::with_unit_weights(pts).unwrap();
+        assert_eq!(qt.count(&Rect::new([0.0, 0.0], [1.0, 1.0])), 100);
+    }
+
+    #[test]
+    fn weights_aggregate() {
+        let pts = random_points(100, 84);
+        let ws: Vec<f64> = (1..=100).map(f64::from).collect();
+        let qt = QuadTree::new(pts, ws).unwrap();
+        let total: f64 = (1..=100).map(f64::from).sum();
+        assert!((qt.node_weight(qt.root) - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_circle_cover() {
+        let qt = QuadTree::with_unit_weights(random_points(50, 85)).unwrap();
+        let cover = qt.approx_cover_circle(&[10.0, 10.0].into(), 0.5);
+        assert!(cover.is_empty());
+    }
+}

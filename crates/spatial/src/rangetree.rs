@@ -1,0 +1,367 @@
+use iqs_alias::space::{vec_words, SpaceUsage};
+use iqs_tree::RankBst;
+
+use crate::geometry::{Point, Rect};
+use crate::{validate_points, SpatialError};
+
+/// A layered range tree over weighted `D`-dimensional points — the second
+/// Theorem-5 example of Section 5.
+///
+/// The structure recurses dimension by dimension: a balanced tree over the
+/// points sorted by the current coordinate, with each node owning a
+/// secondary range tree (over the next coordinate) on its points. The
+/// *last* dimension's trees are where covers are taken: their canonical
+/// nodes are disjoint as point sets, which is the remedy the paper's
+/// footnote 4 alludes to (the same point appears in many trees, but any
+/// single query decomposes into non-overlapping canonical nodes).
+///
+/// * Space: `O(n log^{d-1} n)` — every point appears in `O(log^{d-1} n)`
+///   last-dimension trees.
+/// * Cover size: `O(log^d n)` for any orthogonal range.
+///
+/// All last-dimension point sequences are concatenated into one global
+/// position space (`position_weights`/`original_id`), and all their tree
+/// nodes into one global node-id space (`all_node_ranges`), so the Lemma-4
+/// interval engine can serve `O(1)` per-node sampling exactly as for the
+/// kd-tree.
+#[derive(Debug)]
+pub struct RangeTree<const D: usize> {
+    level: Level,
+    /// Concatenated last-dimension weight sequences.
+    pos_weights: Vec<f64>,
+    /// Original point id at each global position.
+    pos_ids: Vec<u32>,
+    /// Global last-level node id → global position range.
+    node_ranges: Vec<(usize, usize)>,
+    /// Global last-level node id → subtree weight.
+    node_weights: Vec<f64>,
+}
+
+#[derive(Debug)]
+struct Level {
+    /// Coordinates of this level's points along its dimension, sorted.
+    coords: Vec<f64>,
+    /// Balanced tree over this level's sorted points.
+    tree: RankBst,
+    /// Global node-id offset; only meaningful at the last dimension.
+    node_base: u32,
+    /// Secondary structures per node (empty at the last dimension).
+    secs: Vec<Level>,
+}
+
+struct Builder<'a, const D: usize> {
+    points: &'a [Point<D>],
+    weights: &'a [f64],
+    pos_weights: Vec<f64>,
+    pos_ids: Vec<u32>,
+    node_ranges: Vec<(usize, usize)>,
+    node_weights: Vec<f64>,
+}
+
+impl<const D: usize> Builder<'_, D> {
+    /// Builds the level over `ids`, which must already be sorted by
+    /// coordinate `dim`.
+    fn build(&mut self, ids: &[u32], dim: usize) -> Level {
+        let coords: Vec<f64> =
+            ids.iter().map(|&i| self.points[i as usize].coord(dim)).collect();
+        let ws: Vec<f64> = ids.iter().map(|&i| self.weights[i as usize]).collect();
+        let tree = RankBst::new(&ws).expect("levels are non-empty");
+        if dim + 1 == D {
+            let pos_base = self.pos_weights.len();
+            self.pos_weights.extend_from_slice(&ws);
+            self.pos_ids.extend_from_slice(ids);
+            let node_base = self.node_ranges.len() as u32;
+            for u in 0..tree.node_count() as u32 {
+                let (lo, hi) = tree.leaf_range(u);
+                self.node_ranges.push((pos_base + lo, pos_base + hi));
+                self.node_weights.push(tree.node_weight(u));
+            }
+            Level { coords, tree, node_base, secs: Vec::new() }
+        } else {
+            let mut secs = Vec::with_capacity(tree.node_count());
+            for u in 0..tree.node_count() as u32 {
+                let (lo, hi) = tree.leaf_range(u);
+                let mut sub: Vec<u32> = ids[lo..hi].to_vec();
+                sub.sort_by(|&a, &b| {
+                    self.points[a as usize]
+                        .coord(dim + 1)
+                        .partial_cmp(&self.points[b as usize].coord(dim + 1))
+                        .expect("finite coordinates")
+                });
+                secs.push(self.build(&sub, dim + 1));
+            }
+            Level { coords, tree, node_base: 0, secs }
+        }
+    }
+}
+
+impl<const D: usize> RangeTree<D> {
+    /// Builds the tree in `O(n log^d n)` time.
+    ///
+    /// # Errors
+    /// [`SpatialError`] on empty input, length mismatch, or bad values.
+    pub fn new(points: Vec<Point<D>>, weights: Vec<f64>) -> Result<Self, SpatialError> {
+        validate_points(&points, &weights)?;
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        ids.sort_by(|&a, &b| {
+            points[a as usize]
+                .coord(0)
+                .partial_cmp(&points[b as usize].coord(0))
+                .expect("finite coordinates")
+        });
+        let mut builder = Builder {
+            points: &points,
+            weights: &weights,
+            pos_weights: Vec::new(),
+            pos_ids: Vec::new(),
+            node_ranges: Vec::new(),
+            node_weights: Vec::new(),
+        };
+        let level = builder.build(&ids, 0);
+        Ok(RangeTree {
+            level,
+            pos_weights: builder.pos_weights,
+            pos_ids: builder.pos_ids,
+            node_ranges: builder.node_ranges,
+            node_weights: builder.node_weights,
+        })
+    }
+
+    /// Builds with unit weights.
+    pub fn with_unit_weights(points: Vec<Point<D>>) -> Result<Self, SpatialError> {
+        let w = vec![1.0; points.len()];
+        Self::new(points, w)
+    }
+
+    /// Length of the global (concatenated) position space — `Θ(n log^{d-1}
+    /// n)` positions; this is also the structure's dominant space term.
+    pub fn position_count(&self) -> usize {
+        self.pos_weights.len()
+    }
+
+    /// Per-position weights over the global position space.
+    pub fn position_weights(&self) -> &[f64] {
+        &self.pos_weights
+    }
+
+    /// Original point id at a global position.
+    pub fn original_id(&self, pos: usize) -> usize {
+        self.pos_ids[pos] as usize
+    }
+
+    /// Global position range of global node `u`.
+    pub fn node_range(&self, u: u32) -> (usize, usize) {
+        self.node_ranges[u as usize]
+    }
+
+    /// Subtree weight of global node `u`.
+    pub fn node_weight(&self, u: u32) -> f64 {
+        self.node_weights[u as usize]
+    }
+
+    /// All global node position ranges (the Lemma-4 interval family).
+    pub fn all_node_ranges(&self) -> Vec<(usize, usize)> {
+        self.node_ranges.clone()
+    }
+
+    /// Total number of global (last-dimension) nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_ranges.len()
+    }
+
+    /// Computes the cover of an orthogonal range query: `O(log^d n)`
+    /// global node ids whose point sets are disjoint and together exactly
+    /// `S_q`.
+    pub fn cover(&self, q: &Rect<D>) -> Vec<u32> {
+        let mut out = Vec::new();
+        Self::cover_rec(&self.level, q, 0, &mut out);
+        out
+    }
+
+    fn cover_rec(level: &Level, q: &Rect<D>, dim: usize, out: &mut Vec<u32>) {
+        let x = q.min[dim];
+        let y = q.max[dim];
+        let a = level.coords.partition_point(|&c| c < x);
+        let b = level.coords.partition_point(|&c| c <= y);
+        if a >= b {
+            return;
+        }
+        let canon = level.tree.canonical_nodes(a, b);
+        if dim + 1 == D {
+            out.extend(canon.iter().map(|&u| level.node_base + u));
+        } else {
+            for &u in &canon {
+                Self::cover_rec(&level.secs[u as usize], q, dim + 1, out);
+            }
+        }
+    }
+
+    /// Count of points inside `q`.
+    pub fn count(&self, q: &Rect<D>) -> usize {
+        self.cover(q)
+            .iter()
+            .map(|&u| {
+                let (lo, hi) = self.node_range(u);
+                hi - lo
+            })
+            .sum()
+    }
+
+    /// Total weight of points inside `q`.
+    pub fn range_weight(&self, q: &Rect<D>) -> f64 {
+        self.cover(q).iter().map(|&u| self.node_weight(u)).sum()
+    }
+
+    /// Conventional range reporting: original point ids inside `q`.
+    pub fn report(&self, q: &Rect<D>) -> Vec<usize> {
+        let mut out = Vec::new();
+        for u in self.cover(q) {
+            let (lo, hi) = self.node_range(u);
+            out.extend(self.pos_ids[lo..hi].iter().map(|&i| i as usize));
+        }
+        out
+    }
+}
+
+impl<const D: usize> SpaceUsage for RangeTree<D> {
+    fn space_words(&self) -> usize {
+        // Dominant terms: the global arrays plus each level's coords.
+        fn level_words(l: &Level) -> usize {
+            vec_words(&l.coords)
+                + l.tree.space_words()
+                + l.secs.iter().map(level_words).sum::<usize>()
+        }
+        vec_words(&self.pos_weights)
+            + vec_words(&self.pos_ids)
+            + vec_words(&self.node_ranges)
+            + vec_words(&self.node_weights)
+            + level_words(&self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>()].into()).collect()
+    }
+
+    #[test]
+    fn count_matches_linear_scan() {
+        let pts = random_points(400, 60);
+        let tree = RangeTree::with_unit_weights(pts.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        for _ in 0..40 {
+            let x0 = rng.random::<f64>() * 0.8;
+            let y0 = rng.random::<f64>() * 0.8;
+            let q: Rect<2> = Rect::new([x0, y0], [x0 + 0.3, y0 + 0.4]);
+            let want = pts.iter().filter(|p| q.contains_point(p)).count();
+            assert_eq!(tree.count(&q), want);
+        }
+    }
+
+    #[test]
+    fn report_matches_linear_scan() {
+        let pts = random_points(250, 62);
+        let tree = RangeTree::with_unit_weights(pts.clone()).unwrap();
+        let q: Rect<2> = Rect::new([0.25, 0.1], [0.75, 0.6]);
+        let mut want: Vec<usize> =
+            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        want.sort_unstable();
+        let mut got = tree.report(&q);
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cover_nodes_are_disjoint() {
+        let pts = random_points(200, 63);
+        let tree = RangeTree::with_unit_weights(pts).unwrap();
+        let q: Rect<2> = Rect::new([0.1, 0.2], [0.9, 0.8]);
+        let mut seen = std::collections::HashSet::new();
+        for u in tree.cover(&q) {
+            let (lo, hi) = tree.node_range(u);
+            for pos in lo..hi {
+                // Disjoint as *point ids*, not merely as positions.
+                assert!(seen.insert(tree.original_id(pos)), "duplicate point in cover");
+            }
+        }
+    }
+
+    #[test]
+    fn cover_size_is_polylog() {
+        let tree = RangeTree::with_unit_weights(random_points(8_192, 64)).unwrap();
+        let q: Rect<2> = Rect::new([0.1, 0.1], [0.9, 0.9]);
+        let c = tree.cover(&q).len();
+        // log2(8192) = 13; allow 4 * 13^2.
+        assert!(c <= 4 * 13 * 13, "cover size {c}");
+    }
+
+    #[test]
+    fn space_is_n_log_n() {
+        let t1 = RangeTree::with_unit_weights(random_points(1_024, 65)).unwrap();
+        let t2 = RangeTree::with_unit_weights(random_points(4_096, 66)).unwrap();
+        let r = t2.position_count() as f64 / t1.position_count() as f64;
+        // n log n scaling: ratio ≈ 4 * (12/10) = 4.8; certainly < 6.
+        assert!(r > 3.5 && r < 6.0, "position ratio {r}");
+    }
+
+    #[test]
+    fn weighted_range_weight() {
+        let pts = random_points(150, 67);
+        let mut rng = StdRng::seed_from_u64(68);
+        let ws: Vec<f64> = (0..150).map(|_| rng.random::<f64>() + 0.5).collect();
+        let tree = RangeTree::new(pts.clone(), ws.clone()).unwrap();
+        let q: Rect<2> = Rect::new([0.0, 0.3], [0.6, 1.0]);
+        let want: f64 = (0..150).filter(|&i| q.contains_point(&pts[i])).map(|i| ws[i]).sum();
+        assert!((tree.range_weight(&q) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_dimensions() {
+        let mut rng = StdRng::seed_from_u64(69);
+        let pts: Vec<Point<3>> = (0..300)
+            .map(|_| [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()].into())
+            .collect();
+        let tree = RangeTree::with_unit_weights(pts.clone()).unwrap();
+        for _ in 0..10 {
+            let mins = [rng.random::<f64>() * 0.5, rng.random::<f64>() * 0.5, 0.0];
+            let q: Rect<3> =
+                Rect::new(mins, [mins[0] + 0.4, mins[1] + 0.5, rng.random::<f64>()]);
+            let want = pts.iter().filter(|p| q.contains_point(p)).count();
+            assert_eq!(tree.count(&q), want);
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates() {
+        // Many points sharing x or y must still be counted exactly.
+        let pts: Vec<Point<2>> =
+            (0..50).map(|i| [(i % 5) as f64, (i / 5) as f64].into()).collect();
+        let tree = RangeTree::with_unit_weights(pts.clone()).unwrap();
+        let q: Rect<2> = Rect::new([1.0, 2.0], [3.0, 7.0]);
+        let want = pts.iter().filter(|p| q.contains_point(p)).count();
+        assert_eq!(tree.count(&q), want);
+    }
+
+    #[test]
+    fn empty_query() {
+        let tree = RangeTree::with_unit_weights(random_points(64, 70)).unwrap();
+        let q: Rect<2> = Rect::new([5.0, 5.0], [6.0, 6.0]);
+        assert!(tree.cover(&q).is_empty());
+        assert_eq!(tree.count(&q), 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let tree = RangeTree::<2>::with_unit_weights(vec![[0.5, 0.5].into()]).unwrap();
+        let q_in: Rect<2> = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        let q_out: Rect<2> = Rect::new([0.6, 0.0], [1.0, 1.0]);
+        assert_eq!(tree.count(&q_in), 1);
+        assert_eq!(tree.count(&q_out), 0);
+    }
+}

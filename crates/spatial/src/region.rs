@@ -1,0 +1,206 @@
+//! Generic query regions for tree-based covers.
+//!
+//! Theorem 5 is predicate-agnostic: any region that can classify an
+//! axis-aligned box as fully-inside / fully-outside / partial drives the
+//! same cover recursion. This module provides the classification trait
+//! plus the regions the IQS literature cares about beyond rectangles:
+//! halfplanes (the 2-D shadow of the halfspace reporting problem the
+//! paper's Section 6 discusses) and discs (the `r`-near predicate of
+//! fair near-neighbor search).
+
+use crate::geometry::{dist2, Point, Rect};
+
+/// How a region relates to an axis-aligned box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Containment {
+    /// The box lies entirely inside the region.
+    Full,
+    /// The box is entirely outside the region.
+    None,
+    /// The box straddles the region boundary.
+    Partial,
+}
+
+/// A query predicate that can classify boxes — the contract the cover
+/// recursion needs.
+pub trait Region<const D: usize> {
+    /// Classifies a bounding box against the region. `Partial` is always
+    /// safe; `Full`/`None` must be exact (they prune the recursion).
+    fn classify(&self, rect: &Rect<D>) -> Containment;
+
+    /// Point membership (boundary inclusive).
+    fn contains(&self, p: &Point<D>) -> bool;
+}
+
+impl<const D: usize> Region<D> for Rect<D> {
+    fn classify(&self, rect: &Rect<D>) -> Containment {
+        if self.contains_rect(rect) {
+            Containment::Full
+        } else if !self.intersects(rect) {
+            Containment::None
+        } else {
+            Containment::Partial
+        }
+    }
+
+    fn contains(&self, p: &Point<D>) -> bool {
+        self.contains_point(p)
+    }
+}
+
+/// The halfspace `normal · x ≤ offset` — in 2-D, a halfplane. This is
+/// the reporting predicate of the halfspace IQS line of work the paper
+/// surveys in Section 6; with a kd-tree it admits *exact* covers of size
+/// `O(n^{1-1/d})` because a box classifies in `O(D)` time via its
+/// extreme corners.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfSpace<const D: usize> {
+    /// Outward-facing coefficients.
+    pub normal: [f64; D],
+    /// Right-hand side.
+    pub offset: f64,
+}
+
+impl<const D: usize> HalfSpace<D> {
+    /// Constructs `normal · x ≤ offset`.
+    pub fn new(normal: [f64; D], offset: f64) -> Self {
+        HalfSpace { normal, offset }
+    }
+}
+
+impl<const D: usize> Region<D> for HalfSpace<D> {
+    fn classify(&self, rect: &Rect<D>) -> Containment {
+        // The extreme corners of the linear form over the box.
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for d in 0..D {
+            let (a, b) = (self.normal[d] * rect.min[d], self.normal[d] * rect.max[d]);
+            lo += a.min(b);
+            hi += a.max(b);
+        }
+        if hi <= self.offset {
+            Containment::Full
+        } else if lo > self.offset {
+            Containment::None
+        } else {
+            Containment::Partial
+        }
+    }
+
+    fn contains(&self, p: &Point<D>) -> bool {
+        (0..D).map(|d| self.normal[d] * p.coords[d]).sum::<f64>() <= self.offset
+    }
+}
+
+/// The closed disc `dist(center, x) ≤ radius` — the `r`-near predicate.
+/// With a kd-tree this yields *exact* covers (boundary leaves filtered
+/// point-by-point), the counterpart of the quadtree's approximate covers
+/// in `iqs-core::approx`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disc<const D: usize> {
+    /// Center of the ball.
+    pub center: Point<D>,
+    /// Radius.
+    pub radius: f64,
+}
+
+impl<const D: usize> Disc<D> {
+    /// Constructs the closed ball.
+    pub fn new(center: Point<D>, radius: f64) -> Self {
+        Disc { center, radius }
+    }
+}
+
+impl<const D: usize> Region<D> for Disc<D> {
+    fn classify(&self, rect: &Rect<D>) -> Containment {
+        let r2 = self.radius * self.radius;
+        if rect.max_dist2_to_point(&self.center) <= r2 {
+            Containment::Full
+        } else if rect.dist2_to_point(&self.center) > r2 {
+            Containment::None
+        } else {
+            Containment::Partial
+        }
+    }
+
+    fn contains(&self, p: &Point<D>) -> bool {
+        dist2(p, &self.center) <= self.radius * self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_classification() {
+        let q: Rect<2> = Rect::new([0.0, 0.0], [1.0, 1.0]);
+        assert_eq!(q.classify(&Rect::new([0.2, 0.2], [0.8, 0.8])), Containment::Full);
+        assert_eq!(q.classify(&Rect::new([2.0, 2.0], [3.0, 3.0])), Containment::None);
+        assert_eq!(q.classify(&Rect::new([0.5, 0.5], [1.5, 1.5])), Containment::Partial);
+    }
+
+    #[test]
+    fn halfplane_classification() {
+        // x + y <= 1.
+        let h = HalfSpace::new([1.0, 1.0], 1.0);
+        assert!(h.contains(&[0.2, 0.3].into()));
+        assert!(!h.contains(&[0.9, 0.9].into()));
+        assert_eq!(h.classify(&Rect::new([0.0, 0.0], [0.4, 0.4])), Containment::Full);
+        assert_eq!(h.classify(&Rect::new([0.8, 0.8], [1.0, 1.0])), Containment::None);
+        assert_eq!(h.classify(&Rect::new([0.0, 0.0], [1.0, 1.0])), Containment::Partial);
+        // Negative normals.
+        let g = HalfSpace::new([-1.0, 0.0], -0.5); // -x <= -0.5  ⇔  x >= 0.5
+        assert!(g.contains(&[0.7, 0.0].into()));
+        assert!(!g.contains(&[0.3, 0.0].into()));
+        assert_eq!(g.classify(&Rect::new([0.6, 0.0], [0.9, 1.0])), Containment::Full);
+    }
+
+    #[test]
+    fn disc_classification() {
+        let d = Disc::new([0.5, 0.5].into(), 0.3);
+        assert_eq!(d.classify(&Rect::new([0.45, 0.45], [0.55, 0.55])), Containment::Full);
+        assert_eq!(d.classify(&Rect::new([0.9, 0.9], [1.0, 1.0])), Containment::None);
+        assert_eq!(d.classify(&Rect::new([0.0, 0.0], [1.0, 1.0])), Containment::Partial);
+        assert!(d.contains(&[0.5, 0.79].into()));
+        assert!(!d.contains(&[0.5, 0.81].into()));
+    }
+
+    #[test]
+    fn classification_consistency_with_membership() {
+        // Full boxes contain only members; None boxes contain none.
+        let regions: Vec<Box<dyn Region<2>>> = vec![
+            Box::new(HalfSpace::new([2.0, -1.0], 0.3)),
+            Box::new(Disc::new([0.4, 0.6].into(), 0.25)),
+        ];
+        for region in &regions {
+            for i in 0..10 {
+                for j in 0..10 {
+                    let cell: Rect<2> = Rect::new(
+                        [i as f64 / 10.0, j as f64 / 10.0],
+                        [(i + 1) as f64 / 10.0, (j + 1) as f64 / 10.0],
+                    );
+                    let corners = [
+                        [cell.min[0], cell.min[1]],
+                        [cell.min[0], cell.max[1]],
+                        [cell.max[0], cell.min[1]],
+                        [cell.max[0], cell.max[1]],
+                    ];
+                    match region.classify(&cell) {
+                        Containment::Full => {
+                            for c in corners {
+                                assert!(region.contains(&c.into()), "Full box corner outside");
+                            }
+                        }
+                        Containment::None => {
+                            for c in corners {
+                                assert!(!region.contains(&c.into()), "None box corner inside");
+                            }
+                        }
+                        Containment::Partial => {}
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the spatial indexes: every structure must agree
+//! with brute force on arbitrary point sets and query rectangles.
+
+use iqs_spatial::{KdTree, Point, QuadTree, RangeTree, Rect, ShiftedGrids};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn points2(coords: &[(f64, f64)]) -> Vec<Point<2>> {
+    coords.iter().map(|&(x, y)| [x, y].into()).collect()
+}
+
+fn rect(x0: f64, y0: f64, w: f64, h: f64) -> Rect<2> {
+    Rect::new([x0, y0], [x0 + w, y0 + h])
+}
+
+proptest! {
+    /// kd-tree counts match brute force on arbitrary inputs/queries.
+    #[test]
+    fn kdtree_count_exact(
+        coords in pvec((0.0f64..1.0, 0.0f64..1.0), 1..150),
+        x0 in -0.2f64..1.0, y0 in -0.2f64..1.0,
+        w in 0.0f64..1.2, h in 0.0f64..1.2,
+    ) {
+        let pts = points2(&coords);
+        let q = rect(x0, y0, w, h);
+        let brute = pts.iter().filter(|p| q.contains_point(p)).count();
+        let kd = KdTree::with_unit_weights(pts).unwrap();
+        prop_assert_eq!(kd.count(&q), brute);
+    }
+
+    /// Quadtree and range tree agree with the kd-tree.
+    #[test]
+    fn structures_agree(
+        coords in pvec((0.0f64..1.0, 0.0f64..1.0), 1..100),
+        x0 in 0.0f64..1.0, y0 in 0.0f64..1.0,
+        w in 0.0f64..1.0, h in 0.0f64..1.0,
+    ) {
+        let pts = points2(&coords);
+        let q = rect(x0, y0, w, h);
+        let kd = KdTree::with_unit_weights(pts.clone()).unwrap();
+        let qt = QuadTree::with_unit_weights(pts.clone()).unwrap();
+        let rt = RangeTree::with_unit_weights(pts).unwrap();
+        prop_assert_eq!(qt.count(&q), kd.count(&q));
+        prop_assert_eq!(rt.count(&q), kd.count(&q));
+    }
+
+    /// kd-tree covers are exact: disjoint and totalling the count.
+    #[test]
+    fn kd_cover_partitions(
+        coords in pvec((0.0f64..1.0, 0.0f64..1.0), 1..120),
+        x0 in 0.0f64..1.0, y0 in 0.0f64..1.0,
+        w in 0.0f64..1.0, h in 0.0f64..1.0,
+    ) {
+        let pts = points2(&coords);
+        let q = rect(x0, y0, w, h);
+        let kd = KdTree::with_unit_weights(pts).unwrap();
+        let cover = kd.cover(&q);
+        let mut seen = std::collections::HashSet::new();
+        for &u in &cover.nodes {
+            let (lo, hi) = kd.node_range(u);
+            for pos in lo..hi {
+                prop_assert!(seen.insert(pos));
+                prop_assert!(q.contains_point(kd.point_at(pos)));
+            }
+        }
+        for &p in &cover.points {
+            prop_assert!(seen.insert(p as usize));
+            prop_assert!(q.contains_point(kd.point_at(p as usize)));
+        }
+        prop_assert_eq!(seen.len(), kd.count(&q));
+    }
+
+    /// Range-tree weights match brute force.
+    #[test]
+    fn rangetree_weights_exact(
+        coords in pvec((0.0f64..1.0, 0.0f64..1.0), 1..80),
+        ws in pvec(0.1f64..10.0, 80),
+        x0 in 0.0f64..1.0, y0 in 0.0f64..1.0,
+    ) {
+        let pts = points2(&coords);
+        let weights: Vec<f64> = ws[..pts.len()].to_vec();
+        let q = rect(x0, y0, 0.4, 0.4);
+        let want: f64 = pts
+            .iter()
+            .zip(&weights)
+            .filter(|(p, _)| q.contains_point(p))
+            .map(|(_, &w)| w)
+            .sum();
+        let rt = RangeTree::new(pts, weights).unwrap();
+        prop_assert!((rt.range_weight(&q) - want).abs() < 1e-9);
+    }
+
+    /// Shifted grids: every point appears exactly once per grid.
+    #[test]
+    fn grids_partition_per_grid(
+        coords in pvec((0.0f64..1.0, 0.0f64..1.0), 1..120),
+        g in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        let pts = points2(&coords);
+        let n = pts.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let grids = ShiftedGrids::new(pts, g, 0.2, &mut rng);
+        let total: usize = grids.all_buckets().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g * n);
+    }
+
+    /// Circle approximate covers are supersets of the true disc set.
+    #[test]
+    fn circle_cover_superset(
+        coords in pvec((0.0f64..1.0, 0.0f64..1.0), 1..150),
+        cx in 0.0f64..1.0, cy in 0.0f64..1.0, r in 0.01f64..0.5,
+    ) {
+        let pts = points2(&coords);
+        let qt = QuadTree::with_unit_weights(pts.clone()).unwrap();
+        let cover = qt.approx_cover_circle(&[cx, cy].into(), r);
+        let mut covered = std::collections::HashSet::new();
+        for &u in &cover {
+            let (lo, hi) = qt.node_range(u);
+            for pos in lo..hi {
+                covered.insert(qt.original_id(pos));
+            }
+        }
+        for (i, p) in pts.iter().enumerate() {
+            if iqs_spatial::dist2(p, &[cx, cy].into()) <= r * r {
+                prop_assert!(covered.contains(&i), "in-disc point {} missed", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Goodness-of-fit tests.
+
+use crate::special::chi2_sf;
+
+/// Result of a goodness-of-fit test.
+#[derive(Debug, Clone, Copy)]
+pub struct GofResult {
+    /// The test statistic (chi-square or G).
+    pub statistic: f64,
+    /// Degrees of freedom (`k - 1` categories).
+    pub dof: f64,
+    /// Upper-tail p-value under the chi-square limiting distribution.
+    pub p_value: f64,
+}
+
+impl GofResult {
+    /// True when the observed frequencies are consistent with the target
+    /// distribution at significance level `alpha` (i.e., we do *not*
+    /// reject uniformity/proportionality).
+    pub fn consistent_at(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+fn validate(observed: &[u64], probs: &[f64]) -> u64 {
+    assert_eq!(observed.len(), probs.len(), "category count mismatch");
+    assert!(observed.len() >= 2, "need at least two categories");
+    let psum: f64 = probs.iter().sum();
+    assert!((psum - 1.0).abs() < 1e-9, "probabilities must sum to 1, got {psum}");
+    assert!(probs.iter().all(|&p| p > 0.0), "zero-probability category");
+    let n: u64 = observed.iter().sum();
+    assert!(n > 0, "no observations");
+    n
+}
+
+/// Pearson chi-square goodness-of-fit test of observed counts against
+/// target probabilities. Returns the statistic, dof and p-value.
+///
+/// # Panics
+/// Panics on mismatched lengths, probabilities not summing to one, or an
+/// empty sample — these are harness bugs, not data conditions.
+pub fn chi_square_gof(observed: &[u64], probs: &[f64]) -> GofResult {
+    let n = validate(observed, probs) as f64;
+    let mut chi = 0.0;
+    for (&o, &p) in observed.iter().zip(probs) {
+        let e = n * p;
+        let d = o as f64 - e;
+        chi += d * d / e;
+    }
+    let dof = (observed.len() - 1) as f64;
+    GofResult { statistic: chi, dof, p_value: chi2_sf(chi, dof) }
+}
+
+/// Likelihood-ratio (G) goodness-of-fit test; asymptotically equivalent to
+/// chi-square but better behaved for sparse categories.
+///
+/// # Panics
+/// Same contract as [`chi_square_gof`].
+pub fn g_test_gof(observed: &[u64], probs: &[f64]) -> GofResult {
+    let n = validate(observed, probs) as f64;
+    let mut g = 0.0;
+    for (&o, &p) in observed.iter().zip(probs) {
+        if o > 0 {
+            let e = n * p;
+            g += 2.0 * o as f64 * ((o as f64) / e).ln();
+        }
+    }
+    let dof = (observed.len() - 1) as f64;
+    GofResult { statistic: g, dof, p_value: chi2_sf(g, dof) }
+}
+
+/// Convenience: uniform target over `k` categories.
+pub fn uniform_probs(k: usize) -> Vec<f64> {
+    vec![1.0 / k as f64; k]
+}
+
+/// Convenience: probabilities proportional to the given positive weights.
+pub fn weight_probs(weights: &[f64]) -> Vec<f64> {
+    let total: f64 = weights.iter().sum();
+    weights.iter().map(|&w| w / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn uniform_sample_passes() {
+        let mut rng = StdRng::seed_from_u64(200);
+        let k = 20;
+        let mut counts = vec![0u64; k];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0..k)] += 1;
+        }
+        let r = chi_square_gof(&counts, &uniform_probs(k));
+        assert!(r.consistent_at(1e-6), "p = {}", r.p_value);
+        let g = g_test_gof(&counts, &uniform_probs(k));
+        assert!(g.consistent_at(1e-6), "G p = {}", g.p_value);
+    }
+
+    #[test]
+    fn biased_sample_fails() {
+        let mut rng = StdRng::seed_from_u64(201);
+        let k = 10;
+        let mut counts = vec![0u64; k];
+        for _ in 0..100_000 {
+            // Category 0 twice as likely as claimed.
+            let x = rng.random_range(0..k + 1);
+            counts[if x == k { 0 } else { x }] += 1;
+        }
+        let r = chi_square_gof(&counts, &uniform_probs(k));
+        assert!(!r.consistent_at(1e-6), "p = {} should reject", r.p_value);
+    }
+
+    #[test]
+    fn weighted_target() {
+        let weights = [1.0, 2.0, 3.0];
+        let probs = weight_probs(&weights);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(202);
+        let mut counts = vec![0u64; 3];
+        for _ in 0..60_000 {
+            let t: f64 = rng.random::<f64>() * 6.0;
+            let idx = if t < 1.0 {
+                0
+            } else if t < 3.0 {
+                1
+            } else {
+                2
+            };
+            counts[idx] += 1;
+        }
+        let r = chi_square_gof(&counts, &probs);
+        assert!(r.consistent_at(1e-6), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn statistic_zero_when_exact() {
+        let r = chi_square_gof(&[50, 50], &[0.5, 0.5]);
+        assert!(r.statistic.abs() < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_mismatched_lengths() {
+        chi_square_gof(&[1, 2, 3], &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_normalized_probs() {
+        chi_square_gof(&[1, 2], &[0.5, 0.6]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Benefit-1 tooling: concentration of repeated estimation errors.
+//!
+//! Section 2 of the paper: if `m` estimates are performed, each failing
+//! with probability `δ`, an IQS-backed workload guarantees that the number
+//! of failures concentrates sharply around `mδ` (the failure indicators
+//! are independent Bernoulli variables), while a dependent sampler can
+//! only promise the mean — one unlucky shared sample corrupts a long run
+//! of estimates. [`ErrorRuns`] records a failure sequence and summarizes
+//! exactly the statistics that distinguish the two regimes.
+
+/// Summary of a sequence of estimate outcomes (true = failure).
+#[derive(Debug, Clone)]
+pub struct ErrorRuns {
+    failures: Vec<bool>,
+}
+
+impl ErrorRuns {
+    /// Wraps a recorded failure sequence.
+    pub fn new(failures: Vec<bool>) -> Self {
+        ErrorRuns { failures }
+    }
+
+    /// Number of estimates `m`.
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// True when no estimates were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Total failures.
+    pub fn failure_count(&self) -> usize {
+        self.failures.iter().filter(|&&f| f).count()
+    }
+
+    /// Empirical failure rate.
+    pub fn failure_rate(&self) -> f64 {
+        self.failure_count() as f64 / self.len().max(1) as f64
+    }
+
+    /// Length of the longest consecutive failure run — the statistic that
+    /// explodes under dependence (a bad shared sample fails every query
+    /// that reuses it) but stays `O(log m / log(1/δ))` under independence.
+    pub fn longest_failure_run(&self) -> usize {
+        let mut best = 0;
+        let mut cur = 0;
+        for &f in &self.failures {
+            if f {
+                cur += 1;
+                best = best.max(cur);
+            } else {
+                cur = 0;
+            }
+        }
+        best
+    }
+
+    /// Variance of failure counts across `windows` equal blocks — under
+    /// independence this approaches the binomial variance; dependence
+    /// inflates it.
+    pub fn block_count_variance(&self, windows: usize) -> f64 {
+        assert!(windows >= 2 && self.len() >= windows, "need >= 2 non-empty blocks");
+        let block = self.len() / windows;
+        let counts: Vec<f64> = (0..windows)
+            .map(|w| {
+                self.failures[w * block..(w + 1) * block]
+                    .iter()
+                    .filter(|&&f| f)
+                    .count() as f64
+            })
+            .collect();
+        let mean = counts.iter().sum::<f64>() / windows as f64;
+        counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / windows as f64
+    }
+}
+
+/// Two-sided binomial tail width: with probability ≥ 1 - 2e^{-2t²/m}, a
+/// Binomial(m, δ) count lies within `t` of `mδ` (Hoeffding). Returns the
+/// `t` for a given confidence, used by the F2 harness to draw the expected
+/// concentration band.
+pub fn binomial_tail_bound(m: usize, confidence: f64) -> f64 {
+    assert!((0.0..1.0).contains(&confidence), "confidence in [0,1)");
+    let eps = 1.0 - confidence;
+    ((m as f64) * (2.0 / eps).ln() / 2.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn counts_and_rates() {
+        let e = ErrorRuns::new(vec![true, false, true, true, false]);
+        assert_eq!(e.failure_count(), 3);
+        assert!((e.failure_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(e.longest_failure_run(), 2);
+    }
+
+    #[test]
+    fn independent_failures_have_short_runs() {
+        let mut rng = StdRng::seed_from_u64(220);
+        let m = 100_000;
+        let delta = 0.05;
+        let seq: Vec<bool> = (0..m).map(|_| rng.random::<f64>() < delta).collect();
+        let e = ErrorRuns::new(seq);
+        // E[longest run] ≈ log(m)/log(1/δ) ≈ 3.8; 10 is a safe cap.
+        assert!(e.longest_failure_run() <= 10, "run {}", e.longest_failure_run());
+        // Count close to mδ within the Hoeffding band at 99.9%.
+        let t = binomial_tail_bound(m, 0.999);
+        let diff = (e.failure_count() as f64 - m as f64 * delta).abs();
+        assert!(diff <= t, "diff {diff} > band {t}");
+    }
+
+    #[test]
+    fn dependent_failures_have_long_runs_and_fat_variance() {
+        // Simulate the dependent regime: one shared coin per 100 queries.
+        let mut rng = StdRng::seed_from_u64(221);
+        let mut seq = Vec::with_capacity(100_000);
+        for _ in 0..1000 {
+            let bad = rng.random::<f64>() < 0.05;
+            seq.extend(std::iter::repeat_n(bad, 100));
+        }
+        let e = ErrorRuns::new(seq);
+        assert!(e.longest_failure_run() >= 100);
+        // Block variance vastly exceeds binomial variance (≈ block·δ·(1-δ)).
+        let var = e.block_count_variance(100);
+        let binom = 1000.0 * 0.05 * 0.95;
+        assert!(var > 3.0 * binom, "var {var} vs binom {binom}");
+    }
+
+    #[test]
+    fn tail_bound_grows_with_m() {
+        assert!(binomial_tail_bound(10_000, 0.99) > binomial_tail_bound(100, 0.99));
+    }
+
+    #[test]
+    #[should_panic]
+    fn block_variance_needs_blocks() {
+        ErrorRuns::new(vec![true]).block_count_variance(2);
+    }
+}

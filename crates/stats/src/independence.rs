@@ -1,0 +1,167 @@
+//! Cross-query independence diagnostics.
+//!
+//! The defining IQS requirement (equation (1) of the paper) is that a
+//! query's output distribution is unchanged by conditioning on all
+//! previous outputs. Two practical diagnostics:
+//!
+//! * [`overlap_test`] — repeat the *same* query many times and measure the
+//!   pairwise overlap of consecutive WoR outputs. For independent size-`s`
+//!   WoR samples of a size-`k` population the expected overlap is `s²/k`;
+//!   the dependent fixed-permutation sampler of Section 2 returns the same
+//!   set every time (overlap `s`).
+//! * [`pairwise_g_test`] — bucket consecutive queries' first samples into
+//!   a contingency table and run a G-test of independence.
+
+use crate::special::chi2_sf;
+
+/// Report of the repeated-identical-query overlap test.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlapReport {
+    /// Mean pairwise overlap between consecutive query outputs.
+    pub mean_overlap: f64,
+    /// Expected overlap under full independence (`s²/k`).
+    pub expected_independent: f64,
+    /// Overlap of a fully dependent sampler (`s`).
+    pub dependent_overlap: f64,
+}
+
+impl OverlapReport {
+    /// True when the observed overlap is within `tol` (absolute) of the
+    /// independent expectation and far from the dependent value.
+    pub fn looks_independent(&self, tol: f64) -> bool {
+        (self.mean_overlap - self.expected_independent).abs() <= tol
+            && (self.dependent_overlap - self.mean_overlap)
+                > (self.dependent_overlap - self.expected_independent) / 2.0
+    }
+}
+
+/// Runs the repeated-identical-query overlap test: `rounds` consecutive
+/// outputs of the same WoR query (each a set of `s` distinct ids out of a
+/// population of `k`), measuring mean consecutive overlap.
+///
+/// # Panics
+/// Panics if an output has the wrong size or `rounds < 2`.
+pub fn overlap_test<F>(k: usize, s: usize, rounds: usize, mut query: F) -> OverlapReport
+where
+    F: FnMut() -> Vec<u64>,
+{
+    assert!(rounds >= 2, "need at least two rounds");
+    let mut prev: Option<std::collections::HashSet<u64>> = None;
+    let mut total_overlap = 0usize;
+    let mut pairs = 0usize;
+    for _ in 0..rounds {
+        let out = query();
+        assert_eq!(out.len(), s, "query output has wrong size");
+        let set: std::collections::HashSet<u64> = out.into_iter().collect();
+        assert_eq!(set.len(), s, "WoR output contained duplicates");
+        if let Some(p) = &prev {
+            total_overlap += set.intersection(p).count();
+            pairs += 1;
+        }
+        prev = Some(set);
+    }
+    OverlapReport {
+        mean_overlap: total_overlap as f64 / pairs as f64,
+        expected_independent: (s * s) as f64 / k as f64,
+        dependent_overlap: s as f64,
+    }
+}
+
+/// G-test of independence on a 2-way contingency table of paired
+/// categorical observations (`xs[i]`, `ys[i]`), each bucketed into `bins`
+/// categories by the caller. Returns the upper-tail p-value with
+/// `(bins-1)²` degrees of freedom; small p-values indicate dependence.
+///
+/// # Panics
+/// Panics on length mismatch, fewer than 2 bins, or out-of-range bucket
+/// indices.
+pub fn pairwise_g_test(xs: &[usize], ys: &[usize], bins: usize) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired observations required");
+    assert!(bins >= 2, "need at least two bins");
+    let n = xs.len() as f64;
+    assert!(n > 0.0, "no observations");
+    let mut table = vec![0u64; bins * bins];
+    let mut row = vec![0u64; bins];
+    let mut col = vec![0u64; bins];
+    for (&x, &y) in xs.iter().zip(ys) {
+        assert!(x < bins && y < bins, "bucket out of range");
+        table[x * bins + y] += 1;
+        row[x] += 1;
+        col[y] += 1;
+    }
+    let mut g = 0.0;
+    for i in 0..bins {
+        for j in 0..bins {
+            let o = table[i * bins + j] as f64;
+            if o > 0.0 {
+                let e = row[i] as f64 * col[j] as f64 / n;
+                g += 2.0 * o * (o / e).ln();
+            }
+        }
+    }
+    let dof = ((bins - 1) * (bins - 1)) as f64;
+    chi2_sf(g, dof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn independent_wor_passes_overlap_test() {
+        let mut rng = StdRng::seed_from_u64(210);
+        let (k, s) = (100usize, 10usize);
+        let report = overlap_test(k, s, 2000, || {
+            iqs_alias::wor::floyd_sample_indices(k, s, &mut rng)
+                .into_iter()
+                .map(|i| i as u64)
+                .collect()
+        });
+        assert!(
+            report.looks_independent(0.3),
+            "mean {} vs expected {}",
+            report.mean_overlap,
+            report.expected_independent
+        );
+    }
+
+    #[test]
+    fn frozen_sampler_fails_overlap_test() {
+        // A "dependent" sampler: always the same set.
+        let report = overlap_test(100, 10, 50, || (0..10u64).collect());
+        assert!(!report.looks_independent(0.3));
+        assert_eq!(report.mean_overlap, 10.0);
+    }
+
+    #[test]
+    fn g_test_accepts_independent_pairs() {
+        let mut rng = StdRng::seed_from_u64(211);
+        let n = 50_000;
+        let xs: Vec<usize> = (0..n).map(|_| rng.random_range(0..8)).collect();
+        let ys: Vec<usize> = (0..n).map(|_| rng.random_range(0..8)).collect();
+        let p = pairwise_g_test(&xs, &ys, 8);
+        assert!(p > 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn g_test_rejects_correlated_pairs() {
+        let mut rng = StdRng::seed_from_u64(212);
+        let n = 50_000;
+        let xs: Vec<usize> = (0..n).map(|_| rng.random_range(0..8)).collect();
+        // ys equal to xs 30% of the time: strongly dependent.
+        let ys: Vec<usize> = xs
+            .iter()
+            .map(|&x| if rng.random::<f64>() < 0.3 { x } else { rng.random_range(0..8) })
+            .collect();
+        let p = pairwise_g_test(&xs, &ys, 8);
+        assert!(p < 1e-6, "p = {p} should reject");
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlap_test_checks_output_size() {
+        overlap_test(10, 3, 5, || vec![1, 2]);
+    }
+}

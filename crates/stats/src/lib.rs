@@ -1,0 +1,28 @@
+//! Statistical validation machinery for independent query sampling.
+//!
+//! The paper's Section 2 argues that cross-query independence is what makes
+//! query sampling *useful*: estimates concentrate, fairness holds across
+//! repeated inquiries, diversity accumulates. This crate supplies the tests
+//! that turn those claims into assertions:
+//!
+//! * [`special`] — `ln Γ`, the regularized incomplete gamma function, and
+//!   the chi-square CDF built from them (no external math dependency);
+//! * [`chisq`] — chi-square and G goodness-of-fit tests with p-values;
+//! * [`independence`] — cross-query independence diagnostics: the
+//!   repeated-identical-query overlap test (a dependent sampler returns the
+//!   same set every time; an IQS sampler must not) and a contingency G-test
+//!   over successive query outputs;
+//! * [`concentration`] — Benefit-1 tooling: empirical error rates of
+//!   repeated estimates and their concentration around `mδ`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chisq;
+pub mod concentration;
+pub mod independence;
+pub mod special;
+
+pub use chisq::{chi_square_gof, g_test_gof, GofResult};
+pub use concentration::{binomial_tail_bound, ErrorRuns};
+pub use independence::{overlap_test, pairwise_g_test, OverlapReport};

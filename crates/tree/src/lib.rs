@@ -1,0 +1,38 @@
+//! Tree substrates for independent query sampling.
+//!
+//! Implements the tree machinery of Tao (PODS 2022):
+//!
+//! * [`StaticBst`] — a balanced binary search tree over sorted keys obeying
+//!   the conventions of Section 3.2 (leaves store the elements, internal
+//!   nodes split the key space, height `O(log n)`), with the canonical-node
+//!   decomposition of Figure 1: any key range is covered by `O(log n)`
+//!   disjoint subtrees.
+//! * [`Fenwick`] — the `O(log n)` range-sum structure of Section 4.2.
+//! * [`TreeSampler`] — the tree-sampling technique of Section 3.2: each
+//!   internal node carries an alias table over its children, so one weighted
+//!   leaf sample costs a root-to-leaf descent.
+//! * [`leaf_intervals`] — Proposition 1 (Section 5): a depth-first traversal
+//!   assigns every node the contiguous interval of leaf positions below it,
+//!   reducing subtree sampling to rank-range sampling.
+//! * [`IntervalSampler`] — the chunk-and-pieces engine behind **Lemma 4**:
+//!   worst-case `O(1)` weighted sampling from any of a preregistered family
+//!   of intervals over a weighted sequence, in `O(n)` space for the
+//!   interval families produced by balanced hierarchies.
+//! * [`SubtreeSampler`] — Lemma 4 proper: `O(n)` space and `O(1 + s)`
+//!   worst-case query time for drawing `s` weighted samples from any
+//!   subtree (Proposition 1 + [`IntervalSampler`]).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bst;
+mod fenwick;
+mod interval;
+mod subtree;
+mod treesample;
+
+pub use bst::{BstError, NodeId, RankBst, StaticBst};
+pub use fenwick::Fenwick;
+pub use interval::IntervalSampler;
+pub use subtree::SubtreeSampler;
+pub use treesample::{leaf_intervals, Tree, TreeError, TreeSampler};

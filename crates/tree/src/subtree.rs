@@ -1,0 +1,179 @@
+use iqs_alias::space::{vec_words, SpaceUsage};
+use rand::Rng;
+
+use crate::interval::IntervalSampler;
+use crate::treesample::{leaf_intervals, Tree};
+
+/// An `O(n)`-space structure answering subtree sampling queries in worst
+/// case `O(1 + s)` time — our realization of **Lemma 4** (Afshani–Wei via
+/// the paper's Section 5).
+///
+/// Construction, following Proposition 1, lays the leaves out in
+/// depth-first order so every node `u` owns a contiguous leaf interval
+/// `[a_u, b_u)`; the [`IntervalSampler`] chunk-and-pieces engine then
+/// serves each node's interval with two alias draws per sample. See
+/// [`IntervalSampler`] for the space accounting: `O(n)` words for trees of
+/// height `O(log n)`; for deeper trees space degrades gracefully and
+/// callers should prefer [`crate::TreeSampler`].
+///
+/// A query for node `q` draws each sample in `O(1)` worst case — no loops,
+/// no rejection — matching Lemma 4's `O(1 + s)` bound. Samples are
+/// mutually independent across queries because every draw consumes fresh
+/// randomness.
+#[derive(Debug, Clone)]
+pub struct SubtreeSampler {
+    /// Leaf node-ids in DFT order.
+    leaves: Vec<u32>,
+    /// Per-node leaf interval `[a, b)` in DFT positions.
+    intervals: Vec<(usize, usize)>,
+    engine: IntervalSampler,
+}
+
+impl SubtreeSampler {
+    /// Preprocesses `tree` (leaf weights taken from the tree) in `O(n)`
+    /// time for height-`O(log n)` trees.
+    pub fn new(tree: &Tree) -> Self {
+        let (leaves, intervals) = leaf_intervals(tree);
+        let wseq: Vec<f64> = leaves.iter().map(|&u| tree.node_weight(u as usize)).collect();
+        let engine = IntervalSampler::new(&wseq, &intervals);
+        SubtreeSampler { leaves, intervals, engine }
+    }
+
+    /// Chunk size `c` chosen at construction (`⌈log₂ n⌉`).
+    pub fn chunk_size(&self) -> usize {
+        self.engine.chunk_size()
+    }
+
+    /// Leaf interval `[a, b)` of node `u` in DFT order.
+    pub fn interval(&self, u: usize) -> (usize, usize) {
+        self.intervals[u]
+    }
+
+    /// Draws one weighted leaf sample from the subtree of `q`, returning
+    /// the leaf's *node id*. Worst-case `O(1)` time.
+    pub fn sample_leaf<R: Rng + ?Sized>(&self, q: usize, rng: &mut R) -> usize {
+        self.leaves[self.engine.sample(q, rng)] as usize
+    }
+
+    /// Draws `s` independent weighted leaf samples from the subtree of `q`.
+    pub fn sample_leaves<R: Rng + ?Sized>(&self, q: usize, s: usize, rng: &mut R) -> Vec<usize> {
+        (0..s).map(|_| self.sample_leaf(q, rng)).collect()
+    }
+
+    /// Total number of pieces stored across all nodes — the quantity whose
+    /// linearity the Lemma-4 space claim rests on; exposed for tests and
+    /// the E2 bench.
+    pub fn total_pieces(&self) -> usize {
+        self.engine.total_pieces()
+    }
+}
+
+impl SpaceUsage for SubtreeSampler {
+    fn space_words(&self) -> usize {
+        vec_words(&self.leaves) + vec_words(&self.intervals) + self.engine.space_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// Balanced binary tree with `2^depth` leaves, leaf weight = leaf
+    /// index + 1 (in construction order).
+    fn balanced(depth: u32) -> Tree {
+        let n_leaves = 1usize << depth;
+        let n = 2 * n_leaves - 1;
+        // Heap layout: node i has children 2i+1, 2i+2.
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, ch) in children.iter_mut().enumerate().take(n_leaves - 1) {
+            *ch = vec![(2 * i + 1) as u32, (2 * i + 2) as u32];
+        }
+        let mut w = vec![0.0; n];
+        for (j, slot) in w.iter_mut().enumerate().take(n).skip(n_leaves - 1) {
+            *slot = (j - (n_leaves - 1) + 1) as f64;
+        }
+        Tree::new(children, &w).unwrap()
+    }
+
+    #[test]
+    fn matches_tree_sampler_distribution() {
+        let tree = balanced(6); // 64 leaves
+        let sub = SubtreeSampler::new(&tree);
+        let mut rng = StdRng::seed_from_u64(30);
+        let q = 4usize; // two levels below the root
+        let draws = 120_000;
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        for _ in 0..draws {
+            *counts.entry(sub.sample_leaf(q, &mut rng)).or_default() += 1;
+        }
+        let total = tree.node_weight(q);
+        for (&leaf, &c) in &counts {
+            assert!(tree.is_leaf(leaf));
+            let p = c as f64 / draws as f64;
+            let want = tree.node_weight(leaf) / total;
+            assert!((p - want).abs() < 0.25 * want + 0.003, "leaf {leaf}: {p} vs {want}");
+        }
+        assert_eq!(counts.len(), tree.leaf_count(q));
+    }
+
+    #[test]
+    fn root_query_covers_all_leaves() {
+        let tree = balanced(7); // 128 leaves: root spans many chunks
+        let sub = SubtreeSampler::new(&tree);
+        assert_eq!(sub.interval(0), (0, 128));
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut seen: HashMap<usize, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            *seen.entry(sub.sample_leaf(0, &mut rng)).or_default() += 1;
+        }
+        assert_eq!(seen.len(), 128, "all leaves reachable");
+    }
+
+    #[test]
+    fn leaf_query_returns_itself() {
+        let tree = balanced(4);
+        let sub = SubtreeSampler::new(&tree);
+        let mut rng = StdRng::seed_from_u64(32);
+        let some_leaf = (0..tree.len()).find(|&u| tree.is_leaf(u)).unwrap();
+        for _ in 0..50 {
+            assert_eq!(sub.sample_leaf(some_leaf, &mut rng), some_leaf);
+        }
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let small = SubtreeSampler::new(&balanced(8));
+        let large = SubtreeSampler::new(&balanced(12));
+        let ratio = large.total_pieces() as f64 / small.total_pieces() as f64;
+        let n_ratio = (1 << 12) as f64 / (1 << 8) as f64;
+        assert!(ratio < 2.0 * n_ratio, "pieces ratio {ratio} vs n ratio {n_ratio}");
+    }
+
+    #[test]
+    fn random_trees_sane() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..10 {
+            let tree = Tree::random(300, 4, &mut rng);
+            let sub = SubtreeSampler::new(&tree);
+            for q in 0..tree.len() {
+                let leaf = sub.sample_leaf(q, &mut rng);
+                assert!(tree.is_leaf(leaf));
+                let (a, b) = sub.interval(q);
+                let pos = sub.leaves[a..b].iter().position(|&l| l as usize == leaf);
+                assert!(pos.is_some(), "leaf {leaf} outside node {q}'s interval");
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let tree = Tree::new(vec![vec![]], &[3.0]).unwrap();
+        let sub = SubtreeSampler::new(&tree);
+        let mut rng = StdRng::seed_from_u64(34);
+        assert_eq!(sub.sample_leaf(0, &mut rng), 0);
+        assert_eq!(sub.sample_leaves(0, 5, &mut rng), vec![0; 5]);
+    }
+}

@@ -1,0 +1,425 @@
+use std::fmt;
+
+use iqs_alias::space::{vec_words, SpaceUsage};
+use iqs_alias::AliasTable;
+use rand::Rng;
+
+/// Errors when building a [`Tree`] or [`TreeSampler`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// The node set was empty.
+    Empty,
+    /// A child index was out of bounds or repeated.
+    MalformedChildren {
+        /// The offending parent node.
+        node: usize,
+    },
+    /// A leaf had a non-positive or non-finite weight.
+    BadLeafWeight {
+        /// The offending leaf node.
+        node: usize,
+    },
+    /// The child lists do not form a single rooted tree.
+    NotATree,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::Empty => write!(f, "tree has no nodes"),
+            TreeError::MalformedChildren { node } => {
+                write!(f, "node {node} has malformed children")
+            }
+            TreeError::BadLeafWeight { node } => {
+                write!(f, "leaf {node} has a non-finite-positive weight")
+            }
+            TreeError::NotATree => write!(f, "child lists do not form a rooted tree"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// An arbitrary rooted tree with weighted leaves — the input of the *tree
+/// sampling* problem (Section 3.2). Fanout is unrestricted.
+///
+/// Node `0` is the root. Internal-node weights `w(u)` (total leaf weight of
+/// the subtree) are computed at construction.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    children: Vec<Vec<u32>>,
+    /// Subtree leaf-weight for every node.
+    weight: Vec<f64>,
+    /// Number of leaves below every node.
+    leaf_count: Vec<usize>,
+}
+
+impl Tree {
+    /// Builds a tree from per-node child lists (node 0 is the root) and
+    /// per-node leaf weights (`leaf_weight[u]` is read only when `u` has no
+    /// children).
+    ///
+    /// # Errors
+    /// [`TreeError`] when the lists do not describe a rooted tree on all
+    /// nodes or a leaf weight is invalid.
+    pub fn new(children: Vec<Vec<u32>>, leaf_weight: &[f64]) -> Result<Self, TreeError> {
+        let n = children.len();
+        if n == 0 {
+            return Err(TreeError::Empty);
+        }
+        if leaf_weight.len() != n {
+            return Err(TreeError::NotATree);
+        }
+        // Validate child indices and in-degrees.
+        let mut indeg = vec![0u32; n];
+        for (u, ch) in children.iter().enumerate() {
+            for &c in ch {
+                if c as usize >= n || c as usize == u {
+                    return Err(TreeError::MalformedChildren { node: u });
+                }
+                indeg[c as usize] += 1;
+                if indeg[c as usize] > 1 {
+                    return Err(TreeError::NotATree);
+                }
+            }
+        }
+        if indeg[0] != 0 || indeg.iter().skip(1).any(|&d| d != 1) {
+            return Err(TreeError::NotATree);
+        }
+
+        // Bottom-up weight aggregation via an explicit post-order stack
+        // (child lists are acyclic by the in-degree check above).
+        let mut weight = vec![0.0f64; n];
+        let mut leaf_count = vec![0usize; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let mut stack = vec![0u32];
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            stack.extend_from_slice(&children[u as usize]);
+        }
+        if order.len() != n {
+            return Err(TreeError::NotATree);
+        }
+        for &u in order.iter().rev() {
+            let u = u as usize;
+            if children[u].is_empty() {
+                let w = leaf_weight[u];
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(TreeError::BadLeafWeight { node: u });
+                }
+                weight[u] = w;
+                leaf_count[u] = 1;
+            } else {
+                for &c in &children[u] {
+                    weight[u] += weight[c as usize];
+                    leaf_count[u] += leaf_count[c as usize];
+                }
+            }
+        }
+        Ok(Tree { children, weight, leaf_count })
+    }
+
+    /// Builds a random tree with the given number of nodes and maximum
+    /// fanout — a test/bench helper. Leaf weights are drawn uniformly from
+    /// `(0, 1]`.
+    pub fn random<R: Rng + ?Sized>(n: usize, max_fanout: usize, rng: &mut R) -> Tree {
+        assert!(n >= 1 && max_fanout >= 2);
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Attach node i (>0) under a uniformly random open slot among the
+        // previous nodes that still accept children.
+        for i in 1..n as u32 {
+            loop {
+                let p = rng.random_range(0..i);
+                if children[p as usize].len() < max_fanout {
+                    children[p as usize].push(i);
+                    break;
+                }
+            }
+        }
+        let weights: Vec<f64> = (0..n).map(|_| rng.random::<f64>() + 1e-9).collect();
+        Tree::new(children, &weights).expect("random construction is well-formed")
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// True when the tree has no nodes (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Child list of `u`.
+    pub fn children_of(&self, u: usize) -> &[u32] {
+        &self.children[u]
+    }
+
+    /// True when `u` is a leaf.
+    pub fn is_leaf(&self, u: usize) -> bool {
+        self.children[u].is_empty()
+    }
+
+    /// Subtree leaf-weight `w(u)`.
+    pub fn node_weight(&self, u: usize) -> f64 {
+        self.weight[u]
+    }
+
+    /// Number of leaves below `u`.
+    pub fn leaf_count(&self, u: usize) -> usize {
+        self.leaf_count[u]
+    }
+}
+
+/// Proposition 1 (Section 5): a depth-first traversal orders the leaves so
+/// that every node's leaves form a contiguous interval.
+///
+/// Returns `(leaves, interval)` where `leaves[i]` is the node id of the
+/// `i`-th leaf in DFT order and `interval[u] = (a, b)` is the half-open
+/// leaf-position range of node `u`.
+pub fn leaf_intervals(tree: &Tree) -> (Vec<u32>, Vec<(usize, usize)>) {
+    let n = tree.len();
+    let mut leaves = Vec::new();
+    let mut interval = vec![(0usize, 0usize); n];
+    // Iterative DFS with an enter/exit marker so intervals close correctly.
+    enum Step {
+        Enter(u32),
+        Exit(u32),
+    }
+    let mut stack = vec![Step::Enter(0)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Enter(u) => {
+                interval[u as usize].0 = leaves.len();
+                if tree.is_leaf(u as usize) {
+                    leaves.push(u);
+                    interval[u as usize].1 = leaves.len();
+                } else {
+                    stack.push(Step::Exit(u));
+                    // Push children reversed so they are visited in order.
+                    for &c in tree.children_of(u as usize).iter().rev() {
+                        stack.push(Step::Enter(c));
+                    }
+                }
+            }
+            Step::Exit(u) => {
+                interval[u as usize].1 = leaves.len();
+            }
+        }
+    }
+    (leaves, interval)
+}
+
+/// The tree-sampling structure of Section 3.2: every internal node stores
+/// an alias table over its children (weighted by subtree weight), so one
+/// weighted leaf sample from the subtree of `q` is a top-down descent of
+/// `O(height(q))` steps. Total space and build time are `O(n)`.
+///
+/// # Example
+/// ```
+/// use iqs_tree::{Tree, TreeSampler};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// // Root 0 with two leaf children of weights 1 and 3.
+/// let tree = Tree::new(vec![vec![1, 2], vec![], vec![]], &[0.0, 1.0, 3.0]).unwrap();
+/// let sampler = TreeSampler::new(tree);
+/// let mut rng = StdRng::seed_from_u64(11);
+/// let leaf = sampler.sample_leaf(0, &mut rng);
+/// assert!(leaf == 1 || leaf == 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeSampler {
+    tree: Tree,
+    /// Alias table per internal node (`None` for leaves).
+    child_alias: Vec<Option<AliasTable>>,
+}
+
+impl TreeSampler {
+    /// Preprocesses the tree in `O(n)` total time.
+    pub fn new(tree: Tree) -> Self {
+        let n = tree.len();
+        let mut child_alias = Vec::with_capacity(n);
+        for u in 0..n {
+            if tree.is_leaf(u) {
+                child_alias.push(None);
+            } else {
+                let weights: Vec<f64> =
+                    tree.children_of(u).iter().map(|&c| tree.node_weight(c as usize)).collect();
+                child_alias
+                    .push(Some(AliasTable::new(&weights).expect("subtree weights are positive")));
+            }
+        }
+        TreeSampler { tree, child_alias }
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Draws one weighted leaf sample from the subtree of `q`, in time
+    /// proportional to the height of that subtree.
+    pub fn sample_leaf<R: Rng + ?Sized>(&self, q: usize, rng: &mut R) -> usize {
+        let mut u = q;
+        while let Some(alias) = &self.child_alias[u] {
+            let i = alias.sample(rng);
+            u = self.tree.children_of(u)[i] as usize;
+        }
+        u
+    }
+
+    /// Draws `s` independent weighted leaf samples from the subtree of `q`.
+    pub fn sample_leaves<R: Rng + ?Sized>(&self, q: usize, s: usize, rng: &mut R) -> Vec<usize> {
+        (0..s).map(|_| self.sample_leaf(q, rng)).collect()
+    }
+}
+
+impl SpaceUsage for TreeSampler {
+    fn space_words(&self) -> usize {
+        let tree_words: usize = self
+            .tree
+            .children
+            .iter()
+            .map(|c| vec_words(c.as_slice()))
+            .sum::<usize>()
+            + self.tree.weight.len()
+            + self.tree.leaf_count.len();
+        let alias_words: usize =
+            self.child_alias.iter().flatten().map(|a| a.space_words()).sum();
+        tree_words + alias_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A small fixed tree:
+    ///        0
+    ///      / | \
+    ///     1  2  3
+    ///    / \     \
+    ///   4   5     6
+    /// Leaves: 4, 5, 2, 6 with weights 1, 2, 3, 4.
+    fn fixture() -> Tree {
+        let children = vec![
+            vec![1, 2, 3],
+            vec![4, 5],
+            vec![],
+            vec![6],
+            vec![],
+            vec![],
+            vec![],
+        ];
+        let mut w = vec![0.0; 7];
+        w[4] = 1.0;
+        w[5] = 2.0;
+        w[2] = 3.0;
+        w[6] = 4.0;
+        Tree::new(children, &w).unwrap()
+    }
+
+    #[test]
+    fn weights_aggregate_bottom_up() {
+        let t = fixture();
+        assert_eq!(t.node_weight(0), 10.0);
+        assert_eq!(t.node_weight(1), 3.0);
+        assert_eq!(t.node_weight(3), 4.0);
+        assert_eq!(t.leaf_count(0), 4);
+        assert_eq!(t.leaf_count(1), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        // Cycle / duplicate parent.
+        assert!(Tree::new(vec![vec![1], vec![0]], &[1.0, 1.0]).is_err());
+        assert!(Tree::new(vec![vec![1, 1], vec![]], &[1.0, 1.0]).is_err());
+        assert!(Tree::new(vec![], &[]).is_err());
+        // Disconnected node 2.
+        assert!(Tree::new(vec![vec![1], vec![], vec![]], &[1.0; 3]).is_err());
+        // Bad leaf weight.
+        assert!(Tree::new(vec![vec![1], vec![]], &[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn leaf_intervals_are_contiguous_and_nested() {
+        let t = fixture();
+        let (leaves, iv) = leaf_intervals(&t);
+        assert_eq!(leaves.len(), 4);
+        // Root covers all leaves.
+        assert_eq!(iv[0], (0, 4));
+        // Every node's interval length equals its leaf count.
+        for (u, &(lo, hi)) in iv.iter().enumerate() {
+            assert_eq!(hi - lo, t.leaf_count(u), "node {u}");
+        }
+        // Leaves inside a node's interval are exactly its descendants.
+        let (a, b) = iv[1];
+        let set: Vec<u32> = leaves[a..b].to_vec();
+        assert_eq!(set, vec![4, 5]);
+    }
+
+    #[test]
+    fn leaf_intervals_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(20);
+        for _ in 0..20 {
+            let t = Tree::random(200, 5, &mut rng);
+            let (leaves, iv) = leaf_intervals(&t);
+            let total_leaves = (0..t.len()).filter(|&u| t.is_leaf(u)).count();
+            assert_eq!(leaves.len(), total_leaves);
+            for (u, &(lo, hi)) in iv.iter().enumerate() {
+                assert_eq!(hi - lo, t.leaf_count(u));
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_distribution_matches_leaf_weights() {
+        let t = fixture();
+        let sampler = TreeSampler::new(t);
+        let mut rng = StdRng::seed_from_u64(21);
+        let draws = 100_000;
+        let mut counts = [0u32; 7];
+        for _ in 0..draws {
+            counts[sampler.sample_leaf(0, &mut rng)] += 1;
+        }
+        // Expected proportions 1/10, 2/10, 3/10, 4/10 for leaves 4,5,2,6.
+        for (leaf, want) in [(4usize, 0.1), (5, 0.2), (2, 0.3), (6, 0.4)] {
+            let p = counts[leaf] as f64 / draws as f64;
+            assert!((p - want).abs() < 0.01, "leaf {leaf}: {p} vs {want}");
+        }
+        // Internal nodes never returned.
+        assert_eq!(counts[0] + counts[1] + counts[3], 0);
+    }
+
+    #[test]
+    fn subtree_queries_are_restricted() {
+        let t = fixture();
+        let sampler = TreeSampler::new(t);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..1000 {
+            let leaf = sampler.sample_leaf(1, &mut rng);
+            assert!(leaf == 4 || leaf == 5);
+        }
+        // A leaf query returns itself.
+        assert_eq!(sampler.sample_leaf(2, &mut rng), 2);
+    }
+
+    #[test]
+    fn sample_many_length() {
+        let sampler = TreeSampler::new(fixture());
+        let mut rng = StdRng::seed_from_u64(23);
+        assert_eq!(sampler.sample_leaves(0, 17, &mut rng).len(), 17);
+        assert!(sampler.sample_leaves(0, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn random_tree_weights_positive() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let t = Tree::random(500, 3, &mut rng);
+        for u in 0..t.len() {
+            assert!(t.node_weight(u) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the tree substrates.
+
+use iqs_tree::{leaf_intervals, Fenwick, IntervalSampler, RankBst, SubtreeSampler, Tree, TreeSampler};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Fenwick with interleaved updates always matches a naive array.
+    #[test]
+    fn fenwick_with_updates(
+        init in pvec(-50.0f64..50.0, 1..80),
+        updates in pvec((0usize..80, -10.0f64..10.0), 0..40),
+        a in 0usize..90,
+        b in 0usize..90,
+    ) {
+        let mut naive = init.clone();
+        let mut f = Fenwick::from_values(&init);
+        for &(i, delta) in &updates {
+            let i = i % naive.len();
+            naive[i] += delta;
+            f.add(i, delta);
+        }
+        let n = naive.len();
+        let (a, b) = (a.min(n), b.min(n));
+        let want: f64 = if a < b { naive[a..b].iter().sum() } else { 0.0 };
+        prop_assert!((f.range_sum(a, b) - want).abs() < 1e-6);
+    }
+
+    /// RankBst node weights aggregate exactly.
+    #[test]
+    fn rank_bst_weight_aggregation(weights in pvec(0.01f64..100.0, 1..120)) {
+        let t = RankBst::new(&weights).unwrap();
+        let total: f64 = weights.iter().sum();
+        prop_assert!((t.node_weight(t.root()) - total).abs() < 1e-6);
+        for u in 0..t.node_count() as u32 {
+            if !t.is_leaf(u) {
+                let (l, r) = t.children(u);
+                prop_assert!(
+                    (t.node_weight(u) - t.node_weight(l) - t.node_weight(r)).abs() < 1e-6
+                );
+            }
+        }
+    }
+
+    /// Random trees: leaf intervals have the right lengths and nest.
+    #[test]
+    fn leaf_intervals_nest(n in 1usize..300, fanout in 2usize..6, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = Tree::random(n, fanout, &mut rng);
+        let (leaves, iv) = leaf_intervals(&tree);
+        let leaf_total = (0..n).filter(|&u| tree.is_leaf(u)).count();
+        prop_assert_eq!(leaves.len(), leaf_total);
+        for u in 0..n {
+            let (a, b) = iv[u];
+            prop_assert_eq!(b - a, tree.leaf_count(u), "node {}", u);
+            // Children tile the parent's interval.
+            let mut pos = a;
+            for &c in tree.children_of(u) {
+                let (ca, cb) = iv[c as usize];
+                prop_assert_eq!(ca, pos);
+                pos = cb;
+            }
+            if !tree.is_leaf(u) {
+                prop_assert_eq!(pos, b);
+            }
+        }
+    }
+
+    /// TreeSampler and SubtreeSampler only return leaves of the queried
+    /// subtree, for random trees and random query nodes.
+    #[test]
+    fn samplers_respect_subtrees(n in 1usize..200, q_frac in 0.0f64..1.0, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = Tree::random(n, 4, &mut rng);
+        let q = ((n as f64) * q_frac) as usize % n;
+        let ts = TreeSampler::new(tree.clone());
+        let sub = SubtreeSampler::new(&tree);
+        let (a, b) = sub.interval(q);
+        let (leaves, _) = leaf_intervals(&tree);
+        let allowed: std::collections::HashSet<usize> =
+            leaves[a..b].iter().map(|&l| l as usize).collect();
+        for _ in 0..8 {
+            prop_assert!(allowed.contains(&ts.sample_leaf(q, &mut rng)));
+            prop_assert!(allowed.contains(&sub.sample_leaf(q, &mut rng)));
+        }
+    }
+
+    /// IntervalSampler total weight per interval matches the naive sum.
+    #[test]
+    fn interval_sampler_weights(
+        weights in pvec(0.01f64..50.0, 1..150),
+        cuts in pvec((0usize..150, 1usize..150), 1..10),
+    ) {
+        let n = weights.len();
+        let intervals: Vec<(usize, usize)> = cuts
+            .iter()
+            .map(|&(a, len)| {
+                let a = a % n;
+                let b = (a + 1 + len % (n - a).max(1)).min(n);
+                (a, b.max(a + 1))
+            })
+            .collect();
+        let s = IntervalSampler::new(&weights, &intervals);
+        for (i, &(a, b)) in intervals.iter().enumerate() {
+            let want: f64 = weights[a..b].iter().sum();
+            prop_assert!((s.interval_weight(i) - want).abs() < 1e-6);
+        }
+    }
+}

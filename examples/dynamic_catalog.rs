@@ -1,0 +1,86 @@
+//! Direction 1 in action: a live product catalog with insertions,
+//! price updates and delistings, answering fair sampling queries the
+//! whole time.
+//!
+//! Uses [`iqs::core::DynamicRange`] (the logarithmic method over
+//! Theorem-3 levels) for price-range sampling and
+//! [`iqs::alias::DynamicAlias`] for whole-catalog weighted sampling.
+//!
+//! Run with: `cargo run --release --example dynamic_catalog`
+
+use iqs::alias::DynamicAlias;
+use iqs::core::DynamicRange;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31337);
+    let mut catalog = DynamicRange::new();
+    let mut popularity = DynamicAlias::new();
+
+    // Day 0: stock the catalog with 50 000 products.
+    let mut next_id = 0u64;
+    for _ in 0..50_000 {
+        let price = (rng.random::<f64>() * 500.0).round() + 0.99;
+        let pop = 1.0 + rng.random::<f64>() * 99.0;
+        catalog.insert(next_id, price, pop).expect("fresh id");
+        popularity.insert(next_id, pop).expect("valid weight");
+        next_id += 1;
+    }
+    println!(
+        "day 0: {} products across {} levels",
+        catalog.len(),
+        catalog.level_count()
+    );
+
+    // A week of churn: every "day", delist 2 000, add 3 000, and keep
+    // answering queries in between.
+    for day in 1..=7 {
+        for _ in 0..2_000 {
+            let victim = rng.random_range(0..next_id);
+            if catalog.remove(victim).is_some() {
+                popularity.remove(victim);
+            }
+        }
+        for _ in 0..3_000 {
+            let price = (rng.random::<f64>() * 500.0).round() + 0.99;
+            let pop = 1.0 + rng.random::<f64>() * 99.0;
+            catalog.insert(next_id, price, pop).expect("fresh id");
+            popularity.insert(next_id, pop).expect("valid weight");
+            next_id += 1;
+        }
+
+        // Sampling queries interleaved with the churn, each independent.
+        let (lo, hi) = (100.0, 200.0);
+        let picks = catalog.sample_wr(lo, hi, 5, &mut rng).expect("non-empty band");
+        let in_band = catalog.range_count(lo, hi);
+        println!(
+            "day {day}: {} live, {} tombstones, {} levels; band [{lo},{hi}] holds {in_band}; \
+             featured today: {:?}",
+            catalog.len(),
+            catalog.tombstones(),
+            catalog.level_count(),
+            picks.iter().map(|&(id, _)| id).collect::<Vec<_>>()
+        );
+
+        // Spot-check: no delisted product is ever sampled.
+        for _ in 0..100 {
+            let (id, price) = catalog.sample_wr(0.0, 1000.0, 1, &mut rng).expect("non-empty")[0];
+            assert!((0.0..=1000.0).contains(&price));
+            assert!(popularity.weight_of(id).is_some(), "sampled a delisted product");
+        }
+
+        // Whole-catalog popularity-weighted pick via the dynamic alias.
+        let star = popularity.sample(&mut rng).expect("catalog non-empty");
+        println!(
+            "         popularity star: product {star} (weight {:.1})",
+            popularity.weight_of(star).expect("live")
+        );
+    }
+
+    println!(
+        "\nfinal state: {} products, total popularity {:.0}",
+        catalog.len(),
+        popularity.total_weight()
+    );
+}

@@ -1,0 +1,89 @@
+//! Fair near-neighbor search (Section 2, Benefit 2 + Section 7).
+//!
+//! Restaurants on a city map; a user at location `q` asks for one
+//! restaurant within walking distance `r`. The fair answer is a uniformly
+//! random `r`-neighbor, fresh for every inquiry — which is IQS with
+//! `s = 1` over the set family of LSH-style buckets (set-union sampling,
+//! Theorem 8).
+//!
+//! Run with: `cargo run --release --example fair_nn`
+
+use iqs::core::fairnn::FairNearNeighbor;
+use iqs::spatial::{dist, Point};
+use iqs::stats::chisq::{chi_square_gof, uniform_probs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // 5 000 restaurants: a dense downtown cluster plus uniform sprawl.
+    let mut restaurants: Vec<Point<2>> = Vec::new();
+    for _ in 0..2_000 {
+        restaurants.push(
+            [0.5 + 0.05 * (rng.random::<f64>() - 0.5), 0.5 + 0.05 * (rng.random::<f64>() - 0.5)]
+                .into(),
+        );
+    }
+    for _ in 0..3_000 {
+        restaurants.push([rng.random::<f64>(), rng.random::<f64>()].into());
+    }
+
+    let r = 0.08;
+    let g = 8;
+    let mut index =
+        FairNearNeighbor::new(restaurants.clone(), g, r, &mut rng).expect("non-empty map");
+    println!(
+        "indexed {} restaurants; {} shifted grids, radius r = {r}",
+        restaurants.len(),
+        g
+    );
+
+    // A user downtown, repeating the inquiry 30 000 times (think: 30 000
+    // different users at the same corner).
+    let q: Point<2> = [0.52, 0.48].into();
+    let recalled = index.recalled_neighbors(&q);
+    println!("\nuser at {:?}: {} restaurants within r recalled", q.coords, recalled.len());
+
+    let inquiries = 30_000usize;
+    let mut exposure: HashMap<usize, u64> = HashMap::new();
+    let mut misses = 0usize;
+    for _ in 0..inquiries {
+        match index.query(&q, &mut rng).expect("density fine on this data") {
+            Some(i) => *exposure.entry(i).or_default() += 1,
+            None => misses += 1,
+        }
+    }
+    println!("answered {inquiries} inquiries ({misses} returned no neighbor)");
+
+    // Fairness check: exposure uniform across the recalled neighborhood.
+    let counts: Vec<u64> = recalled.iter().map(|i| *exposure.get(i).unwrap_or(&0)).collect();
+    let gof = chi_square_gof(&counts, &uniform_probs(counts.len()));
+    println!(
+        "exposure uniformity: chi² = {:.0} over {} dof (p = {:.3}) → {}",
+        gof.statistic,
+        gof.dof,
+        gof.p_value,
+        if gof.consistent_at(1e-6) { "FAIR" } else { "UNFAIR" }
+    );
+
+    // Show a few answers with their distances.
+    println!("\nfive sample answers:");
+    for _ in 0..5 {
+        if let Some(i) = index.query(&q, &mut rng).expect("ok") {
+            println!(
+                "  restaurant #{i} at {:?} (distance {:.4})",
+                restaurants[i].coords,
+                dist(&restaurants[i], &q)
+            );
+        }
+    }
+
+    // A user in the sticks: may legitimately have no neighbor.
+    let rural: Point<2> = [0.02, 0.97].into();
+    match index.query(&rural, &mut rng).expect("ok") {
+        Some(i) => println!("\nrural user got restaurant #{i}"),
+        None => println!("\nrural user at {:?}: no restaurant within r", rural.coords),
+    }
+}

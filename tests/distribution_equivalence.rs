@@ -1,0 +1,125 @@
+//! Cross-structure distribution tests: every IQS structure must sample
+//! from exactly the same target distribution — weighted over `S_q` —
+//! regardless of its internal organization. Verified by chi-square
+//! goodness-of-fit at significance 1e-6 with fixed seeds.
+
+use iqs::core::{AliasAugmentedRange, ChunkedRange, RangeSampler, TreeSamplingRange};
+use iqs::stats::chisq::{chi_square_gof, weight_probs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn weighted_pairs(n: usize, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| (i as f64 + rng.random::<f64>() * 0.5, 0.2 + rng.random::<f64>() * 3.0))
+        .collect()
+}
+
+fn samplers(n: usize, seed: u64) -> Vec<(&'static str, Box<dyn RangeSampler>)> {
+    vec![
+        ("tree", Box::new(TreeSamplingRange::new(weighted_pairs(n, seed)).unwrap())),
+        ("alias", Box::new(AliasAugmentedRange::new(weighted_pairs(n, seed)).unwrap())),
+        ("chunked", Box::new(ChunkedRange::new(weighted_pairs(n, seed)).unwrap())),
+    ]
+}
+
+#[test]
+fn all_range_samplers_pass_chi_square_against_the_weighted_target() {
+    let n = 512;
+    for (name, sampler) in samplers(n, 42) {
+        let mut rng = StdRng::seed_from_u64(777);
+        let (x, y) = (100.0, 400.0);
+        let (a, b) = sampler.rank_range(x, y);
+        let probs = weight_probs(&sampler.weights()[a..b]);
+        let mut counts = vec![0u64; b - a];
+        for _ in 0..300 {
+            for r in sampler.sample_wr(x, y, 500, &mut rng).unwrap() {
+                counts[r - a] += 1;
+            }
+        }
+        let gof = chi_square_gof(&counts, &probs);
+        assert!(
+            gof.consistent_at(1e-6),
+            "{name}: chi² = {:.1}, p = {:.3e}",
+            gof.statistic,
+            gof.p_value
+        );
+    }
+}
+
+#[test]
+fn samplers_agree_pairwise_on_marginals() {
+    // The three structures over identical input must produce frequency
+    // vectors whose L1 distance shrinks with sample count.
+    let n = 256;
+    let all = samplers(n, 43);
+    let mut rng = StdRng::seed_from_u64(778);
+    let (x, y) = (10.0, 240.0);
+    let draws = 200_000;
+    let freq: Vec<Vec<f64>> = all
+        .iter()
+        .map(|(_, s)| {
+            let mut f = vec![0.0; n];
+            for r in s.sample_wr(x, y, draws, &mut rng).unwrap() {
+                f[r] += 1.0 / draws as f64;
+            }
+            f
+        })
+        .collect();
+    for i in 0..freq.len() {
+        for j in i + 1..freq.len() {
+            let l1: f64 =
+                freq[i].iter().zip(&freq[j]).map(|(a, b)| (a - b).abs()).sum();
+            assert!(l1 < 0.05, "{} vs {}: L1 = {l1}", all[i].0, all[j].0);
+        }
+    }
+}
+
+#[test]
+fn wor_marginals_match_across_structures() {
+    // WoR inclusion probability of each element is identical across
+    // structures (successive weighted WoR); compare empirically.
+    let n = 64;
+    let all = samplers(n, 44);
+    let mut rng = StdRng::seed_from_u64(779);
+    let (x, y, s) = (0.0, 70.0, 12);
+    let rounds = 6000;
+    let mut inclusion: Vec<Vec<f64>> = vec![vec![0.0; n]; all.len()];
+    for (k, (_, sampler)) in all.iter().enumerate() {
+        for _ in 0..rounds {
+            for r in sampler.sample_wor(x, y, s, &mut rng).unwrap() {
+                inclusion[k][r] += 1.0 / rounds as f64;
+            }
+        }
+    }
+    for k in 1..all.len() {
+        let l1: f64 = inclusion[0]
+            .iter()
+            .zip(&inclusion[k])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(l1 < 0.4, "{} vs {}: inclusion L1 = {l1}", all[0].0, all[k].0);
+    }
+}
+
+#[test]
+fn extreme_weight_skew_is_respected() {
+    // One element carries 99.9% of the weight: all structures must
+    // return it almost always.
+    let mut pairs: Vec<(f64, f64)> = (0..128).map(|i| (i as f64, 1e-3)).collect();
+    pairs[64].1 = 127.0 * 1e-3 * 999.0;
+    for (name, sampler) in [
+        ("tree", Box::new(TreeSamplingRange::new(pairs.clone()).unwrap()) as Box<dyn RangeSampler>),
+        ("alias", Box::new(AliasAugmentedRange::new(pairs.clone()).unwrap())),
+        ("chunked", Box::new(ChunkedRange::new(pairs.clone()).unwrap())),
+    ] {
+        let mut rng = StdRng::seed_from_u64(780);
+        let heavy = sampler
+            .sample_wr(0.0, 127.0, 2000, &mut rng)
+            .unwrap()
+            .iter()
+            .filter(|&&r| r == 64)
+            .count();
+        assert!(heavy > 1900, "{name}: heavy element sampled only {heavy}/2000");
+    }
+}

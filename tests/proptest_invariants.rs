@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) on the core data-structure
+//! invariants. Each property is the load-bearing fact a paper claim
+//! rests on, checked over randomized inputs rather than fixed fixtures.
+
+use iqs::alias::{wor, AliasTable, DynamicAlias};
+use iqs::core::complement::ComplementRange;
+use iqs::core::{AliasAugmentedRange, ChunkedRange, RangeSampler, TreeSamplingRange};
+use iqs::sketch::{HashSeed, KmvSketch};
+use iqs::tree::{Fenwick, RankBst};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn positive_weights(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    pvec(0.001f64..1000.0, 1..max_len)
+}
+
+proptest! {
+    /// Theorem 1's urn conditions: the alias table realizes *exactly*
+    /// the input distribution (up to float round-off), for any positive
+    /// weight vector.
+    #[test]
+    fn alias_realizes_exact_probabilities(weights in positive_weights(200)) {
+        let table = AliasTable::new(&weights).unwrap();
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let p = table.realized_probability(i);
+            prop_assert!((p - w / total).abs() < 1e-9,
+                "element {i}: realized {p}, want {}", w / total);
+        }
+    }
+
+    /// Figure 1's invariant: canonical nodes of any rank range are
+    /// disjoint subtrees exactly tiling the range.
+    #[test]
+    fn canonical_nodes_tile_any_range(
+        weights in positive_weights(120),
+        a_frac in 0.0f64..1.0,
+        b_frac in 0.0f64..1.0,
+    ) {
+        let n = weights.len();
+        let tree = RankBst::new(&weights).unwrap();
+        let (lo, hi) = ((a_frac * n as f64) as usize, (b_frac * n as f64) as usize);
+        let (a, b) = (lo.min(hi), lo.max(hi).min(n));
+        let cover = tree.canonical_nodes(a, b);
+        let mut ranges: Vec<(usize, usize)> =
+            cover.iter().map(|&u| tree.leaf_range(u)).collect();
+        ranges.sort_unstable();
+        let mut pos = a;
+        for (s, e) in ranges {
+            prop_assert_eq!(s, pos, "gap or overlap");
+            pos = e;
+        }
+        prop_assert_eq!(pos, b.max(a));
+        // And the cover is logarithmic.
+        prop_assert!(cover.len() <= 2 * (usize::BITS as usize), "cover too large");
+    }
+
+    /// All three range structures return ranks inside the queried rank
+    /// range, for arbitrary weights and query intervals.
+    #[test]
+    fn range_samplers_never_escape_the_query(
+        weights in positive_weights(100),
+        x in -10.0f64..110.0,
+        len in 0.0f64..120.0,
+        s in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let pairs: Vec<(f64, f64)> =
+            weights.iter().enumerate().map(|(i, &w)| (i as f64, w)).collect();
+        let y = x + len;
+        let samplers: Vec<Box<dyn RangeSampler>> = vec![
+            Box::new(TreeSamplingRange::new(pairs.clone()).unwrap()),
+            Box::new(AliasAugmentedRange::new(pairs.clone()).unwrap()),
+            Box::new(ChunkedRange::new(pairs).unwrap()),
+        ];
+        for sampler in samplers {
+            let (a, b) = sampler.rank_range(x, y);
+            let mut rng = StdRng::seed_from_u64(seed);
+            match sampler.sample_wr(x, y, s, &mut rng) {
+                Ok(ranks) => {
+                    prop_assert!(a < b, "non-empty result from empty range");
+                    prop_assert_eq!(ranks.len(), s);
+                    prop_assert!(ranks.iter().all(|&r| (a..b).contains(&r)));
+                }
+                Err(_) => prop_assert_eq!(a, b, "error from non-empty range"),
+            }
+        }
+    }
+
+    /// Fenwick range sums equal naive sums for arbitrary values/queries.
+    #[test]
+    fn fenwick_matches_naive(values in pvec(-100.0f64..100.0, 1..200), a in 0usize..220, b in 0usize..220) {
+        let f = Fenwick::from_values(&values);
+        let n = values.len();
+        let (a, b) = (a.min(n), b.min(n));
+        let want: f64 = if a < b { values[a..b].iter().sum() } else { 0.0 };
+        prop_assert!((f.range_sum(a, b) - want).abs() < 1e-6);
+    }
+
+    /// DynamicAlias bookkeeping: after any sequence of inserts/removes,
+    /// the total weight equals the live elements' sum and sampling only
+    /// returns live ids.
+    #[test]
+    fn dynamic_alias_total_is_consistent(
+        ops in pvec((0u64..30, 0.01f64..100.0, proptest::bool::ANY), 1..120),
+        seed in 0u64..1000,
+    ) {
+        let mut d = DynamicAlias::new();
+        let mut live: std::collections::HashMap<u64, f64> = Default::default();
+        for (id, w, is_insert) in ops {
+            if is_insert {
+                d.insert(id, w).unwrap();
+                live.insert(id, w);
+            } else {
+                let got = d.remove(id);
+                prop_assert_eq!(got.is_some(), live.remove(&id).is_some());
+            }
+        }
+        let want: f64 = live.values().sum();
+        prop_assert!((d.total_weight() - want).abs() < 1e-6 * want.max(1.0));
+        prop_assert_eq!(d.len(), live.len());
+        if !live.is_empty() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..16 {
+                let id = d.sample(&mut rng).unwrap();
+                prop_assert!(live.contains_key(&id), "sampled dead id {id}");
+            }
+        }
+    }
+
+    /// Floyd's WoR sample is always distinct and in range.
+    #[test]
+    fn floyd_is_distinct(n in 1usize..500, s_frac in 0.0f64..1.0, seed in 0u64..1000) {
+        let s = ((n as f64) * s_frac) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = wor::floyd_sample_indices(n, s, &mut rng);
+        prop_assert_eq!(out.len(), s);
+        let set: std::collections::HashSet<_> = out.iter().collect();
+        prop_assert_eq!(set.len(), s);
+        prop_assert!(out.iter().all(|&i| i < n));
+    }
+
+    /// KMV sketch merging is exactly union: merge(a, b) has the same
+    /// bottom-k (hence the same estimate) as a sketch built over the
+    /// union directly.
+    #[test]
+    fn kmv_merge_is_union(
+        a_ids in pvec(0u64..10_000, 0..400),
+        b_ids in pvec(0u64..10_000, 0..400),
+        k in 3usize..64,
+    ) {
+        let seed = HashSeed(0xabcdef);
+        let a = KmvSketch::from_ids(a_ids.iter().copied(), k, seed);
+        let b = KmvSketch::from_ids(b_ids.iter().copied(), k, seed);
+        let merged = a.merge(&b);
+        let direct = KmvSketch::from_ids(
+            a_ids.iter().chain(b_ids.iter()).copied(), k, seed);
+        prop_assert_eq!(merged.estimate(), direct.estimate());
+    }
+
+    /// Complement bounds: complement ∪ range = everything, disjointly.
+    #[test]
+    fn complement_partitions(
+        n in 2usize..300,
+        x in -10.0f64..320.0,
+        len in 0.0f64..330.0,
+    ) {
+        let pairs: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 1.0)).collect();
+        let c = ComplementRange::new(pairs.clone()).unwrap();
+        let r = ChunkedRange::new(pairs).unwrap();
+        let y = x + len;
+        prop_assert_eq!(c.complement_count(x, y) + r.range_count(x, y), n);
+    }
+
+    /// WoR → WR conversion: output length `s`, all values from the WoR
+    /// input.
+    #[test]
+    fn wor_to_wr_shape(pop in 1usize..100, s_extra in 0usize..20, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = (s_extra + 1).min(pop);
+        let worv = wor::floyd_sample_indices(pop, s, &mut rng);
+        let wrv = wor::wor_to_wr(&worv, pop, s, &mut rng);
+        prop_assert_eq!(wrv.len(), s);
+        let base: std::collections::HashSet<_> = worv.iter().collect();
+        prop_assert!(wrv.iter().all(|v| base.contains(v)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Cross-index consistency: the Theorem-5 adapters over kd-tree,
+//! quadtree and range tree must agree with each other and with brute
+//! force on counts, weights and sampling distributions; the Theorem-6
+//! circular sampler and the complement sampler must partition correctly
+//! against their exact counterparts.
+
+use iqs::core::approx::{ApproxCoverageSampler, Circle};
+use iqs::core::complement::ComplementRange;
+use iqs::core::coverage::CoverageSampler;
+use iqs::core::{ChunkedRange, RangeSampler};
+use iqs::spatial::{dist2, KdTree, Point, QuadTree, RangeTree, Rect};
+use iqs::stats::chisq::{chi_square_gof, uniform_probs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>()].into()).collect()
+}
+
+#[test]
+fn three_spatial_indexes_agree_with_brute_force() {
+    let pts = random_points(600, 1000);
+    let kd = CoverageSampler::new(KdTree::with_unit_weights(pts.clone()).unwrap());
+    let qt = CoverageSampler::new(QuadTree::with_unit_weights(pts.clone()).unwrap());
+    let rt = CoverageSampler::new(RangeTree::with_unit_weights(pts.clone()).unwrap());
+    let mut rng = StdRng::seed_from_u64(1001);
+    for _ in 0..30 {
+        let x0 = rng.random::<f64>() * 0.7;
+        let y0 = rng.random::<f64>() * 0.7;
+        let q: Rect<2> = Rect::new([x0, y0], [x0 + 0.3, y0 + 0.3]);
+        let brute = pts.iter().filter(|p| q.contains_point(p)).count();
+        assert_eq!(kd.count(&q), brute, "kd-tree count");
+        assert_eq!(qt.count(&q), brute, "quadtree count");
+        assert_eq!(rt.count(&q), brute, "range tree count");
+    }
+}
+
+#[test]
+fn spatial_sampling_distributions_are_identical() {
+    let pts = random_points(400, 1002);
+    let q: Rect<2> = Rect::new([0.15, 0.2], [0.7, 0.85]);
+    let inside: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+    let kd = CoverageSampler::new(KdTree::with_unit_weights(pts.clone()).unwrap());
+    let qt = CoverageSampler::new(QuadTree::with_unit_weights(pts.clone()).unwrap());
+    let rt = CoverageSampler::new(RangeTree::with_unit_weights(pts.clone()).unwrap());
+    let mut rng = StdRng::seed_from_u64(1003);
+    let draws = 100_000;
+    for (name, ids) in [
+        ("kd", kd.sample_wr(&q, draws, &mut rng).unwrap()),
+        ("quad", qt.sample_wr(&q, draws, &mut rng).unwrap()),
+        ("range", rt.sample_wr(&q, draws, &mut rng).unwrap()),
+    ] {
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        for id in ids {
+            *counts.entry(id).or_default() += 1;
+        }
+        assert_eq!(counts.len(), inside.len(), "{name}: support mismatch");
+        let vec_counts: Vec<u64> =
+            inside.iter().map(|i| *counts.get(i).unwrap_or(&0)).collect();
+        let gof = chi_square_gof(&vec_counts, &uniform_probs(inside.len()));
+        assert!(gof.consistent_at(1e-6), "{name}: p = {:.3e}", gof.p_value);
+    }
+}
+
+#[test]
+fn circle_sampler_agrees_with_brute_force_support() {
+    let pts = random_points(2000, 1004);
+    let sampler = ApproxCoverageSampler::new(QuadTree::with_unit_weights(pts.clone()).unwrap());
+    let mut rng = StdRng::seed_from_u64(1005);
+    for (cx, cy, r) in [(0.5, 0.5, 0.2), (0.2, 0.8, 0.15), (0.9, 0.1, 0.3)] {
+        let q: Circle = ([cx, cy].into(), r);
+        let brute: std::collections::HashSet<usize> = (0..pts.len())
+            .filter(|&i| dist2(&pts[i], &q.0) <= r * r)
+            .collect();
+        if brute.is_empty() {
+            continue;
+        }
+        let sampled: std::collections::HashSet<usize> =
+            sampler.sample_wr(&q, 20_000, &mut rng).unwrap().into_iter().collect();
+        assert!(sampled.is_subset(&brute), "sampled outside the disc");
+        // With 20k draws over ≤ ~250 elements, missing any element of the
+        // support is astronomically unlikely.
+        assert_eq!(sampled.len(), brute.len(), "support not fully reachable");
+    }
+}
+
+#[test]
+fn complement_and_range_partition_the_dataset() {
+    // For any interval q, a range sampler over S_q and the complement
+    // sampler over S \ q must together cover exactly S, with the correct
+    // relative masses.
+    let pairs: Vec<(f64, f64)> = (0..300).map(|i| (i as f64, 1.0 + (i % 5) as f64)).collect();
+    let range = ChunkedRange::new(pairs.clone()).unwrap();
+    let comp = ComplementRange::new(pairs.clone()).unwrap();
+    let mut rng = StdRng::seed_from_u64(1006);
+    for (x, y) in [(50.0, 120.0), (0.0, 10.0), (250.0, 299.0)] {
+        let w_in = range.range_weight(x, y);
+        let w_out = comp.complement_weight(x, y);
+        let total: f64 = pairs.iter().map(|p| p.1).sum();
+        assert!((w_in + w_out - total).abs() < 1e-9, "weights must partition");
+
+        let in_ranks: std::collections::HashSet<usize> =
+            range.sample_wr(x, y, 5000, &mut rng).unwrap().into_iter().collect();
+        let out_ranks: std::collections::HashSet<usize> =
+            comp.sample_wr(x, y, 5000, &mut rng).unwrap().into_iter().collect();
+        assert!(in_ranks.is_disjoint(&out_ranks), "q = [{x},{y}]: supports overlap");
+        let (a, b) = range.rank_range(x, y);
+        assert!(in_ranks.iter().all(|&r| (a..b).contains(&r)));
+        assert!(out_ranks.iter().all(|&r| !(a..b).contains(&r)));
+    }
+}
+
+#[test]
+fn weighted_spatial_sampling_matches_weights() {
+    let pts = random_points(300, 1007);
+    let mut rng = StdRng::seed_from_u64(1008);
+    let weights: Vec<f64> = (0..300).map(|_| 0.5 + rng.random::<f64>() * 5.0).collect();
+    let rt = CoverageSampler::new(RangeTree::new(pts.clone(), weights.clone()).unwrap());
+    let q: Rect<2> = Rect::new([0.0, 0.0], [0.8, 0.8]);
+    let inside: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+    let total: f64 = inside.iter().map(|&i| weights[i]).sum();
+    let mut counts: HashMap<usize, u64> = HashMap::new();
+    let draws = 150_000;
+    for id in rt.sample_wr(&q, draws, &mut rng).unwrap() {
+        *counts.entry(id).or_default() += 1;
+    }
+    let vec_counts: Vec<u64> = inside.iter().map(|i| *counts.get(i).unwrap_or(&0)).collect();
+    let probs: Vec<f64> = inside.iter().map(|&i| weights[i] / total).collect();
+    let gof = chi_square_gof(&vec_counts, &probs);
+    assert!(gof.consistent_at(1e-6), "weighted range-tree p = {:.3e}", gof.p_value);
+}
+
+#[test]
+fn clustered_data_still_exact() {
+    // Heavy clustering stresses kd/quadtree balance; counts must stay
+    // exact and sampling uniform.
+    let mut rng = StdRng::seed_from_u64(1009);
+    let mut pts: Vec<Point<2>> = Vec::new();
+    for c in 0..5 {
+        let cx = 0.2 * c as f64 + 0.1;
+        for _ in 0..150 {
+            pts.push([cx + rng.random::<f64>() * 0.01, 0.5 + rng.random::<f64>() * 0.01].into());
+        }
+    }
+    let kd = CoverageSampler::new(KdTree::with_unit_weights(pts.clone()).unwrap());
+    let qt = CoverageSampler::new(QuadTree::with_unit_weights(pts.clone()).unwrap());
+    let q: Rect<2> = Rect::new([0.25, 0.0], [0.75, 1.0]);
+    let brute = pts.iter().filter(|p| q.contains_point(p)).count();
+    assert_eq!(kd.count(&q), brute);
+    assert_eq!(qt.count(&q), brute);
+    let out = kd.sample_wr(&q, 100, &mut rng).unwrap();
+    assert!(out.iter().all(|&i| q.contains_point(&pts[i])));
+}

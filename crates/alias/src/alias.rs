@@ -1,5 +1,6 @@
-use rand::Rng;
+use rand::{Rng, RngCore};
 
+use crate::batch::BlockRng64;
 use crate::space::{vec_words, SpaceUsage};
 use crate::{validate_weights, WeightError};
 
@@ -100,11 +101,7 @@ impl AliasTable {
         if n == 0 {
             return Err(WeightError::Empty);
         }
-        Ok(AliasTable {
-            prob: vec![1.0; n],
-            alias: (0..n as u32).collect(),
-            total: n as f64,
-        })
+        Ok(AliasTable { prob: vec![1.0; n], alias: (0..n as u32).collect(), total: n as f64 })
     }
 
     /// Number of elements.
@@ -123,24 +120,84 @@ impl AliasTable {
         self.total
     }
 
-    /// Draws one index in `O(1)` worst-case time.
-    #[inline]
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let n = self.prob.len();
-        let col = rng.random_range(0..n);
-        // A single uniform decides the coin; branchless-friendly.
-        if rng.random::<f64>() < self.prob[col] {
+    /// Decodes one uniform 64-bit word into a weighted index — the heart
+    /// of every (batched or sequential) alias draw.
+    ///
+    /// The two classical random decisions are carved out of disjoint halves
+    /// of the word: the **high 32 bits** pick the column through a widening
+    /// multiply (`col = (hi · n) >> 32`, the Lemire mapping), and the
+    /// **low 32 bits** form the biased coin (`coin = lo / 2³²`). Because
+    /// the halves are independent, so are the column and the coin; the
+    /// per-draw distortion from the 32-bit granularity is at most 2⁻³² per
+    /// outcome, far below anything observable.
+    ///
+    /// (A wider, overlapping coin — e.g. "the low 53 bits" — would be
+    /// *wrong* for `n > 2¹¹`: conditioned on the chosen column, the
+    /// overlapping bits are confined to a 1/`n` arc of the unit interval,
+    /// biasing the coin. The disjoint 32/32 split avoids that entirely.)
+    #[inline(always)]
+    pub fn decode(&self, z: u64) -> usize {
+        let (col, coin) = self.split_word(z);
+        self.resolve(col, coin)
+    }
+
+    /// First half of [`Self::decode`]: splits a word into the chosen
+    /// column and the coin, touching only the table *length*. Batch
+    /// callers use this to separate the cheap index arithmetic from the
+    /// table loads so that many draws' memory accesses overlap.
+    #[inline(always)]
+    pub fn split_word(&self, z: u64) -> (usize, f64) {
+        let n = self.prob.len() as u64; // n ≤ u32::MAX, enforced by `new`
+        let col = (((z >> 32) * n) >> 32) as usize;
+        let coin = (z & 0xFFFF_FFFF) as f64 * (1.0 / 4_294_967_296.0);
+        (col, coin)
+    }
+
+    /// Second half of [`Self::decode`]: resolves a precomputed
+    /// (column, coin) pair through the urn arrays.
+    #[inline(always)]
+    pub fn resolve(&self, col: usize, coin: f64) -> usize {
+        if coin < self.prob[col] {
             col
         } else {
             self.alias[col] as usize
         }
     }
 
-    /// Draws `s` independent indices, appending to `out`.
+    /// Draws one index in `O(1)` worst-case time, consuming a single
+    /// 64-bit word from `rng` (see [`Self::decode`]).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.decode(rng.next_u64())
+    }
+
+    /// Draws one index from an already-buffered word block — the form the
+    /// composite structures use inside their batched query paths.
+    #[inline(always)]
+    pub fn sample_block<R: RngCore + ?Sized>(&self, block: &mut BlockRng64<'_, R>) -> usize {
+        self.decode(block.next_word())
+    }
+
+    /// Fills `out` with independent weighted indices — the allocation-free
+    /// batch API. Randomness is pulled from `rng` in blocks (one
+    /// `fill_bytes` call per 64 draws), so this is the fast path even when
+    /// `rng` is a `&mut dyn RngCore`.
+    ///
+    /// Indices fit in `u32` because construction caps `n` at `u32::MAX`.
+    pub fn sample_into<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [u32]) {
+        let mut block = BlockRng64::with_budget(rng, out.len());
+        for slot in out.iter_mut() {
+            *slot = self.decode(block.next_word()) as u32;
+        }
+    }
+
+    /// Draws `s` independent indices, appending to `out`. Uses the same
+    /// blocked randomness as [`Self::sample_into`].
     pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, s: usize, out: &mut Vec<usize>) {
         out.reserve(s);
+        let mut block = BlockRng64::with_budget(rng, s);
         for _ in 0..s {
-            out.push(self.sample(rng));
+            out.push(self.decode(block.next_word()));
         }
     }
 
@@ -212,11 +269,7 @@ mod tests {
         let t = AliasTable::new(&weights).unwrap();
         for (i, &w) in weights.iter().enumerate() {
             let p = t.realized_probability(i);
-            assert!(
-                (p - w / total).abs() < 1e-12,
-                "element {i}: realized {p}, want {}",
-                w / total
-            );
+            assert!((p - w / total).abs() < 1e-12, "element {i}: realized {p}, want {}", w / total);
         }
     }
 
@@ -270,6 +323,44 @@ mod tests {
         assert_eq!(out.len(), 6);
         assert_eq!(out[0], 77);
         assert!(out[1..].iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn batch_matches_sequential_stream() {
+        // StdRng's fill_bytes emits whole LE next_u64 words, so the batch
+        // path must reproduce the sequential draws exactly.
+        let t = AliasTable::new(&[1.0, 2.0, 3.0, 4.0, 5.5]).unwrap();
+        let mut a = StdRng::seed_from_u64(77);
+        let mut batch = vec![0u32; 100];
+        t.sample_into(&mut a, &mut batch);
+        let mut b = StdRng::seed_from_u64(77);
+        let seq: Vec<u32> = (0..100).map(|_| t.sample(&mut b) as u32).collect();
+        assert_eq!(batch, seq);
+    }
+
+    #[test]
+    fn decode_covers_full_word_domain() {
+        let t = AliasTable::new(&[2.0, 1.0, 1.0]).unwrap();
+        // Extremes of the word domain must stay in bounds: z = 0 picks
+        // column 0 with coin 0; z = MAX picks the last column with the
+        // largest coin.
+        assert!(t.decode(0) < 3);
+        assert!(t.decode(u64::MAX) < 3);
+        // High half selects the column: sweep a few boundaries.
+        for hi in [0u64, 1, (1 << 32) / 3, (1 << 32) - 1] {
+            assert!(t.decode(hi << 32) < 3);
+        }
+    }
+
+    #[test]
+    fn sample_block_matches_decode() {
+        let t = AliasTable::new(&[1.0, 4.0]).unwrap();
+        let mut src = StdRng::seed_from_u64(12);
+        let mut block = crate::BlockRng64::new(&mut src);
+        let via_block: Vec<usize> = (0..64).map(|_| t.sample_block(&mut block)).collect();
+        let mut seq = StdRng::seed_from_u64(12);
+        let direct: Vec<usize> = (0..64).map(|_| t.decode(seq.next_u64())).collect();
+        assert_eq!(via_block, direct);
     }
 
     #[test]

@@ -104,11 +104,7 @@ mod tests {
             fa[alias.sample(&mut rng)] += 1.0;
             fc[cdf.sample(&mut rng)] += 1.0;
         }
-        let l1: f64 = fa
-            .iter()
-            .zip(&fc)
-            .map(|(a, c)| ((a - c) / draws as f64).abs())
-            .sum();
+        let l1: f64 = fa.iter().zip(&fc).map(|(a, c)| ((a - c) / draws as f64).abs()).sum();
         assert!(l1 < 0.05, "L1 distance {l1}");
     }
 

@@ -226,11 +226,8 @@ impl DynamicAlias {
 
 impl SpaceUsage for DynamicAlias {
     fn space_words(&self) -> usize {
-        let bucket_words: usize = self
-            .buckets
-            .iter()
-            .map(|b| crate::space::vec_words(b.as_slice()))
-            .sum();
+        let bucket_words: usize =
+            self.buckets.iter().map(|b| crate::space::vec_words(b.as_slice())).sum();
         bucket_words + self.fenwick.len() + 2 * self.locator.len()
     }
 }

@@ -5,6 +5,10 @@
 //!
 //! * [`AliasTable`] — Walker's alias structure (Theorem 1): `O(n)` space,
 //!   `O(n)` construction, and `O(1)` worst-case time per weighted sample.
+//!   Each draw decodes a *single* 64-bit word ([`AliasTable::decode`]).
+//! * [`BlockRng64`] — a buffered block RNG that refills 64 words from the
+//!   caller's generator in one `fill_bytes` pass, powering the batched
+//!   `sample_into` fast paths across the workspace.
 //! * [`CdfSampler`] — the classical prefix-sum + binary-search sampler used
 //!   as the `O(log n)`-per-sample baseline in the benchmarks.
 //! * [`DynamicAlias`] — a dynamized alias structure (the paper's "Direction
@@ -26,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 mod alias;
+pub mod batch;
 mod cdf;
 mod dynamic;
 mod error;
@@ -34,6 +39,7 @@ pub mod split;
 pub mod wor;
 
 pub use alias::AliasTable;
+pub use batch::BlockRng64;
 pub use cdf::CdfSampler;
 pub use dynamic::DynamicAlias;
 pub use error::WeightError;
@@ -84,9 +90,6 @@ mod tests {
 
     #[test]
     fn validate_rejects_overflowing_total() {
-        assert!(matches!(
-            validate_weights(&[f64::MAX, f64::MAX]),
-            Err(WeightError::TotalOverflow)
-        ));
+        assert!(matches!(validate_weights(&[f64::MAX, f64::MAX]), Err(WeightError::TotalOverflow)));
     }
 }

@@ -237,11 +237,7 @@ mod tests {
 ///
 /// # Panics
 /// Panics if `s > weights.len()` or any weight is not finite-positive.
-pub fn a_res_weighted_wor<R: Rng + ?Sized>(
-    weights: &[f64],
-    s: usize,
-    rng: &mut R,
-) -> Vec<usize> {
+pub fn a_res_weighted_wor<R: Rng + ?Sized>(weights: &[f64], s: usize, rng: &mut R) -> Vec<usize> {
     assert!(s <= weights.len(), "WoR sample larger than population");
     // Min-heap of (key, index) keeping the s largest keys.
     let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(OrdF64, usize)>> =

@@ -19,10 +19,9 @@ fn bench_dynamic(c: &mut Criterion) {
     for i in 0..n as u64 {
         d.insert(i, i as f64, 1.0 + (i % 7) as f64).unwrap();
     }
-    let statics = ChunkedRange::new(
-        (0..n as u64).map(|i| (i as f64, 1.0 + (i % 7) as f64)).collect(),
-    )
-    .unwrap();
+    let statics =
+        ChunkedRange::new((0..n as u64).map(|i| (i as f64, 1.0 + (i % 7) as f64)).collect())
+            .unwrap();
     let (x, y) = (n as f64 * 0.1, n as f64 * 0.9);
     group.bench_function("dynamic_query_s64", |b| {
         b.iter(|| black_box(d.sample_wr(x, y, 64, &mut rng).unwrap().len()))

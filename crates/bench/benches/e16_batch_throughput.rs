@@ -1,0 +1,85 @@
+//! Criterion bench for experiment E16: batched vs sequential sampling
+//! throughput across the three 1-D range structures at n = 2²⁰.
+//!
+//! Three doors per structure (see `RangeSampler`'s *Dual sampling API*):
+//!
+//! * `seq`   — `sample_wr`: per-draw `dyn RngCore` dispatch + `Vec` output;
+//! * `batch` — `sample_wr_into`: block-buffered RNG, single-u64 alias
+//!   decode, caller-provided slice (still through the trait object);
+//! * `mono`  — `sample_wr_batch::<StdRng>`: same path, statically
+//!   dispatched end to end.
+//!
+//! Throughput is reported in samples/second (criterion `Elements`), so the
+//! headline number — batched `ChunkedRange` at s = 256 — reads directly
+//! against the sequential baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use iqs_bench::{keyed_weights, Weights};
+use iqs_core::{AliasAugmentedRange, ChunkedRange, RangeSampler, TreeSamplingRange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const N_EXP: u32 = 20;
+
+fn samplers(n: usize) -> Vec<(&'static str, Box<dyn RangeSampler>)> {
+    vec![
+        (
+            "tree32",
+            Box::new(TreeSamplingRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap()),
+        ),
+        (
+            "lemma2",
+            Box::new(AliasAugmentedRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap()),
+        ),
+        ("thm3", Box::new(ChunkedRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap())),
+    ]
+}
+
+fn bench_seq_vs_batch(c: &mut Criterion) {
+    let n = 1usize << N_EXP;
+    let all = samplers(n);
+    let (x, y) = (n as f64 * 0.1, n as f64 * 0.9);
+    for s in [1usize, 16, 256, 4096] {
+        let mut group = c.benchmark_group(format!("e16_throughput_s{s}"));
+        group.throughput(Throughput::Elements(s as u64));
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut out = vec![0u32; s];
+        for (name, sampler) in &all {
+            group.bench_function(BenchmarkId::new("seq", *name), |b| {
+                b.iter(|| black_box(sampler.sample_wr(x, y, s, &mut rng).unwrap().len()))
+            });
+            group.bench_function(BenchmarkId::new("batch", *name), |b| {
+                b.iter(|| {
+                    sampler.sample_wr_into(x, y, &mut rng, &mut out).unwrap();
+                    black_box(out[0])
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_monomorphized(c: &mut Criterion) {
+    // The statically-dispatched door, on the headline structure only: how
+    // much of the win is blocking/decoding vs avoiding dyn dispatch.
+    let n = 1usize << N_EXP;
+    let chunked = ChunkedRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap();
+    let (x, y) = (n as f64 * 0.1, n as f64 * 0.9);
+    for s in [1usize, 16, 256, 4096] {
+        let mut group = c.benchmark_group(format!("e16_throughput_s{s}"));
+        group.throughput(Throughput::Elements(s as u64));
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut out = vec![0u32; s];
+        group.bench_function(BenchmarkId::new("mono", "thm3"), |b| {
+            b.iter(|| {
+                chunked.sample_wr_batch(x, y, &mut rng, &mut out).unwrap();
+                black_box(out[0])
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_seq_vs_batch, bench_monomorphized);
+criterion_main!(benches);

@@ -10,8 +10,14 @@ use std::hint::black_box;
 
 fn samplers(n: usize) -> Vec<(&'static str, Box<dyn RangeSampler>)> {
     vec![
-        ("tree32", Box::new(TreeSamplingRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap())),
-        ("lemma2", Box::new(AliasAugmentedRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap())),
+        (
+            "tree32",
+            Box::new(TreeSamplingRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap()),
+        ),
+        (
+            "lemma2",
+            Box::new(AliasAugmentedRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap()),
+        ),
         ("thm3", Box::new(ChunkedRange::new(keyed_weights(n, Weights::Uniform, 30)).unwrap())),
     ]
 }

@@ -29,10 +29,8 @@ fn bench_complement(c: &mut Criterion) {
                 let s1 = s / 2;
                 let mut total = 0usize;
                 if s1 > 0 {
-                    total += exact
-                        .sample_wr(f64::NEG_INFINITY, pre_hi, s1, &mut rng)
-                        .unwrap()
-                        .len();
+                    total +=
+                        exact.sample_wr(f64::NEG_INFINITY, pre_hi, s1, &mut rng).unwrap().len();
                 }
                 total += exact.sample_wr(suf_lo, f64::INFINITY, s - s1, &mut rng).unwrap().len();
                 black_box(total)

@@ -15,14 +15,17 @@ use iqs_bench::{
 };
 use iqs_core::approx::ApproxCoverageSampler;
 use iqs_core::baseline::{DependentRange, ReportThenSample};
-use iqs_core::dynamic_range::DynamicRange;
-use iqs_core::wor_exact::ExpJumpWor;
 use iqs_core::complement::ComplementRange;
 use iqs_core::coverage::CoverageSampler;
+use iqs_core::dynamic_range::DynamicRange;
 use iqs_core::estimator::{required_sample_size, SelectivityEstimator};
 use iqs_core::setunion::{naive_union_sample, SetUnionSampler};
+use iqs_core::wor_exact::ExpJumpWor;
 use iqs_core::{AliasAugmentedRange, ChunkedRange, RangeSampler, TreeSamplingRange};
-use iqs_em::{EmMachine, EmRangeSampler, EmWeightedRangeSampler, NaiveEmRangeSampler, NaiveEmSampler, SamplePool};
+use iqs_em::{
+    EmMachine, EmRangeSampler, EmWeightedRangeSampler, NaiveEmRangeSampler, NaiveEmSampler,
+    SamplePool,
+};
 use iqs_sketch::{HashSeed, KmvSketch};
 use iqs_spatial::{dist2, Disc, HalfSpace, KdTree, QuadTree, RangeTree, Rect};
 use iqs_stats::chisq::{chi_square_gof, uniform_probs};
@@ -128,7 +131,11 @@ fn e1_alias() {
         std::hint::black_box(sink);
         println!(
             "{:>10} {:>11} us {:>14.1} {:>14.1} {:>13.1}x",
-            n, build_us, a_ns, c_ns, c_ns / a_ns
+            n,
+            build_us,
+            a_ns,
+            c_ns,
+            c_ns / a_ns
         );
         csv_row(
             "e1_alias.csv",
@@ -233,10 +240,8 @@ fn e5_kdtree() {
     println!("{:>10} {:>9} {:>13} {:>15}", "|S_q|", "cover", "IQS us/q", "report us/q");
     let s = 64usize;
     for side in [0.02f64, 0.05, 0.1, 0.2, 0.4, 0.8] {
-        let q: Rect<2> = Rect::new(
-            [0.5 - side / 2.0, 0.5 - side / 2.0],
-            [0.5 + side / 2.0, 0.5 + side / 2.0],
-        );
+        let q: Rect<2> =
+            Rect::new([0.5 - side / 2.0, 0.5 - side / 2.0], [0.5 + side / 2.0, 0.5 + side / 2.0]);
         let count = kd.count(&q);
         if count == 0 {
             continue;
@@ -490,7 +495,9 @@ fn e9_em_set() {
             csv_row("e9_em_set.csv", "B,s,pool_ios,naive_ios", &format!("{b},{s},{p_ios},{n_ios}"));
         }
     }
-    println!("  claim: pool ~s/B amortized (ratio ~B); naive ~s — the Hu et al. lower-bound shape.\n");
+    println!(
+        "  claim: pool ~s/B amortized (ratio ~B); naive ~s — the Hu et al. lower-bound shape.\n"
+    );
 }
 
 // =====================================================================
@@ -570,8 +577,13 @@ fn e11_dynamic_alias() {
             3,
         );
         let weights: Vec<f64> = (0..n).map(|_| 0.1 + rng.random::<f64>()).collect();
-        let rebuild_us =
-            time_ns(|| { std::hint::black_box(AliasTable::new(&weights).unwrap().len()); }, 3, 3) / 1e3;
+        let rebuild_us = time_ns(
+            || {
+                std::hint::black_box(AliasTable::new(&weights).unwrap().len());
+            },
+            3,
+            3,
+        ) / 1e3;
         std::hint::black_box(sink);
         println!("{:>10} {:>14.1} {:>14.1} {:>14.1} {:>18.1}", n, s_ns, i_ns, r_ns, rebuild_us);
         csv_row(
@@ -588,12 +600,18 @@ fn e11_dynamic_alias() {
 // =====================================================================
 fn f1_independence() {
     println!("F1  repeated-identical-query overlap test (k = 400, s = 20, 1000 rounds)");
-    println!("{:>12} {:>15} {:>15} {:>10}", "structure", "mean overlap", "independent E", "verdict");
+    println!(
+        "{:>12} {:>15} {:>15} {:>10}",
+        "structure", "mean overlap", "independent E", "verdict"
+    );
     let n = 400usize;
     let s = 20usize;
     let structures: Vec<(&str, Box<dyn RangeSampler>)> = vec![
         ("tree", Box::new(TreeSamplingRange::new(keyed_weights(n, Weights::Unit, 90)).unwrap())),
-        ("lemma2", Box::new(AliasAugmentedRange::new(keyed_weights(n, Weights::Unit, 90)).unwrap())),
+        (
+            "lemma2",
+            Box::new(AliasAugmentedRange::new(keyed_weights(n, Weights::Unit, 90)).unwrap()),
+        ),
         ("thm3", Box::new(ChunkedRange::new(keyed_weights(n, Weights::Unit, 90)).unwrap())),
     ];
     for (name, sampler) in &structures {
@@ -715,7 +733,9 @@ fn f2_concentration() {
             dep_runs.block_count_variance(30)
         ),
     );
-    println!("  claim: IQS runs ~log-length, counts concentrated; dependence makes runs of m/30.\n");
+    println!(
+        "  claim: IQS runs ~log-length, counts concentrated; dependence makes runs of m/30.\n"
+    );
 }
 
 // =====================================================================
@@ -816,24 +836,16 @@ fn e12_dynamic_range() {
         }
         let insert_us = build_start.elapsed().as_micros() as f64 / n as f64;
         // Static counterpart over the same data.
-        let static_s = ChunkedRange::new(
-            (0..n as u64).map(|i| (i as f64, 1.0 + (i % 7) as f64)).collect(),
-        )
-        .unwrap();
+        let static_s =
+            ChunkedRange::new((0..n as u64).map(|i| (i as f64, 1.0 + (i % 7) as f64)).collect())
+                .unwrap();
         let (x, y) = (n as f64 * 0.1, n as f64 * 0.9);
         let s = 64usize;
         let mut sink = 0u64;
-        let q_us = time_ns(
-            || sink ^= d.sample_wr(x, y, s, &mut rng).unwrap()[0].0,
-            20,
-            5,
-        ) / 1e3;
+        let q_us = time_ns(|| sink ^= d.sample_wr(x, y, s, &mut rng).unwrap()[0].0, 20, 5) / 1e3;
         let mut sink2 = 0usize;
-        let sq_us = time_ns(
-            || sink2 ^= static_s.sample_wr(x, y, s, &mut rng).unwrap()[0],
-            20,
-            5,
-        ) / 1e3;
+        let sq_us =
+            time_ns(|| sink2 ^= static_s.sample_wr(x, y, s, &mut rng).unwrap()[0], 20, 5) / 1e3;
         // Interleave deletes.
         let del_start = std::time::Instant::now();
         let dels = n / 4;
@@ -860,10 +872,7 @@ fn e12_dynamic_range() {
 // =====================================================================
 fn e13_wor_methods() {
     println!("E13  weighted WoR: rejection vs A-Res vs A-ExpJ (n = 2^18, |S_q| = 2^17)");
-    println!(
-        "{:>9} {:>15} {:>14} {:>14}",
-        "s", "rejection us", "A-Res us", "A-ExpJ us"
-    );
+    println!("{:>9} {:>15} {:>14} {:>14}", "s", "rejection us", "A-Res us", "A-ExpJ us");
     let mut rng = StdRng::seed_from_u64(130);
     let n = 1usize << 18;
     let pairs = keyed_weights(n, Weights::Uniform, 131);
@@ -920,7 +929,8 @@ fn a1_chunk_len_ablation() {
                 .unwrap();
         let (x, y) = (n as f64 * 0.1, n as f64 * 0.9);
         let mut sink = 0usize;
-        let q_us = time_ns(|| sink ^= sampler.sample_wr(x, y, 64, &mut rng).unwrap()[0], 20, 5) / 1e3;
+        let q_us =
+            time_ns(|| sink ^= sampler.sample_wr(x, y, 64, &mut rng).unwrap()[0], 20, 5) / 1e3;
         std::hint::black_box(sink);
         println!("{:>10} {:>14} {:>13.2}", c, sampler.space_words(), q_us);
         csv_row(
@@ -959,7 +969,9 @@ fn a2_sketch_k_ablation() {
             &format!("{k},{abs_err:.4},{:.0}", 100.0 * within as f64 / trials as f64),
         );
     }
-    println!("  claim: rel. error ~1/sqrt(k); k = 64 (the sampler default) is safely inside the band.\n");
+    println!(
+        "  claim: rel. error ~1/sqrt(k); k = 64 (the sampler default) is safely inside the band.\n"
+    );
 }
 
 // =====================================================================
@@ -973,9 +985,8 @@ fn a3_leaf_cap_ablation() {
     let pts = uniform_points2(n, 151);
     let q: Rect<2> = Rect::new([0.2, 0.3], [0.8, 0.7]);
     for cap in [1usize, 4, 8, 32, 128, 512] {
-        let kd = CoverageSampler::new(
-            KdTree::with_leaf_cap(pts.clone(), vec![1.0; n], cap).unwrap(),
-        );
+        let kd =
+            CoverageSampler::new(KdTree::with_leaf_cap(pts.clone(), vec![1.0; n], cap).unwrap());
         let cover = kd.index().cover(&q).len();
         let mut sink = 0usize;
         let q_us = time_ns(|| sink ^= kd.sample_wr(&q, 64, &mut rng).unwrap()[0], 20, 5) / 1e3;
@@ -987,7 +998,9 @@ fn a3_leaf_cap_ablation() {
             &format!("{cap},{},{cover},{q_us:.3}", kd.index().node_count()),
         );
     }
-    println!("  claim: small caps grow the arena; large caps grow boundary covers; 4-32 is flat.\n");
+    println!(
+        "  claim: small caps grow the arena; large caps grow boundary covers; 4-32 is flat.\n"
+    );
 }
 
 // =====================================================================
@@ -1093,13 +1106,7 @@ fn e15_em_weighted() {
         machine.reset_stats();
         unweighted.query(x, y, s, &mut rng).unwrap();
         let u_ios = machine.stats().total();
-        println!(
-            "{:>8} {:>14} {:>20} {:>18.4}",
-            s,
-            w_ios,
-            u_ios,
-            w_ios as f64 / s as f64
-        );
+        println!("{:>8} {:>14} {:>20} {:>18.4}", s, w_ios, u_ios, w_ios as f64 / s as f64);
         csv_row(
             "e15_em_weighted.csv",
             "s,weighted_ios,unweighted_ios",

@@ -34,10 +34,7 @@ pub fn keyed_weights(n: usize, weights: Weights, seed: u64) -> Vec<(f64, f64)> {
             ws.swap(i, rng.random_range(0..=i));
         }
     }
-    ws.into_iter()
-        .enumerate()
-        .map(|(i, w)| (i as f64 + rng.random::<f64>() * 0.25, w))
-        .collect()
+    ws.into_iter().enumerate().map(|(i, w)| (i as f64 + rng.random::<f64>() * 0.25, w)).collect()
 }
 
 /// `n` uniform points in the unit square.
@@ -63,9 +60,7 @@ pub fn clustered_points2(n: usize, k: usize, seed: u64) -> Vec<Point<2>> {
 /// `n` uniform points in the unit cube.
 pub fn uniform_points3(n: usize, seed: u64) -> Vec<Point<3>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()].into())
-        .collect()
+    (0..n).map(|_| [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()].into()).collect()
 }
 
 /// An overlapping set family for E8: `f` sets over a universe of size
@@ -108,11 +103,8 @@ pub fn csv_row(file: &str, header: &str, row: &str) {
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(file);
     let fresh = !path.exists();
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .expect("open csv");
+    let mut f =
+        std::fs::OpenOptions::new().create(true).append(true).open(&path).expect("open csv");
     if fresh {
         writeln!(f, "{header}").expect("write header");
     }

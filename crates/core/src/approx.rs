@@ -62,8 +62,7 @@ impl<I: ApproxCoverIndex> ApproxCoverageSampler<I> {
         let weights = index.position_weights();
         let ranges = index.node_ranges();
         let engine = IntervalSampler::new(&weights, &ranges);
-        let node_weights: Vec<f64> =
-            (0..ranges.len()).map(|u| engine.interval_weight(u)).collect();
+        let node_weights: Vec<f64> = (0..ranges.len()).map(|u| engine.interval_weight(u)).collect();
         ApproxCoverageSampler { index, engine, node_weights }
     }
 
@@ -90,8 +89,7 @@ impl<I: ApproxCoverIndex> ApproxCoverageSampler<I> {
         if cover.is_empty() {
             return Err(QueryError::EmptyRange);
         }
-        let weights: Vec<f64> =
-            cover.iter().map(|&u| self.node_weights[u as usize]).collect();
+        let weights: Vec<f64> = cover.iter().map(|&u| self.node_weights[u as usize]).collect();
         let chooser = AliasTable::new(&weights).expect("positive node weights");
         let mut out = Vec::with_capacity(s);
         let mut budget = ATTEMPTS_PER_SAMPLE * (s + 4);
@@ -175,12 +173,10 @@ mod tests {
     #[test]
     fn circle_sampling_is_uniform_over_disc() {
         let pts = random_points(1500, 520);
-        let sampler =
-            ApproxCoverageSampler::new(QuadTree::with_unit_weights(pts.clone()).unwrap());
+        let sampler = ApproxCoverageSampler::new(QuadTree::with_unit_weights(pts.clone()).unwrap());
         let q: Circle = ([0.5, 0.5].into(), 0.25);
-        let inside: Vec<usize> = (0..pts.len())
-            .filter(|&i| dist2(&pts[i], &q.0) <= q.1 * q.1)
-            .collect();
+        let inside: Vec<usize> =
+            (0..pts.len()).filter(|&i| dist2(&pts[i], &q.0) <= q.1 * q.1).collect();
         assert!(!inside.is_empty());
         assert!(sampler.density(&q) > 0.3, "density {}", sampler.density(&q));
 

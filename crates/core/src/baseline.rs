@@ -276,12 +276,8 @@ mod tests {
         // prefix, whenever enough of them appear there.
         let inner = d.sample_wor(100.0, 200.0, 5).unwrap();
         let outer = d.sample_wor(0.0, 999.0, 1000).unwrap();
-        let inner_from_outer: Vec<usize> = outer
-            .iter()
-            .copied()
-            .filter(|&r| (100..=200).contains(&r))
-            .take(5)
-            .collect();
+        let inner_from_outer: Vec<usize> =
+            outer.iter().copied().filter(|&r| (100..=200).contains(&r)).take(5).collect();
         assert_eq!(inner, inner_from_outer, "nested queries share the permutation");
         // And re-running reproduces everything.
         assert_eq!(d.sample_wor(0.0, 999.0, 1000).unwrap(), outer);

@@ -156,11 +156,8 @@ impl ComplementRange {
         }
         // Dyadic cover indices (≤ 2 elements, precomputed tables).
         let jp = if a > 0 { (usize::BITS - (a - 1).max(1).leading_zeros()) as usize } else { 0 };
-        let js = if n - b > 0 {
-            (usize::BITS - (n - b - 1).max(1).leading_zeros()) as usize
-        } else {
-            0
-        };
+        let js =
+            if n - b > 0 { (usize::BITS - (n - b - 1).max(1).leading_zeros()) as usize } else { 0 };
         let jp = if a == 1 { 0 } else { jp };
         let js = if n - b == 1 { 0 } else { js };
 
@@ -256,10 +253,7 @@ mod tests {
     fn full_interval_gives_empty_complement() {
         let c = unit(10);
         let mut rng = StdRng::seed_from_u64(542);
-        assert_eq!(
-            c.sample_wr(-5.0, 100.0, 1, &mut rng).unwrap_err(),
-            QueryError::EmptyRange
-        );
+        assert_eq!(c.sample_wr(-5.0, 100.0, 1, &mut rng).unwrap_err(), QueryError::EmptyRange);
     }
 
     #[test]

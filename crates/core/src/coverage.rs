@@ -86,8 +86,7 @@ impl<I: CoverIndex> CoverageSampler<I> {
         let weights = index.position_weights();
         let ranges = index.node_ranges();
         let engine = IntervalSampler::new(&weights, &ranges);
-        let node_weights: Vec<f64> =
-            (0..ranges.len()).map(|u| engine.interval_weight(u)).collect();
+        let node_weights: Vec<f64> = (0..ranges.len()).map(|u| engine.interval_weight(u)).collect();
         CoverageSampler { index, engine, weights, ranges, node_weights }
     }
 
@@ -120,8 +119,7 @@ impl<I: CoverIndex> CoverageSampler<I> {
     pub fn range_weight(&self, q: &I::Query) -> f64 {
         let cover = self.index.cover(q);
         let nodes: f64 = cover.nodes.iter().map(|&u| self.node_weights[u as usize]).sum();
-        let strays: f64 =
-            cover.positions.iter().map(|&p| self.weights[p as usize]).sum();
+        let strays: f64 = cover.positions.iter().map(|&p| self.weights[p as usize]).sum();
         nodes + strays
     }
 
@@ -351,10 +349,7 @@ mod tests {
         let want = 1.0 / inside.len() as f64;
         for &id in inside {
             let p = *counts.get(&id).unwrap_or(&0) as f64 / draws;
-            assert!(
-                (p - want).abs() < 0.35 * want + 0.002,
-                "id {id}: {p} vs {want}"
-            );
+            assert!((p - want).abs() < 0.35 * want + 0.002, "id {id}: {p} vs {want}");
         }
     }
 
@@ -362,10 +357,8 @@ mod tests {
     fn kdtree_sampling_is_uniform_over_sq() {
         let pts = random_points(400, 500);
         let q: Rect<2> = Rect::new([0.2, 0.25], [0.75, 0.8]);
-        let inside: Vec<usize> =
-            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
-        let sampler =
-            CoverageSampler::new(KdTree::with_unit_weights(pts).unwrap());
+        let inside: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let sampler = CoverageSampler::new(KdTree::with_unit_weights(pts).unwrap());
         assert_eq!(sampler.count(&q), inside.len());
         check_uniform(&sampler, &q, &inside, 501);
     }
@@ -374,8 +367,7 @@ mod tests {
     fn quadtree_sampling_is_uniform_over_sq() {
         let pts = random_points(400, 502);
         let q: Rect<2> = Rect::new([0.1, 0.4], [0.6, 0.95]);
-        let inside: Vec<usize> =
-            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let inside: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
         let sampler = CoverageSampler::new(QuadTree::with_unit_weights(pts).unwrap());
         assert_eq!(sampler.count(&q), inside.len());
         check_uniform(&sampler, &q, &inside, 503);
@@ -385,8 +377,7 @@ mod tests {
     fn rangetree_sampling_is_uniform_over_sq() {
         let pts = random_points(300, 504);
         let q: Rect<2> = Rect::new([0.3, 0.1], [0.9, 0.7]);
-        let inside: Vec<usize> =
-            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let inside: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
         let sampler = CoverageSampler::new(RangeTree::with_unit_weights(pts).unwrap());
         assert_eq!(sampler.count(&q), inside.len());
         check_uniform(&sampler, &q, &inside, 505);
@@ -398,8 +389,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(507);
         let weights: Vec<f64> = (0..200).map(|_| rng.random::<f64>() * 4.0 + 0.2).collect();
         let q: Rect<2> = Rect::new([0.0, 0.0], [0.7, 0.7]);
-        let inside: Vec<usize> =
-            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let inside: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
         let total: f64 = inside.iter().map(|&i| weights[i]).sum();
         let sampler = CoverageSampler::new(KdTree::new(pts, weights.clone()).unwrap());
         assert!((sampler.range_weight(&q) - total).abs() < 1e-9);
@@ -435,8 +425,7 @@ mod tests {
         // Full-population WoR enumerates S_q exactly.
         let mut all = sampler.sample_wor(&q, inside, &mut rng).unwrap();
         all.sort_unstable();
-        let mut want: Vec<usize> =
-            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let mut want: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
         want.sort_unstable();
         assert_eq!(all, want);
     }
@@ -458,9 +447,8 @@ mod tests {
         let sampler = CoverageSampler::new(KdTree::with_unit_weights(pts.clone()).unwrap());
         // x + 2y <= 1.2
         let h = HalfSpace::new([1.0, 2.0], 1.2);
-        let inside: Vec<usize> = (0..pts.len())
-            .filter(|&i| pts[i].coords[0] + 2.0 * pts[i].coords[1] <= 1.2)
-            .collect();
+        let inside: Vec<usize> =
+            (0..pts.len()).filter(|&i| pts[i].coords[0] + 2.0 * pts[i].coords[1] <= 1.2).collect();
         assert_eq!(sampler.region_count(&h), inside.len());
         let mut rng = StdRng::seed_from_u64(514);
         let mut counts: HashMap<usize, u64> = HashMap::new();
@@ -486,9 +474,7 @@ mod tests {
         assert_eq!(sampler.region_count(&d), inside);
         let mut rng = StdRng::seed_from_u64(516);
         let out = sampler.sample_region_wr(&d, 500, &mut rng).unwrap();
-        assert!(out
-            .iter()
-            .all(|&i| dist2(&pts[i], &d.center) <= 0.09 + 1e-12));
+        assert!(out.iter().all(|&i| dist2(&pts[i], &d.center) <= 0.09 + 1e-12));
         // An empty disc errors.
         let far = Disc::new([9.0, 9.0].into(), 0.1);
         assert!(sampler.sample_region_wr(&far, 1, &mut rng).is_err());

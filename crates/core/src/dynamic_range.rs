@@ -55,11 +55,8 @@ impl Level {
     /// Net weight of `[x, y]` after subtracting this level's tombstones.
     fn net_range_weight(&self, x: f64, y: f64) -> f64 {
         let gross = self.structure.range_weight(x, y);
-        let dead: f64 = self
-            .dead
-            .range((key_bits(x), 0)..=(key_bits(y), u64::MAX))
-            .map(|(_, &w)| w)
-            .sum();
+        let dead: f64 =
+            self.dead.range((key_bits(x), 0)..=(key_bits(y), u64::MAX)).map(|(_, &w)| w).sum();
         (gross - dead).max(0.0)
     }
 }
@@ -359,10 +356,7 @@ impl SpaceUsage for DynamicRange {
 }
 
 /// Merges two key-sorted triple lists.
-fn merge_sorted(
-    a: Vec<(f64, u64, f64)>,
-    b: Vec<(f64, u64, f64)>,
-) -> Vec<(f64, u64, f64)> {
+fn merge_sorted(a: Vec<(f64, u64, f64)>, b: Vec<(f64, u64, f64)>) -> Vec<(f64, u64, f64)> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {

@@ -23,10 +23,9 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::EmptyRange => write!(f, "query range contains no elements"),
-            QueryError::SampleTooLarge { requested, available } => write!(
-                f,
-                "WoR sample of size {requested} requested from only {available} elements"
-            ),
+            QueryError::SampleTooLarge { requested, available } => {
+                write!(f, "WoR sample of size {requested} requested from only {available} elements")
+            }
             QueryError::DensityTooLow => {
                 write!(f, "approximate cover too sparse: rejection budget exhausted")
             }

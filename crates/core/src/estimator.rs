@@ -107,9 +107,7 @@ mod tests {
         let sampler = ChunkedRange::new(vec![(0.0, 1.0)]).unwrap();
         let est = SelectivityEstimator::new(&sampler);
         let mut rng = StdRng::seed_from_u64(601);
-        assert!(est
-            .estimate_fraction(5.0, 6.0, &|_| true, 0.1, 0.1, &mut rng)
-            .is_err());
+        assert!(est.estimate_fraction(5.0, 6.0, &|_| true, 0.1, 0.1, &mut rng).is_err());
         assert_eq!(est.exact_fraction(5.0, 6.0, &|_| true), 0.0);
     }
 

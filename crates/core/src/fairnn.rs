@@ -52,11 +52,8 @@ impl FairNearNeighbor {
             return Err(QueryError::EmptyRange);
         }
         let grids = ShiftedGrids::new(points, g, 2.0 * r, rng);
-        let sets: Vec<Vec<u64>> = grids
-            .all_buckets()
-            .iter()
-            .map(|b| b.iter().map(|&i| i as u64).collect())
-            .collect();
+        let sets: Vec<Vec<u64>> =
+            grids.all_buckets().iter().map(|b| b.iter().map(|&i| i as u64).collect()).collect();
         let union = SetUnionSampler::new(sets, rng)?;
         Ok(FairNearNeighbor { grids, union, r })
     }

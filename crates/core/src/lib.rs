@@ -52,8 +52,8 @@ pub mod dynamic_range;
 mod error;
 pub mod estimator;
 pub mod fairnn;
-mod rank_alias;
 pub mod range1d;
+pub mod rank_alias;
 pub mod setunion;
 pub mod wor_exact;
 

@@ -17,7 +17,7 @@
 //! satellite data index it by rank.
 
 use iqs_alias::space::{vec_words, SpaceUsage};
-use iqs_alias::AliasTable;
+use iqs_alias::{AliasTable, BlockRng64};
 use iqs_tree::{Fenwick, RankBst};
 use rand::{Rng, RngCore};
 
@@ -26,9 +26,7 @@ use crate::rank_alias::RankAliasAugmented;
 
 /// Validates and sorts `(key, weight)` input; returns keys and weights in
 /// key order.
-fn prepare(
-    mut pairs: Vec<(f64, f64)>,
-) -> Result<(Vec<f64>, Vec<f64>), QueryError> {
+fn prepare(mut pairs: Vec<(f64, f64)>) -> Result<(Vec<f64>, Vec<f64>), QueryError> {
     if pairs.is_empty() {
         return Err(QueryError::EmptyRange);
     }
@@ -46,6 +44,28 @@ fn prepare(
 /// All methods refer to elements by *rank* in the sorted key order.
 /// `&mut dyn RngCore` keeps the trait object-safe so benchmark harnesses
 /// can hold heterogeneous sampler collections.
+///
+/// # Dual sampling API
+///
+/// Every structure exposes the same query through two doors:
+///
+/// * **Sequential** — [`RangeSampler::sample_wr`] allocates a `Vec` and
+///   draws each random word through the `dyn RngCore` object, one virtual
+///   call at a time. Simple, and the reference semantics.
+/// * **Batched** — [`RangeSampler::sample_wr_into`] writes into a
+///   caller-provided slice and pulls randomness through an
+///   [`iqs_alias::BlockRng64`], which refills up to 64 words per
+///   `fill_bytes` call. No per-query allocation for the samples, ~1/64th
+///   of the RNG dispatch overhead, and each alias draw decodes a single
+///   64-bit word ([`iqs_alias::AliasTable::decode`]).
+///
+/// Both doors consume the caller's RNG stream in the same word order, so
+/// for generators whose `fill_bytes` emits whole little-endian `next_u64`
+/// words (e.g. this workspace's `StdRng`) the two paths return *identical*
+/// samples under the same seed — a property the test-suite pins down.
+/// The concrete structures additionally expose monomorphizing generic
+/// variants (e.g. [`ChunkedRange::sample_wr_batch`]) for callers that hold
+/// a concrete RNG type and want static dispatch end to end.
 pub trait RangeSampler {
     /// Number of elements.
     fn len(&self) -> usize;
@@ -90,6 +110,22 @@ pub trait RangeSampler {
         s: usize,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<usize>, QueryError>;
+
+    /// Draws `out.len()` independent weighted samples (ranks) from `S_q`
+    /// into the caller-provided slice — the allocation-free batched fast
+    /// path (see the trait-level *Dual sampling API* notes). Ranks fit in
+    /// `u32` because construction caps `n` at `u32::MAX`.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when `[x, y]` contains no elements; in
+    /// that case `out` is left untouched.
+    fn sample_wr_into(
+        &self,
+        x: f64,
+        y: f64,
+        rng: &mut dyn RngCore,
+        out: &mut [u32],
+    ) -> Result<(), QueryError>;
 
     /// Draws a weighted without-replacement sample of `s` distinct ranks
     /// by rejecting duplicate WR draws — equivalent to successive
@@ -171,6 +207,52 @@ impl TreeSamplingRange {
         }
         self.tree.leaf_range(u).0
     }
+
+    /// The same weighted descent as `descend`, fed from a word block
+    /// (one word per level, identical coin construction).
+    fn descend_block<R: RngCore + ?Sized>(
+        &self,
+        mut u: u32,
+        block: &mut BlockRng64<'_, R>,
+    ) -> usize {
+        while !self.tree.is_leaf(u) {
+            let (l, r) = self.tree.children(u);
+            let wl = self.tree.node_weight(l);
+            let wr = self.tree.node_weight(r);
+            u = if block.u01() * (wl + wr) < wl { l } else { r };
+        }
+        self.tree.leaf_range(u).0
+    }
+
+    /// Monomorphizing batch query: fills `out` with independent weighted
+    /// samples from `[x, y]`, drawing randomness in blocks. See the
+    /// [`RangeSampler`] *Dual sampling API* notes.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when the interval holds no elements.
+    pub fn sample_wr_batch<R: RngCore + ?Sized>(
+        &self,
+        x: f64,
+        y: f64,
+        rng: &mut R,
+        out: &mut [u32],
+    ) -> Result<(), QueryError> {
+        let (a, b) = self.rank_range(x, y);
+        let canon = self.tree.canonical_nodes(a, b);
+        if canon.is_empty() {
+            return Err(QueryError::EmptyRange);
+        }
+        let weights: Vec<f64> = canon.iter().map(|&u| self.tree.node_weight(u)).collect();
+        let chooser = AliasTable::new(&weights).expect("positive node weights");
+        // One word picks the canonical node, one per descent level after
+        // that; plan for the tree depth and let refills top up if short.
+        let depth = usize::BITS as usize - self.keys.len().leading_zeros() as usize;
+        let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(depth + 1));
+        for slot in out.iter_mut() {
+            *slot = self.descend_block(canon[chooser.sample_block(&mut block)], &mut block) as u32;
+        }
+        Ok(())
+    }
 }
 
 impl RangeSampler for TreeSamplingRange {
@@ -208,6 +290,16 @@ impl RangeSampler for TreeSamplingRange {
         Ok((0..s).map(|_| self.descend(canon[chooser.sample(rng)], rng)).collect())
     }
 
+    fn sample_wr_into(
+        &self,
+        x: f64,
+        y: f64,
+        rng: &mut dyn RngCore,
+        out: &mut [u32],
+    ) -> Result<(), QueryError> {
+        self.sample_wr_batch(x, y, rng, out)
+    }
+
     fn space_words(&self) -> usize {
         vec_words(&self.keys) + vec_words(&self.weights) + self.tree.space_words()
     }
@@ -236,6 +328,29 @@ impl AliasAugmentedRange {
         let (keys, weights) = prepare(pairs)?;
         let engine = RankAliasAugmented::new(&weights);
         Ok(AliasAugmentedRange { keys, weights, engine })
+    }
+
+    /// Monomorphizing batch query: fills `out` with independent weighted
+    /// samples from `[x, y]`, drawing randomness in blocks. See the
+    /// [`RangeSampler`] *Dual sampling API* notes.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when the interval holds no elements.
+    pub fn sample_wr_batch<R: RngCore + ?Sized>(
+        &self,
+        x: f64,
+        y: f64,
+        rng: &mut R,
+        out: &mut [u32],
+    ) -> Result<(), QueryError> {
+        let (a, b) = self.rank_range(x, y);
+        // Two words per draw in the general (multi-canonical-node) case.
+        let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(2));
+        if self.engine.sample_block_into(a, b, &mut block, out) {
+            Ok(())
+        } else {
+            Err(QueryError::EmptyRange)
+        }
     }
 }
 
@@ -271,6 +386,16 @@ impl RangeSampler for AliasAugmentedRange {
         } else {
             Err(QueryError::EmptyRange)
         }
+    }
+
+    fn sample_wr_into(
+        &self,
+        x: f64,
+        y: f64,
+        rng: &mut dyn RngCore,
+        out: &mut [u32],
+    ) -> Result<(), QueryError> {
+        self.sample_wr_batch(x, y, rng, out)
     }
 
     fn space_words(&self) -> usize {
@@ -370,6 +495,87 @@ impl ChunkedRange {
     fn sample_chunk(&self, k: usize, rng: &mut dyn RngCore) -> usize {
         k * self.chunk + self.chunk_alias[k].sample(rng)
     }
+
+    /// Monomorphizing batch query: fills `out` with independent weighted
+    /// samples from `[x, y]`, drawing randomness in blocks and resolving
+    /// the chunk-aligned middle *in place* (chunk picks are written into
+    /// `out` and then rewritten as ranks), so the whole query performs no
+    /// sample-sized allocation. See the [`RangeSampler`] *Dual sampling
+    /// API* notes.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when the interval holds no elements.
+    pub fn sample_wr_batch<R: RngCore + ?Sized>(
+        &self,
+        x: f64,
+        y: f64,
+        rng: &mut R,
+        out: &mut [u32],
+    ) -> Result<(), QueryError> {
+        let s = out.len();
+        let (ra, rb) = self.rank_range(x, y);
+        if ra >= rb {
+            return Err(QueryError::EmptyRange);
+        }
+        let ca = ra / self.chunk;
+        let cl = (rb - 1) / self.chunk;
+        // One split coin per sample plus up to three words per middle
+        // draw (chooser, canonical node, intra-chunk resolution).
+        let mut block = BlockRng64::with_budget(rng, s.saturating_mul(4));
+
+        if ca == cl {
+            let table = AliasTable::new(&self.weights[ra..rb]).expect("positive weights");
+            for slot in out.iter_mut() {
+                *slot = (ra + table.sample_block(&mut block)) as u32;
+            }
+            return Ok(());
+        }
+
+        // Figure 2's three-way decomposition, identical to the sequential
+        // path (see `sample_wr`) but writing into disjoint sub-slices.
+        let b1 = (ca + 1) * self.chunk;
+        let b3 = cl * self.chunk;
+        let w1: f64 = self.weights[ra..b1].iter().sum();
+        let w2 = self.fenwick.range_sum(ca + 1, cl);
+        let w3: f64 = self.weights[b3..rb].iter().sum();
+
+        let total = w1 + w2 + w3;
+        let (mut s1, mut s3) = (0usize, 0usize);
+        for _ in 0..s {
+            let t = block.u01() * total;
+            if t < w1 {
+                s1 += 1;
+            } else if t >= w1 + w2 {
+                s3 += 1;
+            }
+        }
+
+        let (part1, rest) = out.split_at_mut(s1);
+        let (part3, part2) = rest.split_at_mut(s3);
+        if !part1.is_empty() {
+            let table = AliasTable::new(&self.weights[ra..b1]).expect("positive weights");
+            for slot in part1.iter_mut() {
+                *slot = (ra + table.sample_block(&mut block)) as u32;
+            }
+        }
+        if !part3.is_empty() {
+            let table = AliasTable::new(&self.weights[b3..rb]).expect("positive weights");
+            for slot in part3.iter_mut() {
+                *slot = (b3 + table.sample_block(&mut block)) as u32;
+            }
+        }
+        if !part2.is_empty() {
+            // Chunk-aligned middle: one fused pass per sample — T_chunk
+            // pick and intra-chunk resolution back to back, consuming the
+            // same word order as the sequential path.
+            let ctx = self.tchunk.prepare(ca + 1, cl).expect("w2 > 0 implies non-empty middle");
+            for slot in part2.iter_mut() {
+                let k = ctx.draw_block(&mut block);
+                *slot = (k * self.chunk + self.chunk_alias[k].sample_block(&mut block)) as u32;
+            }
+        }
+        Ok(())
+    }
 }
 
 impl RangeSampler for ChunkedRange {
@@ -459,15 +665,26 @@ impl RangeSampler for ChunkedRange {
             }
         }
         if s2 > 0 {
-            // Chunk-aligned middle via T_chunk, then intra-chunk aliases.
-            let mut picks = Vec::with_capacity(s2);
-            let ok = self.tchunk.sample_into(ca + 1, cl, s2, rng, &mut picks);
-            debug_assert!(ok, "w2 > 0 implies non-empty middle");
-            for k in picks {
+            // Chunk-aligned middle via T_chunk, each chunk pick resolved
+            // through its chunk's alias table in the same fused pass (no
+            // intermediate pick buffer).
+            let ctx = self.tchunk.prepare(ca + 1, cl).expect("w2 > 0 implies non-empty middle");
+            for _ in 0..s2 {
+                let k = ctx.draw(rng);
                 out.push(self.sample_chunk(k, rng));
             }
         }
         Ok(out)
+    }
+
+    fn sample_wr_into(
+        &self,
+        x: f64,
+        y: f64,
+        rng: &mut dyn RngCore,
+        out: &mut [u32],
+    ) -> Result<(), QueryError> {
+        self.sample_wr_batch(x, y, rng, out)
     }
 
     fn space_words(&self) -> usize {
@@ -540,11 +757,42 @@ mod tests {
             for r in a..b {
                 let p = counts[r] as f64 / draws;
                 let want = sampler.weights()[r] / total;
-                assert!(
-                    (p - want).abs() < 0.2 * want + 0.002,
-                    "{name} rank {r}: {p} vs {want}"
-                );
+                assert!((p - want).abs() < 0.2 * want + 0.002, "{name} rank {r}: {p} vs {want}");
             }
+        }
+    }
+
+    #[test]
+    fn batch_path_replays_sequential_path() {
+        // Both doors of the dual API consume the caller's RNG stream in
+        // the same word order, so under StdRng (whose fill_bytes emits
+        // whole LE next_u64 words) they must return identical samples.
+        for (name, s) in samplers(500, 25) {
+            for (x, y) in [(100.0, 350.0), (0.0, 499.0), (17.0, 17.0), (40.0, 45.0)] {
+                let mut a = StdRng::seed_from_u64(123);
+                let seq = s.sample_wr(x, y, 200, &mut a).unwrap();
+                let mut b = StdRng::seed_from_u64(123);
+                let mut batch = vec![0u32; 200];
+                s.sample_wr_into(x, y, &mut b, &mut batch).unwrap();
+                let seq32: Vec<u32> = seq.iter().map(|&r| r as u32).collect();
+                assert_eq!(batch, seq32, "{name} [{x},{y}]");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_empty_range_and_zero_samples() {
+        for (name, s) in samplers(64, 26) {
+            let mut rng = StdRng::seed_from_u64(27);
+            let mut out = [7u32; 4];
+            assert_eq!(
+                s.sample_wr_into(1000.0, 2000.0, &mut rng, &mut out).unwrap_err(),
+                QueryError::EmptyRange,
+                "{name}"
+            );
+            assert_eq!(out, [7; 4], "{name}: out must be untouched on error");
+            // Zero-length output is a no-op success.
+            s.sample_wr_into(0.0, 63.0, &mut rng, &mut []).unwrap();
         }
     }
 
@@ -630,12 +878,12 @@ mod tests {
         let c = s.chunk_len();
         let mut rng = StdRng::seed_from_u64(21);
         for (a, b) in [
-            (0.0, 63.0),                       // everything
-            (0.0, (c - 1) as f64),             // exactly chunk 0
-            (c as f64, (2 * c - 1) as f64),    // exactly chunk 1
-            ((c - 1) as f64, (c) as f64),      // straddles one boundary
-            (1.0, 62.0),                       // both ends partial
-            ((c) as f64, (3 * c - 1) as f64),  // aligned start, aligned end
+            (0.0, 63.0),                      // everything
+            (0.0, (c - 1) as f64),            // exactly chunk 0
+            (c as f64, (2 * c - 1) as f64),   // exactly chunk 1
+            ((c - 1) as f64, (c) as f64),     // straddles one boundary
+            (1.0, 62.0),                      // both ends partial
+            ((c) as f64, (3 * c - 1) as f64), // aligned start, aligned end
         ] {
             let out = s.sample_wr(a, b, 64, &mut rng).unwrap();
             let (lo, hi) = s.rank_range(a, b);

@@ -3,9 +3,9 @@
 //! chunk-level structure (`T_chunk`) can share it.
 
 use iqs_alias::space::SpaceUsage;
-use iqs_alias::AliasTable;
+use iqs_alias::{AliasTable, BlockRng64};
 use iqs_tree::RankBst;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// A balanced tree over `n` weighted rank slots where **every node stores
 /// an alias table over its subtree's slots** (Section 4.1). Space
@@ -64,6 +64,31 @@ impl RankAliasAugmented {
         self.tree.canonical_nodes(a, b).iter().map(|&u| self.tree.node_weight(u)).sum()
     }
 
+    /// Prepares a query over ranks `[a, b)`: canonical decomposition plus
+    /// the `O(log n)` on-the-fly chooser, with each canonical node's
+    /// (offset, alias-table) pair hoisted into dense arrays so every
+    /// subsequent draw is two L1-resident decodes. Returns `None` when the
+    /// range is empty.
+    ///
+    /// Every sampling entry point — sequential and batched — funnels
+    /// through the context this returns, so there is exactly one draw code
+    /// path to test.
+    pub fn prepare(&self, a: usize, b: usize) -> Option<PreparedRange<'_>> {
+        let canon = self.tree.canonical_nodes(a, b);
+        if canon.is_empty() {
+            return None;
+        }
+        let lo: Vec<usize> = canon.iter().map(|&u| self.tree.leaf_range(u).0).collect();
+        let tbl: Vec<&AliasTable> = canon.iter().map(|&u| &self.node_alias[u as usize]).collect();
+        let chooser = if canon.len() == 1 {
+            None
+        } else {
+            let weights: Vec<f64> = canon.iter().map(|&u| self.tree.node_weight(u)).collect();
+            Some(AliasTable::new(&weights).expect("positive node weights"))
+        };
+        Some(PreparedRange { lo, tbl, chooser })
+    }
+
     /// Draws `s` independent weighted rank samples from `[a, b)` in
     /// `O(log n + s)` time, appending to `out`. Returns `false` (and
     /// appends nothing) when the range is empty.
@@ -75,33 +100,82 @@ impl RankAliasAugmented {
         rng: &mut R,
         out: &mut Vec<usize>,
     ) -> bool {
-        let canon = self.tree.canonical_nodes(a, b);
-        if canon.is_empty() {
+        let Some(ctx) = self.prepare(a, b) else {
             return false;
-        }
-        if canon.len() == 1 {
-            let u = canon[0];
-            let (lo, _) = self.tree.leaf_range(u);
-            for _ in 0..s {
-                out.push(lo + self.node_alias[u as usize].sample(rng));
-            }
-            return true;
-        }
-        let weights: Vec<f64> = canon.iter().map(|&u| self.tree.node_weight(u)).collect();
-        let chooser = AliasTable::new(&weights).expect("positive node weights");
+        };
         for _ in 0..s {
-            let u = canon[chooser.sample(rng)];
-            let (lo, _) = self.tree.leaf_range(u);
-            out.push(lo + self.node_alias[u as usize].sample(rng));
+            out.push(ctx.draw(rng));
+        }
+        true
+    }
+
+    /// Batched form of [`Self::sample_into`]: fills `out` with independent
+    /// weighted rank samples from `[a, b)`, drawing all randomness from an
+    /// already-buffered word block. Returns `false` (leaving `out`
+    /// untouched) when the range is empty.
+    ///
+    /// Consumes the same word sequence as the sequential path (one word
+    /// per draw when one canonical node covers the range, two otherwise),
+    /// so under a block that replays the raw RNG stream the outputs are
+    /// identical.
+    pub fn sample_block_into<R: RngCore + ?Sized>(
+        &self,
+        a: usize,
+        b: usize,
+        block: &mut BlockRng64<'_, R>,
+        out: &mut [u32],
+    ) -> bool {
+        let Some(ctx) = self.prepare(a, b) else {
+            return false;
+        };
+        for slot in out.iter_mut() {
+            *slot = ctx.draw_block(block) as u32;
         }
         true
     }
 }
 
+/// A query-prepared sampling context from [`RankAliasAugmented::prepare`]:
+/// the canonical cover's offsets and alias tables in dense arrays plus the
+/// per-query chooser. One draw costs one chooser decode (absent when a
+/// single canonical node covers the range) and one node decode — no tree
+/// walks, no indirection through node ids.
+pub struct PreparedRange<'a> {
+    /// Leaf-range start of each canonical node.
+    lo: Vec<usize>,
+    /// Stored alias table of each canonical node.
+    tbl: Vec<&'a AliasTable>,
+    /// On-the-fly alias over the canonical nodes' weights; `None` when the
+    /// cover is a single node (whose draws then cost one word, not two).
+    chooser: Option<AliasTable>,
+}
+
+impl PreparedRange<'_> {
+    /// Draws one weighted rank (one or two RNG words).
+    #[inline(always)]
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let j = match &self.chooser {
+            Some(c) => c.sample(rng),
+            None => 0,
+        };
+        self.lo[j] + self.tbl[j].sample(rng)
+    }
+
+    /// Draws one weighted rank from buffered block randomness, consuming
+    /// the same word sequence as [`Self::draw`].
+    #[inline(always)]
+    pub fn draw_block<R: RngCore + ?Sized>(&self, block: &mut BlockRng64<'_, R>) -> usize {
+        let j = match &self.chooser {
+            Some(c) => c.sample_block(block),
+            None => 0,
+        };
+        self.lo[j] + self.tbl[j].sample_block(block)
+    }
+}
+
 impl SpaceUsage for RankAliasAugmented {
     fn space_words(&self) -> usize {
-        self.tree.space_words()
-            + self.node_alias.iter().map(|a| a.space_words()).sum::<usize>()
+        self.tree.space_words() + self.node_alias.iter().map(|a| a.space_words()).sum::<usize>()
     }
 }
 
@@ -143,6 +217,27 @@ mod tests {
         let mut out = Vec::new();
         assert!(!r.sample_into(1, 1, 5, &mut rng, &mut out));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn block_path_replays_sequential_path() {
+        let weights: Vec<f64> = (1..=64).map(f64::from).collect();
+        let r = RankAliasAugmented::new(&weights);
+        for (a, b) in [(3usize, 47usize), (16, 32), (10, 11)] {
+            let mut rng_a = StdRng::seed_from_u64(777);
+            let mut seq = Vec::new();
+            assert!(r.sample_into(a, b, 100, &mut rng_a, &mut seq));
+
+            let mut rng_b = StdRng::seed_from_u64(777);
+            let mut block = BlockRng64::new(&mut rng_b);
+            let mut batch = vec![0u32; 100];
+            assert!(r.sample_block_into(a, b, &mut block, &mut batch));
+            let seq32: Vec<u32> = seq.iter().map(|&x| x as u32).collect();
+            assert_eq!(batch, seq32, "range [{a},{b})");
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut block = BlockRng64::new(&mut rng);
+        assert!(!r.sample_block_into(9, 9, &mut block, &mut []));
     }
 
     #[test]

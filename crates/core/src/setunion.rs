@@ -29,6 +29,7 @@
 use std::collections::HashMap;
 
 use iqs_alias::space::{vec_words, SpaceUsage};
+use iqs_alias::BlockRng64;
 use iqs_sketch::{HashSeed, KmvSketch};
 use rand::{Rng, RngCore};
 
@@ -140,11 +141,7 @@ impl SetUnionSampler {
             .iter()
             .map(|rs| {
                 if rs.len() >= threshold {
-                    Some(KmvSketch::from_ids(
-                        rs.iter().map(|&r| r as u64),
-                        SKETCH_K,
-                        self.seed,
-                    ))
+                    Some(KmvSketch::from_ids(rs.iter().map(|&r| r as u64), SKETCH_K, self.seed))
                 } else {
                     None
                 }
@@ -197,27 +194,26 @@ impl SetUnionSampler {
         all.len()
     }
 
-    /// Draws one uniform element of `∪G`, independent of all previous
-    /// outputs. Expected `O(g log² n)` time.
-    ///
-    /// # Errors
-    /// [`QueryError::EmptyRange`] when `∪G` is empty;
-    /// [`QueryError::DensityTooLow`] in the (w.h.p.-impossible) event the
-    /// repeat budget is exhausted.
-    pub fn sample(&mut self, g: &[usize], rng: &mut dyn RngCore) -> Result<u64, QueryError> {
-        if self.queries_since_rebuild >= self.n {
-            self.rebuild(rng);
-        }
-        self.queries_since_rebuild += 1;
-
-        if g.iter().all(|&i| self.ranks[i].is_empty()) {
-            return Err(QueryError::EmptyRange);
-        }
+    /// Window count for a query: `Û_G` clamped to the universe size.
+    /// Deterministic given the current permutation and sketches, so one
+    /// evaluation serves a whole batch.
+    fn window_count(&self, g: &[usize]) -> u64 {
         let u = self.id_by_rank.len() as u64;
         let est = self.estimate_union(g).round().max(1.0);
-        let windows = (est as u64).min(u);
+        (est as u64).min(u)
+    }
 
-        let mut members: Vec<u32> = Vec::with_capacity(self.m * 2);
+    /// One rejection-sampling attempt loop — the code path shared by the
+    /// sequential and batched queries. `members` is scratch reused across
+    /// draws.
+    fn sample_one<R: RngCore + ?Sized>(
+        &self,
+        g: &[usize],
+        windows: u64,
+        members: &mut Vec<u32>,
+        rng: &mut R,
+    ) -> Result<u64, QueryError> {
+        let u = self.id_by_rank.len() as u64;
         // Expected Θ(m) repeats; budget far beyond the w.h.p. bound.
         for _ in 0..(200 * self.m + 64) {
             let j = rng.random_range(0..windows);
@@ -247,7 +243,69 @@ impl SetUnionSampler {
         Err(QueryError::DensityTooLow)
     }
 
-    /// Draws `s` independent uniform elements of `∪G`.
+    /// Draws one uniform element of `∪G`, independent of all previous
+    /// outputs. Expected `O(g log² n)` time.
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when `∪G` is empty;
+    /// [`QueryError::DensityTooLow`] in the (w.h.p.-impossible) event the
+    /// repeat budget is exhausted.
+    pub fn sample(&mut self, g: &[usize], rng: &mut dyn RngCore) -> Result<u64, QueryError> {
+        if self.queries_since_rebuild >= self.n {
+            self.rebuild(rng);
+        }
+        self.queries_since_rebuild += 1;
+
+        if g.iter().all(|&i| self.ranks[i].is_empty()) {
+            return Err(QueryError::EmptyRange);
+        }
+        let windows = self.window_count(g);
+        let mut members: Vec<u32> = Vec::with_capacity(self.m * 2);
+        self.sample_one(g, windows, &mut members, rng)
+    }
+
+    /// Fills `out` with independent uniform elements of `∪G` — the batched
+    /// fast path. The union estimate (`O(g log n)`) is computed **once**
+    /// for the whole batch instead of per draw, randomness is pulled from
+    /// `rng` in blocks, and the window scratch buffer is reused across
+    /// draws, so per-sample cost drops to the rejection loop itself.
+    ///
+    /// Rebuild accounting charges the whole batch up front: a rebuild due
+    /// now happens before the first draw, and the next one after `n`
+    /// further samples — the same amortization as per-draw accounting.
+    ///
+    /// # Errors
+    /// As [`SetUnionSampler::sample`]. On error, `out` may have been
+    /// partially overwritten.
+    pub fn sample_into(
+        &mut self,
+        g: &[usize],
+        rng: &mut dyn RngCore,
+        out: &mut [u64],
+    ) -> Result<(), QueryError> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        if self.queries_since_rebuild >= self.n {
+            self.rebuild(rng);
+        }
+        self.queries_since_rebuild += out.len();
+
+        if g.iter().all(|&i| self.ranks[i].is_empty()) {
+            return Err(QueryError::EmptyRange);
+        }
+        let windows = self.window_count(g);
+        let mut members: Vec<u32> = Vec::with_capacity(self.m * 2);
+        // ~3 words per accepted attempt; rejections top up via refills.
+        let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(4));
+        for slot in out.iter_mut() {
+            *slot = self.sample_one(g, windows, &mut members, &mut block)?;
+        }
+        Ok(())
+    }
+
+    /// Draws `s` independent uniform elements of `∪G` — a convenience
+    /// wrapper over [`SetUnionSampler::sample_into`].
     ///
     /// # Errors
     /// As [`SetUnionSampler::sample`].
@@ -257,7 +315,9 @@ impl SetUnionSampler {
         s: usize,
         rng: &mut dyn RngCore,
     ) -> Result<Vec<u64>, QueryError> {
-        (0..s).map(|_| self.sample(g, rng)).collect()
+        let mut out = vec![0u64; s];
+        self.sample_into(g, rng, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -265,8 +325,7 @@ impl SpaceUsage for SetUnionSampler {
     fn space_words(&self) -> usize {
         let sets: usize = self.sets.iter().map(|s| vec_words(s.as_slice())).sum();
         let ranks: usize = self.ranks.iter().map(|r| vec_words(r.as_slice())).sum();
-        let sketches: usize =
-            self.sketches.iter().flatten().map(|s| s.stored() + 2).sum();
+        let sketches: usize = self.sketches.iter().flatten().map(|s| s.stored() + 2).sum();
         sets + ranks + sketches + vec_words(&self.id_by_rank)
     }
 }
@@ -295,11 +354,7 @@ mod tests {
 
     /// Three heavily overlapping sets over 0..150.
     fn family() -> Vec<Vec<u64>> {
-        vec![
-            (0..100u64).collect(),
-            (50..150u64).collect(),
-            (0..150u64).step_by(3).collect(),
-        ]
+        vec![(0..100u64).collect(), (50..150u64).collect(), (0..150u64).step_by(3).collect()]
     }
 
     #[test]
@@ -362,8 +417,7 @@ mod tests {
     #[test]
     fn empty_subfamily_errors() {
         let mut rng = StdRng::seed_from_u64(564);
-        let mut s =
-            SetUnionSampler::new(vec![vec![1, 2, 3], vec![]], &mut rng).unwrap();
+        let mut s = SetUnionSampler::new(vec![vec![1, 2, 3], vec![]], &mut rng).unwrap();
         assert_eq!(s.sample(&[1], &mut rng).unwrap_err(), QueryError::EmptyRange);
     }
 
@@ -382,13 +436,38 @@ mod tests {
     }
 
     #[test]
+    fn batch_replays_sequential_draws() {
+        // Two identically-seeded samplers: the batched path must consume
+        // the same word stream as per-draw sampling (no rebuild occurs
+        // within 50 draws since n = 350), hence return identical ids.
+        let g = [0usize, 1, 2];
+        let mut rng_a = StdRng::seed_from_u64(568);
+        let mut a = SetUnionSampler::new(family(), &mut rng_a).unwrap();
+        let seq: Vec<u64> = (0..50).map(|_| a.sample(&g, &mut rng_a).unwrap()).collect();
+
+        let mut rng_b = StdRng::seed_from_u64(568);
+        let mut b = SetUnionSampler::new(family(), &mut rng_b).unwrap();
+        let mut batch = vec![0u64; 50];
+        b.sample_into(&g, &mut rng_b, &mut batch).unwrap();
+        assert_eq!(batch, seq);
+    }
+
+    #[test]
+    fn batch_empty_subfamily_errors() {
+        let mut rng = StdRng::seed_from_u64(569);
+        let mut s = SetUnionSampler::new(vec![vec![1, 2, 3], vec![]], &mut rng).unwrap();
+        let mut out = [0u64; 8];
+        assert_eq!(s.sample_into(&[1], &mut rng, &mut out).unwrap_err(), QueryError::EmptyRange);
+        s.sample_into(&[0], &mut rng, &mut []).unwrap();
+    }
+
+    #[test]
     fn naive_baseline_agrees() {
         let mut rng = StdRng::seed_from_u64(566);
         let sets = family();
         let mut counts: HashMap<u64, u64> = HashMap::new();
         for _ in 0..30_000 {
-            *counts.entry(naive_union_sample(&sets, &[0, 1], &mut rng).unwrap()).or_default() +=
-                1;
+            *counts.entry(naive_union_sample(&sets, &[0, 1], &mut rng).unwrap()).or_default() += 1;
         }
         assert_eq!(counts.len(), 150);
     }
@@ -396,8 +475,7 @@ mod tests {
     #[test]
     fn duplicate_ids_within_a_set_are_harmless() {
         let mut rng = StdRng::seed_from_u64(567);
-        let mut s =
-            SetUnionSampler::new(vec![vec![1, 1, 1, 2]], &mut rng).unwrap();
+        let mut s = SetUnionSampler::new(vec![vec![1, 1, 1, 2]], &mut rng).unwrap();
         let mut ones = 0;
         for _ in 0..2000 {
             if s.sample(&[0], &mut rng).unwrap() == 1 {

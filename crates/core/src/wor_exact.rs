@@ -151,8 +151,8 @@ impl ExpJumpWor {
         let mut pos = a + s; // next unprocessed rank
         while pos < b {
             let t = heap.peek().expect("reservoir full").0 .0 .0; // min log-key
-            // Weight mass the scan may skip before the next replacement:
-            // X_w = ln(r) / t  with r ~ U(0,1)  (t < 0 almost surely).
+                                                                  // Weight mass the scan may skip before the next replacement:
+                                                                  // X_w = ln(r) / t  with r ~ U(0,1)  (t < 0 almost surely).
             let r = rng.random::<f64>().max(f64::MIN_POSITIVE);
             let xw = r.ln() / t;
             // First rank c ≥ pos with cum-weight beyond cum[pos] + X_w.
@@ -162,8 +162,7 @@ impl ExpJumpWor {
             }
             // partition_point over cum[pos+1 ..= b]: smallest c with
             // cum[c+1] > target.
-            let c = pos
-                + self.cum[pos + 1..=b].partition_point(|&cw| cw <= target);
+            let c = pos + self.cum[pos + 1..=b].partition_point(|&cw| cw <= target);
             if c >= b {
                 break;
             }
@@ -240,8 +239,7 @@ mod tests {
     fn weighted_inclusion_matches_rejection_method() {
         // Same semantics as the rejection-based WoR of RangeSampler:
         // compare per-element inclusion frequencies.
-        let pairs: Vec<(f64, f64)> =
-            (0..40).map(|i| (i as f64, 1.0 + (i % 5) as f64)).collect();
+        let pairs: Vec<(f64, f64)> = (0..40).map(|i| (i as f64, 1.0 + (i % 5) as f64)).collect();
         let ej = ExpJumpWor::new(pairs.clone()).unwrap();
         let cr = ChunkedRange::new(pairs).unwrap();
         let mut rng = StdRng::seed_from_u64(702);

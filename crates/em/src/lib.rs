@@ -40,7 +40,7 @@ mod sort;
 mod weighted;
 
 pub use machine::{EmArray, EmMachine, IoStats};
-pub use weighted::EmWeightedRangeSampler;
 pub use rangesampler::{EmRangeSampler, NaiveEmRangeSampler};
 pub use samplepool::{NaiveEmSampler, SamplePool};
 pub use sort::external_sort;
+pub use weighted::EmWeightedRangeSampler;

@@ -170,12 +170,7 @@ impl EmMachine {
             pool.next_array += 1;
             id
         };
-        EmArray {
-            machine: self.clone(),
-            id,
-            data: RefCell::new(items),
-            _marker: PhantomData,
-        }
+        EmArray { machine: self.clone(), id, data: RefCell::new(items), _marker: PhantomData }
     }
 
     /// Creates a zero-initialized disk-resident array of the given length.

@@ -138,7 +138,13 @@ impl EmRangeSampler {
     }
 
     /// Takes `count` samples from node `u`'s pool, rebuilding as needed.
-    fn take_from_pool<R: Rng + ?Sized>(&mut self, u: u32, count: usize, rng: &mut R, out: &mut Vec<f64>) {
+    fn take_from_pool<R: Rng + ?Sized>(
+        &mut self,
+        u: u32,
+        count: usize,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
         let (ilo, ihi) = self.item_range(u);
         let pool_len = ihi - ilo;
         let mut remaining = count;
@@ -149,9 +155,7 @@ impl EmRangeSampler {
             };
             if needs_build {
                 let pool = build_wr_pool(&self.machine, &self.keys, ilo, ihi, pool_len, rng);
-                if let Some((old, _)) =
-                    self.pools[u as usize].replace((pool, 0))
-                {
+                if let Some((old, _)) = self.pools[u as usize].replace((pool, 0)) {
                     old.discard();
                     self.rebuilds += 1;
                 }
@@ -168,7 +172,13 @@ impl EmRangeSampler {
 
     /// Draws `s` independent WR samples from the keys in `[x, y]`.
     /// Returns `None` when the range is empty.
-    pub fn query<R: Rng + ?Sized>(&mut self, x: f64, y: f64, s: usize, rng: &mut R) -> Option<Vec<f64>> {
+    pub fn query<R: Rng + ?Sized>(
+        &mut self,
+        x: f64,
+        y: f64,
+        s: usize,
+        rng: &mut R,
+    ) -> Option<Vec<f64>> {
         if y < x {
             return None;
         }
@@ -184,8 +194,7 @@ impl EmRangeSampler {
             self.keys.read_range(lo, hi)
         };
         if ca == cb {
-            let vals: Vec<f64> =
-                read_chunk(ca).into_iter().filter(|&v| v >= x && v <= y).collect();
+            let vals: Vec<f64> = read_chunk(ca).into_iter().filter(|&v| v >= x && v <= y).collect();
             if vals.is_empty() {
                 return None;
             }
@@ -296,21 +305,11 @@ impl NaiveEmRangeSampler {
         let cb = self.chunk_min.partition_point(|&c| c <= y).saturating_sub(1);
         let chunk = |c: usize| (c * self.b, ((c + 1) * self.b).min(self.n));
         let (alo, ahi) = chunk(ca);
-        let a = alo
-            + self
-                .keys
-                .read_range(alo, ahi)
-                .iter()
-                .position(|&v| v >= x)
-                .unwrap_or(ahi - alo);
+        let a =
+            alo + self.keys.read_range(alo, ahi).iter().position(|&v| v >= x).unwrap_or(ahi - alo);
         let (blo, bhi) = chunk(cb);
-        let b = blo
-            + self
-                .keys
-                .read_range(blo, bhi)
-                .iter()
-                .position(|&v| v > y)
-                .unwrap_or(bhi - blo);
+        let b =
+            blo + self.keys.read_range(blo, bhi).iter().position(|&v| v > y).unwrap_or(bhi - blo);
         (a, b.max(a))
     }
 
@@ -379,9 +378,8 @@ mod tests {
         // chi^2 over the 1401 in-range values.
         let k = 1401.0;
         let expect = total as f64 / k;
-        let chi: f64 = (100..=1500)
-            .map(|v| (counts[v as usize] as f64 - expect).powi(2) / expect)
-            .sum();
+        let chi: f64 =
+            (100..=1500).map(|v| (counts[v as usize] as f64 - expect).powi(2) / expect).sum();
         // dof ~1400, sd ~53: 2000 is a generous bound.
         assert!(chi < 2000.0, "chi^2 {chi}");
     }
@@ -433,10 +431,7 @@ mod tests {
             naive.query_random_access(x, y, s, &mut rng);
         }
         let naive_ios = m.stats().total();
-        assert!(
-            pool_ios * 2 < naive_ios,
-            "pool {pool_ios} I/Os vs naive {naive_ios}"
-        );
+        assert!(pool_ios * 2 < naive_ios, "pool {pool_ios} I/Os vs naive {naive_ios}");
     }
 
     #[test]

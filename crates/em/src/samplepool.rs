@@ -184,8 +184,7 @@ mod tests {
             }
         }
         let expect = draws as f64 / n as f64;
-        let chi: f64 =
-            counts.iter().map(|&c| (c as f64 - expect).powi(2) / expect).sum();
+        let chi: f64 = counts.iter().map(|&c| (c as f64 - expect).powi(2) / expect).sum();
         // dof = 511; mean 511, sd ~32; 800 is a >9-sigma bound.
         assert!(chi < 800.0, "chi^2 {chi}");
         assert!(sp.rebuilds() >= 1, "pool must have been rebuilt");
@@ -210,10 +209,7 @@ mod tests {
         naive.query(s, &mut rng);
         let naive_ios = m.stats().total();
 
-        assert!(
-            pool_ios * 4 < naive_ios,
-            "pool {pool_ios} I/Os vs naive {naive_ios}"
-        );
+        assert!(pool_ios * 4 < naive_ios, "pool {pool_ios} I/Os vs naive {naive_ios}");
     }
 
     #[test]

@@ -73,9 +73,7 @@ where
             if c < runs[r].len() {
                 let better = match best {
                     None => true,
-                    Some(b) => {
-                        key(&runs[r].get(c)) < key(&runs[b].get(cursors[b]))
-                    }
+                    Some(b) => key(&runs[r].get(c)) < key(&runs[b].get(cursors[b])),
                 };
                 if better {
                     best = Some(r);

@@ -73,9 +73,8 @@ impl EmWeightedRangeSampler {
         let b = arr.items_per_block();
         let m = n.div_ceil(b);
         let chunk_min: Vec<f64> = (0..m).map(|c| pairs[c * b].0).collect();
-        let chunk_weight: Vec<f64> = (0..m)
-            .map(|c| pairs[c * b..((c + 1) * b).min(n)].iter().map(|p| p.1).sum())
-            .collect();
+        let chunk_weight: Vec<f64> =
+            (0..m).map(|c| pairs[c * b..((c + 1) * b).min(n)].iter().map(|p| p.1).sum()).collect();
         let mut nodes = Vec::with_capacity(2 * m);
         let root = Self::build(&mut nodes, &chunk_weight, 0, m as u32);
         let pools = (0..nodes.len()).map(|_| None).collect();
@@ -149,7 +148,12 @@ impl EmWeightedRangeSampler {
     /// demands; one sequential pass over the chunks draws within-chunk
     /// weighted samples; an external sort randomizes the pool order so
     /// consumption order is independent of chunk order.
-    fn build_weighted_pool<R: Rng + ?Sized>(&self, u: u32, count: usize, rng: &mut R) -> EmArray<f64> {
+    fn build_weighted_pool<R: Rng + ?Sized>(
+        &self,
+        u: u32,
+        count: usize,
+        rng: &mut R,
+    ) -> EmArray<f64> {
         let node = &self.nodes[u as usize];
         let (clo, chi) = (node.lo as usize, node.hi as usize);
         // Chunk demands via the in-memory directory (CPU only).
@@ -317,8 +321,7 @@ impl EmWeightedRangeSampler {
         if c2 > 0 {
             let mut canon = Vec::new();
             self.canonical(mid_lo, mid_hi, self.root, &mut canon);
-            let weights: Vec<f64> =
-                canon.iter().map(|&u| self.nodes[u as usize].weight).collect();
+            let weights: Vec<f64> = canon.iter().map(|&u| self.nodes[u as usize].weight).collect();
             let wt: f64 = weights.iter().sum();
             let mut per_node = vec![0usize; canon.len()];
             for _ in 0..c2 {
@@ -355,8 +358,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(170);
         let n = 2048usize;
         // Weight of key i is 1 + (i mod 4).
-        let pairs: Vec<(f64, f64)> =
-            (0..n).map(|i| (i as f64, 1.0 + (i % 4) as f64)).collect();
+        let pairs: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 1.0 + (i % 4) as f64)).collect();
         let mut s = EmWeightedRangeSampler::new(&machine, pairs.clone());
         let (x, y) = (200.0, 1800.0);
         let inside: Vec<&(f64, f64)> =

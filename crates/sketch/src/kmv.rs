@@ -73,9 +73,10 @@ impl KmvSketch {
     pub fn insert(&mut self, id: u64) {
         let h = seeded_hash(self.seed, id);
         if self.bottom.len() == self.k
-            && h >= *self.bottom.last().expect("full sketch is non-empty") {
-                return;
-            }
+            && h >= *self.bottom.last().expect("full sketch is non-empty")
+        {
+            return;
+        }
         match self.bottom.binary_search(&h) {
             Ok(_) => {} // duplicate element
             Err(pos) => {

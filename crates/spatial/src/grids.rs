@@ -121,8 +121,7 @@ impl ShiftedGrids {
 
 impl SpaceUsage for ShiftedGrids {
     fn space_words(&self) -> usize {
-        let bucket_words: usize =
-            self.buckets.iter().map(|v| vec_words(v.as_slice())).sum();
+        let bucket_words: usize = self.buckets.iter().map(|v| vec_words(v.as_slice())).sum();
         let map_words: usize = self.grids.iter().map(|(_, m)| 4 * m.len()).sum();
         bucket_words + map_words + vec_words(&self.points)
     }
@@ -167,8 +166,7 @@ mod tests {
         }
         let idx = grids.query_bucket_indices(&q);
         let via_idx: Vec<&[u32]> = idx.iter().map(|&i| grids.bucket(i)).collect();
-        let non_empty: Vec<&[u32]> =
-            buckets.iter().copied().filter(|b| !b.is_empty()).collect();
+        let non_empty: Vec<&[u32]> = buckets.iter().copied().filter(|b| !b.is_empty()).collect();
         assert_eq!(via_idx, non_empty);
     }
 
@@ -183,10 +181,8 @@ mod tests {
         let trials = 200;
         for _ in 0..trials {
             let grids = ShiftedGrids::new(vec![near], 8, 0.2, &mut rng);
-            let found = grids
-                .query_bucket_indices(&q)
-                .iter()
-                .any(|&b| grids.bucket(b).contains(&0));
+            let found =
+                grids.query_bucket_indices(&q).iter().any(|&b| grids.bucket(b).contains(&0));
             if found {
                 hits += 1;
             }

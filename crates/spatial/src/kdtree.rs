@@ -120,7 +120,14 @@ impl<const D: usize> KdTree<D> {
         };
         let weight: f64 = slice.iter().map(|&i| weights[i as usize]).sum();
         if hi - lo <= leaf_cap {
-            nodes.push(KdNode { left: NIL, right: NIL, lo: lo as u32, hi: hi as u32, weight, bbox });
+            nodes.push(KdNode {
+                left: NIL,
+                right: NIL,
+                lo: lo as u32,
+                hi: hi as u32,
+                weight,
+                bbox,
+            });
             return (nodes.len() - 1) as u32;
         }
         let axis = depth % D;
@@ -300,8 +307,10 @@ mod tests {
         for _ in 0..50 {
             let x0 = rng.random::<f64>();
             let y0 = rng.random::<f64>();
-            let q: Rect<2> =
-                Rect::new([x0, y0], [x0 + rng.random::<f64>() * 0.5, y0 + rng.random::<f64>() * 0.5]);
+            let q: Rect<2> = Rect::new(
+                [x0, y0],
+                [x0 + rng.random::<f64>() * 0.5, y0 + rng.random::<f64>() * 0.5],
+            );
             let mut want: Vec<usize> =
                 (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
             want.sort_unstable();
@@ -354,8 +363,7 @@ mod tests {
         let weights: Vec<f64> = (0..200).map(|_| rng.random::<f64>() + 0.1).collect();
         let tree = KdTree::new(pts.clone(), weights.clone()).unwrap();
         let q: Rect<2> = Rect::new([0.1, 0.1], [0.8, 0.5]);
-        let want: f64 =
-            (0..200).filter(|&i| q.contains_point(&pts[i])).map(|i| weights[i]).sum();
+        let want: f64 = (0..200).filter(|&i| q.contains_point(&pts[i])).map(|i| weights[i]).sum();
         assert!((tree.range_weight(&q) - want).abs() < 1e-9);
     }
 

@@ -35,11 +35,11 @@ mod rangetree;
 mod region;
 
 pub use geometry::{dist, dist2, Point, Rect};
-pub use region::{Containment, Disc, HalfSpace, Region};
 pub use grids::ShiftedGrids;
 pub use kdtree::{KdCover, KdTree};
 pub use quadtree::QuadTree;
 pub use rangetree::RangeTree;
+pub use region::{Containment, Disc, HalfSpace, Region};
 
 /// Errors when building a spatial index.
 #[derive(Debug, Clone, PartialEq, Eq)]

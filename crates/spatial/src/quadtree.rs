@@ -81,13 +81,7 @@ impl QuadTree {
     ) -> u32 {
         let weight: f64 = perm[lo..hi].iter().map(|&i| weights[i as usize]).sum();
         if hi - lo <= LEAF_CAP || depth >= MAX_DEPTH {
-            nodes.push(QNode {
-                children: [NIL; 4],
-                lo: lo as u32,
-                hi: hi as u32,
-                weight,
-                cell,
-            });
+            nodes.push(QNode { children: [NIL; 4], lo: lo as u32, hi: hi as u32, weight, cell });
             return (nodes.len() - 1) as u32;
         }
         let cx = (cell.min[0] + cell.max[0]) / 2.0;
@@ -181,10 +175,7 @@ impl QuadTree {
 
     /// All node position ranges (the Lemma-4 interval family).
     pub fn all_node_ranges(&self) -> Vec<(usize, usize)> {
-        self.nodes
-            .iter()
-            .map(|n| (n.lo as usize, n.hi as usize))
-            .collect()
+        self.nodes.iter().map(|n| (n.lo as usize, n.hi as usize)).collect()
     }
 
     /// Exact cover for a rectangular query (same contract as
@@ -346,10 +337,7 @@ mod tests {
         // Superset: every true inside point is in the union.
         assert_eq!(inside_union, truly_inside);
         // Constant-fraction density (uniform data): at least 25%.
-        assert!(
-            inside_union * 4 >= union,
-            "density too low: {inside_union}/{union}"
-        );
+        assert!(inside_union * 4 >= union, "density too low: {inside_union}/{union}");
     }
 
     #[test]

@@ -62,8 +62,7 @@ impl<const D: usize> Builder<'_, D> {
     /// Builds the level over `ids`, which must already be sorted by
     /// coordinate `dim`.
     fn build(&mut self, ids: &[u32], dim: usize) -> Level {
-        let coords: Vec<f64> =
-            ids.iter().map(|&i| self.points[i as usize].coord(dim)).collect();
+        let coords: Vec<f64> = ids.iter().map(|&i| self.points[i as usize].coord(dim)).collect();
         let ws: Vec<f64> = ids.iter().map(|&i| self.weights[i as usize]).collect();
         let tree = RankBst::new(&ws).expect("levels are non-empty");
         if dim + 1 == D {
@@ -269,8 +268,7 @@ mod tests {
         let pts = random_points(250, 62);
         let tree = RangeTree::with_unit_weights(pts.clone()).unwrap();
         let q: Rect<2> = Rect::new([0.25, 0.1], [0.75, 0.6]);
-        let mut want: Vec<usize> =
-            (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let mut want: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
         want.sort_unstable();
         let mut got = tree.report(&q);
         got.sort_unstable();
@@ -330,8 +328,7 @@ mod tests {
         let tree = RangeTree::with_unit_weights(pts.clone()).unwrap();
         for _ in 0..10 {
             let mins = [rng.random::<f64>() * 0.5, rng.random::<f64>() * 0.5, 0.0];
-            let q: Rect<3> =
-                Rect::new(mins, [mins[0] + 0.4, mins[1] + 0.5, rng.random::<f64>()]);
+            let q: Rect<3> = Rect::new(mins, [mins[0] + 0.4, mins[1] + 0.5, rng.random::<f64>()]);
             let want = pts.iter().filter(|p| q.contains_point(p)).count();
             assert_eq!(tree.count(&q), want);
         }
@@ -340,8 +337,7 @@ mod tests {
     #[test]
     fn duplicate_coordinates() {
         // Many points sharing x or y must still be counted exactly.
-        let pts: Vec<Point<2>> =
-            (0..50).map(|i| [(i % 5) as f64, (i / 5) as f64].into()).collect();
+        let pts: Vec<Point<2>> = (0..50).map(|i| [(i % 5) as f64, (i / 5) as f64].into()).collect();
         let tree = RangeTree::with_unit_weights(pts.clone()).unwrap();
         let q: Rect<2> = Rect::new([1.0, 2.0], [3.0, 7.0]);
         let want = pts.iter().filter(|p| q.contains_point(p)).count();

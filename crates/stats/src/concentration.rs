@@ -65,10 +65,7 @@ impl ErrorRuns {
         let block = self.len() / windows;
         let counts: Vec<f64> = (0..windows)
             .map(|w| {
-                self.failures[w * block..(w + 1) * block]
-                    .iter()
-                    .filter(|&&f| f)
-                    .count() as f64
+                self.failures[w * block..(w + 1) * block].iter().filter(|&&f| f).count() as f64
             })
             .collect();
         let mean = counts.iter().sum::<f64>() / windows as f64;

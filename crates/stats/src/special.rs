@@ -127,9 +127,7 @@ mod tests {
         // Γ(1/2) = sqrt(π).
         assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
         // Γ(3/2) = sqrt(π)/2.
-        assert!(
-            (ln_gamma(1.5) - (std::f64::consts::PI.sqrt() / 2.0).ln()).abs() < 1e-10
-        );
+        assert!((ln_gamma(1.5) - (std::f64::consts::PI.sqrt() / 2.0).ln()).abs() < 1e-10);
     }
 
     #[test]

@@ -201,10 +201,6 @@ mod tests {
         }
         let s = IntervalSampler::new(&weights, &intervals);
         // O(n): piece count should be within a small constant of n.
-        assert!(
-            s.total_pieces() < 8 * n,
-            "pieces {} for n {n}",
-            s.total_pieces()
-        );
+        assert!(s.total_pieces() < 8 * n, "pieces {} for n {n}", s.total_pieces());
     }
 }

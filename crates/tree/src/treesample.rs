@@ -1,8 +1,8 @@
 use std::fmt;
 
 use iqs_alias::space::{vec_words, SpaceUsage};
-use iqs_alias::AliasTable;
-use rand::Rng;
+use iqs_alias::{AliasTable, BlockRng64};
+use rand::{Rng, RngCore};
 
 /// Errors when building a [`Tree`] or [`TreeSampler`].
 #[derive(Debug, Clone, PartialEq)]
@@ -258,7 +258,8 @@ impl TreeSampler {
     }
 
     /// Draws one weighted leaf sample from the subtree of `q`, in time
-    /// proportional to the height of that subtree.
+    /// proportional to the height of that subtree. Each descent step
+    /// consumes one 64-bit word (see [`AliasTable::decode`]).
     pub fn sample_leaf<R: Rng + ?Sized>(&self, q: usize, rng: &mut R) -> usize {
         let mut u = q;
         while let Some(alias) = &self.child_alias[u] {
@@ -268,24 +269,51 @@ impl TreeSampler {
         u
     }
 
+    /// Draws one weighted leaf sample using already-buffered randomness —
+    /// the descent the batch APIs share.
+    #[inline]
+    pub fn sample_leaf_block<R: RngCore + ?Sized>(
+        &self,
+        q: usize,
+        block: &mut BlockRng64<'_, R>,
+    ) -> usize {
+        let mut u = q;
+        while let Some(alias) = &self.child_alias[u] {
+            let i = alias.sample_block(block);
+            u = self.tree.children_of(u)[i] as usize;
+        }
+        u
+    }
+
+    /// Fills `out` with independent weighted leaf samples from the subtree
+    /// of `q` — the allocation-free batch API. Randomness is pulled from
+    /// `rng` in blocks of up to 64 words, so the per-word RNG overhead is
+    /// amortized even when `rng` is a `&mut dyn RngCore`.
+    pub fn sample_leaves_into<R: RngCore + ?Sized>(&self, q: usize, rng: &mut R, out: &mut [u32]) {
+        // One word per descent step; plan for two levels per sample and
+        // let refills top up beyond that.
+        let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(2));
+        for slot in out.iter_mut() {
+            *slot = self.sample_leaf_block(q, &mut block) as u32;
+        }
+    }
+
     /// Draws `s` independent weighted leaf samples from the subtree of `q`.
+    /// A convenience wrapper over the same blocked descent as
+    /// [`Self::sample_leaves_into`].
     pub fn sample_leaves<R: Rng + ?Sized>(&self, q: usize, s: usize, rng: &mut R) -> Vec<usize> {
-        (0..s).map(|_| self.sample_leaf(q, rng)).collect()
+        let mut block = BlockRng64::with_budget(rng, s.saturating_mul(2));
+        (0..s).map(|_| self.sample_leaf_block(q, &mut block)).collect()
     }
 }
 
 impl SpaceUsage for TreeSampler {
     fn space_words(&self) -> usize {
-        let tree_words: usize = self
-            .tree
-            .children
-            .iter()
-            .map(|c| vec_words(c.as_slice()))
-            .sum::<usize>()
-            + self.tree.weight.len()
-            + self.tree.leaf_count.len();
-        let alias_words: usize =
-            self.child_alias.iter().flatten().map(|a| a.space_words()).sum();
+        let tree_words: usize =
+            self.tree.children.iter().map(|c| vec_words(c.as_slice())).sum::<usize>()
+                + self.tree.weight.len()
+                + self.tree.leaf_count.len();
+        let alias_words: usize = self.child_alias.iter().flatten().map(|a| a.space_words()).sum();
         tree_words + alias_words
     }
 }
@@ -304,15 +332,7 @@ mod tests {
     ///   4   5     6
     /// Leaves: 4, 5, 2, 6 with weights 1, 2, 3, 4.
     fn fixture() -> Tree {
-        let children = vec![
-            vec![1, 2, 3],
-            vec![4, 5],
-            vec![],
-            vec![6],
-            vec![],
-            vec![],
-            vec![],
-        ];
+        let children = vec![vec![1, 2, 3], vec![4, 5], vec![], vec![6], vec![], vec![], vec![]];
         let mut w = vec![0.0; 7];
         w[4] = 1.0;
         w[5] = 2.0;
@@ -412,6 +432,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         assert_eq!(sampler.sample_leaves(0, 17, &mut rng).len(), 17);
         assert!(sampler.sample_leaves(0, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn batch_leaves_match_sequential_descent() {
+        // The block RNG replays the raw word stream, so the batch path
+        // must reproduce per-draw descents exactly under the same seed.
+        let sampler = TreeSampler::new(fixture());
+        let mut a = StdRng::seed_from_u64(30);
+        let mut out = vec![0u32; 64];
+        sampler.sample_leaves_into(0, &mut a, &mut out);
+        let mut b = StdRng::seed_from_u64(30);
+        let seq: Vec<u32> = (0..64).map(|_| sampler.sample_leaf(0, &mut b) as u32).collect();
+        assert_eq!(out, seq);
+        // Restricted-subtree batch stays inside the subtree.
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut sub = vec![0u32; 256];
+        sampler.sample_leaves_into(1, &mut rng, &mut sub);
+        assert!(sub.iter().all(|&l| l == 4 || l == 5));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property tests for the tree substrates.
 
-use iqs_tree::{leaf_intervals, Fenwick, IntervalSampler, RankBst, SubtreeSampler, Tree, TreeSampler};
+use iqs_tree::{
+    leaf_intervals, Fenwick, IntervalSampler, RankBst, SubtreeSampler, Tree, TreeSampler,
+};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;

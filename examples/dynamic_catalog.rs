@@ -27,11 +27,7 @@ fn main() {
         popularity.insert(next_id, pop).expect("valid weight");
         next_id += 1;
     }
-    println!(
-        "day 0: {} products across {} levels",
-        catalog.len(),
-        catalog.level_count()
-    );
+    println!("day 0: {} products across {} levels", catalog.len(), catalog.level_count());
 
     // A week of churn: every "day", delist 2 000, add 3 000, and keep
     // answering queries in between.

@@ -19,10 +19,7 @@ fn main() {
     // The machine: B = 256 words per block, M = 32 blocks of memory.
     let b = 256usize;
     let machine = EmMachine::new(32 * b, b);
-    println!(
-        "EM machine: B = {b} words/block, M/B = {} frames of memory",
-        machine.frame_count()
-    );
+    println!("EM machine: B = {b} words/block, M/B = {} frames of memory", machine.frame_count());
 
     // One million elements "on disk".
     let n = 1 << 20;
@@ -57,10 +54,7 @@ fn main() {
     let (x, y) = (100_000.0, 900_000.0);
     // Warm the pools once so the steady-state amortized cost shows.
     range.query(x, y, 4096, &mut rng);
-    println!(
-        "{:>8} {:>14} {:>14} {:>16}",
-        "s", "pool I/Os", "rand-acc I/Os", "report+sample I/Os"
-    );
+    println!("{:>8} {:>14} {:>14} {:>16}", "s", "pool I/Os", "rand-acc I/Os", "report+sample I/Os");
     for s in [256usize, 1024, 4096, 16_384] {
         machine.reset_stats();
         range.query(x, y, s, &mut rng).expect("non-empty");

@@ -34,11 +34,7 @@ fn main() {
     let g = 8;
     let mut index =
         FairNearNeighbor::new(restaurants.clone(), g, r, &mut rng).expect("non-empty map");
-    println!(
-        "indexed {} restaurants; {} shifted grids, radius r = {r}",
-        restaurants.len(),
-        g
-    );
+    println!("indexed {} restaurants; {} shifted grids, radius r = {r}", restaurants.len(), g);
 
     // A user downtown, repeating the inquiry 30 000 times (think: 30 000
     // different users at the same corner).

@@ -44,10 +44,7 @@ fn main() {
         let keys: Vec<f64> = ranks.iter().map(|&r| sampler.keys()[r]).collect();
         println!("  {name}");
         println!("    space = {:>12} words", sampler.space_words());
-        println!(
-            "    samples = {:?}",
-            keys.iter().map(|k| k.round() as i64).collect::<Vec<_>>()
-        );
+        println!("    samples = {:?}", keys.iter().map(|k| k.round() as i64).collect::<Vec<_>>());
     }
 
     // The IQS property: the same query, issued again, must return fresh

@@ -84,8 +84,7 @@ fn main() {
     // The dependent sampler: the estimate for a fixed query is FROZEN —
     // every repetition reuses the same s tuples, so the per-query failure
     // coin is flipped once and then repeated.
-    let dep = DependentRange::new(a_vals.clone(), &mut rng)
-        .expect("valid input");
+    let dep = DependentRange::new(a_vals.clone(), &mut rng).expect("valid input");
     let mut dep_failures = Vec::with_capacity(m);
     // Simulate a workload of repeated inquiries: 100 distinct query
     // bands, each asked m/100 times.
@@ -106,11 +105,7 @@ fn main() {
     }
     let dep_runs = ErrorRuns::new(dep_failures);
     println!("\ndependent sampler: {m} estimates over {} repeated bands", bands.len());
-    println!(
-        "  failures: {} (same δ·m target {:.0})",
-        dep_runs.failure_count(),
-        m as f64 * delta
-    );
+    println!("  failures: {} (same δ·m target {:.0})", dep_runs.failure_count(), m as f64 * delta);
     println!("  longest failure run: {}", dep_runs.longest_failure_run());
     println!(
         "  block-count variance: {:.1} vs binomial {:.1}",

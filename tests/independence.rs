@@ -27,12 +27,7 @@ fn iqs_structures_pass_the_repeated_query_overlap_test() {
     for (name, sampler) in structures {
         let mut rng = StdRng::seed_from_u64(900);
         let report = overlap_test(n, s, 1500, || {
-            sampler
-                .sample_wor(x, y, s, &mut rng)
-                .unwrap()
-                .into_iter()
-                .map(|r| r as u64)
-                .collect()
+            sampler.sample_wor(x, y, s, &mut rng).unwrap().into_iter().map(|r| r as u64).collect()
         });
         assert!(
             report.looks_independent(0.35),
@@ -62,9 +57,8 @@ fn successive_queries_are_uncorrelated_g_test() {
     // queries; consecutive pairs must be independent.
     let sampler = ChunkedRange::new(unit_pairs(160)).unwrap();
     let mut rng = StdRng::seed_from_u64(902);
-    let draws: Vec<usize> = (0..40_000)
-        .map(|_| sampler.sample_wr(0.0, 159.0, 1, &mut rng).unwrap()[0] / 20)
-        .collect();
+    let draws: Vec<usize> =
+        (0..40_000).map(|_| sampler.sample_wr(0.0, 159.0, 1, &mut rng).unwrap()[0] / 20).collect();
     let xs = &draws[..draws.len() - 1];
     let ys = &draws[1..];
     let p = pairwise_g_test(xs, ys, 8);
@@ -84,12 +78,8 @@ fn dependent_baseline_violates_equation_one() {
         let (lo, hi) = (start as f64, (start + 99) as f64);
         let s = 8;
         let inner = d.sample_wor(lo, hi, s).unwrap();
-        let predicted: Vec<usize> = outer
-            .iter()
-            .copied()
-            .filter(|&r| (start..=start + 99).contains(&r))
-            .take(s)
-            .collect();
+        let predicted: Vec<usize> =
+            outer.iter().copied().filter(|&r| (start..=start + 99).contains(&r)).take(s).collect();
         assert_eq!(inner, predicted, "q = [{lo},{hi}] was perfectly predictable");
     }
     // The IQS structure admits no such reconstruction: its sub-range
@@ -100,12 +90,8 @@ fn dependent_baseline_violates_equation_one() {
     for start in (0..400).step_by(37) {
         let (lo, hi) = (start as f64, (start + 99) as f64);
         let inner = iqs.sample_wor(lo, hi, 8, &mut rng).unwrap();
-        let predicted: Vec<usize> = outer
-            .iter()
-            .copied()
-            .filter(|&r| (start..=start + 99).contains(&r))
-            .take(8)
-            .collect();
+        let predicted: Vec<usize> =
+            outer.iter().copied().filter(|&r| (start..=start + 99).contains(&r)).take(8).collect();
         if inner != predicted {
             mismatches += 1;
         }
@@ -116,11 +102,8 @@ fn dependent_baseline_violates_equation_one() {
 #[test]
 fn set_union_sampler_outputs_are_independent() {
     let mut rng = StdRng::seed_from_u64(904);
-    let sets: Vec<Vec<u64>> = vec![
-        (0..80u64).collect(),
-        (40..120u64).collect(),
-        (0..120u64).step_by(2).collect(),
-    ];
+    let sets: Vec<Vec<u64>> =
+        vec![(0..80u64).collect(), (40..120u64).collect(), (0..120u64).step_by(2).collect()];
     let mut s = SetUnionSampler::new(sets, &mut rng).unwrap();
     let g = [0usize, 1, 2];
     let draws: Vec<usize> =

@@ -7,9 +7,9 @@
 
 #![cfg(feature = "serde")]
 
+use iqs::alias::{AliasTable, CdfSampler};
 use iqs::core::complement::ComplementRange;
 use iqs::core::{AliasAugmentedRange, ChunkedRange, ExpJumpWor, RangeSampler, TreeSamplingRange};
-use iqs::alias::{AliasTable, CdfSampler};
 use iqs::tree::Fenwick;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,8 +60,7 @@ fn range_samplers_roundtrip_and_answer_identically() {
 
     macro_rules! roundtrip_check {
         ($orig:expr, $ty:ty) => {{
-            let back: $ty =
-                serde_json::from_str(&serde_json::to_string(&$orig).unwrap()).unwrap();
+            let back: $ty = serde_json::from_str(&serde_json::to_string(&$orig).unwrap()).unwrap();
             assert_eq!($orig.keys(), back.keys());
             assert_eq!($orig.space_words(), back.space_words());
             let mut r1 = StdRng::seed_from_u64(42);

@@ -57,8 +57,7 @@ fn spatial_sampling_distributions_are_identical() {
             *counts.entry(id).or_default() += 1;
         }
         assert_eq!(counts.len(), inside.len(), "{name}: support mismatch");
-        let vec_counts: Vec<u64> =
-            inside.iter().map(|i| *counts.get(i).unwrap_or(&0)).collect();
+        let vec_counts: Vec<u64> = inside.iter().map(|i| *counts.get(i).unwrap_or(&0)).collect();
         let gof = chi_square_gof(&vec_counts, &uniform_probs(inside.len()));
         assert!(gof.consistent_at(1e-6), "{name}: p = {:.3e}", gof.p_value);
     }
@@ -71,9 +70,8 @@ fn circle_sampler_agrees_with_brute_force_support() {
     let mut rng = StdRng::seed_from_u64(1005);
     for (cx, cy, r) in [(0.5, 0.5, 0.2), (0.2, 0.8, 0.15), (0.9, 0.1, 0.3)] {
         let q: Circle = ([cx, cy].into(), r);
-        let brute: std::collections::HashSet<usize> = (0..pts.len())
-            .filter(|&i| dist2(&pts[i], &q.0) <= r * r)
-            .collect();
+        let brute: std::collections::HashSet<usize> =
+            (0..pts.len()).filter(|&i| dist2(&pts[i], &q.0) <= r * r).collect();
         if brute.is_empty() {
             continue;
         }

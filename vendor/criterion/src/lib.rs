@@ -1,0 +1,264 @@
+//! Offline stand-in for the subset of `criterion` this workspace's
+//! benches use: `criterion_group!` / `criterion_main!`, benchmark groups
+//! with `bench_function` / `bench_with_input` / `sample_size` /
+//! `throughput`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Measurement model: per benchmark, a short calibration run sizes the
+//! iteration batch to ~[`SAMPLE_TARGET_MS`] of wall time, then
+//! `samples` timed batches run and the median per-iteration time is
+//! reported (with min/max spread and optional element throughput).
+//! No plots, no statistics beyond the median — the numbers are for
+//! regression tracking in EXPERIMENTS.md, not publication.
+//!
+//! `CRITERION_SAMPLE_MS` scales the per-sample budget; `CRITERION_QUICK=1`
+//! cuts calibration for smoke runs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample wall-clock target in milliseconds.
+const SAMPLE_TARGET_MS: u64 = 40;
+
+/// Top-level benchmark driver (vastly reduced).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group; benchmarks inside print under this prefix.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n{name}");
+        BenchmarkGroup { _parent: self, name, samples: 8, throughput: None }
+    }
+
+    /// Accepted for API compatibility; the global default sample count is
+    /// fixed and per-group `sample_size` adjusts it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `function_name/parameter` for one benchmark in a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("alias", n)` → `alias/n`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Id from a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (criterion's
+    /// `sample_size`; clamped to keep offline runs quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(3, 20);
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { measured: Vec::new() };
+        f(&mut bencher);
+        self.report(&id.id, &bencher.measured);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { measured: Vec::new() };
+        f(&mut bencher, input);
+        self.report(&id.id, &bencher.measured);
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, measured: &[f64]) {
+        if measured.is_empty() {
+            eprintln!("  {}/{id}: no measurement", self.name);
+            return;
+        }
+        let mut sorted = measured.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median = sorted[sorted.len() / 2];
+        let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {}elem/s", si(n as f64 / (median * 1e-9)))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {}B/s", si(n as f64 / (median * 1e-9)))
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "  {}/{id}: time [{} {} {}]{rate}",
+            self.name,
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi),
+        );
+    }
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    /// Median candidates: ns per iteration for each sample batch.
+    measured: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, batching iterations to amortize clock overhead.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        let target_ms: u64 = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 5 } else { SAMPLE_TARGET_MS });
+
+        // Calibrate: grow the batch until it takes >= 1ms.
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 8;
+        };
+        let sample_iters = ((target_ms as f64 * 1e6 / per_iter_ns.max(0.1)).ceil() as u64).max(1);
+
+        let samples = if quick { 3 } else { 8 };
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..sample_iters {
+                black_box(f());
+            }
+            self.measured.push(start.elapsed().as_nanos() as f64 / sample_iters as f64);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Declares a function that runs the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        group.bench_function(BenchmarkId::new("sum", 10), |b| b.iter(|| (0..10u64).sum::<u64>()));
+        group.bench_with_input("with_input", &5u64, |b, &n| b.iter(|| (0..n).product::<u64>()));
+        group.finish();
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline stand-in for the subset of the `rand` 0.9 API this workspace
+//! uses. The build environment has no access to crates.io, so the
+//! workspace vendors a from-scratch implementation with the same method
+//! names and semantics:
+//!
+//! * [`RngCore`] — the object-safe generator core (`next_u32` /
+//!   `next_u64` / `fill_bytes`), implemented for `&mut R` and `Box<R>`;
+//! * [`Rng`] — the blanket extension trait with `random::<T>()`,
+//!   `random_range(..)`, and `random_bool(p)`;
+//! * [`SeedableRng`] with `from_seed` / `seed_from_u64`;
+//! * [`rngs::StdRng`] — a deterministic, seedable generator
+//!   (xoshiro256++ seeded via SplitMix64). It does **not** reproduce the
+//!   upstream `StdRng` (ChaCha12) streams; only determinism within this
+//!   workspace is guaranteed, which is all the test-suite relies on.
+//!
+//! Integer `random_range` uses the widening-multiply ("Lemire") mapping;
+//! for the range widths used in this repository (≤ 2^32) the bias is at
+//! most 2⁻³², far below anything the statistical tests can detect.
+
+pub mod rngs;
+
+/// The core of a random number generator: a source of uniform `u32` /
+/// `u64` words. Object-safe, so heterogeneous callers can hold
+/// `&mut dyn RngCore`.
+pub trait RngCore {
+    /// Returns the next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline(always)]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline(always)]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    #[inline(always)]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline(always)]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types producible by [`Rng::random`] under the standard (uniform)
+/// distribution.
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    #[inline(always)]
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24-bit resolution.
+    #[inline(always)]
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $via:ident),+) => {$(
+        impl StandardSample for $t {
+            #[inline(always)]
+            fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )+};
+}
+impl_standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                   u64 => next_u64, usize => next_u64,
+                   i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                   i64 => next_u64, isize => next_u64);
+
+impl StandardSample for bool {
+    #[inline(always)]
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Range types accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline(always)]
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end - self.start) as u64;
+                // Widening-multiply mapping of a uniform u64 onto
+                // [0, width); bias ≤ width / 2^64.
+                let v = ((rng.next_u64() as u128 * width as u128) >> 64) as u64;
+                self.start + v as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline(always)]
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end - start) as u64 + 1;
+                if width == 0 {
+                    // Full-domain inclusive range of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                let v = ((rng.next_u64() as u128 * width as u128) >> 64) as u64;
+                start + v as $t
+            }
+        }
+    )+};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_sint {
+    ($($t:ty : $u:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline(always)]
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let v = ((rng.next_u64() as u128 * width as u128) >> 64) as u64;
+                (self.start as $u).wrapping_add(v as $u) as $t
+            }
+        }
+    )+};
+}
+impl_sample_range_sint!(i8 : u8, i16 : u16, i32 : u32, i64 : u64, isize : usize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline(always)]
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: $t = StandardSample::sample_from(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )+};
+}
+impl_sample_range_float!(f32, f64);
+
+/// Convenience extension methods over any [`RngCore`] (blanket-implemented,
+/// mirroring `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard uniform distribution
+    /// (`[0, 1)` for floats, full domain for integers).
+    #[inline(always)]
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_from(self)
+    }
+
+    /// Draws uniformly from `range`. Panics on an empty range.
+    #[inline(always)]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline(always)]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed material (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from raw seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded through SplitMix64 so
+    /// that nearby seeds yield unrelated states.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state);
+            for (b, s) in chunk.iter_mut().zip(word.to_le_bytes()) {
+                *b = s;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One SplitMix64 step — the standard seed-expansion generator.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(5u32..=7);
+            assert!((5..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn dyn_rng_core_works() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dynref: &mut dyn RngCore = &mut rng;
+        let x: f64 = dynref.random();
+        assert!((0.0..1.0).contains(&x));
+        let _ = dynref.random_range(0usize..4);
+    }
+}

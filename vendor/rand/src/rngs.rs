@@ -1,0 +1,79 @@
+//! Concrete generators.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++ by
+/// Blackman & Vigna. Passes BigCrush, 2⁵⁶ period, ~1 ns per word.
+///
+/// Unlike upstream `rand`'s `StdRng` (ChaCha12) the exact output stream
+/// differs, but all repository tests only rely on *within-workspace*
+/// determinism under a fixed seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline(always)]
+    fn step(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline(always)]
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.step().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.step().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, w) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *w = u64::from_le_bytes(bytes);
+        }
+        // An all-zero state is a fixed point of xoshiro; re-derive.
+        if s == [0; 4] {
+            let mut st = 0xDEAD_BEEF_CAFE_F00Du64;
+            for w in &mut s {
+                *w = splitmix64(&mut st);
+            }
+        }
+        StdRng { s }
+    }
+}
+
+/// Alias kept for API compatibility with `rand::rngs::SmallRng` users;
+/// the same generator serves both roles here.
+pub type SmallRng = StdRng;

@@ -1,0 +1,247 @@
+//! The JSON pull-parser behind [`crate::Deserialize`], and the string
+//! escaping shared with serialization.
+
+use std::fmt;
+
+/// A parse failure with byte position context.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    pos: usize,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>, pos: usize) -> Self {
+        Error { msg: msg.into(), pos }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Cursor over JSON text. Derived `Deserialize` impls pull object
+/// fields in declaration order (the order our own serializer emits).
+pub struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Starts parsing at the beginning of `text`.
+    pub fn new(text: &'a str) -> Self {
+        Parser { s: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    /// Consumes `c` (after whitespace) or errors.
+    pub fn expect_char(&mut self, c: char) -> Result<(), Error> {
+        match self.peek() {
+            Some(b) if b == c as u8 => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(Error::new(
+                format!("expected '{c}', found {:?}", other.map(|b| b as char)),
+                self.pos,
+            )),
+        }
+    }
+
+    /// Consumes `c` if present; returns whether it did.
+    pub fn try_char(&mut self, c: char) -> bool {
+        if self.peek() == Some(c as u8) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the literal `lit` if present.
+    pub fn try_literal(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes `"key":` — used by derived struct impls.
+    pub fn expect_key(&mut self, key: &str) -> Result<(), Error> {
+        let got = self.parse_string()?;
+        if got != key {
+            return Err(Error::new(format!("expected field {key:?}, found {got:?}"), self.pos));
+        }
+        self.expect_char(':')
+    }
+
+    /// Errors unless only whitespace remains.
+    pub fn expect_eof(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.s.len() {
+            Ok(())
+        } else {
+            Err(Error::new("trailing characters", self.pos))
+        }
+    }
+
+    fn number_token(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.s.len()
+            && matches!(self.s[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(Error::new("expected a number", self.pos));
+        }
+        std::str::from_utf8(&self.s[start..self.pos])
+            .map_err(|_| Error::new("invalid UTF-8 in number", start))
+    }
+
+    /// Parses an unsigned integer.
+    pub fn parse_unsigned<T>(&mut self) -> Result<T, Error>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
+        let start = self.pos;
+        let tok = self.number_token()?;
+        tok.parse().map_err(|e| Error::new(format!("bad integer {tok:?}: {e}"), start))
+    }
+
+    /// Parses a signed integer.
+    pub fn parse_signed<T>(&mut self) -> Result<T, Error>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
+        self.parse_unsigned()
+    }
+
+    /// Parses a float (bit-exact for values printed via `Display`).
+    pub fn parse_float<T>(&mut self) -> Result<T, Error>
+    where
+        T: std::str::FromStr,
+        T::Err: fmt::Display,
+    {
+        self.parse_unsigned()
+    }
+
+    /// Parses `true` / `false`.
+    pub fn parse_bool(&mut self) -> Result<bool, Error> {
+        if self.try_literal("true") {
+            Ok(true)
+        } else if self.try_literal("false") {
+            Ok(false)
+        } else {
+            Err(Error::new("expected a boolean", self.pos))
+        }
+    }
+
+    /// Parses a JSON string (with `\`-escapes and `\u` sequences).
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.s.get(self.pos) else {
+                return Err(Error::new("unterminated string", self.pos));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.s.get(self.pos) else {
+                        return Err(Error::new("unterminated escape", self.pos));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error::new("bad \\u escape", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape", self.pos))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad codepoint", self.pos))?,
+                            );
+                        }
+                        _ => return Err(Error::new("unknown escape", self.pos)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full character.
+                    let ch_start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = ch_start + width;
+                    let chunk = self
+                        .s
+                        .get(ch_start..end)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| Error::new("invalid UTF-8", ch_start))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Writes `s` as a JSON string literal (used by `Serialize` impls and the
+/// derive-generated field keys).
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

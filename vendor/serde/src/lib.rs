@@ -1,0 +1,191 @@
+//! Offline stand-in for the slice of `serde` this workspace uses: the
+//! `Serialize` / `Deserialize` traits, their derive macros (named-field
+//! structs only), and — via the sibling `serde_json` stub — JSON
+//! round-tripping.
+//!
+//! The design is deliberately *not* serde's visitor architecture: the
+//! traits serialize directly to / parse directly from JSON text, which is
+//! the only format the repository persists to. Numbers print through
+//! Rust's shortest-round-trip `Display`, so `f64` fields survive a
+//! round-trip bit-exactly — the property the persistence tests assert.
+
+pub mod de;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type writable as JSON text.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// A type readable back from JSON text (owned; no zero-copy borrowing).
+pub trait Deserialize: Sized {
+    /// Parses one JSON value from the parser's cursor.
+    fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error>;
+}
+
+macro_rules! impl_display_number {
+    ($($t:ty => $parse:ident),+) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                use std::fmt::Write;
+                write!(out, "{self}").expect("infallible");
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                p.$parse()
+            }
+        }
+    )+};
+}
+impl_display_number!(
+    u8 => parse_unsigned, u16 => parse_unsigned, u32 => parse_unsigned,
+    u64 => parse_unsigned, usize => parse_unsigned,
+    i8 => parse_signed, i16 => parse_signed, i32 => parse_signed,
+    i64 => parse_signed, isize => parse_signed,
+    f32 => parse_float, f64 => parse_float
+);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_bool()
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        de::write_json_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.parse_string()
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        de::write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.expect_char('[')?;
+        let mut out = Vec::new();
+        if p.try_char(']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(T::deserialize_json(p)?);
+            if p.try_char(',') {
+                continue;
+            }
+            p.expect_char(']')?;
+            return Ok(out);
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if p.try_literal("null") {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize_json(p)?))
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        p.expect_char('[')?;
+        let a = A::deserialize_json(p)?;
+        p.expect_char(',')?;
+        let b = B::deserialize_json(p)?;
+        p.expect_char(']')?;
+        Ok((a, b))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize>(v: &T) -> T {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        let mut p = de::Parser::new(&s);
+        let back = T::deserialize_json(&mut p).expect("parse");
+        p.expect_eof().expect("trailing garbage");
+        back
+    }
+
+    #[test]
+    fn numbers_roundtrip_bit_exact() {
+        for v in [0.1f64, 1.0, -3.5e300, 1.0 / 3.0, f64::MIN_POSITIVE] {
+            assert_eq!(roundtrip(&v).to_bits(), v.to_bits());
+        }
+        assert_eq!(roundtrip(&u64::MAX), u64::MAX);
+        assert_eq!(roundtrip(&-12345i64), -12345);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![vec![1u32, 2], vec![], vec![3]];
+        assert_eq!(roundtrip(&v), v);
+        let o: Option<f64> = None;
+        assert_eq!(roundtrip(&o), None);
+        assert_eq!(roundtrip(&Some(2.5f64)), Some(2.5));
+        assert_eq!(roundtrip(&(1u32, 2.5f64)), (1, 2.5));
+        assert_eq!(roundtrip(&String::from("a\"b\\c\nd")), "a\"b\\c\nd");
+    }
+}

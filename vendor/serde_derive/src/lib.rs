@@ -1,0 +1,225 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stub. Supports the shapes this workspace actually derives on:
+//! structs with named fields, optionally with simple type parameters
+//! (`struct StaticBst<K> { ... }`). Tuple structs, enums, lifetimes, and
+//! where-clauses are rejected with a compile error.
+//!
+//! Implemented with hand-rolled token walking (no `syn`/`quote` — the
+//! build environment has no registry access), emitting code via string
+//! formatting. The derives only need the struct *name*, *generic
+//! parameter names*, and *field names*: field types are recovered by
+//! inference at the struct-literal construction site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    /// Type parameter names, e.g. `["K"]`.
+    generics: Vec<String>,
+    fields: Vec<String>,
+}
+
+/// Walks the item tokens and extracts name / generics / named fields.
+fn parse_struct(input: TokenStream, trait_name: &str) -> Result<StructShape, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`) and visibility until the `struct` keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracket group of the attribute.
+                match iter.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err(format!(
+                    "derive({trait_name}) in the vendored serde supports only structs"
+                ));
+            }
+            Some(TokenTree::Ident(_)) | Some(TokenTree::Group(_)) => {
+                // Visibility (`pub`, `pub(crate)`) or similar — skip.
+            }
+            Some(other) => return Err(format!("unexpected token {other}")),
+            None => return Err("no `struct` keyword found".into()),
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected struct name".into()),
+    };
+
+    // Optional `<...>` generics: collect parameter names (idents at
+    // depth 1 that open a parameter position).
+    let mut generics = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    return Err("lifetimes are not supported by the vendored derive".into());
+                }
+                TokenTree::Ident(id) if at_param_start && depth == 1 => {
+                    generics.push(id.to_string());
+                    at_param_start = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Body must be a brace group of named fields.
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Ident(_)) | Some(TokenTree::Punct(_)) => {
+                return Err("where-clauses / tuple structs are not supported".into());
+            }
+            _ => return Err("expected named-field struct body".into()),
+        }
+    };
+
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    'fields: loop {
+        // Skip attributes and visibility before the field name.
+        let field = loop {
+            match toks.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match toks.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed field attribute".into()),
+                },
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    // Optional restriction group `(crate)` etc.
+                    if matches!(toks.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        toks.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected field token {other}")),
+            }
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected ':' after field `{field}`")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0isize;
+        loop {
+            match toks.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+        fields.push(field);
+    }
+    if fields.is_empty() {
+        return Err(format!("struct {name} has no named fields to derive over"));
+    }
+    Ok(StructShape { name, generics, fields })
+}
+
+fn impl_header(shape: &StructShape, trait_path: &str) -> String {
+    if shape.generics.is_empty() {
+        format!("impl {trait_path} for {} ", shape.name)
+    } else {
+        let bounded: Vec<String> =
+            shape.generics.iter().map(|g| format!("{g}: {trait_path}")).collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}> ",
+            bounded.join(", "),
+            shape.name,
+            shape.generics.join(", ")
+        )
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+}
+
+/// Derives `serde::Serialize` (vendored): writes `{"field":...}` in
+/// declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input, "Serialize") {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::from("out.push('{');\n");
+    for (i, field) in shape.fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\");\n\
+             ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+    let code = format!(
+        "{header}{{\n fn serialize_json(&self, out: &mut String) {{\n{body}\n }}\n}}",
+        header = impl_header(&shape, "::serde::Serialize"),
+    );
+    code.parse().expect("derive(Serialize) emitted invalid tokens")
+}
+
+/// Derives `serde::Deserialize` (vendored): reads fields back in
+/// declaration order — the order our serializer emits.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input, "Deserialize") {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::from("parser.expect_char('{')?;\n");
+    for (i, field) in shape.fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("parser.expect_char(',')?;\n");
+        }
+        body.push_str(&format!(
+            "parser.expect_key(\"{field}\")?;\n\
+             let {field} = ::serde::Deserialize::deserialize_json(parser)?;\n"
+        ));
+    }
+    body.push_str("parser.expect_char('}')?;\n");
+    body.push_str(&format!("Ok({} {{ {} }})", shape.name, shape.fields.join(", ")));
+    let code = format!(
+        "{header}{{\n fn deserialize_json(parser: &mut ::serde::de::Parser<'_>) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n }}\n}}",
+        header = impl_header(&shape, "::serde::Deserialize"),
+    );
+    code.parse().expect("derive(Deserialize) emitted invalid tokens")
+}

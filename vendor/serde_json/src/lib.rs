@@ -1,0 +1,33 @@
+//! Offline stand-in for the two `serde_json` entry points this workspace
+//! uses: [`to_string`] and [`from_str`], against the vendored serde
+//! stub's direct-to-JSON traits.
+
+pub use serde::de::Error;
+
+/// Serializes `value` to a JSON string. Infallible for the types in this
+/// workspace; the `Result` mirrors the upstream signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Parses a value of type `T` from JSON text produced by [`to_string`].
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = serde::de::Parser::new(text);
+    let value = T::deserialize_json(&mut parser)?;
+    parser.expect_eof()?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_via_public_api() {
+        let v = vec![1.5f64, -2.25, 1.0 / 3.0];
+        let json = super::to_string(&v).unwrap();
+        let back: Vec<f64> = super::from_str(&json).unwrap();
+        assert_eq!(v, back);
+        assert!(super::from_str::<Vec<f64>>("[1,2] trailing").is_err());
+    }
+}

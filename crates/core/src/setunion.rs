@@ -304,6 +304,55 @@ impl SetUnionSampler {
         Ok(())
     }
 
+    /// Fills `out` with independent uniform elements of `∪G` through a
+    /// *shared* reference — the serving fast path. Identical sampling
+    /// procedure to [`SetUnionSampler::sample_into`], but it neither
+    /// triggers nor accounts for permutation rebuilds: a frozen snapshot
+    /// shared by many reader threads cannot mutate itself. Callers that
+    /// share one structure across queries (e.g. `iqs-serve`) must count
+    /// served samples externally, and once the count passes
+    /// [`SetUnionSampler::rebuild_budget`] publish a refreshed clone via
+    /// [`SetUnionSampler::refresh_permutation`] to retain the paper's
+    /// amortized rebuilding argument.
+    ///
+    /// # Errors
+    /// As [`SetUnionSampler::sample`]. On error, `out` may have been
+    /// partially overwritten.
+    pub fn sample_frozen_into(
+        &self,
+        g: &[usize],
+        rng: &mut dyn RngCore,
+        out: &mut [u64],
+    ) -> Result<(), QueryError> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        if g.iter().all(|&i| self.ranks[i].is_empty()) {
+            return Err(QueryError::EmptyRange);
+        }
+        let windows = self.window_count(g);
+        let mut members: Vec<u32> = Vec::with_capacity(self.m * 2);
+        let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(4));
+        for slot in out.iter_mut() {
+            *slot = self.sample_one(g, windows, &mut members, &mut block)?;
+        }
+        Ok(())
+    }
+
+    /// Number of samples one permutation may serve before the paper's
+    /// rebuilding argument asks for a redraw (`n = Σ|S|`).
+    pub fn rebuild_budget(&self) -> usize {
+        self.n
+    }
+
+    /// Redraws the random permutation and rebuilds rank lists and
+    /// sketches — the explicit rebuild hook for writers that serve frozen
+    /// snapshots (see [`SetUnionSampler::sample_frozen_into`]). The
+    /// mutating query APIs call this automatically.
+    pub fn refresh_permutation<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.rebuild(rng);
+    }
+
     /// Draws `s` independent uniform elements of `∪G` — a convenience
     /// wrapper over [`SetUnionSampler::sample_into`].
     ///

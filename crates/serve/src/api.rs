@@ -1,0 +1,127 @@
+//! The service's typed request/response vocabulary.
+//!
+//! Requests name an index in the registry and dispatch to the matching
+//! structure's batch entry point on a worker thread. Samples come back as
+//! element *ids*: for dynamic indexes these are the caller-chosen ids the
+//! elements were inserted under; for a static range index they are the
+//! ranks in sorted key order (the same convention as
+//! [`iqs_core::RangeSampler`]).
+
+/// One mutation of a dynamic index, applied through the service so the
+/// writer path enjoys the same admission control and metrics as reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateOp {
+    /// Inserts `id` or replaces its key/weight if present. Weighted-set
+    /// indexes (no key dimension) ignore `key`.
+    Upsert {
+        /// Caller-chosen element id.
+        id: u64,
+        /// Position on the line (range indexes only).
+        key: f64,
+        /// Sampling weight; must be finite-positive.
+        weight: f64,
+    },
+    /// Removes `id` if present (removing an absent id is not an error —
+    /// it simply does not count as applied).
+    Remove {
+        /// The element id to remove.
+        id: u64,
+    },
+}
+
+/// A sampling/service request. All variants name the target index by its
+/// registered name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `s` independent weighted samples **with** replacement. For range
+    /// indexes `range = Some((x, y))` restricts to the closed key
+    /// interval; `None` samples the whole index (also the form weighted
+    /// set indexes accept).
+    SampleWr {
+        /// Target index name.
+        index: String,
+        /// Closed key interval, or `None` for the full index.
+        range: Option<(f64, f64)>,
+        /// Number of samples.
+        s: u32,
+    },
+    /// `s` *distinct* weighted samples (without replacement). Range
+    /// indexes only.
+    SampleWor {
+        /// Target index name.
+        index: String,
+        /// Closed key interval, or `None` for the full index.
+        range: Option<(f64, f64)>,
+        /// Number of distinct samples; must not exceed `|S_q|`.
+        s: u32,
+    },
+    /// Number of elements in the closed key interval `[x, y]`. Range
+    /// indexes only.
+    RangeCount {
+        /// Target index name.
+        index: String,
+        /// Interval start.
+        x: f64,
+        /// Interval end.
+        y: f64,
+    },
+    /// `s` independent uniform samples of the union of the named member
+    /// sets of a set-union index (Theorem 8 through the service path).
+    SampleUnion {
+        /// Target index name.
+        index: String,
+        /// Member-set ids forming the query family `G`.
+        g: Vec<u32>,
+        /// Number of samples.
+        s: u32,
+    },
+    /// Applies `ops` to a dynamic index in order, then atomically
+    /// publishes a freshly rebuilt snapshot. Readers keep sampling the
+    /// previous snapshot throughout; they never block on the rebuild.
+    Update {
+        /// Target index name.
+        index: String,
+        /// Mutations, applied in order.
+        ops: Vec<UpdateOp>,
+    },
+}
+
+impl Request {
+    /// The name of the index this request targets.
+    pub fn index(&self) -> &str {
+        match self {
+            Request::SampleWr { index, .. }
+            | Request::SampleWor { index, .. }
+            | Request::RangeCount { index, .. }
+            | Request::SampleUnion { index, .. }
+            | Request::Update { index, .. } => index,
+        }
+    }
+}
+
+/// A successful response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Sampled element ids (see the module docs for the id convention).
+    Samples(Vec<u64>),
+    /// An element count.
+    Count(usize),
+    /// Outcome of an [`Request::Update`].
+    Updated {
+        /// Operations that took effect (removing an absent id does not
+        /// count).
+        applied: usize,
+        /// Version number of the published snapshot now serving reads.
+        version: u64,
+    },
+}
+
+impl Response {
+    /// The samples carried by a [`Response::Samples`], or `None`.
+    pub fn samples(&self) -> Option<&[u64]> {
+        match self {
+            Response::Samples(ids) => Some(ids),
+            _ => None,
+        }
+    }
+}

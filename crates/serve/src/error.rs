@@ -1,0 +1,87 @@
+//! The service-layer error type. Everything a request can fail with is
+//! one boxable enum, so callers (and the examples/harness) can `?` it
+//! through `Box<dyn Error>` alongside the structure-level errors.
+
+use std::fmt;
+
+use iqs_alias::WeightError;
+use iqs_core::QueryError;
+
+/// Errors returned by the sampling service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request named an index that is not registered.
+    UnknownIndex(String),
+    /// The underlying structure rejected the query (empty range, WoR
+    /// oversample, rejection budget, …).
+    Query(QueryError),
+    /// An update carried an invalid weight.
+    Weight(WeightError),
+    /// The request kind is not supported by the target index's type
+    /// (e.g. keyed range queries against a weighted-set index).
+    Unsupported(&'static str),
+    /// The request was malformed (oversized sample, bad set id, …).
+    InvalidRequest(&'static str),
+    /// Admission control refused the request: the queue is at capacity.
+    /// Back off and retry; in-budget traffic keeps its latency.
+    Overloaded,
+    /// The request's deadline expired before a worker picked it up.
+    DeadlineExceeded,
+    /// The service is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownIndex(name) => write!(f, "no index named {name:?} is registered"),
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+            ServeError::Weight(e) => write!(f, "update rejected: {e}"),
+            ServeError::Unsupported(what) => {
+                write!(f, "request not supported by this index type: {what}")
+            }
+            ServeError::InvalidRequest(what) => write!(f, "invalid request: {what}"),
+            ServeError::Overloaded => write!(f, "service overloaded: request queue at capacity"),
+            ServeError::DeadlineExceeded => write!(f, "deadline expired before the request ran"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Query(e) => Some(e),
+            ServeError::Weight(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+impl From<WeightError> for ServeError {
+    fn from(e: WeightError) -> Self {
+        ServeError::Weight(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ServeError::from(QueryError::EmptyRange);
+        assert!(e.to_string().contains("query failed"));
+        assert!(e.source().is_some());
+        assert!(ServeError::Overloaded.source().is_none());
+        let boxed: Box<dyn Error + Send + Sync> = Box::new(ServeError::Overloaded);
+        assert!(!boxed.to_string().is_empty());
+    }
+}

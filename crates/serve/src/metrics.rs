@@ -1,0 +1,295 @@
+//! Built-in service metrics: lock-free atomic counters plus log₂-bucket
+//! latency histograms, exported as an immutable [`MetricsSnapshot`].
+//!
+//! The recording path is designed for the worker hot loop: one relaxed
+//! `fetch_add` per counter and one per histogram sample — no locks, no
+//! allocation, no time-series machinery. Percentiles are computed at
+//! *snapshot* time from the bucket counts. Buckets double in width
+//! (bucket `b` holds durations in `[2^(b-1), 2^b)` nanoseconds), so a
+//! reported quantile is exact to within a factor of 2 — the right
+//! resolution for the question E17 asks ("is p99 10× p50 or 1000×?")
+//! at a per-sample cost of a handful of instructions.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets: covers 1 ns up to ~584 years.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A concurrent log₂-bucket histogram of durations.
+#[derive(Debug)]
+pub(crate) struct LogHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl LogHistogram {
+    pub(crate) fn new() -> Self {
+        LogHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    /// Records one duration. Wait-free: a single relaxed increment.
+    pub(crate) fn record(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        // Bucket index = bit length of ns: 0 → bucket 0, otherwise
+        // ns ∈ [2^(b-1), 2^b) → bucket b.
+        let b = (u64::BITS - ns.leading_zeros()) as usize;
+        self.buckets[b.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// An immutable copy of a [`LogHistogram`]'s bucket counts.
+///
+/// Bucket `b` counts durations in `[2^(b-1), 2^b)` nanoseconds (bucket 0
+/// counts exact zeros), so quantiles are upper bounds tight to 2×.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Raw bucket counts, by log₂(nanoseconds).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The duration below which a fraction `q` (in `[0, 1]`) of samples
+    /// fall, reported as the upper bound of the containing bucket (so the
+    /// true quantile lies within 2× below the returned value). Returns
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper_ns = if b >= 64 { u64::MAX } else { (1u128 << b) as u64 };
+                return Some(Duration::from_nanos(upper_ns));
+            }
+        }
+        None
+    }
+
+    /// Bucket-wise difference `self - earlier` — the histogram of samples
+    /// recorded between two snapshots. Saturates at zero.
+    pub fn minus(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+        }
+    }
+}
+
+/// The service's live counters. All increments are relaxed atomics on the
+/// worker/submit hot paths.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) rejected_overload: AtomicU64,
+    pub(crate) deadline_missed: AtomicU64,
+    pub(crate) updates_applied: AtomicU64,
+    pub(crate) queue_depth: AtomicUsize,
+    pub(crate) latency: LogHistogram,
+    pub(crate) queue_wait: LogHistogram,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            latency: LogHistogram::new(),
+            queue_wait: LogHistogram::new(),
+        }
+    }
+
+    pub(crate) fn snapshot(&self, snapshot_swaps: u64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            snapshot_swaps,
+            latency: self.latency.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of every service metric. Obtain via
+/// `Server::metrics()`; diff two snapshots with
+/// [`MetricsSnapshot::minus`] to meter one interval (E17 does this per
+/// offered-load step).
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsSnapshot {
+    /// Requests offered to the service (including later-rejected ones).
+    pub submitted: u64,
+    /// Requests that completed with an `Ok` response.
+    pub completed: u64,
+    /// Requests that completed with a typed error (bad index, empty
+    /// range, …) — *not* overload rejections or deadline misses.
+    pub failed: u64,
+    /// Requests refused at admission because the queue was full.
+    pub rejected_overload: u64,
+    /// Requests dropped because their deadline expired before a worker
+    /// reached them.
+    pub deadline_missed: u64,
+    /// Individual update operations applied to dynamic indexes.
+    pub updates_applied: u64,
+    /// Backlog length at snapshot time.
+    pub queue_depth: usize,
+    /// Total index snapshot publications across the registry.
+    pub snapshot_swaps: u64,
+    /// End-to-end service latency (request origin → response ready).
+    pub latency: HistogramSnapshot,
+    /// Queue wait (admission → worker pickup) component of latency.
+    pub queue_wait: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference `self - earlier`, for metering an
+    /// interval. Gauges (`queue_depth`) and totals (`snapshot_swaps`)
+    /// keep the later value.
+    pub fn minus(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            completed: self.completed.saturating_sub(earlier.completed),
+            failed: self.failed.saturating_sub(earlier.failed),
+            rejected_overload: self.rejected_overload.saturating_sub(earlier.rejected_overload),
+            deadline_missed: self.deadline_missed.saturating_sub(earlier.deadline_missed),
+            updates_applied: self.updates_applied.saturating_sub(earlier.updates_applied),
+            queue_depth: self.queue_depth,
+            snapshot_swaps: self.snapshot_swaps,
+            latency: self.latency.minus(&earlier.latency),
+            queue_wait: self.queue_wait.minus(&earlier.queue_wait),
+        }
+    }
+}
+
+fn fmt_dur(d: Option<Duration>) -> String {
+    match d {
+        None => "-".to_string(),
+        Some(d) if d.as_nanos() < 1_000 => format!("{}ns", d.as_nanos()),
+        Some(d) if d.as_nanos() < 1_000_000 => format!("{:.1}µs", d.as_nanos() as f64 / 1e3),
+        Some(d) if d.as_nanos() < 1_000_000_000 => format!("{:.1}ms", d.as_nanos() as f64 / 1e6),
+        Some(d) => format!("{:.2}s", d.as_secs_f64()),
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: {} submitted, {} ok, {} failed, {} rejected (overload), {} deadline-missed",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.rejected_overload,
+            self.deadline_missed
+        )?;
+        writeln!(
+            f,
+            "updates applied: {}; snapshot swaps: {}; queue depth: {}",
+            self.updates_applied, self.snapshot_swaps, self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "latency  p50 {} | p99 {} | p999 {}  (log2 buckets: ≤2x)",
+            fmt_dur(self.latency.quantile(0.50)),
+            fmt_dur(self.latency.quantile(0.99)),
+            fmt_dur(self.latency.quantile(0.999)),
+        )?;
+        write!(
+            f,
+            "queue-wait p50 {} | p99 {} | p999 {}",
+            fmt_dur(self.queue_wait.quantile(0.50)),
+            fmt_dur(self.queue_wait.quantile(0.99)),
+            fmt_dur(self.queue_wait.quantile(0.999)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let h = LogHistogram::new();
+        h.record(Duration::from_nanos(0)); // bucket 0
+        h.record(Duration::from_nanos(1)); // bucket 1
+        h.record(Duration::from_nanos(2)); // bucket 2
+        h.record(Duration::from_nanos(3)); // bucket 2
+        h.record(Duration::from_nanos(4)); // bucket 3
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn quantiles_are_two_x_upper_bounds() {
+        let h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket 7, upper 128
+        }
+        h.record(Duration::from_micros(100)); // bucket 17, upper 131072
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), Some(Duration::from_nanos(128)));
+        assert_eq!(s.quantile(0.99), Some(Duration::from_nanos(128)));
+        assert_eq!(s.quantile(1.0), Some(Duration::from_nanos(131072)));
+        // True value (100ns) within 2x below the reported bound.
+        assert!(s.quantile(0.5).unwrap() <= Duration::from_nanos(200));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = LogHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_diff_meters_an_interval() {
+        let h = LogHistogram::new();
+        h.record(Duration::from_nanos(10));
+        let before = h.snapshot();
+        h.record(Duration::from_nanos(10));
+        h.record(Duration::from_nanos(10));
+        let delta = h.snapshot().minus(&before);
+        assert_eq!(delta.count(), 2);
+    }
+
+    #[test]
+    fn display_is_complete_and_nonempty() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.latency.record(Duration::from_micros(7));
+        let text = m.snapshot(5).to_string();
+        assert!(text.contains("3 submitted"));
+        assert!(text.contains("snapshot swaps: 5"));
+        assert!(text.contains("p99"));
+    }
+}

@@ -1,0 +1,196 @@
+//! The service's internal plumbing: a bounded MPMC request queue and a
+//! one-shot reply cell, both on `std` primitives only.
+//!
+//! The queue is deliberately *bounded with rejection*: when producers
+//! outpace the worker pool the excess is refused at admission time
+//! ([`BoundedQueue::try_push`] returns the item back) instead of queueing
+//! unboundedly. Unbounded queues convert overload into unbounded latency
+//! for *everyone*; admission control converts it into prompt `Overloaded`
+//! errors for the excess while in-budget requests keep their latency —
+//! the behaviour experiment E17 measures.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushRefused<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed for shutdown; the item is handed back.
+    Closed(T),
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO. Producers never block
+/// (they are refused instead); consumers block until an item arrives or
+/// the queue is closed *and* drained.
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, or refuses it without blocking.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), PushRefused<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushRefused::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushRefused::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is open and
+    /// empty. Returns `None` once the queue is closed and fully drained —
+    /// the worker-exit signal that makes shutdown drain in-flight work.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: further pushes are refused, consumers drain the
+    /// backlog and then observe `None`.
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Current backlog length.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+}
+
+/// A single-use reply cell: the worker fulfills it once; the requesting
+/// client blocks on [`OneShot::wait`] until it does.
+pub(crate) struct OneShot<T> {
+    cell: Arc<(Mutex<Option<T>>, Condvar)>,
+}
+
+impl<T> Clone for OneShot<T> {
+    fn clone(&self) -> Self {
+        OneShot { cell: Arc::clone(&self.cell) }
+    }
+}
+
+impl<T> OneShot<T> {
+    pub(crate) fn new() -> Self {
+        OneShot { cell: Arc::new((Mutex::new(None), Condvar::new())) }
+    }
+
+    /// Fulfills the cell and wakes the waiter. A second fulfillment is
+    /// ignored (the first response wins).
+    pub(crate) fn put(&self, value: T) {
+        let mut slot = self.cell.0.lock().expect("oneshot poisoned");
+        if slot.is_none() {
+            *slot = Some(value);
+        }
+        drop(slot);
+        self.cell.1.notify_all();
+    }
+
+    /// Blocks until the cell is fulfilled and takes the value.
+    pub(crate) fn wait(&self) -> T {
+        let mut slot = self.cell.0.lock().expect("oneshot poisoned");
+        loop {
+            if let Some(value) = slot.take() {
+                return value;
+            }
+            slot = self.cell.1.wait(slot).expect("oneshot poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushRefused::Full(3))));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(12), Err(PushRefused::Closed(12))));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop() {
+                got.push(v);
+            }
+            got
+        });
+        for v in 0..100 {
+            while q.try_push(v).is_err() {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oneshot_delivers_across_threads() {
+        let cell = OneShot::new();
+        let tx = cell.clone();
+        let t = std::thread::spawn(move || tx.put(41));
+        assert_eq!(cell.wait(), 41);
+        t.join().unwrap();
+        // Duplicate put is ignored, not an error.
+        cell.put(42);
+    }
+}

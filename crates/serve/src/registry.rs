@@ -1,0 +1,475 @@
+//! The [`IndexRegistry`]: named sampling indexes behind epoch-published
+//! snapshots.
+//!
+//! Each registered index is a pair of states:
+//!
+//! * a **published view** ([`IndexView`]) — an immutable, read-optimized
+//!   structure (a [`ChunkedRange`], an [`AliasTable`], or a frozen
+//!   [`SetUnionSampler`]) inside a [`Snapshot`] cell. Workers pin it per
+//!   request; any number of threads sample it concurrently.
+//! * a **master** — for dynamic indexes, the mutable update-optimized
+//!   structure ([`DynamicRange`] / [`DynamicAlias`]) behind a writer
+//!   mutex. Updates mutate the master, rebuild a fresh view off-thread,
+//!   and publish it atomically. Readers of the old view are never
+//!   blocked, never torn, and drop the old snapshot when their in-flight
+//!   queries finish.
+//!
+//! The registry map itself is frozen when the server starts (indexes are
+//! registered up front); all runtime mutation goes through the masters
+//! and snapshot cells, which is what makes the whole object `Sync`.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+
+use iqs_alias::{AliasTable, DynamicAlias};
+use iqs_core::setunion::SetUnionSampler;
+use iqs_core::{ChunkedRange, DynamicRange};
+use rand::Rng;
+
+use crate::api::UpdateOp;
+use crate::error::ServeError;
+use crate::snapshot::Snapshot;
+
+/// Published view of a 1-D weighted range index: a Theorem-3 structure
+/// plus the rank → element-id mapping. `sampler` is `None` when the
+/// index is (currently) empty.
+#[derive(Debug)]
+pub struct RangeView {
+    /// The static structure serving this snapshot, if non-empty.
+    pub sampler: Option<ChunkedRange>,
+    /// Element id at each rank; `None` means the rank *is* the id
+    /// (static indexes registered from bare `(key, weight)` pairs).
+    pub ids: Option<Vec<u64>>,
+}
+
+impl RangeView {
+    /// Maps a rank to its element id.
+    pub fn id_at(&self, rank: usize) -> u64 {
+        match &self.ids {
+            Some(ids) => ids[rank],
+            None => rank as u64,
+        }
+    }
+}
+
+/// Published view of a weighted-set index (no key dimension): one alias
+/// table over the current weights. `table` is `None` when empty.
+#[derive(Debug)]
+pub struct WeightedView {
+    /// Walker alias table over the live weights, if non-empty.
+    pub table: Option<AliasTable>,
+    /// Element id of each alias-table column.
+    pub ids: Vec<u64>,
+}
+
+/// The published, immutable state of one index.
+#[derive(Debug)]
+pub enum IndexView {
+    /// Weighted range sampling on the line (Theorem 3).
+    Range(RangeView),
+    /// Weighted set sampling (Theorem 1).
+    Weighted(WeightedView),
+    /// Set-union sampling (Theorem 8), served frozen.
+    Union(SetUnionSampler),
+}
+
+/// The writer-side state of one index.
+#[derive(Debug)]
+enum Master {
+    /// Static range index: no updates.
+    StaticRange,
+    /// Dynamic range index: Bentley–Saxe master.
+    DynRange(DynamicRange),
+    /// Dynamic weighted-set index: bucketed-alias master.
+    DynWeighted(DynamicAlias),
+    /// Union index: no element updates; the mutex still serializes
+    /// permutation refreshes (which clone from the current view).
+    Union,
+}
+
+/// One registered index.
+#[derive(Debug)]
+pub(crate) struct IndexEntry {
+    pub(crate) view: Snapshot<IndexView>,
+    master: Mutex<Master>,
+    /// Samples served against the current union permutation; drives the
+    /// paper's rebuild-every-`n`-queries argument for frozen serving.
+    pub(crate) union_served: AtomicU64,
+}
+
+/// Builds the read view of a dynamic range master.
+fn range_view_of(master: &DynamicRange) -> IndexView {
+    let triples = master.live_triples();
+    if triples.is_empty() {
+        return IndexView::Range(RangeView { sampler: None, ids: None });
+    }
+    // `live_triples` is key-sorted and `ChunkedRange`'s stable sort
+    // preserves that order, so `ids` stays aligned with ranks.
+    let pairs: Vec<(f64, f64)> = triples.iter().map(|&(_, key, w)| (key, w)).collect();
+    let ids: Vec<u64> = triples.iter().map(|&(id, _, _)| id).collect();
+    let sampler = ChunkedRange::new(pairs).expect("master validated every element");
+    IndexView::Range(RangeView { sampler: Some(sampler), ids: Some(ids) })
+}
+
+/// Builds the read view of a dynamic weighted-set master.
+fn weighted_view_of(master: &DynamicAlias) -> IndexView {
+    let pairs = master.pairs();
+    if pairs.is_empty() {
+        return IndexView::Weighted(WeightedView { table: None, ids: Vec::new() });
+    }
+    let weights: Vec<f64> = pairs.iter().map(|&(_, w)| w).collect();
+    let ids: Vec<u64> = pairs.iter().map(|&(id, _)| id).collect();
+    let table = AliasTable::new(&weights).expect("master validated every weight");
+    IndexView::Weighted(WeightedView { table: Some(table), ids })
+}
+
+/// Named indexes behind snapshot cells. Register everything before
+/// handing the registry to `Server::start`; thereafter updates flow
+/// through `Request::Update` and publications through the snapshots.
+#[derive(Debug, Default)]
+pub struct IndexRegistry {
+    map: HashMap<String, IndexEntry>,
+}
+
+impl IndexRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        IndexRegistry::default()
+    }
+
+    fn insert_entry(
+        &mut self,
+        name: &str,
+        view: IndexView,
+        master: Master,
+    ) -> Result<(), ServeError> {
+        if self.map.contains_key(name) {
+            return Err(ServeError::InvalidRequest(
+                "an index with this name is already registered",
+            ));
+        }
+        self.map.insert(
+            name.to_string(),
+            IndexEntry {
+                view: Snapshot::new(view),
+                master: Mutex::new(master),
+                union_served: AtomicU64::new(0),
+            },
+        );
+        Ok(())
+    }
+
+    /// Registers an immutable range index over `(key, weight)` pairs.
+    /// Sampled ids are ranks in sorted key order.
+    ///
+    /// # Errors
+    /// [`ServeError::Query`] on invalid input, or a duplicate-name error.
+    pub fn register_range_static(
+        &mut self,
+        name: &str,
+        pairs: Vec<(f64, f64)>,
+    ) -> Result<(), ServeError> {
+        let sampler = ChunkedRange::new(pairs)?;
+        self.insert_entry(
+            name,
+            IndexView::Range(RangeView { sampler: Some(sampler), ids: None }),
+            Master::StaticRange,
+        )
+    }
+
+    /// Registers a dynamic range index from `(id, key, weight)` triples
+    /// (possibly empty). Updates rebuild and republish the read view.
+    ///
+    /// # Errors
+    /// [`ServeError::Query`] on invalid input (bad key/weight, duplicate
+    /// id), or a duplicate-name error.
+    pub fn register_range_dynamic(
+        &mut self,
+        name: &str,
+        triples: Vec<(u64, f64, f64)>,
+    ) -> Result<(), ServeError> {
+        let master = DynamicRange::from_triples(triples)?;
+        let view = range_view_of(&master);
+        self.insert_entry(name, view, Master::DynRange(master))
+    }
+
+    /// Registers a dynamic weighted-set index from `(id, weight)` pairs
+    /// (possibly empty; duplicate ids keep the last weight).
+    ///
+    /// # Errors
+    /// [`ServeError::Weight`] on a bad weight, or a duplicate-name error.
+    pub fn register_weighted(
+        &mut self,
+        name: &str,
+        pairs: &[(u64, f64)],
+    ) -> Result<(), ServeError> {
+        let mut master = DynamicAlias::new();
+        for &(id, w) in pairs {
+            master.insert(id, w)?;
+        }
+        let view = weighted_view_of(&master);
+        self.insert_entry(name, view, Master::DynWeighted(master))
+    }
+
+    /// Registers a set-union index over a set family (Theorem 8). The
+    /// permutation is drawn from `rng`; the service refreshes it
+    /// automatically after `n` served samples.
+    ///
+    /// # Errors
+    /// [`ServeError::Query`] when the family is empty, or a
+    /// duplicate-name error.
+    pub fn register_union<R: Rng + ?Sized>(
+        &mut self,
+        name: &str,
+        sets: Vec<Vec<u64>>,
+        rng: &mut R,
+    ) -> Result<(), ServeError> {
+        let sampler = SetUnionSampler::new(sets, rng)?;
+        self.insert_entry(name, IndexView::Union(sampler), Master::Union)
+    }
+
+    /// Registered index names, unordered.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
+    }
+
+    /// Pins and returns the named index's current snapshot.
+    pub fn view(&self, name: &str) -> Option<Arc<IndexView>> {
+        Some(self.map.get(name)?.view.load())
+    }
+
+    /// Total snapshot publications across all indexes (each index's
+    /// initial publication counts as 1).
+    pub fn swap_count(&self) -> u64 {
+        self.map.values().map(|e| e.view.version()).sum()
+    }
+
+    pub(crate) fn entry(&self, name: &str) -> Result<&IndexEntry, ServeError> {
+        self.map.get(name).ok_or_else(|| ServeError::UnknownIndex(name.to_string()))
+    }
+
+    /// Applies `ops` to a dynamic index's master and publishes a rebuilt
+    /// view. Serialized per index by the master mutex; readers keep
+    /// sampling the previous snapshot throughout.
+    ///
+    /// Ops are applied in order; on the first invalid op the batch stops,
+    /// the ops already applied are still published, and the error is
+    /// returned.
+    pub(crate) fn apply_update(
+        &self,
+        name: &str,
+        ops: &[UpdateOp],
+    ) -> Result<(usize, u64), ServeError> {
+        let entry = self.entry(name)?;
+        let mut master = entry.master.lock().expect("index master poisoned");
+        let mut applied = 0usize;
+        let mut first_err: Option<ServeError> = None;
+        match &mut *master {
+            Master::StaticRange | Master::Union => {
+                return Err(ServeError::Unsupported("updates require a dynamic index"));
+            }
+            Master::DynRange(d) => {
+                for &op in ops {
+                    let r = match op {
+                        UpdateOp::Upsert { id, key, weight } => {
+                            d.remove(id);
+                            d.insert(id, key, weight).map(|()| true)
+                        }
+                        UpdateOp::Remove { id } => Ok(d.remove(id).is_some()),
+                    };
+                    match r {
+                        Ok(true) => applied += 1,
+                        Ok(false) => {}
+                        Err(e) => {
+                            first_err = Some(ServeError::Query(e));
+                            break;
+                        }
+                    }
+                }
+                if applied > 0 || first_err.is_none() {
+                    let version = entry.view.store(range_view_of(d));
+                    if let Some(e) = first_err {
+                        return Err(e);
+                    }
+                    return Ok((applied, version));
+                }
+            }
+            Master::DynWeighted(d) => {
+                for &op in ops {
+                    let r = match op {
+                        UpdateOp::Upsert { id, weight, .. } => d.insert(id, weight).map(|()| true),
+                        UpdateOp::Remove { id } => Ok(d.remove(id).is_some()),
+                    };
+                    match r {
+                        Ok(true) => applied += 1,
+                        Ok(false) => {}
+                        Err(e) => {
+                            first_err = Some(ServeError::Weight(e));
+                            break;
+                        }
+                    }
+                }
+                if applied > 0 || first_err.is_none() {
+                    let version = entry.view.store(weighted_view_of(d));
+                    if let Some(e) = first_err {
+                        return Err(e);
+                    }
+                    return Ok((applied, version));
+                }
+            }
+        }
+        Err(first_err.expect("unreachable: loop exited without applying or erring"))
+    }
+
+    /// If the named union index has served its rebuild budget, clone the
+    /// current view, redraw its permutation, and publish the refresh.
+    /// Returns whether a refresh was published.
+    pub(crate) fn maybe_refresh_union<R: Rng + ?Sized>(
+        &self,
+        name: &str,
+        rng: &mut R,
+    ) -> Result<bool, ServeError> {
+        use std::sync::atomic::Ordering;
+        let entry = self.entry(name)?;
+        let due = {
+            let view = entry.view.load();
+            match &*view {
+                IndexView::Union(s) => {
+                    entry.union_served.load(Ordering::Relaxed) >= s.rebuild_budget() as u64
+                }
+                _ => return Err(ServeError::Unsupported("not a union index")),
+            }
+        };
+        if !due {
+            return Ok(false);
+        }
+        // Serialize refreshes on the master mutex and re-check, so a
+        // burst of workers crossing the budget publishes one refresh.
+        let _guard = entry.master.lock().expect("index master poisoned");
+        let view = entry.view.load();
+        let IndexView::Union(current) = &*view else {
+            return Err(ServeError::Unsupported("not a union index"));
+        };
+        if entry.union_served.load(Ordering::Relaxed) < current.rebuild_budget() as u64 {
+            return Ok(false);
+        }
+        let mut fresh = current.clone();
+        fresh.refresh_permutation(rng);
+        entry.union_served.store(0, Ordering::Relaxed);
+        entry.view.store(IndexView::Union(fresh));
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqs_core::RangeSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reg() -> IndexRegistry {
+        let mut reg = IndexRegistry::new();
+        reg.register_range_static("s", (0..64).map(|i| (i as f64, 1.0)).collect()).unwrap();
+        reg.register_range_dynamic("d", (0..64).map(|i| (i, i as f64, 1.0)).collect()).unwrap();
+        reg.register_weighted("w", &[(1, 1.0), (2, 3.0)]).unwrap();
+        reg
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut r = reg();
+        assert!(matches!(
+            r.register_weighted("w", &[(9, 1.0)]),
+            Err(ServeError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn static_range_refuses_updates() {
+        let r = reg();
+        let err = r.apply_update("s", &[UpdateOp::Remove { id: 0 }]).unwrap_err();
+        assert!(matches!(err, ServeError::Unsupported(_)));
+    }
+
+    #[test]
+    fn dynamic_update_publishes_new_snapshot() {
+        let r = reg();
+        let v0 = r.view("d").unwrap();
+        let (applied, version) = r
+            .apply_update(
+                "d",
+                &[
+                    UpdateOp::Upsert { id: 100, key: 3.5, weight: 2.0 },
+                    UpdateOp::Remove { id: 5 },
+                    UpdateOp::Remove { id: 999 }, // absent: not applied
+                ],
+            )
+            .unwrap();
+        assert_eq!(applied, 2);
+        assert_eq!(version, 2);
+        // Old pinned snapshot unchanged; new view reflects the update.
+        let (IndexView::Range(old), IndexView::Range(new)) = (&*v0, &*r.view("d").unwrap()) else {
+            panic!("range views expected")
+        };
+        assert_eq!(old.sampler.as_ref().unwrap().len(), 64);
+        let new_sampler = new.sampler.as_ref().unwrap();
+        assert_eq!(new_sampler.len(), 64); // +1 insert, -1 remove
+        let ids = new.ids.as_ref().unwrap();
+        assert!(ids.contains(&100) && !ids.contains(&5));
+        // Rank/id alignment: id 100 sits at the rank of key 3.5.
+        let rank = ids.iter().position(|&id| id == 100).unwrap();
+        assert_eq!(new_sampler.keys()[rank], 3.5);
+    }
+
+    #[test]
+    fn weighted_update_and_emptying() {
+        let r = reg();
+        r.apply_update("w", &[UpdateOp::Remove { id: 1 }, UpdateOp::Remove { id: 2 }]).unwrap();
+        let IndexView::Weighted(v) = &*r.view("w").unwrap() else { panic!() };
+        assert!(v.table.is_none());
+        // Refill works too.
+        r.apply_update("w", &[UpdateOp::Upsert { id: 7, key: 0.0, weight: 1.5 }]).unwrap();
+        let IndexView::Weighted(v) = &*r.view("w").unwrap() else { panic!() };
+        assert_eq!(v.ids, vec![7]);
+    }
+
+    #[test]
+    fn bad_op_stops_batch_but_publishes_prefix() {
+        let r = reg();
+        let err = r
+            .apply_update(
+                "w",
+                &[
+                    UpdateOp::Upsert { id: 50, key: 0.0, weight: 2.0 },
+                    UpdateOp::Upsert { id: 51, key: 0.0, weight: -1.0 }, // invalid
+                    UpdateOp::Upsert { id: 52, key: 0.0, weight: 2.0 },  // never reached
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Weight(_)));
+        let IndexView::Weighted(v) = &*r.view("w").unwrap() else { panic!() };
+        assert!(v.ids.contains(&50) && !v.ids.contains(&51) && !v.ids.contains(&52));
+    }
+
+    #[test]
+    fn union_refresh_honors_budget() {
+        use std::sync::atomic::Ordering;
+        let mut r = IndexRegistry::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        r.register_union("u", vec![(0..40u64).collect(), (20..60u64).collect()], &mut rng).unwrap();
+        assert!(!r.maybe_refresh_union("u", &mut rng).unwrap());
+        r.entry("u").unwrap().union_served.store(1_000_000, Ordering::Relaxed);
+        assert!(r.maybe_refresh_union("u", &mut rng).unwrap());
+        assert_eq!(r.entry("u").unwrap().union_served.load(Ordering::Relaxed), 0);
+        assert_eq!(r.swap_count(), 2);
+    }
+
+    #[test]
+    fn unknown_index_errors() {
+        let r = reg();
+        assert!(matches!(r.entry("nope"), Err(ServeError::UnknownIndex(_))));
+        assert!(r.view("nope").is_none());
+    }
+}

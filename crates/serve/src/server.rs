@@ -1,0 +1,386 @@
+//! The multi-threaded sampling query engine: a worker pool pulling typed
+//! requests off a bounded queue and dispatching them to the registry's
+//! snapshot-published indexes.
+//!
+//! Request lifecycle:
+//!
+//! 1. **Admission** — [`Client`] hands the request to the bounded MPMC
+//!    queue. A full queue refuses it immediately with
+//!    [`ServeError::Overloaded`] (backpressure, not unbounded queueing).
+//! 2. **Pickup** — a worker dequeues it. If its deadline already passed,
+//!    the worker answers [`ServeError::DeadlineExceeded`] without doing
+//!    the work — expired requests never consume sampling capacity.
+//! 3. **Dispatch** — the worker pins the target index's current snapshot
+//!    and runs the matching batch entry point with its *per-worker*
+//!    reusable output buffer and RNG. Each worker owns a seeded `StdRng`,
+//!    so every response's samples are independent of every other
+//!    response's — the paper's equation (1) across service clients.
+//! 4. **Reply + metrics** — latency (request origin → response ready) and
+//!    queue wait are recorded in log₂ histograms; counters classify the
+//!    outcome.
+//!
+//! Shutdown is graceful: admissions stop, workers drain everything
+//! already queued (every accepted request gets a response), then exit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use iqs_core::{QueryError, RangeSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::api::{Request, Response};
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{BoundedQueue, OneShot, PushRefused};
+use crate::registry::{IndexRegistry, IndexView};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads. Defaults to available parallelism, capped at 8.
+    pub workers: usize,
+    /// Request-queue capacity; admission refuses beyond it. Default 1024.
+    pub queue_capacity: usize,
+    /// Deadline applied to `Client::call` requests that do not carry
+    /// their own. `None` (default) means no implicit deadline.
+    pub default_deadline: Option<Duration>,
+    /// Upper bound on per-request sample count, bounding worker memory.
+    /// Default 2²⁰.
+    pub max_sample_size: u32,
+    /// Seed for the per-worker RNGs (worker `i` derives an independent
+    /// stream from it).
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4),
+            queue_capacity: 1024,
+            default_deadline: None,
+            max_sample_size: 1 << 20,
+            seed: 0x1b5_5e7e,
+        }
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request: Request,
+    /// Latency is measured from here — for open-loop load generators this
+    /// is the *scheduled* arrival time, so queueing delay is charged to
+    /// the service (no coordinated omission).
+    origin: Instant,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    /// `None` for fire-and-forget submissions; outcomes still land in the
+    /// metrics.
+    reply: Option<OneShot<Result<Response, ServeError>>>,
+}
+
+struct Shared {
+    registry: IndexRegistry,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    accepting: AtomicBool,
+    max_sample_size: u32,
+}
+
+impl Shared {
+    fn submit(
+        &self,
+        request: Request,
+        origin: Instant,
+        deadline: Option<Instant>,
+        reply: Option<OneShot<Result<Response, ServeError>>>,
+    ) -> Result<(), ServeError> {
+        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let job = Job { request, origin, enqueued: Instant::now(), deadline, reply };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(PushRefused::Full(_)) => {
+                self.metrics.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded)
+            }
+            Err(PushRefused::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    fn snapshot_metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.registry.swap_count())
+    }
+}
+
+/// A cloneable handle for submitting requests to a running [`Server`].
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+    default_deadline: Option<Duration>,
+}
+
+impl Client {
+    /// Submits `request` and blocks until its response arrives. The
+    /// configured default deadline (if any) applies.
+    ///
+    /// # Errors
+    /// Any [`ServeError`]: admission refusals surface immediately;
+    /// dispatch errors arrive with the response.
+    pub fn call(&self, request: Request) -> Result<Response, ServeError> {
+        let origin = Instant::now();
+        let deadline = self.default_deadline.map(|d| origin + d);
+        self.call_at(request, origin, deadline)
+    }
+
+    /// [`Client::call`] with an explicit latency origin and deadline.
+    ///
+    /// # Errors
+    /// As [`Client::call`].
+    pub fn call_at(
+        &self,
+        request: Request,
+        origin: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<Response, ServeError> {
+        let reply = OneShot::new();
+        self.shared.submit(request, origin, deadline, Some(reply.clone()))?;
+        reply.wait()
+    }
+
+    /// Fire-and-forget submission for open-loop load generation: the
+    /// request is admitted (or refused) now, executed when a worker
+    /// reaches it, and its outcome is visible only through the metrics.
+    /// `origin` should be the request's scheduled arrival time.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] / [`ServeError::ShuttingDown`] at
+    /// admission.
+    pub fn submit_nowait(
+        &self,
+        request: Request,
+        origin: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<(), ServeError> {
+        self.shared.submit(request, origin, deadline, None)
+    }
+
+    /// A point-in-time copy of the service metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.snapshot_metrics()
+    }
+}
+
+/// The running service: worker pool + queue + registry + metrics.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    default_deadline: Option<Duration>,
+}
+
+impl Server {
+    /// Starts the worker pool over `registry`. The registry is frozen
+    /// from here on: all further mutation flows through
+    /// [`Request::Update`] publications.
+    pub fn start(registry: IndexRegistry, config: ServerConfig) -> Server {
+        let shared = Arc::new(Shared {
+            registry,
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: Metrics::new(),
+            accepting: AtomicBool::new(true),
+            max_sample_size: config.max_sample_size,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                // Distinct per-worker seeds -> independent streams (the
+                // workspace StdRng seeds through SplitMix64).
+                let seed = config.seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1);
+                std::thread::Builder::new()
+                    .name(format!("iqs-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, seed))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server { shared, workers, default_deadline: config.default_deadline }
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> Client {
+        Client { shared: Arc::clone(&self.shared), default_deadline: self.default_deadline }
+    }
+
+    /// A point-in-time copy of the service metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.snapshot_metrics()
+    }
+
+    /// Read access to the registry (snapshot loads, swap counts).
+    pub fn registry(&self) -> &IndexRegistry {
+        &self.shared.registry
+    }
+
+    /// Graceful shutdown: stops admitting, lets the workers drain every
+    /// already-accepted request (each gets its response), joins them, and
+    /// returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop_and_join();
+        self.shared.snapshot_metrics()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.accepting.store(false, Ordering::Release);
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Per-worker reusable output buffers: the sampling batch entry points
+/// write into these, so steady-state request service performs no
+/// sample-sized allocation beyond the response vector itself.
+#[derive(Default)]
+struct Scratch {
+    ranks: Vec<u32>,
+    ids: Vec<u64>,
+}
+
+/// Clears and resizes a scratch buffer, reusing its capacity.
+fn sized<T: Default + Clone>(buf: &mut Vec<T>, n: usize) -> &mut [T] {
+    buf.clear();
+    buf.resize(n, T::default());
+    &mut buf[..]
+}
+
+fn worker_loop(shared: &Shared, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = Scratch::default();
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let picked = Instant::now();
+        shared.metrics.queue_wait.record(picked.saturating_duration_since(job.enqueued));
+        if job.deadline.is_some_and(|dl| picked > dl) {
+            shared.metrics.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            if let Some(reply) = &job.reply {
+                reply.put(Err(ServeError::DeadlineExceeded));
+            }
+            continue;
+        }
+        let result = dispatch(shared, &job.request, &mut rng, &mut scratch);
+        shared.metrics.latency.record(Instant::now().saturating_duration_since(job.origin));
+        match &result {
+            Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => shared.metrics.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        if let Some(reply) = &job.reply {
+            reply.put(result);
+        }
+    }
+}
+
+fn check_sample_size(s: u32, max: u32) -> Result<usize, ServeError> {
+    if s > max {
+        return Err(ServeError::InvalidRequest("sample size exceeds the configured maximum"));
+    }
+    Ok(s as usize)
+}
+
+fn dispatch(
+    shared: &Shared,
+    request: &Request,
+    rng: &mut StdRng,
+    scratch: &mut Scratch,
+) -> Result<Response, ServeError> {
+    let registry = &shared.registry;
+    match request {
+        Request::SampleWr { index, range, s } => {
+            let s = check_sample_size(*s, shared.max_sample_size)?;
+            let view = registry.entry(index)?.view.load();
+            match &*view {
+                IndexView::Range(rv) => {
+                    let sampler =
+                        rv.sampler.as_ref().ok_or(ServeError::Query(QueryError::EmptyRange))?;
+                    let (x, y) = range.unwrap_or((f64::NEG_INFINITY, f64::INFINITY));
+                    let out = sized(&mut scratch.ranks, s);
+                    sampler.sample_wr_batch(x, y, rng, out)?;
+                    Ok(Response::Samples(out.iter().map(|&r| rv.id_at(r as usize)).collect()))
+                }
+                IndexView::Weighted(wv) => {
+                    if range.is_some() {
+                        return Err(ServeError::Unsupported(
+                            "keyed range over a weighted-set index",
+                        ));
+                    }
+                    let table =
+                        wv.table.as_ref().ok_or(ServeError::Query(QueryError::EmptyRange))?;
+                    let out = sized(&mut scratch.ranks, s);
+                    table.sample_into(rng, out);
+                    Ok(Response::Samples(out.iter().map(|&c| wv.ids[c as usize]).collect()))
+                }
+                IndexView::Union(_) => {
+                    Err(ServeError::Unsupported("use SampleUnion for set-union indexes"))
+                }
+            }
+        }
+        Request::SampleWor { index, range, s } => {
+            let s = check_sample_size(*s, shared.max_sample_size)?;
+            let view = registry.entry(index)?.view.load();
+            let IndexView::Range(rv) = &*view else {
+                return Err(ServeError::Unsupported(
+                    "without-replacement sampling requires a range index",
+                ));
+            };
+            let sampler = rv.sampler.as_ref().ok_or(ServeError::Query(QueryError::EmptyRange))?;
+            let (x, y) = range.unwrap_or((f64::NEG_INFINITY, f64::INFINITY));
+            let ranks = sampler.sample_wor(x, y, s, rng)?;
+            Ok(Response::Samples(ranks.into_iter().map(|r| rv.id_at(r)).collect()))
+        }
+        Request::RangeCount { index, x, y } => {
+            let view = registry.entry(index)?.view.load();
+            let IndexView::Range(rv) = &*view else {
+                return Err(ServeError::Unsupported("range counting requires a range index"));
+            };
+            Ok(Response::Count(rv.sampler.as_ref().map_or(0, |s| s.range_count(*x, *y))))
+        }
+        Request::SampleUnion { index, g, s } => {
+            let s = check_sample_size(*s, shared.max_sample_size)?;
+            let entry = registry.entry(index)?;
+            let view = entry.view.load();
+            let IndexView::Union(su) = &*view else {
+                return Err(ServeError::Unsupported("SampleUnion requires a set-union index"));
+            };
+            if g.iter().any(|&i| i as usize >= su.family_size()) {
+                return Err(ServeError::InvalidRequest("member-set id out of range"));
+            }
+            let g: Vec<usize> = g.iter().map(|&i| i as usize).collect();
+            let out = sized(&mut scratch.ids, s);
+            su.sample_frozen_into(&g, rng, out)?;
+            let samples = out.to_vec();
+            // Account the served randomness and republish a refreshed
+            // permutation once the paper's rebuild budget is spent.
+            entry.union_served.fetch_add(s as u64, Ordering::Relaxed);
+            drop(view);
+            let _ = registry.maybe_refresh_union(index, rng);
+            Ok(Response::Samples(samples))
+        }
+        Request::Update { index, ops } => {
+            let (applied, version) = registry.apply_update(index, ops)?;
+            shared.metrics.updates_applied.fetch_add(applied as u64, Ordering::Relaxed);
+            Ok(Response::Updated { applied, version })
+        }
+    }
+}

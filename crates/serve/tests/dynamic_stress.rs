@@ -1,0 +1,242 @@
+//! Seeded stress tests for the dynamic masters under concurrent read +
+//! rebuild: a writer thread streams a random (but reproducible) op
+//! stream into `DynamicAlias` / `DynamicRange`, publishing read views
+//! through a [`Snapshot`] cell, while reader threads continuously check
+//! the published invariants — every snapshot is internally consistent
+//! and its totals match the update log at publication time.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use iqs_alias::DynamicAlias;
+use iqs_core::{ChunkedRange, DynamicRange, RangeSampler};
+use iqs_serve::Snapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const OPS: usize = 2048;
+const PUBLISH_EVERY: usize = 16;
+const READERS: usize = 3;
+
+/// A published weighted-set snapshot: the cloned structure plus the
+/// update log's ground truth at publication time.
+struct AliasEpoch {
+    alias: DynamicAlias,
+    expected_len: usize,
+    expected_total: f64,
+    seq: u64,
+}
+
+fn check_alias_epoch(epoch: &AliasEpoch, rng: &mut StdRng) {
+    assert_eq!(epoch.alias.len(), epoch.expected_len, "seq {}: len drifted", epoch.seq);
+    let tol = 1e-9 * epoch.expected_total.max(1.0);
+    assert!(
+        (epoch.alias.total_weight() - epoch.expected_total).abs() <= tol,
+        "seq {}: total weight {} != update log {}",
+        epoch.seq,
+        epoch.alias.total_weight(),
+        epoch.expected_total
+    );
+    let pairs = epoch.alias.pairs();
+    assert_eq!(pairs.len(), epoch.expected_len, "seq {}: pairs out of sync", epoch.seq);
+    let ids: HashSet<u64> = pairs.iter().map(|&(id, _)| id).collect();
+    assert_eq!(ids.len(), pairs.len(), "seq {}: duplicate live ids", epoch.seq);
+    assert!(pairs.iter().all(|&(_, w)| w > 0.0), "seq {}: non-positive weight", epoch.seq);
+    let sum: f64 = pairs.iter().map(|&(_, w)| w).sum();
+    assert!(
+        (sum - epoch.alias.total_weight()).abs() <= tol,
+        "seq {}: weight sum does not match the maintained total",
+        epoch.seq
+    );
+    if epoch.expected_len > 0 {
+        for _ in 0..8 {
+            let id = epoch.alias.sample(rng).expect("non-empty structure samples");
+            assert!(ids.contains(&id), "seq {}: sampled dead id {id}", epoch.seq);
+            assert!(epoch.alias.weight_of(id).is_some());
+        }
+    } else {
+        assert!(epoch.alias.sample(rng).is_none());
+    }
+}
+
+#[test]
+fn alias_snapshots_stay_consistent_under_concurrent_rebuild() {
+    let cell = Arc::new(Snapshot::new(AliasEpoch {
+        alias: DynamicAlias::new(),
+        expected_len: 0,
+        expected_total: 0.0,
+        seq: 0,
+    }));
+    let done = Arc::new(AtomicBool::new(false));
+    let checks = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for r in 0..READERS {
+            let cell = Arc::clone(&cell);
+            let done = Arc::clone(&done);
+            let checks = Arc::clone(&checks);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xA11A5 + r as u64);
+                let mut last_seq = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let epoch = cell.load();
+                    assert!(epoch.seq >= last_seq, "publication order ran backwards");
+                    last_seq = epoch.seq;
+                    check_alias_epoch(&epoch, &mut rng);
+                    checks.fetch_add(1, Ordering::Relaxed);
+                }
+                // One final check of the last publication.
+                check_alias_epoch(&cell.load(), &mut rng);
+            });
+        }
+
+        // Writer: the master plus the mirror update log.
+        let mut rng = StdRng::seed_from_u64(0xD15EA5E);
+        let mut master = DynamicAlias::new();
+        let mut mirror: HashMap<u64, f64> = HashMap::new();
+        for op in 1..=OPS {
+            let id = rng.random_range(0..256u64);
+            if mirror.contains_key(&id) && rng.random_bool(0.4) {
+                master.remove(id);
+                mirror.remove(&id);
+            } else {
+                let w = rng.random_range(0.1..10.0);
+                master.insert(id, w).expect("valid weight");
+                mirror.insert(id, w);
+            }
+            if op % PUBLISH_EVERY == 0 {
+                cell.store(AliasEpoch {
+                    alias: master.clone(),
+                    expected_len: mirror.len(),
+                    expected_total: mirror.values().sum(),
+                    seq: op as u64,
+                });
+            }
+        }
+        done.store(true, Ordering::Release);
+    });
+    assert!(checks.load(Ordering::Relaxed) > 0, "readers never overlapped the writer");
+}
+
+/// A published range snapshot: the rebuilt read-optimized structure (as
+/// the registry publishes it) plus the update log's ground truth.
+struct RangeEpoch {
+    sampler: Option<ChunkedRange>,
+    ids: Vec<u64>,
+    expected_len: usize,
+    expected_total: f64,
+    seq: u64,
+}
+
+fn range_epoch_of(
+    master: &DynamicRange,
+    mirror: &HashMap<u64, (f64, f64)>,
+    seq: u64,
+) -> RangeEpoch {
+    let triples = master.live_triples();
+    let ids: Vec<u64> = triples.iter().map(|&(id, _, _)| id).collect();
+    let sampler = if triples.is_empty() {
+        None
+    } else {
+        let pairs: Vec<(f64, f64)> = triples.iter().map(|&(_, key, w)| (key, w)).collect();
+        Some(ChunkedRange::new(pairs).expect("validated elements"))
+    };
+    RangeEpoch {
+        sampler,
+        ids,
+        expected_len: mirror.len(),
+        expected_total: mirror.values().map(|&(_, w)| w).sum(),
+        seq,
+    }
+}
+
+fn check_range_epoch(epoch: &RangeEpoch, rng: &mut StdRng) {
+    assert_eq!(epoch.ids.len(), epoch.expected_len, "seq {}: id map drifted", epoch.seq);
+    let distinct: HashSet<u64> = epoch.ids.iter().copied().collect();
+    assert_eq!(distinct.len(), epoch.ids.len(), "seq {}: duplicate live ids", epoch.seq);
+    let Some(sampler) = &epoch.sampler else {
+        assert_eq!(epoch.expected_len, 0, "seq {}: non-empty log, empty view", epoch.seq);
+        return;
+    };
+    assert_eq!(sampler.len(), epoch.expected_len, "seq {}: structure len", epoch.seq);
+    assert_eq!(
+        sampler.range_count(f64::NEG_INFINITY, f64::INFINITY),
+        epoch.expected_len,
+        "seq {}: full-range count",
+        epoch.seq
+    );
+    let sum: f64 = sampler.weights().iter().sum();
+    let tol = 1e-9 * epoch.expected_total.max(1.0);
+    assert!(
+        (sum - epoch.expected_total).abs() <= tol,
+        "seq {}: structure weight {} != update log {}",
+        epoch.seq,
+        sum,
+        epoch.expected_total
+    );
+    assert!(
+        sampler.keys().windows(2).all(|w| w[0] <= w[1]),
+        "seq {}: keys out of order",
+        epoch.seq
+    );
+    let mut out = [0u32; 8];
+    sampler
+        .sample_wr_batch(f64::NEG_INFINITY, f64::INFINITY, rng, &mut out)
+        .expect("non-empty range");
+    for &rank in &out {
+        let id = epoch.ids[rank as usize];
+        assert!(distinct.contains(&id), "seq {}: sampled dead id {id}", epoch.seq);
+    }
+}
+
+#[test]
+fn range_snapshots_stay_consistent_under_concurrent_rebuild() {
+    let master = DynamicRange::new();
+    let mirror: HashMap<u64, (f64, f64)> = HashMap::new();
+    let cell = Arc::new(Snapshot::new(range_epoch_of(&master, &mirror, 0)));
+    let done = Arc::new(AtomicBool::new(false));
+    let checks = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for r in 0..READERS {
+            let cell = Arc::clone(&cell);
+            let done = Arc::clone(&done);
+            let checks = Arc::clone(&checks);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5EED + r as u64);
+                let mut last_seq = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let epoch = cell.load();
+                    assert!(epoch.seq >= last_seq, "publication order ran backwards");
+                    last_seq = epoch.seq;
+                    check_range_epoch(&epoch, &mut rng);
+                    checks.fetch_add(1, Ordering::Relaxed);
+                }
+                check_range_epoch(&cell.load(), &mut rng);
+            });
+        }
+
+        let mut rng = StdRng::seed_from_u64(0xB5B5);
+        let mut master = master;
+        let mut mirror = mirror;
+        for op in 1..=OPS {
+            let id = rng.random_range(0..200u64);
+            if mirror.contains_key(&id) && rng.random_bool(0.45) {
+                assert!(master.remove(id).is_some());
+                mirror.remove(&id);
+            } else {
+                let key = rng.random_range(0.0..100.0);
+                let w = rng.random_range(0.1..5.0);
+                master.remove(id);
+                master.insert(id, key, w).expect("valid element");
+                mirror.insert(id, (key, w));
+            }
+            if op % PUBLISH_EVERY == 0 {
+                cell.store(range_epoch_of(&master, &mirror, op as u64));
+            }
+        }
+        done.store(true, Ordering::Release);
+    });
+    assert!(checks.load(Ordering::Relaxed) > 0, "readers never overlapped the writer");
+}

@@ -1,0 +1,348 @@
+//! End-to-end tests of the sampling service: distribution correctness
+//! through the full service path, admission control, deadlines, mixed
+//! read/update workloads, and graceful shutdown accounting.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use iqs_serve::{IndexRegistry, Request, Response, ServeError, Server, ServerConfig, UpdateOp};
+use iqs_stats::chisq::{chi_square_gof, weight_probs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn weighted_pairs(n: usize) -> Vec<(f64, f64)> {
+    (0..n).map(|i| (i as f64, 1.0 + (i % 10) as f64)).collect()
+}
+
+fn sample_ids(resp: Response) -> Vec<u64> {
+    match resp {
+        Response::Samples(ids) => ids,
+        other => panic!("expected samples, got {other:?}"),
+    }
+}
+
+/// The chi-square aggregate-distribution check, served through the full
+/// concurrent service path: queue, workers, snapshots, per-worker RNGs.
+#[test]
+fn aggregate_distribution_is_correct_through_the_service() {
+    let n = 4096usize;
+    let pairs = weighted_pairs(n);
+    let weights: Vec<f64> = pairs.iter().map(|&(_, w)| w).collect();
+    let mut registry = IndexRegistry::new();
+    registry.register_range_static("keys", pairs).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig { workers: 4, queue_capacity: 256, seed: 11, ..ServerConfig::default() },
+    );
+
+    let (x, y) = (512.0, 3583.0);
+    let (a, b) = (512usize, 3584usize);
+    let clients = 4usize;
+    let calls = 300usize;
+    let s = 16u32;
+    let histograms: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let client = server.client();
+                scope.spawn(move || {
+                    let mut hist = vec![0u64; b - a];
+                    for _ in 0..calls {
+                        let ids = sample_ids(
+                            client
+                                .call(Request::SampleWr {
+                                    index: "keys".into(),
+                                    range: Some((x, y)),
+                                    s,
+                                })
+                                .expect("query succeeds"),
+                        );
+                        assert_eq!(ids.len(), s as usize);
+                        for id in ids {
+                            hist[id as usize - a] += 1;
+                        }
+                    }
+                    hist
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+
+    let mut merged = vec![0u64; b - a];
+    for hist in &histograms {
+        for (m, &h) in merged.iter_mut().zip(hist) {
+            *m += h;
+        }
+    }
+    let gof = chi_square_gof(&merged, &weight_probs(&weights[a..b]));
+    assert!(gof.consistent_at(1e-6), "service-path distribution biased: p = {}", gof.p_value);
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.completed, (clients * calls) as u64);
+    assert_eq!(metrics.failed + metrics.rejected_overload + metrics.deadline_missed, 0);
+    assert!(metrics.latency.count() == metrics.completed);
+}
+
+/// Readers keep sampling (and never fail) while another client streams
+/// updates through snapshot publication — the zero-blocked-readers
+/// property of the mixed workload.
+#[test]
+fn mixed_reads_and_updates_never_fail_readers() {
+    let mut registry = IndexRegistry::new();
+    let initial: Vec<(u64, f64, f64)> = (0..512).map(|i| (i, i as f64, 1.0)).collect();
+    registry.register_range_dynamic("cat", initial).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig { workers: 3, queue_capacity: 512, seed: 23, ..ServerConfig::default() },
+    );
+    let swaps_before = server.metrics().snapshot_swaps;
+
+    let rounds = 60usize;
+    let reads = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        // Writer: upsert a moving block of ids with fresh weights, and
+        // delete a trailing block, through the service.
+        let writer = server.client();
+        scope.spawn(move || {
+            for r in 0..rounds as u64 {
+                let ops: Vec<UpdateOp> = (0..8)
+                    .map(|j| UpdateOp::Upsert {
+                        id: 1000 + (r * 8 + j) % 64,
+                        key: 100.0 + ((r * 8 + j) % 64) as f64,
+                        weight: 1.0 + (r % 5) as f64,
+                    })
+                    .chain((0..2).map(|j| UpdateOp::Remove { id: (r * 2 + j) % 256 }))
+                    .collect();
+                writer.call(Request::Update { index: "cat".into(), ops }).expect("updates succeed");
+            }
+        });
+        for _ in 0..2 {
+            let client = server.client();
+            let reads = &reads;
+            scope.spawn(move || {
+                for _ in 0..400 {
+                    let ids = sample_ids(
+                        client
+                            .call(Request::SampleWr { index: "cat".into(), range: None, s: 8 })
+                            .expect("reads must never fail during republication"),
+                    );
+                    for id in ids {
+                        // Ids only ever come from the known populations.
+                        assert!(id < 512 || (1000..1064).contains(&id), "foreign id {id}");
+                    }
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let metrics = server.shutdown();
+    assert_eq!(reads.load(Ordering::Relaxed), 800);
+    assert_eq!(metrics.failed, 0);
+    // One snapshot publication per update round.
+    assert_eq!(metrics.snapshot_swaps - swaps_before, rounds as u64);
+    assert!(metrics.updates_applied > 0);
+}
+
+/// A saturated queue refuses excess work promptly instead of queueing it.
+#[test]
+fn admission_control_rejects_when_queue_is_full() {
+    let mut registry = IndexRegistry::new();
+    registry.register_range_static("keys", weighted_pairs(1 << 14)).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig { workers: 1, queue_capacity: 2, seed: 5, ..ServerConfig::default() },
+    );
+    let client = server.client();
+
+    // Each request is ~hundreds of microseconds of sampling work; a burst
+    // of 50 against a 1-worker, 2-slot service must overflow.
+    let mut rejected = 0u64;
+    for _ in 0..50 {
+        match client.submit_nowait(
+            Request::SampleWr { index: "keys".into(), range: None, s: 100_000 },
+            Instant::now(),
+            None,
+        ) {
+            Ok(()) => {}
+            Err(ServeError::Overloaded) => rejected += 1,
+            Err(other) => panic!("unexpected admission error {other}"),
+        }
+    }
+    assert!(rejected > 0, "burst never overflowed the bounded queue");
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.rejected_overload, rejected);
+    // Conservation: every submission is accounted exactly once.
+    assert_eq!(
+        metrics.submitted,
+        metrics.completed + metrics.failed + metrics.rejected_overload + metrics.deadline_missed
+    );
+    assert_eq!(metrics.queue_depth, 0);
+}
+
+/// A request whose deadline expires while queued is answered
+/// `DeadlineExceeded` without consuming sampling capacity.
+#[test]
+fn expired_deadlines_are_enforced_at_pickup() {
+    let mut registry = IndexRegistry::new();
+    registry.register_range_static("keys", weighted_pairs(1 << 14)).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig { workers: 1, queue_capacity: 64, seed: 7, ..ServerConfig::default() },
+    );
+    let client = server.client();
+
+    // Occupy the single worker with slow work.
+    for _ in 0..3 {
+        client
+            .submit_nowait(
+                Request::SampleWr { index: "keys".into(), range: None, s: 500_000 },
+                Instant::now(),
+                None,
+            )
+            .unwrap();
+    }
+    // This request's deadline is already due; by the time the worker gets
+    // past the slow work it must be expired.
+    let err = client
+        .call_at(
+            Request::SampleWr { index: "keys".into(), range: None, s: 1 },
+            Instant::now(),
+            Some(Instant::now()),
+        )
+        .unwrap_err();
+    assert_eq!(err, ServeError::DeadlineExceeded);
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.deadline_missed, 1);
+}
+
+/// Shutdown stops admissions but drains and answers everything already
+/// accepted.
+#[test]
+fn shutdown_drains_accepted_work() {
+    let mut registry = IndexRegistry::new();
+    registry.register_range_static("keys", weighted_pairs(1024)).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig { workers: 2, queue_capacity: 512, seed: 9, ..ServerConfig::default() },
+    );
+    let client = server.client();
+    let mut accepted = 0u64;
+    for _ in 0..200 {
+        if client
+            .submit_nowait(
+                Request::SampleWr { index: "keys".into(), range: None, s: 64 },
+                Instant::now(),
+                None,
+            )
+            .is_ok()
+        {
+            accepted += 1;
+        }
+    }
+    let metrics = server.shutdown();
+    assert_eq!(metrics.completed + metrics.failed, accepted, "accepted work must be drained");
+    assert_eq!(metrics.queue_depth, 0);
+
+    // The moved-out server is gone; its clients observe shutdown.
+    let err = client.call(Request::RangeCount { index: "keys".into(), x: 0.0, y: 1.0 });
+    assert_eq!(err.unwrap_err(), ServeError::ShuttingDown);
+}
+
+/// Without-replacement queries return distinct ids and surface the
+/// structure's `SampleTooLarge` as a typed service error.
+#[test]
+fn wor_through_the_service() {
+    let mut registry = IndexRegistry::new();
+    registry.register_range_static("keys", weighted_pairs(256)).unwrap();
+    let server = Server::start(registry, ServerConfig { workers: 2, ..ServerConfig::default() });
+    let client = server.client();
+
+    let ids = sample_ids(
+        client
+            .call(Request::SampleWor { index: "keys".into(), range: Some((10.0, 100.0)), s: 40 })
+            .unwrap(),
+    );
+    assert_eq!(ids.len(), 40);
+    assert_eq!(ids.iter().collect::<HashSet<_>>().len(), 40, "WoR ids must be distinct");
+    assert!(ids.iter().all(|&id| (10..=100).contains(&id)));
+
+    let err = client
+        .call(Request::SampleWor { index: "keys".into(), range: Some((10.0, 12.0)), s: 40 })
+        .unwrap_err();
+    assert!(matches!(err, ServeError::Query(iqs_core::QueryError::SampleTooLarge { .. })));
+    server.shutdown();
+}
+
+/// Set-union queries serve frozen snapshots and republish a refreshed
+/// permutation once the rebuild budget is spent.
+#[test]
+fn union_sampling_refreshes_its_permutation() {
+    let mut registry = IndexRegistry::new();
+    let mut rng = StdRng::seed_from_u64(31);
+    // n = 90 total members; the budget is n samples per permutation.
+    registry
+        .register_union("fam", vec![(0..60u64).collect(), (30..90u64).collect()], &mut rng)
+        .unwrap();
+    let server =
+        Server::start(registry, ServerConfig { workers: 2, seed: 41, ..ServerConfig::default() });
+    let swaps_before = server.metrics().snapshot_swaps;
+    let client = server.client();
+    let mut counts = vec![0u64; 90];
+    for _ in 0..40 {
+        let ids = sample_ids(
+            client
+                .call(Request::SampleUnion { index: "fam".into(), g: vec![0, 1], s: 30 })
+                .unwrap(),
+        );
+        for id in ids {
+            counts[id as usize] += 1;
+        }
+    }
+    // 1200 samples ≫ budget 90: at least one permutation refresh.
+    let metrics = server.shutdown();
+    assert!(metrics.snapshot_swaps > swaps_before, "no permutation refresh was published");
+    // Uniformity over the union (loose bound; 1200 draws over 90 ids).
+    let gof = chi_square_gof(&counts, &iqs_stats::chisq::uniform_probs(90));
+    assert!(gof.consistent_at(1e-6), "union sampling biased: p = {}", gof.p_value);
+}
+
+/// Typed error paths: unknown indexes, type mismatches, oversized
+/// requests.
+#[test]
+fn typed_error_paths() {
+    let mut registry = IndexRegistry::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    registry.register_weighted("w", &[(1, 1.0), (2, 2.0)]).unwrap();
+    registry.register_union("u", vec![vec![1, 2, 3]], &mut rng).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig { workers: 1, max_sample_size: 1024, ..ServerConfig::default() },
+    );
+    let client = server.client();
+
+    let e = client.call(Request::SampleWr { index: "ghost".into(), range: None, s: 1 });
+    assert!(matches!(e.unwrap_err(), ServeError::UnknownIndex(_)));
+
+    let e = client.call(Request::SampleWr { index: "w".into(), range: Some((0.0, 1.0)), s: 1 });
+    assert!(matches!(e.unwrap_err(), ServeError::Unsupported(_)));
+
+    let e = client.call(Request::RangeCount { index: "u".into(), x: 0.0, y: 1.0 });
+    assert!(matches!(e.unwrap_err(), ServeError::Unsupported(_)));
+
+    let e = client.call(Request::SampleUnion { index: "u".into(), g: vec![7], s: 1 });
+    assert!(matches!(e.unwrap_err(), ServeError::InvalidRequest(_)));
+
+    let e = client.call(Request::SampleWr { index: "w".into(), range: None, s: 100_000 });
+    assert!(matches!(e.unwrap_err(), ServeError::InvalidRequest(_)));
+
+    // Weighted sampling itself works and maps ids correctly.
+    let ids = sample_ids(
+        client.call(Request::SampleWr { index: "w".into(), range: None, s: 32 }).unwrap(),
+    );
+    assert!(ids.iter().all(|id| [1, 2].contains(id)));
+    server.shutdown();
+}

@@ -1,0 +1,130 @@
+//! Live reindexing: clients keep sampling while a writer streams weight
+//! updates through the service.
+//!
+//! The dynamic masters (Bentley–Saxe range index, bucketed alias) absorb
+//! each update batch behind the writer mutex, rebuild a fresh immutable
+//! read view, and publish it through the snapshot cell. Readers pin
+//! whatever snapshot is current when their request is dispatched — they
+//! are never blocked, never torn, and never observe a half-built index.
+//! This program asserts the service-level consequence: **zero failed
+//! reads** across the entire republication stream, and reports how many
+//! snapshot swaps the readers sampled across and what each
+//! update-to-publication step cost.
+//!
+//! Run with: `cargo run --release --example live_reindex`
+//! (set `IQS_EXAMPLE_ROUNDS` to bound the update stream).
+
+use iqs::serve::{IndexRegistry, Request, Response, Server, ServerConfig, UpdateOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+fn main() {
+    // A dynamic keyed index: ids 0..n with key = id, unit weights.
+    let n = 50_000u64;
+    let triples: Vec<(u64, f64, f64)> = (0..n).map(|i| (i, i as f64, 1.0)).collect();
+    let mut registry = IndexRegistry::new();
+    registry.register_range_dynamic("stream", triples).expect("valid input");
+    let server = Server::start(
+        registry,
+        ServerConfig { workers: 4, queue_capacity: 512, seed: 99, ..ServerConfig::default() },
+    );
+    let swaps_at_start = server.metrics().snapshot_swaps;
+
+    let rounds: usize =
+        std::env::var("IQS_EXAMPLE_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let readers = 4usize;
+    println!("iqs-serve up: dynamic index \"stream\" (n = {n}), {rounds} update rounds");
+
+    let done = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+    let samples_seen = AtomicU64::new(0);
+    let (read_errors, update_latencies) = std::thread::scope(|scope| {
+        // Readers: sample continuously until the writer finishes. Every
+        // single call must succeed — republication never blocks or
+        // breaks a read.
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let client = server.client();
+                let (done, reads, samples_seen) = (&done, &reads, &samples_seen);
+                scope.spawn(move || {
+                    let mut errors = 0u64;
+                    while !done.load(Ordering::Acquire) {
+                        match client.call(Request::SampleWr {
+                            index: "stream".into(),
+                            range: None,
+                            s: 16,
+                        }) {
+                            Ok(Response::Samples(ids)) => {
+                                samples_seen.fetch_add(ids.len() as u64, Ordering::Relaxed);
+                            }
+                            Ok(_) => unreachable!("SampleWr answers with samples"),
+                            Err(_) => errors += 1,
+                        }
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    errors
+                })
+            })
+            .collect();
+
+        // Writer: stream weight updates (re-weight a sliding block and
+        // churn membership at the tail), timing each update →
+        // publication round trip.
+        let writer = server.client();
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        let mut latencies = Vec::with_capacity(rounds);
+        for round in 0..rounds as u64 {
+            let base = (round * 32) % n;
+            let ops: Vec<UpdateOp> = (0..32)
+                .map(|j| UpdateOp::Upsert {
+                    id: (base + j) % n,
+                    key: ((base + j) % n) as f64,
+                    weight: rng.random_range(0.5..4.0),
+                })
+                .chain((0..8).map(|j| UpdateOp::Remove { id: (round * 8 + j) % n }))
+                .collect();
+            let t0 = Instant::now();
+            let resp = writer
+                .call(Request::Update { index: "stream".into(), ops })
+                .expect("update batches must apply");
+            latencies.push(t0.elapsed());
+            if let Response::Updated { applied, version } = resp {
+                if round == rounds as u64 - 1 {
+                    println!("last round: applied {applied} ops, snapshot version {version}");
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+        let errors: u64 = reader_handles.into_iter().map(|h| h.join().expect("no panics")).sum();
+        (errors, latencies)
+    });
+
+    let metrics = server.shutdown();
+    let total_reads = reads.load(Ordering::Relaxed);
+    let swaps = metrics.snapshot_swaps - swaps_at_start;
+    println!(
+        "{} readers completed {} reads ({} samples) across {} snapshot swaps",
+        readers,
+        total_reads,
+        samples_seen.load(Ordering::Relaxed),
+        swaps
+    );
+
+    let mut sorted = update_latencies.clone();
+    sorted.sort();
+    let pct = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
+    println!(
+        "update → publication latency: p50 = {:?}, p99 = {:?}, max = {:?}",
+        pct(0.50),
+        pct(0.99),
+        sorted[sorted.len() - 1]
+    );
+    println!("--- service metrics ---\n{metrics}");
+
+    assert_eq!(read_errors, 0, "a read failed during republication");
+    assert_eq!(metrics.failed, 0, "service recorded a failed request");
+    assert_eq!(swaps, rounds as u64, "one publication per update round");
+    println!("zero failed reads across {total_reads} concurrent reads → PASS");
+}

@@ -1,12 +1,14 @@
 //! Facade crate re-exporting the full IQS workspace API.
 //!
-//! See [`iqs_core`] for the paper's headline structures, and the substrate
-//! crates ([`iqs_alias`], [`iqs_tree`], [`iqs_spatial`], [`iqs_sketch`],
-//! [`iqs_em`], [`iqs_stats`]) for the building blocks.
+//! See [`iqs_core`] for the paper's headline structures, [`iqs_serve`]
+//! for the concurrent sampling query service layered on top of them, and
+//! the substrate crates ([`iqs_alias`], [`iqs_tree`], [`iqs_spatial`],
+//! [`iqs_sketch`], [`iqs_em`], [`iqs_stats`]) for the building blocks.
 
 pub use iqs_alias as alias;
 pub use iqs_core as core;
 pub use iqs_em as em;
+pub use iqs_serve as serve;
 pub use iqs_sketch as sketch;
 pub use iqs_spatial as spatial;
 pub use iqs_stats as stats;

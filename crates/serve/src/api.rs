@@ -75,6 +75,26 @@ pub enum Request {
         /// Number of samples.
         s: u32,
     },
+    /// Total sampling weight of the index. Served from a value cached in
+    /// the published snapshot at view-build time, so it costs one
+    /// snapshot load — no structure traversal. This is the cheap weight
+    /// probe a sharding router uses to build its top-level alias table
+    /// without a full `RangeCount`/`RangeWeight` round trip per shard.
+    TotalWeight {
+        /// Target index name.
+        index: String,
+    },
+    /// Total sampling weight of the elements with keys in the closed
+    /// interval `[x, y]`. Range indexes only; computed exactly from the
+    /// index's prefix sums (Fenwick over chunks).
+    RangeWeight {
+        /// Target index name.
+        index: String,
+        /// Interval start.
+        x: f64,
+        /// Interval end.
+        y: f64,
+    },
     /// Applies `ops` to a dynamic index in order, then atomically
     /// publishes a freshly rebuilt snapshot. Readers keep sampling the
     /// previous snapshot throughout; they never block on the rebuild.
@@ -94,18 +114,24 @@ impl Request {
             | Request::SampleWor { index, .. }
             | Request::RangeCount { index, .. }
             | Request::SampleUnion { index, .. }
+            | Request::TotalWeight { index }
+            | Request::RangeWeight { index, .. }
             | Request::Update { index, .. } => index,
         }
     }
 }
 
 /// A successful response.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (No `Eq`: [`Response::Weight`] carries an `f64`.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// Sampled element ids (see the module docs for the id convention).
     Samples(Vec<u64>),
     /// An element count.
     Count(usize),
+    /// A total or range sampling weight.
+    Weight(f64),
     /// Outcome of an [`Request::Update`].
     Updated {
         /// Operations that took effect (removing an absent id does not

@@ -58,7 +58,7 @@ mod snapshot;
 
 pub use api::{Request, Response, UpdateOp};
 pub use error::ServeError;
-pub use metrics::{HistogramSnapshot, MetricsSnapshot, HIST_BUCKETS};
+pub use metrics::{HistogramSnapshot, LogHistogram, MetricsSnapshot, HIST_BUCKETS};
 pub use registry::{IndexRegistry, IndexView, RangeView, WeightedView};
-pub use server::{Client, Server, ServerConfig};
+pub use server::{Client, PendingReply, Server, ServerConfig};
 pub use snapshot::Snapshot;

@@ -17,19 +17,28 @@ use std::time::Duration;
 /// Number of log₂ buckets: covers 1 ns up to ~584 years.
 pub const HIST_BUCKETS: usize = 64;
 
-/// A concurrent log₂-bucket histogram of durations.
+/// A concurrent log₂-bucket histogram of durations. Public so layers
+/// built on top of the service (e.g. the sharded router) record their
+/// own latency distributions in the same format the service exports.
 #[derive(Debug)]
-pub(crate) struct LogHistogram {
+pub struct LogHistogram {
     buckets: [AtomicU64; HIST_BUCKETS],
 }
 
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
 impl LogHistogram {
-    pub(crate) fn new() -> Self {
+    /// An empty histogram.
+    pub fn new() -> Self {
         LogHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
     }
 
     /// Records one duration. Wait-free: a single relaxed increment.
-    pub(crate) fn record(&self, d: Duration) {
+    pub fn record(&self, d: Duration) {
         let ns = d.as_nanos().min(u64::MAX as u128) as u64;
         // Bucket index = bit length of ns: 0 → bucket 0, otherwise
         // ns ∈ [2^(b-1), 2^b) → bucket b.
@@ -37,7 +46,8 @@ impl LogHistogram {
         self.buckets[b.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+    /// An immutable copy of the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
         }
@@ -87,6 +97,52 @@ impl HistogramSnapshot {
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
         }
+    }
+
+    /// Bucket-wise sum `self + other` — pooling the latency
+    /// distributions of several workers/replicas into one (the cluster
+    /// aggregation the shard metrics view performs). Saturates at
+    /// `u64::MAX`.
+    pub fn plus(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_add(other.buckets[i])),
+        }
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; HIST_BUCKETS] }
+    }
+}
+
+// The vendored serde derive handles named-field structs only (no fixed
+// arrays), so the bucket array serializes by hand — as a bare JSON
+// array, the obvious wire shape.
+impl serde::Serialize for HistogramSnapshot {
+    fn serialize_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.push('[');
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "{b}").expect("infallible");
+        }
+        out.push(']');
+    }
+}
+
+impl serde::Deserialize for HistogramSnapshot {
+    fn deserialize_json(parser: &mut serde::de::Parser<'_>) -> Result<Self, serde::de::Error> {
+        let counts: Vec<u64> = serde::Deserialize::deserialize_json(parser)?;
+        if counts.len() != HIST_BUCKETS {
+            return Err(serde::de::Error::custom(format!(
+                "histogram must have exactly {HIST_BUCKETS} buckets, got {}",
+                counts.len()
+            )));
+        }
+        Ok(HistogramSnapshot { buckets: std::array::from_fn(|i| counts[i]) })
     }
 }
 
@@ -139,8 +195,10 @@ impl Metrics {
 /// A point-in-time copy of every service metric. Obtain via
 /// `Server::metrics()`; diff two snapshots with
 /// [`MetricsSnapshot::minus`] to meter one interval (E17 does this per
-/// offered-load step).
-#[derive(Debug, Clone, Copy)]
+/// offered-load step), JSON round-trip with
+/// [`MetricsSnapshot::to_json`] / [`MetricsSnapshot::from_json`] so the
+/// harness and the shard-tier aggregator consume one wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct MetricsSnapshot {
     /// Requests offered to the service (including later-rejected ones).
     pub submitted: u64,
@@ -183,6 +241,38 @@ impl MetricsSnapshot {
             latency: self.latency.minus(&earlier.latency),
             queue_wait: self.queue_wait.minus(&earlier.queue_wait),
         }
+    }
+
+    /// Counter-wise sum `self + other`, pooling several services into
+    /// one cluster view. Counters and histograms add; the `queue_depth`
+    /// gauge adds too (total backlog across the pool).
+    pub fn plus(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.saturating_add(other.submitted),
+            completed: self.completed.saturating_add(other.completed),
+            failed: self.failed.saturating_add(other.failed),
+            rejected_overload: self.rejected_overload.saturating_add(other.rejected_overload),
+            deadline_missed: self.deadline_missed.saturating_add(other.deadline_missed),
+            updates_applied: self.updates_applied.saturating_add(other.updates_applied),
+            queue_depth: self.queue_depth.saturating_add(other.queue_depth),
+            snapshot_swaps: self.snapshot_swaps.saturating_add(other.snapshot_swaps),
+            latency: self.latency.plus(&other.latency),
+            queue_wait: self.queue_wait.plus(&other.queue_wait),
+        }
+    }
+
+    /// Serializes to one JSON object (counters inline, histograms as
+    /// bucket arrays).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("metrics serialization is infallible")
+    }
+
+    /// Parses a snapshot back from [`MetricsSnapshot::to_json`] output.
+    ///
+    /// # Errors
+    /// A JSON parse error describing the first malformed byte.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, serde_json::Error> {
+        serde_json::from_str(text)
     }
 }
 
@@ -280,6 +370,46 @@ mod tests {
         h.record(Duration::from_nanos(10));
         let delta = h.snapshot().minus(&before);
         assert_eq!(delta.count(), 2);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(12, Ordering::Relaxed);
+        m.completed.fetch_add(11, Ordering::Relaxed);
+        m.failed.fetch_add(1, Ordering::Relaxed);
+        m.latency.record(Duration::from_micros(3));
+        m.latency.record(Duration::from_millis(40));
+        m.queue_wait.record(Duration::from_nanos(900));
+        let snap = m.snapshot(7);
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"submitted\":12,"), "unexpected shape: {json}");
+        assert!(json.contains("\"latency\":["));
+        let back = MetricsSnapshot::from_json(&json).expect("round trip");
+        assert_eq!(back, snap);
+        // Malformed input surfaces a parse error, not a panic.
+        assert!(MetricsSnapshot::from_json("{\"submitted\":12").is_err());
+        assert!(
+            MetricsSnapshot::from_json(&json.replace("\"latency\":[", "\"latency\":[1,")).is_err()
+        );
+    }
+
+    #[test]
+    fn plus_pools_counters_and_buckets() {
+        let a = Metrics::new();
+        a.submitted.fetch_add(5, Ordering::Relaxed);
+        a.latency.record(Duration::from_nanos(3));
+        let b = Metrics::new();
+        b.submitted.fetch_add(7, Ordering::Relaxed);
+        b.latency.record(Duration::from_nanos(3));
+        b.latency.record(Duration::from_secs(1));
+        let pooled = a.snapshot(1).plus(&b.snapshot(2));
+        assert_eq!(pooled.submitted, 12);
+        assert_eq!(pooled.snapshot_swaps, 3);
+        assert_eq!(pooled.latency.count(), 3);
+        assert_eq!(pooled.latency.buckets[2], 2);
+        let zero = MetricsSnapshot::default();
+        assert_eq!(zero.plus(&pooled), pooled);
     }
 
     #[test]

@@ -130,6 +130,25 @@ impl<T> OneShot<T> {
             slot = self.cell.1.wait(slot).expect("oneshot poisoned");
         }
     }
+
+    /// Blocks until the cell is fulfilled or `deadline` passes. Returns
+    /// `None` on timeout; the cell is left intact, so a fulfillment that
+    /// races the deadline is simply abandoned with it.
+    pub(crate) fn wait_deadline(&self, deadline: std::time::Instant) -> Option<T> {
+        let mut slot = self.cell.0.lock().expect("oneshot poisoned");
+        loop {
+            if let Some(value) = slot.take() {
+                return Some(value);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (s, _timed_out) =
+                self.cell.1.wait_timeout(slot, deadline - now).expect("oneshot poisoned");
+            slot = s;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +211,20 @@ mod tests {
         t.join().unwrap();
         // Duplicate put is ignored, not an error.
         cell.put(42);
+    }
+
+    #[test]
+    fn oneshot_wait_deadline_times_out_then_delivers() {
+        use std::time::{Duration, Instant};
+        let cell: OneShot<u32> = OneShot::new();
+        // Nothing delivered: times out.
+        let t0 = Instant::now();
+        assert_eq!(cell.wait_deadline(t0 + Duration::from_millis(20)), None);
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // Delivered before the deadline: returned promptly.
+        cell.put(7);
+        assert_eq!(cell.wait_deadline(Instant::now() + Duration::from_secs(5)), Some(7));
+        // Already-elapsed deadline with an empty cell: immediate None.
+        assert_eq!(cell.wait_deadline(Instant::now() - Duration::from_millis(1)), None);
     }
 }

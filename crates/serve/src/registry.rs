@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 
 use iqs_alias::{AliasTable, DynamicAlias};
 use iqs_core::setunion::SetUnionSampler;
-use iqs_core::{ChunkedRange, DynamicRange};
+use iqs_core::{ChunkedRange, DynamicRange, RangeSampler};
 use rand::Rng;
 
 use crate::api::UpdateOp;
@@ -41,9 +41,22 @@ pub struct RangeView {
     /// Element id at each rank; `None` means the rank *is* the id
     /// (static indexes registered from bare `(key, weight)` pairs).
     pub ids: Option<Vec<u64>>,
+    /// Total sampling weight, cached at view-build time so weight probes
+    /// ([`crate::Request::TotalWeight`]) cost a snapshot load and
+    /// nothing else. Computed as the full-range prefix sum, so it is
+    /// bit-identical to `range_weight(-inf, inf)` on this snapshot.
+    pub total_weight: f64,
 }
 
 impl RangeView {
+    /// Builds a view from an optional sampler and rank → id map, caching
+    /// the total weight.
+    pub(crate) fn of(sampler: Option<ChunkedRange>, ids: Option<Vec<u64>>) -> Self {
+        let total_weight =
+            sampler.as_ref().map_or(0.0, |s| s.range_weight(f64::NEG_INFINITY, f64::INFINITY));
+        RangeView { sampler, ids, total_weight }
+    }
+
     /// Maps a rank to its element id.
     pub fn id_at(&self, rank: usize) -> u64 {
         match &self.ids {
@@ -61,6 +74,18 @@ pub struct WeightedView {
     pub table: Option<AliasTable>,
     /// Element id of each alias-table column.
     pub ids: Vec<u64>,
+    /// Total sampling weight, cached at view-build time (see
+    /// [`RangeView::total_weight`]).
+    pub total_weight: f64,
+}
+
+impl WeightedView {
+    /// Builds a view from an optional table and id map, caching the
+    /// total weight.
+    pub(crate) fn of(table: Option<AliasTable>, ids: Vec<u64>) -> Self {
+        let total_weight = table.as_ref().map_or(0.0, AliasTable::total_weight);
+        WeightedView { table, ids, total_weight }
+    }
 }
 
 /// The published, immutable state of one index.
@@ -102,26 +127,26 @@ pub(crate) struct IndexEntry {
 fn range_view_of(master: &DynamicRange) -> IndexView {
     let triples = master.live_triples();
     if triples.is_empty() {
-        return IndexView::Range(RangeView { sampler: None, ids: None });
+        return IndexView::Range(RangeView::of(None, None));
     }
     // `live_triples` is key-sorted and `ChunkedRange`'s stable sort
     // preserves that order, so `ids` stays aligned with ranks.
     let pairs: Vec<(f64, f64)> = triples.iter().map(|&(_, key, w)| (key, w)).collect();
     let ids: Vec<u64> = triples.iter().map(|&(id, _, _)| id).collect();
     let sampler = ChunkedRange::new(pairs).expect("master validated every element");
-    IndexView::Range(RangeView { sampler: Some(sampler), ids: Some(ids) })
+    IndexView::Range(RangeView::of(Some(sampler), Some(ids)))
 }
 
 /// Builds the read view of a dynamic weighted-set master.
 fn weighted_view_of(master: &DynamicAlias) -> IndexView {
     let pairs = master.pairs();
     if pairs.is_empty() {
-        return IndexView::Weighted(WeightedView { table: None, ids: Vec::new() });
+        return IndexView::Weighted(WeightedView::of(None, Vec::new()));
     }
     let weights: Vec<f64> = pairs.iter().map(|&(_, w)| w).collect();
     let ids: Vec<u64> = pairs.iter().map(|&(id, _)| id).collect();
     let table = AliasTable::new(&weights).expect("master validated every weight");
-    IndexView::Weighted(WeightedView { table: Some(table), ids })
+    IndexView::Weighted(WeightedView::of(Some(table), ids))
 }
 
 /// Named indexes behind snapshot cells. Register everything before
@@ -173,7 +198,33 @@ impl IndexRegistry {
         let sampler = ChunkedRange::new(pairs)?;
         self.insert_entry(
             name,
-            IndexView::Range(RangeView { sampler: Some(sampler), ids: None }),
+            IndexView::Range(RangeView::of(Some(sampler), None)),
+            Master::StaticRange,
+        )
+    }
+
+    /// Registers an immutable range index from `(id, key, weight)`
+    /// triples, so sampled ids are the caller's own (globally meaningful)
+    /// ids rather than local ranks. This is the form a sharding tier
+    /// uses: each shard registers its slice with the original element
+    /// ids, and merged responses need no rank translation.
+    ///
+    /// # Errors
+    /// [`ServeError::Query`] on invalid input, or a duplicate-name error.
+    pub fn register_range_keyed(
+        &mut self,
+        name: &str,
+        mut triples: Vec<(u64, f64, f64)>,
+    ) -> Result<(), ServeError> {
+        // Sort by key so `ids` aligns with ranks (ChunkedRange's stable
+        // sort preserves the order of equal keys).
+        triples.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let pairs: Vec<(f64, f64)> = triples.iter().map(|&(_, key, w)| (key, w)).collect();
+        let ids: Vec<u64> = triples.iter().map(|&(id, _, _)| id).collect();
+        let sampler = ChunkedRange::new(pairs)?;
+        self.insert_entry(
+            name,
+            IndexView::Range(RangeView::of(Some(sampler), Some(ids))),
             Master::StaticRange,
         )
     }
@@ -237,6 +288,38 @@ impl IndexRegistry {
     /// Pins and returns the named index's current snapshot.
     pub fn view(&self, name: &str) -> Option<Arc<IndexView>> {
         Some(self.map.get(name)?.view.load())
+    }
+
+    /// Total sampling weight of the named index, read from the value
+    /// cached in the current snapshot — one snapshot load, no structure
+    /// traversal. Empty indexes report `0.0`.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownIndex`] for an unregistered name;
+    /// [`ServeError::Unsupported`] for union indexes (uniform sampling —
+    /// no weight dimension).
+    pub fn total_weight(&self, name: &str) -> Result<f64, ServeError> {
+        match &*self.entry(name)?.view.load() {
+            IndexView::Range(rv) => Ok(rv.total_weight),
+            IndexView::Weighted(wv) => Ok(wv.total_weight),
+            IndexView::Union(_) => {
+                Err(ServeError::Unsupported("union indexes have no weight dimension"))
+            }
+        }
+    }
+
+    /// Total sampling weight of the elements with keys in `[x, y]`,
+    /// computed exactly from the range index's prefix sums. Empty
+    /// indexes and empty ranges report `0.0`.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownIndex`] for an unregistered name;
+    /// [`ServeError::Unsupported`] for non-range indexes.
+    pub fn range_weight(&self, name: &str, x: f64, y: f64) -> Result<f64, ServeError> {
+        match &*self.entry(name)?.view.load() {
+            IndexView::Range(rv) => Ok(rv.sampler.as_ref().map_or(0.0, |s| s.range_weight(x, y))),
+            _ => Err(ServeError::Unsupported("range weight requires a range index")),
+        }
     }
 
     /// Total snapshot publications across all indexes (each index's
@@ -471,5 +554,50 @@ mod tests {
         let r = reg();
         assert!(matches!(r.entry("nope"), Err(ServeError::UnknownIndex(_))));
         assert!(r.view("nope").is_none());
+    }
+
+    #[test]
+    fn keyed_static_index_keeps_caller_ids() {
+        let mut r = IndexRegistry::new();
+        // Unsorted triples with duplicate keys; ids are global (offset).
+        r.register_range_keyed(
+            "k",
+            vec![(1007, 7.0, 2.0), (1003, 3.0, 1.0), (1005, 3.0, 4.0), (1001, 1.0, 8.0)],
+        )
+        .unwrap();
+        let IndexView::Range(v) = &*r.view("k").unwrap() else { panic!() };
+        // Key-sorted, equal keys in input order (stable sort).
+        assert_eq!(v.ids.as_deref(), Some(&[1001, 1003, 1005, 1007][..]));
+        assert_eq!(v.id_at(2), 1005);
+        assert_eq!(v.sampler.as_ref().unwrap().keys(), &[1.0, 3.0, 3.0, 7.0][..]);
+    }
+
+    #[test]
+    fn cached_total_weight_matches_live_range_weight() {
+        let r = reg();
+        // Static range: cached value is bit-identical to the full-range
+        // prefix-sum probe (the sharded router's exactness relies on it).
+        let IndexView::Range(v) = &*r.view("s").unwrap() else { panic!() };
+        let live = v.sampler.as_ref().unwrap().range_weight(f64::NEG_INFINITY, f64::INFINITY);
+        assert_eq!(r.total_weight("s").unwrap().to_bits(), live.to_bits());
+        assert_eq!(r.total_weight("s").unwrap(), 64.0);
+        assert_eq!(r.total_weight("w").unwrap(), 4.0);
+        // Partial range weight goes through the prefix sums.
+        assert_eq!(r.range_weight("s", 0.0, 9.5).unwrap(), 10.0);
+        assert_eq!(r.range_weight("s", 100.0, 200.0).unwrap(), 0.0);
+        assert!(matches!(r.range_weight("w", 0.0, 1.0), Err(ServeError::Unsupported(_))));
+        assert!(matches!(r.total_weight("nope"), Err(ServeError::UnknownIndex(_))));
+    }
+
+    #[test]
+    fn total_weight_tracks_dynamic_updates() {
+        let r = reg();
+        assert_eq!(r.total_weight("d").unwrap(), 64.0);
+        r.apply_update("d", &[UpdateOp::Upsert { id: 0, key: 0.0, weight: 5.0 }]).unwrap();
+        assert_eq!(r.total_weight("d").unwrap(), 68.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut u = IndexRegistry::new();
+        u.register_union("u", vec![vec![1, 2, 3]], &mut rng).unwrap();
+        assert!(matches!(u.total_weight("u"), Err(ServeError::Unsupported(_))));
     }
 }

@@ -155,6 +155,26 @@ impl Client {
         reply.wait()
     }
 
+    /// Submits `request` and returns a [`PendingReply`] without waiting,
+    /// so a caller can scatter several requests (e.g. one per shard) and
+    /// gather the responses afterwards. `origin` is the latency origin;
+    /// `deadline` (if any) is enforced at worker pickup exactly as for
+    /// [`Client::call_at`].
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] / [`ServeError::ShuttingDown`] at
+    /// admission; dispatch errors arrive through the pending reply.
+    pub fn call_pending(
+        &self,
+        request: Request,
+        origin: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<PendingReply, ServeError> {
+        let reply = OneShot::new();
+        self.shared.submit(request, origin, deadline, Some(reply.clone()))?;
+        Ok(PendingReply { reply })
+    }
+
     /// Fire-and-forget submission for open-loop load generation: the
     /// request is admitted (or refused) now, executed when a worker
     /// reaches it, and its outcome is visible only through the metrics.
@@ -175,6 +195,29 @@ impl Client {
     /// A point-in-time copy of the service metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.snapshot_metrics()
+    }
+}
+
+/// An in-flight request submitted with [`Client::call_pending`]: a
+/// waitable handle on the response.
+pub struct PendingReply {
+    reply: OneShot<Result<Response, ServeError>>,
+}
+
+impl PendingReply {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    /// The dispatch outcome, as for [`Client::call`].
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.reply.wait()
+    }
+
+    /// Blocks until the response arrives or `deadline` passes; `None`
+    /// means the wait timed out and the handle was abandoned (the worker
+    /// may still execute the request — its outcome lands in the metrics).
+    pub fn wait_deadline(self, deadline: Instant) -> Option<Result<Response, ServeError>> {
+        self.reply.wait_deadline(deadline)
     }
 }
 
@@ -376,6 +419,10 @@ fn dispatch(
             drop(view);
             let _ = registry.maybe_refresh_union(index, rng);
             Ok(Response::Samples(samples))
+        }
+        Request::TotalWeight { index } => Ok(Response::Weight(registry.total_weight(index)?)),
+        Request::RangeWeight { index, x, y } => {
+            Ok(Response::Weight(registry.range_weight(index, *x, *y)?))
         }
         Request::Update { index, ops } => {
             let (applied, version) = registry.apply_update(index, ops)?;

@@ -96,6 +96,26 @@ impl<T> Snapshot<T> {
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
     }
+
+    /// Overwrites every non-current ring slot with the current snapshot,
+    /// releasing the up-to-`SLOTS - 1` previously published values the
+    /// ring would otherwise keep alive. Readers that already pinned an
+    /// old value keep it; only the ring's own references are dropped.
+    ///
+    /// Call this after publishing a value that supersedes
+    /// resource-holding predecessors (e.g. a shard topology whose old
+    /// generations pin live worker pools). Callers must serialize `sweep`
+    /// with their `store`s: a store racing a sweep can have its slot
+    /// rewritten to the sweeper's (older but valid) snapshot.
+    pub fn sweep(&self) {
+        let current = self.load();
+        let i = self.current.load(Ordering::Acquire);
+        for (j, slot) in self.slots.iter().enumerate() {
+            if j != i {
+                *slot.lock().expect("snapshot slot poisoned") = Arc::clone(&current);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +172,29 @@ mod tests {
         let shared = Arc::new(9u64);
         cell.store_arc(Arc::clone(&shared));
         assert!(Arc::ptr_eq(&cell.load(), &shared));
+    }
+
+    #[test]
+    fn sweep_releases_superseded_values() {
+        // Publish values wrapped in Arcs we keep weak handles to; after a
+        // sweep only the current value (and reader-pinned ones) survive.
+        let first = Arc::new(1u64);
+        let weak_first = Arc::downgrade(&first);
+        let cell = Snapshot::new(0u64);
+        cell.store_arc(first);
+        let mut weaks = Vec::new();
+        for k in 2..=4u64 {
+            let a = Arc::new(k);
+            weaks.push(Arc::downgrade(&a));
+            cell.store_arc(a);
+        }
+        // The ring still holds the superseded publications.
+        assert!(weak_first.upgrade().is_some());
+        cell.sweep();
+        assert!(weak_first.upgrade().is_none(), "swept value must drop");
+        for w in &weaks[..weaks.len() - 1] {
+            assert!(w.upgrade().is_none(), "swept value must drop");
+        }
+        assert_eq!(*cell.load(), 4);
     }
 }

@@ -1,0 +1,65 @@
+//! Injectable per-replica faults, for exercising the failover and
+//! degradation machinery without real process crashes.
+//!
+//! Faults are injected at the router → replica boundary: a faulted
+//! replica's worker pool keeps running, but the router *sees* it as
+//! dead, erroring, or slow. That is exactly the failure surface a
+//! distributed deployment has (the remote node is a black box that stops
+//! answering), and it makes `revive` trivial — clear the fault and the
+//! replica is immediately useful again, no rebuild required.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What the fault injector makes a replica look like to the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// No fault: requests flow normally.
+    #[default]
+    Healthy,
+    /// The replica is unreachable: every submit fails immediately (a
+    /// crashed or partitioned node).
+    Down,
+    /// The replica refuses every request at submit time (a node up but
+    /// misbehaving).
+    Error,
+    /// Responses arrive after an extra delay (an overloaded or
+    /// network-degraded node). Waits are still deadline-bounded, so a
+    /// delay beyond the scatter deadline behaves like a timeout and
+    /// triggers failover.
+    Delay(Duration),
+}
+
+/// One replica's current fault, set by a [`FaultPlan`] and consulted by
+/// the router on every submit.
+///
+/// [`FaultPlan`]: crate::FaultPlan
+#[derive(Debug, Default)]
+pub(crate) struct FaultCell {
+    mode: Mutex<FaultMode>,
+}
+
+impl FaultCell {
+    pub(crate) fn get(&self) -> FaultMode {
+        *self.mode.lock().expect("fault cell poisoned")
+    }
+
+    pub(crate) fn set(&self, mode: FaultMode) {
+        *self.mode.lock().expect("fault cell poisoned") = mode;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_defaults_healthy_and_swaps() {
+        let c = FaultCell::default();
+        assert_eq!(c.get(), FaultMode::Healthy);
+        c.set(FaultMode::Delay(Duration::from_millis(5)));
+        assert_eq!(c.get(), FaultMode::Delay(Duration::from_millis(5)));
+        c.set(FaultMode::Healthy);
+        assert_eq!(c.get(), FaultMode::Healthy);
+    }
+}

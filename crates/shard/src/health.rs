@@ -1,0 +1,165 @@
+//! Per-replica health tracking: a consecutive-failure circuit breaker
+//! with probe-based recovery.
+//!
+//! The router prefers replicas whose breaker is closed. After
+//! [`HealthPolicy::trip_threshold`] consecutive failures the breaker
+//! *trips*: the replica drops to last-resort position in the candidate
+//! order, so healthy replicas absorb the traffic and queries stop paying
+//! a failed attempt on every read. Every
+//! [`HealthPolicy::probe_cooldown`], one query is allowed through as a
+//! *probe*; a success closes the breaker, a failure re-arms the
+//! cooldown. Tripped replicas are demoted, never removed: if every
+//! replica of a shard is tripped, the router still tries them all before
+//! declaring the shard unavailable — availability is never sacrificed to
+//! the breaker.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Consecutive failures that trip the breaker. Default 3.
+    pub trip_threshold: u32,
+    /// Minimum time between recovery probes of a tripped replica.
+    /// Default 50 ms.
+    pub probe_cooldown: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy { trip_threshold: 3, probe_cooldown: Duration::from_millis(50) }
+    }
+}
+
+/// How the breaker ranks a replica right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Availability {
+    /// Breaker closed: first-class candidate.
+    Ready,
+    /// Breaker open but the cooldown elapsed: this query may probe it.
+    Probe,
+    /// Breaker open, cooldown pending: last-resort candidate only.
+    Skip,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    tripped: bool,
+    /// While tripped: earliest instant the next probe may go out.
+    probe_at: Option<Instant>,
+}
+
+/// One replica's breaker state.
+#[derive(Debug)]
+pub(crate) struct Health {
+    consecutive_failures: AtomicU32,
+    breaker: Mutex<Breaker>,
+}
+
+impl Default for Health {
+    fn default() -> Self {
+        Health {
+            consecutive_failures: AtomicU32::new(0),
+            breaker: Mutex::new(Breaker { tripped: false, probe_at: None }),
+        }
+    }
+}
+
+impl Health {
+    /// Classifies the replica for candidate ordering. When a tripped
+    /// replica's cooldown has elapsed this *claims* the probe slot
+    /// (re-arming the cooldown), so a thundering herd sends one probe
+    /// per cooldown window, not one per query.
+    pub(crate) fn availability(&self, policy: &HealthPolicy) -> Availability {
+        let mut b = self.breaker.lock().expect("breaker poisoned");
+        if !b.tripped {
+            return Availability::Ready;
+        }
+        let now = Instant::now();
+        match b.probe_at {
+            Some(at) if now < at => Availability::Skip,
+            _ => {
+                b.probe_at = Some(now + policy.probe_cooldown);
+                Availability::Probe
+            }
+        }
+    }
+
+    /// Records a successful read. Returns `true` when this success
+    /// closed a tripped breaker (a recovery).
+    pub(crate) fn on_success(&self) -> bool {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        let mut b = self.breaker.lock().expect("breaker poisoned");
+        let recovered = b.tripped;
+        b.tripped = false;
+        b.probe_at = None;
+        recovered
+    }
+
+    /// Records a failed read. Returns `true` when this failure tripped
+    /// the breaker (the trip event, counted once).
+    pub(crate) fn on_failure(&self, policy: &HealthPolicy) -> bool {
+        let c = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut b = self.breaker.lock().expect("breaker poisoned");
+        if b.tripped {
+            // Failed probe: push the next one a full cooldown out.
+            b.probe_at = Some(Instant::now() + policy.probe_cooldown);
+            return false;
+        }
+        if c >= policy.trip_threshold {
+            b.tripped = true;
+            b.probe_at = Some(Instant::now() + policy.probe_cooldown);
+            return true;
+        }
+        false
+    }
+
+    /// Whether the breaker is currently open.
+    pub(crate) fn is_tripped(&self) -> bool {
+        self.breaker.lock().expect("breaker poisoned").tripped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(ms: u64) -> HealthPolicy {
+        HealthPolicy { trip_threshold: 3, probe_cooldown: Duration::from_millis(ms) }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let h = Health::default();
+        let p = policy(1000);
+        assert!(!h.on_failure(&p));
+        assert!(!h.on_failure(&p));
+        assert!(!h.on_success()); // success resets the streak
+        assert!(!h.on_failure(&p));
+        assert!(!h.on_failure(&p));
+        assert!(h.on_failure(&p)); // third consecutive: trips (once)
+        assert!(h.is_tripped());
+        assert!(!h.on_failure(&p)); // further failures don't re-trip
+    }
+
+    #[test]
+    fn probe_slot_is_claimed_once_per_cooldown() {
+        let h = Health::default();
+        let p = policy(40);
+        for _ in 0..3 {
+            h.on_failure(&p);
+        }
+        // Cooldown pending: everyone skips.
+        assert_eq!(h.availability(&p), Availability::Skip);
+        std::thread::sleep(Duration::from_millis(45));
+        // First caller gets the probe, the next skips again.
+        assert_eq!(h.availability(&p), Availability::Probe);
+        assert_eq!(h.availability(&p), Availability::Skip);
+        // A successful probe closes the breaker for everyone.
+        assert!(h.on_success());
+        assert_eq!(h.availability(&p), Availability::Ready);
+        assert!(!h.is_tripped());
+    }
+}

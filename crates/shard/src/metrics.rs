@@ -1,0 +1,193 @@
+//! Router-level counters and the aggregated cluster metrics view.
+//!
+//! The router records its own counters (queries, legs, probes,
+//! failovers, breaker trips, rebalances) plus an end-to-end latency
+//! histogram in the same log₂-bucket format the single-node service
+//! uses. [`ClusterMetrics`] then pools every replica's
+//! [`MetricsSnapshot`] into one cluster-wide snapshot with
+//! [`MetricsSnapshot::plus`] and serializes the whole view as JSON, so
+//! the harness reads one wire format whether it is metering one node or
+//! a cluster.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use iqs_serve::{HistogramSnapshot, LogHistogram, MetricsSnapshot};
+
+/// Live router counters; all increments are relaxed atomics on the
+/// query path.
+#[derive(Debug, Default)]
+pub(crate) struct RouterCounters {
+    pub(crate) queries: AtomicU64,
+    pub(crate) legs: AtomicU64,
+    pub(crate) probes_cached: AtomicU64,
+    pub(crate) probes_live: AtomicU64,
+    pub(crate) failovers: AtomicU64,
+    pub(crate) degraded_queries: AtomicU64,
+    pub(crate) trips: AtomicU64,
+    pub(crate) recoveries: AtomicU64,
+    pub(crate) rebalances: AtomicU64,
+    pub(crate) latency: LogHistogram,
+}
+
+impl RouterCounters {
+    pub(crate) fn snapshot(&self) -> RouterMetrics {
+        RouterMetrics {
+            queries: self.queries.load(Ordering::Relaxed),
+            legs: self.legs.load(Ordering::Relaxed),
+            probes_cached: self.probes_cached.load(Ordering::Relaxed),
+            probes_live: self.probes_live.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            degraded_queries: self.degraded_queries.load(Ordering::Relaxed),
+            trips: self.trips.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of the router's own counters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RouterMetrics {
+    /// Cluster queries routed (samples and counts).
+    pub queries: u64,
+    /// Per-shard legs fanned out across all queries.
+    pub legs: u64,
+    /// Shard weight probes answered from the cached snapshot total.
+    pub probes_cached: u64,
+    /// Shard weight probes that computed a partial-range prefix sum.
+    pub probes_live: u64,
+    /// Times a leg moved past a failed replica to the next candidate.
+    pub failovers: u64,
+    /// Queries that returned with `degraded` set.
+    pub degraded_queries: u64,
+    /// Circuit-breaker trip events.
+    pub trips: u64,
+    /// Circuit-breaker recoveries (a probe succeeded on a tripped
+    /// replica).
+    pub recoveries: u64,
+    /// Topology republications (splits and merges).
+    pub rebalances: u64,
+    /// End-to-end router latency (query start → merged response).
+    pub latency: HistogramSnapshot,
+}
+
+/// One replica's service metrics, tagged with its position in the
+/// topology at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplicaMetrics {
+    /// Shard index in the current topology.
+    pub shard: usize,
+    /// Replica index within the shard.
+    pub replica: usize,
+    /// Whether the router's circuit breaker for this replica is open.
+    pub tripped: bool,
+    /// The replica's own service metrics.
+    pub serve: MetricsSnapshot,
+}
+
+/// The full cluster view: router counters, the pooled per-replica
+/// service metrics, and the per-replica breakdown.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterMetrics {
+    /// Shards in the topology at snapshot time.
+    pub shards: usize,
+    /// Router-level counters.
+    pub router: RouterMetrics,
+    /// Every replica's service metrics pooled with
+    /// [`MetricsSnapshot::plus`].
+    pub cluster: MetricsSnapshot,
+    /// Per-replica breakdown, in `(shard, replica)` order.
+    pub replicas: Vec<ReplicaMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Serializes the whole view as one JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("cluster metrics serialization is infallible")
+    }
+
+    /// Parses a view back from [`ClusterMetrics::to_json`] output.
+    ///
+    /// # Errors
+    /// A JSON parse error describing the first malformed byte.
+    pub fn from_json(text: &str) -> Result<ClusterMetrics, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+fn fmt_dur(d: Option<std::time::Duration>) -> String {
+    match d {
+        None => "-".to_string(),
+        Some(d) if d.as_nanos() < 1_000 => format!("{}ns", d.as_nanos()),
+        Some(d) if d.as_nanos() < 1_000_000 => format!("{:.1}µs", d.as_nanos() as f64 / 1e3),
+        Some(d) if d.as_nanos() < 1_000_000_000 => format!("{:.1}ms", d.as_nanos() as f64 / 1e6),
+        Some(d) => format!("{:.2}s", d.as_secs_f64()),
+    }
+}
+
+impl fmt::Display for ClusterMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = &self.router;
+        writeln!(
+            f,
+            "router: {} queries over {} shards ({} legs), {} degraded; probes {} cached / {} live",
+            r.queries, self.shards, r.legs, r.degraded_queries, r.probes_cached, r.probes_live
+        )?;
+        writeln!(
+            f,
+            "failover: {} failovers, {} trips, {} recoveries; rebalances: {}",
+            r.failovers, r.trips, r.recoveries, r.rebalances
+        )?;
+        writeln!(
+            f,
+            "router latency  p50 {} | p99 {} | p999 {}  (log2 buckets: ≤2x)",
+            fmt_dur(r.latency.quantile(0.50)),
+            fmt_dur(r.latency.quantile(0.99)),
+            fmt_dur(r.latency.quantile(0.999)),
+        )?;
+        let tripped = self.replicas.iter().filter(|m| m.tripped).count();
+        writeln!(
+            f,
+            "replicas: {} total, {} tripped; pooled service metrics:",
+            self.replicas.len(),
+            tripped
+        )?;
+        write!(f, "{}", self.cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn cluster_metrics_json_round_trip() {
+        let counters = RouterCounters::default();
+        counters.queries.fetch_add(9, Ordering::Relaxed);
+        counters.failovers.fetch_add(2, Ordering::Relaxed);
+        counters.latency.record(Duration::from_micros(15));
+        let serve = MetricsSnapshot { submitted: 42, completed: 41, ..Default::default() };
+        let m = ClusterMetrics {
+            shards: 2,
+            router: counters.snapshot(),
+            cluster: serve.plus(&serve),
+            replicas: vec![
+                ReplicaMetrics { shard: 0, replica: 0, tripped: false, serve },
+                ReplicaMetrics { shard: 1, replica: 0, tripped: true, serve },
+            ],
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"failovers\":2"));
+        assert!(json.contains("\"tripped\":true"));
+        let back = ClusterMetrics::from_json(&json).expect("round trip");
+        assert_eq!(back, m);
+        assert_eq!(back.cluster.submitted, 84);
+        assert!(ClusterMetrics::from_json(&json[1..]).is_err());
+        let text = m.to_string();
+        assert!(text.contains("9 queries"));
+        assert!(text.contains("1 tripped"));
+    }
+}

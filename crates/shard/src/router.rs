@@ -1,0 +1,979 @@
+//! The sharded service and its scatter-gather router.
+//!
+//! # Exactness of the two-level draw
+//!
+//! For a with-replacement query over `[x, y]` with `s` draws, the router
+//! computes each overlapping shard's in-range weight `W_i` (the cached
+//! snapshot total when the query covers the shard, a prefix-sum read
+//! otherwise), builds a top-level [`AliasTable`] over `(W_1, …, W_m)`,
+//! and splits `s` into per-shard counts `(s_1, …, s_m)` with
+//! [`split_samples_with`] — a multinomial draw with cell probabilities
+//! `W_i / ΣW`. Each shard then answers `s_i` independent draws from its
+//! own slice, where element `e` has conditional probability
+//! `w(e) / W_i`. The law of total probability gives every in-range
+//! element marginal probability `(W_i / ΣW) · (w(e) / W_i) = w(e) / ΣW`
+//! per draw — exactly the single-node distribution — and draws remain
+//! mutually independent because the multinomial split plus conditionally
+//! independent per-shard draws factorizes the joint law (the same §4.1
+//! argument `iqs-alias` uses to parallelize batches). No approximation
+//! enters anywhere; the sharded tier is distributionally
+//! indistinguishable from one big sampler, which the exactness suite
+//! verifies both by exact replay under a shared seed schedule and by
+//! chi-square at the same threshold the single-node tests use.
+//!
+//! # Failover
+//!
+//! Every leg is submitted to one replica chosen by rotating round-robin
+//! over the shard's replica set, probe candidates first (a tripped
+//! replica whose cooldown elapsed), then ready replicas, with tripped
+//! replicas kept as last resort. A failed attempt — refused at the fault
+//! gate, an error reply, or a missed per-attempt deadline — moves the leg
+//! to the next untried replica with a fresh deadline. Only when every
+//! replica of a shard has failed does the query degrade: the response's
+//! `degraded` flag is set and `missing` accounts for the draws that
+//! shard owed, while the delivered ids remain exactly distributed
+//! conditioned on the split.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use iqs_alias::split::split_samples_with;
+use iqs_alias::AliasTable;
+use iqs_core::QueryError;
+use iqs_serve::{IndexView, PendingReply, Request, Response, Snapshot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::ShardError;
+use crate::fault::FaultMode;
+use crate::health::{Availability, HealthPolicy};
+use crate::merge::{Counted, Sampled};
+use crate::metrics::{ClusterMetrics, ReplicaMetrics, RouterCounters};
+use crate::placement::{
+    build_shard, cut_points, split_point, Replica, ShardHandle, Topology, SEED_GOLDEN, SHARD_INDEX,
+};
+
+/// Rejection rounds `sample_wor` attempts before giving up on a
+/// pathologically skewed range.
+const MAX_WOR_ROUNDS: usize = 1024;
+
+/// A shard's key-sorted `(id, key, weight)` slice, shared by handle so
+/// introspection never copies the data.
+pub type ShardSlice = Arc<Vec<(u64, f64, f64)>>;
+
+/// Tuning for [`ShardedService`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Target shard count (fewer are built when duplicate-key runs or the
+    /// element count don't allow that many non-empty slices). Default 4.
+    pub shards: usize,
+    /// Replicas per shard. Default 2.
+    pub replicas: usize,
+    /// Worker threads per replica. Default 1 (every replica is a full
+    /// worker pool; keep this small when shards × replicas is large).
+    pub workers_per_replica: usize,
+    /// Per-replica request-queue capacity. Default 1024.
+    pub queue_capacity: usize,
+    /// Per-request sample-count bound, enforced at the router and at
+    /// every replica. Default 2²⁰.
+    pub max_sample_size: u32,
+    /// Per-attempt deadline for one leg on one replica; a miss triggers
+    /// failover with a fresh deadline on the next replica. Default 5 s
+    /// (generous — CI machines stall).
+    pub scatter_deadline: Duration,
+    /// Circuit-breaker tuning for per-replica health tracking.
+    pub health: HealthPolicy,
+    /// Master seed: replica worker pools and router clients all derive
+    /// distinct streams from it.
+    pub seed: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            replicas: 2,
+            workers_per_replica: 1,
+            queue_capacity: 1024,
+            max_sample_size: 1 << 20,
+            scatter_deadline: Duration::from_secs(5),
+            health: HealthPolicy::default(),
+            seed: 0x5eed_1e55,
+        }
+    }
+}
+
+/// Shared router state behind every [`ClusterClient`] and [`FaultPlan`].
+struct Inner {
+    /// The published topology, swapped atomically on rebalance exactly as
+    /// dynamic indexes swap views.
+    topo: Snapshot<Topology>,
+    config: ShardConfig,
+    counters: RouterCounters,
+    /// Monotone ordinal for deriving replica server seeds (never reused,
+    /// so rebuilt shards get fresh worker streams).
+    server_seq: AtomicU64,
+    /// Ordinal for deriving per-client split RNG seeds.
+    client_seq: AtomicU64,
+    /// Serializes rebalances; readers never take it.
+    rebalance: Mutex<()>,
+}
+
+/// One planned leg of a scatter.
+struct Leg {
+    shard_idx: usize,
+    shard: Arc<ShardHandle>,
+    weight: f64,
+}
+
+/// An attempt in flight: the pending reply, the injected delay to honor
+/// at gather (if the chosen replica is delay-faulted), the replica index,
+/// and this attempt's deadline.
+type Attempt = (PendingReply, Option<Duration>, usize, Instant);
+
+/// Candidate replica order for one attempt: probes first, then ready
+/// replicas in rotating round-robin order, tripped replicas last (tried
+/// before failing the leg, never before a healthy replica).
+fn candidate_order(shard: &ShardHandle, policy: &HealthPolicy) -> Vec<usize> {
+    let n = shard.replicas.len();
+    let start = shard.rr.fetch_add(1, Ordering::Relaxed) % n;
+    let rotated: Vec<usize> = (0..n).map(|i| (start + i) % n).collect();
+    let mut probes = Vec::new();
+    let mut ready = Vec::new();
+    let mut skips = Vec::new();
+    for &i in &rotated {
+        match shard.replicas[i].health.availability(policy) {
+            Availability::Probe => probes.push(i),
+            Availability::Ready => ready.push(i),
+            Availability::Skip => skips.push(i),
+        }
+    }
+    probes.extend(ready);
+    probes.extend(skips);
+    probes
+}
+
+impl Inner {
+    fn note_success(&self, rep: &Replica) {
+        if rep.health.on_success() {
+            self.counters.recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn note_failure(&self, rep: &Replica) {
+        self.counters.failovers.fetch_add(1, Ordering::Relaxed);
+        if rep.health.on_failure(&self.config.health) {
+            self.counters.trips.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Submits `request` to the first untried candidate replica that
+    /// accepts it. Down/Error faults and refused admissions are charged
+    /// as failures and skipped; a delay fault is accepted and remembered
+    /// for the gather phase.
+    fn try_submit(
+        &self,
+        shard: &ShardHandle,
+        tried: &mut Vec<usize>,
+        request: &Request,
+        origin: Instant,
+    ) -> Option<Attempt> {
+        for ri in candidate_order(shard, &self.config.health) {
+            if tried.contains(&ri) {
+                continue;
+            }
+            tried.push(ri);
+            let rep = &shard.replicas[ri];
+            let delay = match rep.fault.get() {
+                FaultMode::Down | FaultMode::Error => {
+                    self.note_failure(rep);
+                    continue;
+                }
+                FaultMode::Delay(d) => Some(d),
+                FaultMode::Healthy => None,
+            };
+            let deadline = Instant::now() + self.config.scatter_deadline;
+            match rep.client.call_pending(request.clone(), origin, Some(deadline)) {
+                Ok(pending) => return Some((pending, delay, ri, deadline)),
+                Err(_) => self.note_failure(rep),
+            }
+        }
+        None
+    }
+
+    /// Waits out one leg, failing over through the remaining replicas
+    /// until a reply lands or every replica has been tried.
+    fn gather_leg(
+        &self,
+        shard: &ShardHandle,
+        mut attempt: Option<Attempt>,
+        tried: &mut Vec<usize>,
+        request: &Request,
+        origin: Instant,
+    ) -> Option<Response> {
+        while let Some((pending, delay, ri, deadline)) = attempt.take() {
+            let rep = &shard.replicas[ri];
+            if let Some(d) = delay {
+                // Honor the injected delay, but never past this attempt's
+                // deadline: a reply that would land late is a timeout.
+                let now = Instant::now();
+                let budget = deadline.saturating_duration_since(now);
+                std::thread::sleep(d.min(budget));
+                if d > budget {
+                    self.note_failure(rep);
+                    attempt = self.try_submit(shard, tried, request, origin);
+                    continue;
+                }
+            }
+            match pending.wait_deadline(deadline) {
+                Some(Ok(response)) => {
+                    self.note_success(rep);
+                    return Some(response);
+                }
+                Some(Err(_)) | None => {
+                    self.note_failure(rep);
+                    attempt = self.try_submit(shard, tried, request, origin);
+                }
+            }
+        }
+        None
+    }
+
+    /// Scatters one request per shard, then gathers in order. Submission
+    /// is fully fanned out before the first wait, so legs execute
+    /// concurrently across shards.
+    fn scatter(
+        &self,
+        legs: Vec<(Arc<ShardHandle>, Request)>,
+        origin: Instant,
+    ) -> Vec<Option<Response>> {
+        self.counters.legs.fetch_add(legs.len() as u64, Ordering::Relaxed);
+        let in_flight: Vec<_> = legs
+            .into_iter()
+            .map(|(shard, request)| {
+                let mut tried = Vec::new();
+                let attempt = self.try_submit(&shard, &mut tried, &request, origin);
+                (shard, request, tried, attempt)
+            })
+            .collect();
+        in_flight
+            .into_iter()
+            .map(|(shard, request, mut tried, attempt)| {
+                self.gather_leg(&shard, attempt, &mut tried, &request, origin)
+            })
+            .collect()
+    }
+
+    /// Plans a sampling scatter: one leg per overlapping shard with
+    /// positive in-range weight. Covering queries read the cached shard
+    /// total; partial overlaps read a prefix sum from any live replica.
+    /// A shard whose weight cannot be determined (every replica faulted)
+    /// is excluded and flagged, degrading the query.
+    fn plan(&self, topo: &Topology, x: f64, y: f64) -> (Vec<Leg>, bool) {
+        let mut legs = Vec::new();
+        let mut degraded = false;
+        for idx in topo.overlapping(x, y) {
+            let shard = &topo.shards[idx];
+            let weight = if x <= shard.lo_key && y >= shard.hi_key {
+                self.counters.probes_cached.fetch_add(1, Ordering::Relaxed);
+                Some(shard.total_weight)
+            } else {
+                self.counters.probes_live.fetch_add(1, Ordering::Relaxed);
+                shard
+                    .replicas
+                    .iter()
+                    .filter(|r| !matches!(r.fault.get(), FaultMode::Down | FaultMode::Error))
+                    .find_map(|r| r.registry().range_weight(SHARD_INDEX, x, y).ok())
+            };
+            match weight {
+                Some(w) if w > 0.0 => {
+                    legs.push(Leg { shard_idx: idx, shard: Arc::clone(shard), weight: w })
+                }
+                Some(_) => {} // nothing in range here
+                None => degraded = true,
+            }
+        }
+        (legs, degraded)
+    }
+
+    /// Splits `s` draws over the planned legs: the top-level multinomial
+    /// split when more than one shard contributes, and the trivial
+    /// all-to-one assignment (consuming no top-level randomness) for a
+    /// single leg.
+    fn split_counts(legs: &[Leg], s: usize, rng: &mut StdRng) -> Result<Vec<usize>, ShardError> {
+        if legs.len() == 1 {
+            return Ok(vec![s]);
+        }
+        let weights: Vec<f64> = legs.iter().map(|leg| leg.weight).collect();
+        let table = AliasTable::new(&weights).map_err(iqs_serve::ServeError::from)?;
+        Ok(split_samples_with(&table, s, rng))
+    }
+
+    fn finish(&self, origin: Instant, degraded: bool) {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.counters.degraded_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.counters.latency.record(origin.elapsed());
+    }
+}
+
+/// The per-shard RNG seed schedule: leg `shard_idx` of a seeded query
+/// draws from `StdRng::seed_from_u64(leg_seed(seed, shard_idx))`, while
+/// the top-level split uses `StdRng::seed_from_u64(seed)` directly.
+/// Exposed so exactness tests can replay the schedule independently.
+#[must_use]
+pub fn leg_seed(seed: u64, shard_idx: usize) -> u64 {
+    seed ^ SEED_GOLDEN.wrapping_mul(shard_idx as u64 + 1)
+}
+
+/// A sharded, replicated sampling tier: the key space range-partitioned
+/// over independent single-node services, with exact two-level draws,
+/// per-replica failover, and online rebalancing.
+///
+/// Construct with [`ShardedService::new`], then take [`ClusterClient`]s
+/// (one per querying thread) with [`ShardedService::client`].
+pub struct ShardedService {
+    inner: Arc<Inner>,
+}
+
+/// A handle for issuing cluster queries. Each client owns the RNG that
+/// drives its top-level multinomial splits (seeded from the service
+/// master seed), so clients are independent and need no locking.
+pub struct ClusterClient {
+    inner: Arc<Inner>,
+    rng: StdRng,
+}
+
+/// A handle for injecting per-replica faults; see [`FaultMode`].
+pub struct FaultPlan {
+    inner: Arc<Inner>,
+}
+
+impl ShardedService {
+    /// Builds the tier from `(id, key, weight)` elements: sorts by key,
+    /// cuts into at most [`ShardConfig::shards`] equal-count slices
+    /// (never splitting an equal-key run), and starts
+    /// [`ShardConfig::replicas`] independent single-node services per
+    /// shard, each registering its slice under the global element ids.
+    ///
+    /// # Errors
+    /// [`ShardError::Config`] for zero shards/replicas/workers, no
+    /// elements, or duplicate ids; [`ShardError::Serve`] when a slice is
+    /// rejected by the underlying sampler (non-finite keys, invalid
+    /// weights).
+    pub fn new(
+        mut elements: Vec<(u64, f64, f64)>,
+        config: ShardConfig,
+    ) -> Result<Self, ShardError> {
+        if config.shards == 0 {
+            return Err(ShardError::Config("shards must be at least 1"));
+        }
+        if config.replicas == 0 {
+            return Err(ShardError::Config("replicas must be at least 1"));
+        }
+        if config.workers_per_replica == 0 {
+            return Err(ShardError::Config("workers_per_replica must be at least 1"));
+        }
+        if elements.is_empty() {
+            return Err(ShardError::Config("at least one element is required"));
+        }
+        // Global ids must be unique: merged without-replacement draws
+        // dedup on them.
+        let mut ids: Vec<u64> = elements.iter().map(|&(id, _, _)| id).collect();
+        ids.sort_unstable();
+        if ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ShardError::Config("element ids must be unique across the cluster"));
+        }
+        elements.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let keys: Vec<f64> = elements.iter().map(|&(_, key, _)| key).collect();
+        let cuts = cut_points(&keys, config.shards);
+        let server_seq = AtomicU64::new(1);
+        let mut shards = Vec::with_capacity(cuts.len());
+        for (i, &start) in cuts.iter().enumerate() {
+            let end = cuts.get(i + 1).copied().unwrap_or(elements.len());
+            shards.push(build_shard(
+                Arc::new(elements[start..end].to_vec()),
+                &config,
+                &server_seq,
+            )?);
+        }
+        Ok(ShardedService {
+            inner: Arc::new(Inner {
+                topo: Snapshot::new(Topology { shards }),
+                config,
+                counters: RouterCounters::default(),
+                server_seq,
+                client_seq: AtomicU64::new(0),
+                rebalance: Mutex::new(()),
+            }),
+        })
+    }
+
+    /// A new query client with its own independent split-RNG stream.
+    #[must_use]
+    pub fn client(&self) -> ClusterClient {
+        let ordinal = self.inner.client_seq.fetch_add(1, Ordering::Relaxed);
+        ClusterClient {
+            inner: Arc::clone(&self.inner),
+            rng: StdRng::seed_from_u64(
+                self.inner.config.seed ^ 0xa076_1d64_78bd_642f_u64.wrapping_mul(ordinal + 1),
+            ),
+        }
+    }
+
+    /// The fault-injection handle for this cluster.
+    #[must_use]
+    pub fn fault_plan(&self) -> FaultPlan {
+        FaultPlan { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Shards in the current topology.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.topo.load().shards.len()
+    }
+
+    /// Each shard's `[lo_key, hi_key]` span, in key order.
+    #[must_use]
+    pub fn shard_spans(&self) -> Vec<(f64, f64)> {
+        self.inner.topo.load().shards.iter().map(|sh| (sh.lo_key, sh.hi_key)).collect()
+    }
+
+    /// Each shard's cached total sampling weight, in key order.
+    #[must_use]
+    pub fn shard_weights(&self) -> Vec<f64> {
+        self.inner.topo.load().shards.iter().map(|sh| sh.total_weight).collect()
+    }
+
+    /// The key-sorted `(id, key, weight)` slice a shard owns (a cheap
+    /// handle clone). Exposed so exactness tests can reconstruct the
+    /// reference distribution per shard.
+    ///
+    /// # Errors
+    /// [`ShardError::UnknownShard`] past the end of the topology.
+    pub fn shard_elements(&self, shard: usize) -> Result<ShardSlice, ShardError> {
+        let topo = self.inner.topo.load();
+        let sh = topo.shards.get(shard).ok_or(ShardError::UnknownShard(shard))?;
+        Ok(Arc::clone(&sh.elements))
+    }
+
+    /// Total sampling weight across all shards.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.inner.topo.load().shards.iter().map(|sh| sh.total_weight).sum()
+    }
+
+    /// Deterministic replay of a with-replacement query under the shared
+    /// seed schedule: the top-level split from
+    /// `StdRng::seed_from_u64(seed)` and leg `i` from
+    /// [`leg_seed`]`(seed, i)`, reading each shard's published snapshot
+    /// directly (no queueing, faults ignored). Two calls with the same
+    /// topology, range, `s`, and `seed` return identical ids — and the
+    /// exactness suite shows the result matches a single-node sampler
+    /// driven by the same schedule, element for element.
+    ///
+    /// # Errors
+    /// [`ShardError::EmptyRange`] when no shard holds in-range weight;
+    /// [`ShardError::Query`] when a replica's sampler rejects the draw.
+    pub fn sample_wr_seeded(
+        &self,
+        range: Option<(f64, f64)>,
+        s: u32,
+        seed: u64,
+    ) -> Result<Vec<u64>, ShardError> {
+        let inner = &self.inner;
+        if s > inner.config.max_sample_size {
+            return Err(ShardError::InvalidRequest("sample size exceeds the configured maximum"));
+        }
+        let (x, y) = range.unwrap_or((f64::NEG_INFINITY, f64::INFINITY));
+        let topo = inner.topo.load();
+        let mut legs = Vec::new();
+        for idx in topo.overlapping(x, y) {
+            let shard = &topo.shards[idx];
+            let weight = if x <= shard.lo_key && y >= shard.hi_key {
+                shard.total_weight
+            } else {
+                shard.replicas[0].registry().range_weight(SHARD_INDEX, x, y)?
+            };
+            if weight > 0.0 {
+                legs.push(Leg { shard_idx: idx, shard: Arc::clone(shard), weight });
+            }
+        }
+        if legs.is_empty() {
+            return Err(ShardError::EmptyRange);
+        }
+        let mut top = StdRng::seed_from_u64(seed);
+        let counts = Inner::split_counts(&legs, s as usize, &mut top)?;
+        let mut out = Vec::with_capacity(s as usize);
+        for (leg, &count) in legs.iter().zip(&counts) {
+            if count == 0 {
+                continue;
+            }
+            let view = leg.shard.replicas[0]
+                .registry()
+                .view(SHARD_INDEX)
+                .expect("every replica registers the shard index");
+            let IndexView::Range(rv) = view.as_ref() else {
+                unreachable!("shards register range indexes")
+            };
+            let sampler = rv.sampler.as_ref().expect("shard slices are non-empty");
+            let mut rng = StdRng::seed_from_u64(leg_seed(seed, leg.shard_idx));
+            let mut ranks = vec![0u32; count];
+            sampler.sample_wr_batch(x, y, &mut rng, &mut ranks)?;
+            out.extend(ranks.iter().map(|&rank| rv.id_at(rank as usize)));
+        }
+        Ok(out)
+    }
+
+    /// Splits shard `shard` at the cut nearest its key median, rebuilding
+    /// two half-shards off the read path and publishing the new topology
+    /// atomically — concurrent readers keep draining against the old
+    /// topology's replicas (which stay alive until their last reader
+    /// drops them), so no read ever fails during a rebalance.
+    ///
+    /// Returns the new shard count.
+    ///
+    /// # Errors
+    /// [`ShardError::UnknownShard`] for a bad index;
+    /// [`ShardError::NoSplitPoint`] when every element of the shard
+    /// shares one key (an equal run is never straddled).
+    pub fn split_shard(&self, shard: usize) -> Result<usize, ShardError> {
+        let _guard = self.inner.rebalance.lock().expect("rebalance lock poisoned");
+        let topo = self.inner.topo.load();
+        let handle = topo.shards.get(shard).ok_or(ShardError::UnknownShard(shard))?;
+        let keys: Vec<f64> = handle.elements.iter().map(|&(_, key, _)| key).collect();
+        let cut = split_point(&keys).ok_or(ShardError::NoSplitPoint)?;
+        let left = build_shard(
+            Arc::new(handle.elements[..cut].to_vec()),
+            &self.inner.config,
+            &self.inner.server_seq,
+        )?;
+        let right = build_shard(
+            Arc::new(handle.elements[cut..].to_vec()),
+            &self.inner.config,
+            &self.inner.server_seq,
+        )?;
+        let mut shards = topo.shards.clone();
+        shards.splice(shard..=shard, [left, right]);
+        let n = shards.len();
+        self.publish(Topology { shards });
+        Ok(n)
+    }
+
+    /// Merges shards `left` and `left + 1` into one, rebuilding the
+    /// combined shard off the read path with the same zero-failed-reads
+    /// guarantee as [`ShardedService::split_shard`]. Returns the new
+    /// shard count.
+    ///
+    /// # Errors
+    /// [`ShardError::UnknownShard`] when `left + 1` is past the end.
+    pub fn merge_shards(&self, left: usize) -> Result<usize, ShardError> {
+        let _guard = self.inner.rebalance.lock().expect("rebalance lock poisoned");
+        let topo = self.inner.topo.load();
+        if left + 1 >= topo.shards.len() {
+            return Err(ShardError::UnknownShard(left + 1));
+        }
+        // Adjacent slices of one key-sorted list: concatenation stays
+        // key-sorted.
+        let mut elements = Vec::with_capacity(
+            topo.shards[left].elements.len() + topo.shards[left + 1].elements.len(),
+        );
+        elements.extend_from_slice(&topo.shards[left].elements);
+        elements.extend_from_slice(&topo.shards[left + 1].elements);
+        let merged = build_shard(Arc::new(elements), &self.inner.config, &self.inner.server_seq)?;
+        let mut shards = topo.shards.clone();
+        shards.splice(left..=left + 1, [merged]);
+        let n = shards.len();
+        self.publish(Topology { shards });
+        Ok(n)
+    }
+
+    fn publish(&self, topology: Topology) {
+        self.inner.topo.store(topology);
+        // Safe here: rebalances hold the mutex, so no concurrent store.
+        self.inner.topo.sweep();
+        self.inner.counters.rebalances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The full cluster metrics view: router counters plus every
+    /// replica's service metrics, pooled and itemized.
+    #[must_use]
+    pub fn metrics(&self) -> ClusterMetrics {
+        let topo = self.inner.topo.load();
+        let mut replicas = Vec::new();
+        let mut cluster: Option<iqs_serve::MetricsSnapshot> = None;
+        for (si, shard) in topo.shards.iter().enumerate() {
+            for (ri, rep) in shard.replicas.iter().enumerate() {
+                let serve = rep.client.metrics();
+                cluster = Some(match cluster {
+                    Some(acc) => acc.plus(&serve),
+                    None => serve,
+                });
+                replicas.push(ReplicaMetrics {
+                    shard: si,
+                    replica: ri,
+                    tripped: rep.health.is_tripped(),
+                    serve,
+                });
+            }
+        }
+        ClusterMetrics {
+            shards: topo.shards.len(),
+            router: self.inner.counters.snapshot(),
+            cluster: cluster.unwrap_or_default(),
+            replicas,
+        }
+    }
+}
+
+impl ClusterClient {
+    /// `s` independent weighted samples with replacement from the closed
+    /// key interval (`None` = everything), drawn through the two-level
+    /// scheme. `result.degraded == false` guarantees `result.ids` is a
+    /// complete exact sample of size `s`.
+    ///
+    /// # Errors
+    /// [`ShardError::EmptyRange`] when the (reachable) range holds no
+    /// weight; [`ShardError::InvalidRequest`] past the sample-size bound.
+    pub fn sample_wr(&mut self, range: Option<(f64, f64)>, s: u32) -> Result<Sampled, ShardError> {
+        let origin = Instant::now();
+        let result = self.route_sample_wr(range, s, origin);
+        self.inner.finish(origin, matches!(&result, Ok(r) if r.degraded));
+        result
+    }
+
+    /// `s` distinct weighted samples (without replacement), by rejection
+    /// over the exact with-replacement path with id-level dedup across
+    /// shards. On a degraded pass the draw stops early with `degraded`
+    /// set rather than looping on an unreachable remainder.
+    ///
+    /// # Errors
+    /// [`ShardError::SampleTooLarge`] when `s` exceeds the in-range
+    /// population (only checked when the count itself is exact);
+    /// [`ShardError::EmptyRange`] on an empty reachable range;
+    /// [`ShardError::Query`] ([`QueryError::DensityTooLow`]) when
+    /// rejection stops making progress.
+    pub fn sample_wor(&mut self, range: Option<(f64, f64)>, s: u32) -> Result<Sampled, ShardError> {
+        let origin = Instant::now();
+        let result = self.route_sample_wor(range, s, origin);
+        self.inner.finish(origin, matches!(&result, Ok(r) if r.degraded));
+        result
+    }
+
+    /// Elements in the closed key interval, scatter-gathered over the
+    /// overlapping shards. A degraded count is a lower bound.
+    ///
+    /// # Errors
+    /// None currently; the `Result` reserves room for router-level
+    /// validation.
+    pub fn range_count(&self, x: f64, y: f64) -> Result<Counted, ShardError> {
+        let origin = Instant::now();
+        let result = self.route_range_count(x, y, origin);
+        self.inner.finish(origin, matches!(&result, Ok(c) if c.degraded));
+        result
+    }
+
+    /// The cluster metrics view (same as [`ShardedService::metrics`]).
+    #[must_use]
+    pub fn metrics(&self) -> ClusterMetrics {
+        ShardedService { inner: Arc::clone(&self.inner) }.metrics()
+    }
+
+    fn route_sample_wr(
+        &mut self,
+        range: Option<(f64, f64)>,
+        s: u32,
+        origin: Instant,
+    ) -> Result<Sampled, ShardError> {
+        if s > self.inner.config.max_sample_size {
+            return Err(ShardError::InvalidRequest("sample size exceeds the configured maximum"));
+        }
+        let (x, y) = range.unwrap_or((f64::NEG_INFINITY, f64::INFINITY));
+        let topo = self.inner.topo.load();
+        let (legs, plan_degraded) = self.inner.plan(&topo, x, y);
+        if legs.is_empty() {
+            if plan_degraded {
+                // Every overlapping shard is unreachable: report the
+                // degradation rather than misreporting an empty range.
+                return Ok(Sampled { ids: Vec::new(), degraded: true, missing: s as usize });
+            }
+            return Err(ShardError::EmptyRange);
+        }
+        let counts = Inner::split_counts(&legs, s as usize, &mut self.rng)?;
+        let scatter_legs: Vec<(Arc<ShardHandle>, Request)> = legs
+            .iter()
+            .zip(&counts)
+            .filter(|&(_, &count)| count > 0)
+            .map(|(leg, &count)| {
+                (
+                    Arc::clone(&leg.shard),
+                    Request::SampleWr {
+                        index: SHARD_INDEX.to_string(),
+                        range: Some((x, y)),
+                        s: count as u32,
+                    },
+                )
+            })
+            .collect();
+        let planned: Vec<usize> = counts.into_iter().filter(|&count| count > 0).collect();
+        let responses = self.inner.scatter(scatter_legs, origin);
+        let mut out = Sampled { degraded: plan_degraded, ..Sampled::default() };
+        for (response, &planned_count) in responses.into_iter().zip(&planned) {
+            let ids = match response {
+                Some(Response::Samples(ids)) => Some(ids),
+                _ => None,
+            };
+            out.absorb(ids, planned_count);
+        }
+        Ok(out)
+    }
+
+    fn route_sample_wor(
+        &mut self,
+        range: Option<(f64, f64)>,
+        s: u32,
+        origin: Instant,
+    ) -> Result<Sampled, ShardError> {
+        if s > self.inner.config.max_sample_size {
+            return Err(ShardError::InvalidRequest("sample size exceeds the configured maximum"));
+        }
+        let (x, y) = range.unwrap_or((f64::NEG_INFINITY, f64::INFINITY));
+        let counted = self.route_range_count(x, y, origin)?;
+        let want = s as usize;
+        if !counted.degraded {
+            if counted.count == 0 {
+                return Err(ShardError::EmptyRange);
+            }
+            if want > counted.count {
+                return Err(ShardError::SampleTooLarge {
+                    requested: want,
+                    available: counted.count,
+                });
+            }
+        }
+        let mut seen = HashSet::with_capacity(want);
+        let mut out = Sampled { degraded: counted.degraded, ..Sampled::default() };
+        let mut rounds = 0;
+        while out.ids.len() < want {
+            rounds += 1;
+            if rounds > MAX_WOR_ROUNDS {
+                return Err(ShardError::Query(QueryError::DensityTooLow));
+            }
+            let need = (want - out.ids.len()) as u32;
+            let draw = self.route_sample_wr(Some((x, y)), need, origin)?;
+            if draw.degraded {
+                out.degraded = true;
+                out.missing = want - out.ids.len();
+                break;
+            }
+            for id in draw.ids {
+                if out.ids.len() < want && seen.insert(id) {
+                    out.ids.push(id);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn route_range_count(&self, x: f64, y: f64, origin: Instant) -> Result<Counted, ShardError> {
+        let topo = self.inner.topo.load();
+        let legs: Vec<(Arc<ShardHandle>, Request)> = topo
+            .overlapping(x, y)
+            .map(|idx| {
+                (
+                    Arc::clone(&topo.shards[idx]),
+                    Request::RangeCount { index: SHARD_INDEX.to_string(), x, y },
+                )
+            })
+            .collect();
+        let mut out = Counted::default();
+        for response in self.inner.scatter(legs, origin) {
+            out.absorb(match response {
+                Some(Response::Count(count)) => Some(count),
+                _ => None,
+            });
+        }
+        Ok(out)
+    }
+}
+
+impl FaultPlan {
+    /// Sets one replica's fault mode.
+    ///
+    /// # Errors
+    /// [`ShardError::UnknownShard`] / [`ShardError::InvalidRequest`] for
+    /// indices outside the current topology.
+    pub fn set(&self, shard: usize, replica: usize, mode: FaultMode) -> Result<(), ShardError> {
+        let topo = self.inner.topo.load();
+        let sh = topo.shards.get(shard).ok_or(ShardError::UnknownShard(shard))?;
+        let rep = sh
+            .replicas
+            .get(replica)
+            .ok_or(ShardError::InvalidRequest("replica index out of range"))?;
+        rep.fault.set(mode);
+        Ok(())
+    }
+
+    /// Makes a replica unreachable ([`FaultMode::Down`]).
+    ///
+    /// # Errors
+    /// As for [`FaultPlan::set`].
+    pub fn kill(&self, shard: usize, replica: usize) -> Result<(), ShardError> {
+        self.set(shard, replica, FaultMode::Down)
+    }
+
+    /// Clears a replica's fault ([`FaultMode::Healthy`]).
+    ///
+    /// # Errors
+    /// As for [`FaultPlan::set`].
+    pub fn revive(&self, shard: usize, replica: usize) -> Result<(), ShardError> {
+        self.set(shard, replica, FaultMode::Healthy)
+    }
+
+    /// Clears every fault in the current topology.
+    pub fn clear(&self) {
+        let topo = self.inner.topo.load();
+        for shard in &topo.shards {
+            for rep in &shard.replicas {
+                rep.fault.set(FaultMode::Healthy);
+            }
+        }
+    }
+
+    /// Replicas currently carrying a fault.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        let topo = self.inner.topo.load();
+        topo.shards
+            .iter()
+            .flat_map(|shard| &shard.replicas)
+            .filter(|rep| rep.fault.get() != FaultMode::Healthy)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<(u64, f64, f64)> {
+        (0..n).map(|i| (i as u64, i as f64, 1.0 + (i % 7) as f64)).collect()
+    }
+
+    fn small_config() -> ShardConfig {
+        ShardConfig { shards: 3, replicas: 2, ..ShardConfig::default() }
+    }
+
+    #[test]
+    fn construction_validates_input() {
+        let cfg = small_config();
+        assert!(matches!(ShardedService::new(Vec::new(), cfg.clone()), Err(ShardError::Config(_))));
+        assert!(matches!(
+            ShardedService::new(vec![(1, 0.0, 1.0), (1, 1.0, 1.0)], cfg.clone()),
+            Err(ShardError::Config(_))
+        ));
+        let svc = ShardedService::new(grid(30), cfg).expect("valid build");
+        assert_eq!(svc.shard_count(), 3);
+        let spans = svc.shard_spans();
+        assert_eq!(spans[0].0, 0.0);
+        assert_eq!(spans[2].1, 29.0);
+        // Spans tile the key space in order without overlap.
+        for w in spans.windows(2) {
+            assert!(w[0].1 < w[1].0);
+        }
+        let total: f64 = svc.shard_weights().iter().sum();
+        assert!((total - svc.total_weight()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_range_draw_is_complete_and_counts_match() {
+        let svc = ShardedService::new(grid(40), small_config()).expect("build");
+        let mut client = svc.client();
+        let drawn = client.sample_wr(None, 500).expect("sample");
+        assert_eq!(drawn.ids.len(), 500);
+        assert!(!drawn.degraded);
+        assert_eq!(drawn.missing, 0);
+        assert!(drawn.ids.iter().all(|&id| id < 40));
+        let counted = client.range_count(10.0, 19.0).expect("count");
+        assert_eq!(counted.count, 10);
+        assert!(!counted.degraded);
+    }
+
+    #[test]
+    fn seeded_replay_is_deterministic() {
+        let svc = ShardedService::new(grid(64), small_config()).expect("build");
+        let a = svc.sample_wr_seeded(Some((5.0, 50.0)), 200, 99).expect("draw");
+        let b = svc.sample_wr_seeded(Some((5.0, 50.0)), 200, 99).expect("draw");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        let c = svc.sample_wr_seeded(Some((5.0, 50.0)), 200, 100).expect("draw");
+        assert_ne!(a, c, "different seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn wor_returns_distinct_ids_and_validates_size() {
+        let svc = ShardedService::new(grid(25), small_config()).expect("build");
+        let mut client = svc.client();
+        let drawn = client.sample_wor(Some((0.0, 24.0)), 25).expect("wor");
+        let mut ids = drawn.ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 25, "all 25 elements exactly once");
+        assert!(matches!(
+            client.sample_wor(Some((0.0, 9.0)), 11),
+            Err(ShardError::SampleTooLarge { requested: 11, available: 10 })
+        ));
+        assert!(matches!(client.sample_wr(Some((100.0, 200.0)), 5), Err(ShardError::EmptyRange)));
+    }
+
+    #[test]
+    fn split_and_merge_round_trip() {
+        let svc = ShardedService::new(
+            grid(48),
+            ShardConfig { shards: 2, replicas: 1, ..ShardConfig::default() },
+        )
+        .expect("build");
+        assert_eq!(svc.shard_count(), 2);
+        let before = svc.total_weight();
+        assert_eq!(svc.split_shard(0).expect("split"), 3);
+        assert_eq!(svc.shard_count(), 3);
+        assert!((svc.total_weight() - before).abs() < 1e-9);
+        assert_eq!(svc.merge_shards(0).expect("merge"), 2);
+        assert!((svc.total_weight() - before).abs() < 1e-9);
+        let mut client = svc.client();
+        let drawn = client.sample_wr(None, 100).expect("sample after rebalance");
+        assert_eq!(drawn.ids.len(), 100);
+        assert!(matches!(svc.split_shard(9), Err(ShardError::UnknownShard(9))));
+        assert!(matches!(svc.merge_shards(1), Err(ShardError::UnknownShard(2))));
+        assert_eq!(svc.metrics().router.rebalances, 2);
+    }
+
+    #[test]
+    fn fault_plan_degrades_and_recovers() {
+        let svc = ShardedService::new(
+            grid(30),
+            ShardConfig { shards: 3, replicas: 1, ..ShardConfig::default() },
+        )
+        .expect("build");
+        let faults = svc.fault_plan();
+        let mut client = svc.client();
+        faults.kill(1, 0).expect("kill");
+        assert_eq!(faults.active(), 1);
+        let drawn = client.sample_wr(None, 90).expect("degraded sample");
+        assert!(drawn.degraded);
+        assert_eq!(drawn.ids.len() + drawn.missing, 90);
+        // The dead shard owns keys 10..=19; no id from it can appear.
+        assert!(drawn.ids.iter().all(|&id| !(10..20).contains(&id)));
+        faults.revive(1, 0).expect("revive");
+        assert_eq!(faults.active(), 0);
+        let healed = client.sample_wr(None, 90).expect("healed sample");
+        assert!(!healed.degraded);
+        assert_eq!(healed.ids.len(), 90);
+        let m = svc.metrics();
+        assert!(m.router.degraded_queries >= 1);
+        assert!(m.router.failovers >= 1);
+    }
+}

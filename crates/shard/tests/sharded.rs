@@ -1,0 +1,266 @@
+//! Robustness of the sharded tier: failover, degraded modes, delay
+//! faults, online rebalancing, and the metrics pipeline — all through
+//! the public API with injected faults only (no real crashes needed).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use iqs_shard::{ClusterMetrics, FaultMode, HealthPolicy, ShardConfig, ShardError, ShardedService};
+
+fn elements(n: usize) -> Vec<(u64, f64, f64)> {
+    (0..n).map(|i| (i as u64, i as f64, 1.0 + (i % 7) as f64)).collect()
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
+}
+
+/// Kill one replica mid-stream: every read still succeeds and is
+/// complete (zero failed reads), the breaker trips, and tail latency
+/// stays bounded. After revival a probe recovers the replica.
+#[test]
+fn replica_death_mid_stream_causes_zero_failed_reads() {
+    let config = ShardConfig {
+        shards: 2,
+        replicas: 2,
+        scatter_deadline: Duration::from_millis(500),
+        health: HealthPolicy { trip_threshold: 3, probe_cooldown: Duration::from_millis(30) },
+        ..ShardConfig::default()
+    };
+    let svc = ShardedService::new(elements(2048), config).expect("build");
+    let faults = svc.fault_plan();
+    let mut client = svc.client();
+
+    let mut healthy_lat = Vec::new();
+    let mut faulted_lat = Vec::new();
+    for i in 0..300 {
+        if i == 100 {
+            faults.kill(0, 0).expect("kill shard 0 replica 0");
+        }
+        let t = Instant::now();
+        let drawn = client.sample_wr(Some((0.0, 2047.0)), 32).expect("read must never fail");
+        let dt = t.elapsed();
+        assert!(!drawn.degraded, "R=2 with one dead replica must not degrade (query {i})");
+        assert_eq!(drawn.missing, 0);
+        assert_eq!(drawn.ids.len(), 32);
+        if i < 100 {
+            healthy_lat.push(dt);
+        } else {
+            faulted_lat.push(dt);
+        }
+    }
+
+    let m = svc.metrics();
+    assert!(m.router.failovers > 0, "dead replica must force failovers");
+    assert!(m.router.trips >= 1, "three consecutive failures must trip the breaker");
+    assert!(m.replicas.iter().any(|r| r.shard == 0 && r.replica == 0 && r.tripped));
+
+    healthy_lat.sort_unstable();
+    faulted_lat.sort_unstable();
+    let (p99_healthy, p99_faulted) = (quantile(&healthy_lat, 0.99), quantile(&faulted_lat, 0.99));
+    // Down faults fail at the submit gate, so inflation is bookkeeping,
+    // not timeouts: a generous absolute bound holds even on slow CI.
+    assert!(
+        p99_faulted < Duration::from_millis(250),
+        "p99 under failover unbounded: {p99_faulted:?} (healthy {p99_healthy:?})"
+    );
+    println!(
+        "failover p99 inflation: healthy {:?} -> one-replica-dead {:?} ({:.2}x)",
+        p99_healthy,
+        p99_faulted,
+        p99_faulted.as_secs_f64() / p99_healthy.as_secs_f64().max(1e-9)
+    );
+
+    // Revive: the next probe (one per cooldown window) closes the breaker.
+    faults.revive(0, 0).expect("revive");
+    std::thread::sleep(Duration::from_millis(40));
+    for _ in 0..50 {
+        client.sample_wr(None, 8).expect("read");
+    }
+    let m = svc.metrics();
+    assert!(m.router.recoveries >= 1, "revived replica must recover via probe");
+    assert!(!m.replicas.iter().any(|r| r.tripped), "no breaker should remain open");
+}
+
+/// Unreplicated shards degrade honestly instead of failing reads: the
+/// flag is set, `missing` accounts for every undeliverable draw, and the
+/// dead shard's keys never appear.
+#[test]
+fn unreplicated_shard_loss_degrades_honestly() {
+    let config = ShardConfig { shards: 3, replicas: 1, ..ShardConfig::default() };
+    let svc = ShardedService::new(elements(30), config).expect("build");
+    let faults = svc.fault_plan();
+    let mut client = svc.client();
+
+    // One shard down: partial sample, missing accounted, others exact.
+    faults.kill(1, 0).expect("kill");
+    let drawn = client.sample_wr(None, 60).expect("degraded read still succeeds");
+    assert!(drawn.degraded);
+    assert_eq!(drawn.ids.len() + drawn.missing, 60);
+    assert!(drawn.ids.iter().all(|&id| !(10..20).contains(&id)), "dead shard ids appeared");
+
+    // A range entirely inside the dead shard: nothing reachable, but the
+    // caller is told it is degradation, not an empty range.
+    let inside = client.sample_wr(Some((12.0, 17.0)), 5).expect("degraded read");
+    assert!(inside.degraded);
+    assert!(inside.ids.is_empty());
+    assert_eq!(inside.missing, 5);
+
+    // Counts become explicit lower bounds.
+    let counted = client.range_count(0.0, 29.0).expect("count");
+    assert!(counted.degraded);
+    assert_eq!(counted.count, 20);
+    assert_eq!(counted.shards_unavailable, 1);
+
+    // Everything down: still no failed read, all draws missing.
+    faults.kill(0, 0).expect("kill");
+    faults.kill(2, 0).expect("kill");
+    let dark = client.sample_wr(None, 9).expect("fully-degraded read");
+    assert!(dark.degraded);
+    assert!(dark.ids.is_empty());
+    assert_eq!(dark.missing, 9);
+
+    // Without-replacement draws stop early under degradation instead of
+    // spinning on an unreachable remainder.
+    faults.clear();
+    faults.kill(1, 0).expect("kill");
+    let wor = client.sample_wor(None, 25).expect("degraded wor");
+    assert!(wor.degraded);
+    let mut ids = wor.ids.clone();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), wor.ids.len(), "wor ids must stay distinct");
+    assert!(wor.ids.iter().all(|&id| !(10..20).contains(&id)));
+
+    faults.clear();
+    let healed = client.sample_wor(None, 30).expect("healed wor");
+    assert!(!healed.degraded);
+    assert_eq!(healed.ids.len(), 30);
+    let m = svc.metrics();
+    assert!(m.router.degraded_queries >= 4);
+}
+
+/// Delay faults: a short delay is absorbed inside the deadline; a delay
+/// past the per-attempt deadline behaves as a timeout and fails over to
+/// the healthy replica — still zero failed reads.
+#[test]
+fn delay_faults_absorb_or_fail_over() {
+    let config = ShardConfig {
+        shards: 2,
+        replicas: 2,
+        scatter_deadline: Duration::from_millis(120),
+        ..ShardConfig::default()
+    };
+    let svc = ShardedService::new(elements(256), config).expect("build");
+    let faults = svc.fault_plan();
+    let mut client = svc.client();
+
+    faults.set(0, 0, FaultMode::Delay(Duration::from_millis(5))).expect("slow replica");
+    for _ in 0..20 {
+        let drawn = client.sample_wr(None, 16).expect("slow replica absorbed");
+        assert!(!drawn.degraded);
+        assert_eq!(drawn.ids.len(), 16);
+    }
+    let before = svc.metrics().router.failovers;
+
+    faults.set(0, 0, FaultMode::Delay(Duration::from_secs(10))).expect("stalled replica");
+    let t = Instant::now();
+    for _ in 0..20 {
+        let drawn = client.sample_wr(None, 16).expect("stall must fail over");
+        assert!(!drawn.degraded);
+        assert_eq!(drawn.ids.len(), 16);
+    }
+    assert!(svc.metrics().router.failovers > before, "stalls must be charged as failovers");
+    // Every stalled attempt burns at most one deadline before failover.
+    assert!(t.elapsed() < Duration::from_secs(6), "stalled replica must not serialize reads");
+
+    // Error faults fail over exactly like Down.
+    faults.set(0, 0, FaultMode::Error).expect("erroring replica");
+    let drawn = client.sample_wr(None, 16).expect("errors fail over");
+    assert!(!drawn.degraded);
+}
+
+/// Shard split and merge while reads hammer the cluster: zero failed
+/// reads, no degradation, and totals preserved throughout.
+#[test]
+fn rebalance_never_fails_a_read() {
+    let config = ShardConfig { shards: 2, replicas: 1, ..ShardConfig::default() };
+    let svc = ShardedService::new(elements(4096), config).expect("build");
+    let total = svc.total_weight();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let mut client = svc.client();
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut reads = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let drawn = client
+                            .sample_wr(Some((100.0, 3995.0)), 24)
+                            .expect("read during rebalance");
+                        assert!(!drawn.degraded, "rebalance must not degrade reads");
+                        assert_eq!(drawn.ids.len(), 24);
+                        let counted =
+                            client.range_count(0.0, 4095.0).expect("count during rebalance");
+                        assert_eq!(counted.count, 4096);
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+
+        for _ in 0..4 {
+            let n = svc.split_shard(0).expect("split");
+            assert_eq!(svc.shard_count(), n);
+            assert!((svc.total_weight() - total).abs() < 1e-6 * total);
+            let n = svc.merge_shards(0).expect("merge");
+            assert_eq!(svc.shard_count(), n);
+            assert!((svc.total_weight() - total).abs() < 1e-6 * total);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let reads: u64 = readers.into_iter().map(|h| h.join().expect("no panics")).sum();
+        assert!(reads > 0, "readers must have made progress during rebalancing");
+    });
+
+    let m = svc.metrics();
+    assert_eq!(m.router.rebalances, 8);
+    assert_eq!(m.router.degraded_queries, 0);
+    assert_eq!(m.cluster.failed, 0);
+    // A split that cannot separate equal keys is refused, not botched.
+    let flat = ShardedService::new(
+        vec![(0, 5.0, 1.0), (1, 5.0, 1.0), (2, 5.0, 1.0)],
+        ShardConfig { shards: 1, replicas: 1, ..ShardConfig::default() },
+    )
+    .expect("build");
+    assert!(matches!(flat.split_shard(0), Err(ShardError::NoSplitPoint)));
+}
+
+/// The metrics pipeline round-trips through JSON on a live cluster and
+/// the pooled view matches the per-replica sum.
+#[test]
+fn live_cluster_metrics_round_trip_json() {
+    let svc = ShardedService::new(
+        elements(512),
+        ShardConfig { shards: 2, replicas: 2, ..ShardConfig::default() },
+    )
+    .expect("build");
+    let mut client = svc.client();
+    for _ in 0..25 {
+        client.sample_wr(None, 8).expect("read");
+    }
+    let m = svc.metrics();
+    assert_eq!(m.router.queries, 25);
+    assert_eq!(m.replicas.len(), 4);
+    let pooled: u64 = m.replicas.iter().map(|r| r.serve.completed).sum();
+    assert_eq!(m.cluster.completed, pooled);
+    assert!(pooled >= 25, "each query fans out at least one leg");
+
+    let json = m.to_json();
+    let back = ClusterMetrics::from_json(&json).expect("parse back");
+    assert_eq!(back, m);
+    assert!(!format!("{m}").is_empty());
+}

@@ -1,14 +1,17 @@
 //! Facade crate re-exporting the full IQS workspace API.
 //!
 //! See [`iqs_core`] for the paper's headline structures, [`iqs_serve`]
-//! for the concurrent sampling query service layered on top of them, and
-//! the substrate crates ([`iqs_alias`], [`iqs_tree`], [`iqs_spatial`],
-//! [`iqs_sketch`], [`iqs_em`], [`iqs_stats`]) for the building blocks.
+//! for the concurrent sampling query service layered on top of them,
+//! [`iqs_shard`] for the sharded/replicated tier over many such
+//! services, and the substrate crates ([`iqs_alias`], [`iqs_tree`],
+//! [`iqs_spatial`], [`iqs_sketch`], [`iqs_em`], [`iqs_stats`]) for the
+//! building blocks.
 
 pub use iqs_alias as alias;
 pub use iqs_core as core;
 pub use iqs_em as em;
 pub use iqs_serve as serve;
+pub use iqs_shard as shard;
 pub use iqs_sketch as sketch;
 pub use iqs_spatial as spatial;
 pub use iqs_stats as stats;

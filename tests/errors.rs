@@ -10,6 +10,7 @@ use std::error::Error;
 use iqs::alias::WeightError;
 use iqs::core::QueryError;
 use iqs::serve::ServeError;
+use iqs::shard::ShardError;
 use iqs::spatial::SpatialError;
 use iqs::tree::{BstError, TreeError};
 
@@ -25,6 +26,7 @@ fn all_public_error_enums_are_boxable_errors() {
     assert_boxable::<BstError>();
     assert_boxable::<SpatialError>();
     assert_boxable::<ServeError>();
+    assert_boxable::<ShardError>();
 }
 
 #[test]
@@ -35,6 +37,12 @@ fn errors_round_trip_through_dyn_error() {
         Box::new(ServeError::from(QueryError::EmptyRange));
     assert!(service_err.source().is_some(), "wrapped errors must expose source()");
     assert!(!service_err.to_string().is_empty());
+
+    // A service error wrapped by the sharded tier chains two deep.
+    let shard_err: Box<dyn Error + Send + Sync> =
+        Box::new(ShardError::from(ServeError::from(QueryError::EmptyRange)));
+    let source = shard_err.source().expect("shard errors expose the service source");
+    assert!(source.source().is_some(), "the chain reaches the structure error");
 
     // Every enum Displays something non-empty through the trait object.
     let samples: Vec<Box<dyn Error + Send + Sync>> = vec![

@@ -14,6 +14,13 @@ impl Error {
     fn new(msg: impl Into<String>, pos: usize) -> Self {
         Error { msg: msg.into(), pos }
     }
+
+    /// An error with no useful byte position, for hand-written
+    /// [`Deserialize`](crate::Deserialize) impls enforcing semantic
+    /// constraints the grammar cannot (e.g. fixed-length arrays).
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error::new(msg, 0)
+    }
 }
 
 impl fmt::Display for Error {

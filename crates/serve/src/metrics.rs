@@ -362,6 +362,76 @@ mod tests {
     }
 
     #[test]
+    fn empty_interval_diff_has_no_quantiles() {
+        // Diffing two snapshots with no samples in between must behave
+        // like a fresh histogram: zero count, quantiles None — not a
+        // zero-duration p99 that would read as "impossibly fast".
+        let h = LogHistogram::new();
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_millis(5));
+        let snap = h.snapshot();
+        let idle = snap.minus(&snap);
+        assert_eq!(idle.count(), 0);
+        assert_eq!(idle.quantile(0.5), None);
+        assert_eq!(idle.quantile(0.999), None);
+
+        // The same through the full MetricsSnapshot diff: counters go to
+        // zero, gauges and totals keep the later value.
+        let m = Metrics::new();
+        m.submitted.fetch_add(4, Ordering::Relaxed);
+        m.queue_depth.store(2, Ordering::Relaxed);
+        m.latency.record(Duration::from_micros(1));
+        let s = m.snapshot(9);
+        let interval = s.minus(&s);
+        assert_eq!(interval.submitted, 0);
+        assert_eq!(interval.latency.count(), 0);
+        assert_eq!(interval.latency.quantile(0.99), None);
+        assert_eq!(interval.queue_depth, 2);
+        assert_eq!(interval.snapshot_swaps, 9);
+    }
+
+    #[test]
+    fn absurd_durations_saturate_the_top_bucket() {
+        // Durations beyond 2^63 ns (~292 years) — including the u64::MAX
+        // nanosecond clamp of Duration::MAX — land in the last bucket
+        // instead of indexing out of bounds, and quantiles report that
+        // bucket's upper bound.
+        let h = LogHistogram::new();
+        h.record(Duration::MAX);
+        h.record(Duration::from_secs(u64::MAX));
+        h.record(Duration::from_nanos(u64::MAX));
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HIST_BUCKETS - 1], 3);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(1.0), Some(Duration::from_nanos(1u64 << 63)));
+        // Saturated buckets still diff and pool without overflow.
+        assert_eq!(s.plus(&s).buckets[HIST_BUCKETS - 1], 6);
+        assert_eq!(s.minus(&s).count(), 0);
+    }
+
+    #[test]
+    fn p999_is_meaningful_below_1000_observations() {
+        // With 10 samples the 0.999-quantile target rounds up to the
+        // 10th sample: the single outlier *is* the p999, not an
+        // extrapolation and not a panic.
+        let h = LogHistogram::new();
+        for _ in 0..9 {
+            h.record(Duration::from_nanos(100)); // bucket 7, upper 128
+        }
+        h.record(Duration::from_millis(1)); // bucket 20, upper ~2.1ms
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.999), Some(Duration::from_nanos(1 << 20)));
+        assert_eq!(s.quantile(0.9), Some(Duration::from_nanos(128)));
+        // A single observation answers every quantile with its bucket.
+        let one = LogHistogram::new();
+        one.record(Duration::from_nanos(100));
+        let s = one.snapshot();
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), Some(Duration::from_nanos(128)), "q = {q}");
+        }
+    }
+
+    #[test]
     fn snapshot_diff_meters_an_interval() {
         let h = LogHistogram::new();
         h.record(Duration::from_nanos(10));

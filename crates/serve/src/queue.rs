@@ -131,21 +131,31 @@ impl<T> OneShot<T> {
         }
     }
 
-    /// Blocks until the cell is fulfilled or `deadline` passes. Returns
-    /// `None` on timeout; the cell is left intact, so a fulfillment that
-    /// races the deadline is simply abandoned with it.
-    pub(crate) fn wait_deadline(&self, deadline: std::time::Instant) -> Option<T> {
+    /// Blocks until the cell is fulfilled or `deadline` passes on
+    /// `clock`'s timeline. Returns `None` on timeout; the cell is left
+    /// intact, so a fulfillment that races the deadline is simply
+    /// abandoned with it. Under a virtual clock the condvar wait polls
+    /// ([`iqs_testkit::ClockHandle::wait_budget`]) so the deadline is
+    /// re-read against virtual time after every quantum.
+    pub(crate) fn wait_deadline(
+        &self,
+        deadline: std::time::Instant,
+        clock: &iqs_testkit::ClockHandle,
+    ) -> Option<T> {
         let mut slot = self.cell.0.lock().expect("oneshot poisoned");
         loop {
             if let Some(value) = slot.take() {
                 return Some(value);
             }
-            let now = std::time::Instant::now();
+            let now = clock.now();
             if now >= deadline {
                 return None;
             }
-            let (s, _timed_out) =
-                self.cell.1.wait_timeout(slot, deadline - now).expect("oneshot poisoned");
+            let (s, _timed_out) = self
+                .cell
+                .1
+                .wait_timeout(slot, clock.wait_budget(deadline - now))
+                .expect("oneshot poisoned");
             slot = s;
         }
     }
@@ -216,15 +226,38 @@ mod tests {
     #[test]
     fn oneshot_wait_deadline_times_out_then_delivers() {
         use std::time::{Duration, Instant};
+        let clock = iqs_testkit::ClockHandle::real();
         let cell: OneShot<u32> = OneShot::new();
         // Nothing delivered: times out.
         let t0 = Instant::now();
-        assert_eq!(cell.wait_deadline(t0 + Duration::from_millis(20)), None);
+        assert_eq!(cell.wait_deadline(t0 + Duration::from_millis(20), &clock), None);
         assert!(t0.elapsed() >= Duration::from_millis(20));
         // Delivered before the deadline: returned promptly.
         cell.put(7);
-        assert_eq!(cell.wait_deadline(Instant::now() + Duration::from_secs(5)), Some(7));
+        assert_eq!(cell.wait_deadline(Instant::now() + Duration::from_secs(5), &clock), Some(7));
         // Already-elapsed deadline with an empty cell: immediate None.
-        assert_eq!(cell.wait_deadline(Instant::now() - Duration::from_millis(1)), None);
+        assert_eq!(cell.wait_deadline(Instant::now() - Duration::from_millis(1), &clock), None);
+    }
+
+    #[test]
+    fn oneshot_wait_deadline_tracks_a_virtual_clock() {
+        use iqs_testkit::VirtualClock;
+        use std::time::Duration;
+        let vc = VirtualClock::new();
+        let clock = vc.handle();
+        let cell: OneShot<u32> = OneShot::new();
+        // Deadline already reached on the frozen timeline: immediate None.
+        assert_eq!(cell.wait_deadline(clock.now(), &clock), None);
+        // A waiter against a future virtual deadline wakes when another
+        // thread advances past it — no real time needs to pass.
+        let deadline = clock.now() + Duration::from_secs(3600);
+        let waiter_clock = clock.clone();
+        let waiter_cell = cell.clone();
+        let waiter = std::thread::spawn(move || waiter_cell.wait_deadline(deadline, &waiter_clock));
+        vc.advance(Duration::from_secs(3601));
+        assert_eq!(waiter.join().unwrap(), None);
+        // Fulfillment still wins over an unexpired virtual deadline.
+        cell.put(9);
+        assert_eq!(cell.wait_deadline(clock.now() + Duration::from_secs(1), &clock), Some(9));
     }
 }

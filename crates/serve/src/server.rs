@@ -28,6 +28,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use iqs_core::{QueryError, RangeSampler};
+use iqs_testkit::ClockHandle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -53,6 +54,10 @@ pub struct ServerConfig {
     /// Seed for the per-worker RNGs (worker `i` derives an independent
     /// stream from it).
     pub seed: u64,
+    /// Time source for deadlines, queue waits, and latency metrics. The
+    /// default is the real clock; tests install a
+    /// [`iqs_testkit::VirtualClock`] handle and advance time explicitly.
+    pub clock: ClockHandle,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +68,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             max_sample_size: 1 << 20,
             seed: 0x1b5_5e7e,
+            clock: ClockHandle::real(),
         }
     }
 }
@@ -87,6 +93,7 @@ struct Shared {
     metrics: Metrics,
     accepting: AtomicBool,
     max_sample_size: u32,
+    clock: ClockHandle,
 }
 
 impl Shared {
@@ -101,7 +108,7 @@ impl Shared {
         if !self.accepting.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
-        let job = Job { request, origin, enqueued: Instant::now(), deadline, reply };
+        let job = Job { request, origin, enqueued: self.clock.now(), deadline, reply };
         match self.queue.try_push(job) {
             Ok(()) => {
                 self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -135,7 +142,7 @@ impl Client {
     /// Any [`ServeError`]: admission refusals surface immediately;
     /// dispatch errors arrive with the response.
     pub fn call(&self, request: Request) -> Result<Response, ServeError> {
-        let origin = Instant::now();
+        let origin = self.shared.clock.now();
         let deadline = self.default_deadline.map(|d| origin + d);
         self.call_at(request, origin, deadline)
     }
@@ -172,7 +179,7 @@ impl Client {
     ) -> Result<PendingReply, ServeError> {
         let reply = OneShot::new();
         self.shared.submit(request, origin, deadline, Some(reply.clone()))?;
-        Ok(PendingReply { reply })
+        Ok(PendingReply { reply, clock: self.shared.clock.clone() })
     }
 
     /// Fire-and-forget submission for open-loop load generation: the
@@ -202,6 +209,7 @@ impl Client {
 /// waitable handle on the response.
 pub struct PendingReply {
     reply: OneShot<Result<Response, ServeError>>,
+    clock: ClockHandle,
 }
 
 impl PendingReply {
@@ -213,11 +221,12 @@ impl PendingReply {
         self.reply.wait()
     }
 
-    /// Blocks until the response arrives or `deadline` passes; `None`
-    /// means the wait timed out and the handle was abandoned (the worker
-    /// may still execute the request — its outcome lands in the metrics).
+    /// Blocks until the response arrives or `deadline` passes on the
+    /// server's clock; `None` means the wait timed out and the handle was
+    /// abandoned (the worker may still execute the request — its outcome
+    /// lands in the metrics).
     pub fn wait_deadline(self, deadline: Instant) -> Option<Result<Response, ServeError>> {
-        self.reply.wait_deadline(deadline)
+        self.reply.wait_deadline(deadline, &self.clock)
     }
 }
 
@@ -239,6 +248,7 @@ impl Server {
             metrics: Metrics::new(),
             accepting: AtomicBool::new(true),
             max_sample_size: config.max_sample_size,
+            clock: config.clock.clone(),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -314,9 +324,12 @@ fn worker_loop(shared: &Shared, seed: u64) {
     let mut scratch = Scratch::default();
     while let Some(job) = shared.queue.pop() {
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        let picked = Instant::now();
+        let picked = shared.clock.now();
         shared.metrics.queue_wait.record(picked.saturating_duration_since(job.enqueued));
-        if job.deadline.is_some_and(|dl| picked > dl) {
+        // `>=`, not `>`: a request whose deadline equals the pickup
+        // instant has no time left to do work, and on a frozen virtual
+        // clock this is what makes deadline misses deterministic.
+        if job.deadline.is_some_and(|dl| picked >= dl) {
             shared.metrics.deadline_missed.fetch_add(1, Ordering::Relaxed);
             if let Some(reply) = &job.reply {
                 reply.put(Err(ServeError::DeadlineExceeded));
@@ -324,7 +337,7 @@ fn worker_loop(shared: &Shared, seed: u64) {
             continue;
         }
         let result = dispatch(shared, &job.request, &mut rng, &mut scratch);
-        shared.metrics.latency.record(Instant::now().saturating_duration_since(job.origin));
+        shared.metrics.latency.record(shared.clock.now().saturating_duration_since(job.origin));
         match &result {
             Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
             Err(_) => shared.metrics.failed.fetch_add(1, Ordering::Relaxed),

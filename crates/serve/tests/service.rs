@@ -1,13 +1,20 @@
 //! End-to-end tests of the sampling service: distribution correctness
 //! through the full service path, admission control, deadlines, mixed
 //! read/update workloads, and graceful shutdown accounting.
+//!
+//! Time never comes from the wall clock here: deadline behaviour runs on
+//! an `iqs_testkit` virtual clock (advanced explicitly, so a "missed"
+//! deadline is a deterministic fact, not a race), and the distributional
+//! checks run as registered `testkit::gate`s under the suite seed.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::Duration;
 
 use iqs_serve::{IndexRegistry, Request, Response, ServeError, Server, ServerConfig, UpdateOp};
-use iqs_stats::chisq::{chi_square_gof, weight_probs};
+use iqs_stats::chisq::{chi_square_gof, uniform_probs, weight_probs};
+use iqs_testkit::gate::{self, Trial};
+use iqs_testkit::VirtualClock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,70 +30,79 @@ fn sample_ids(resp: Response) -> Vec<u64> {
 }
 
 /// The chi-square aggregate-distribution check, served through the full
-/// concurrent service path: queue, workers, snapshots, per-worker RNGs.
+/// concurrent service path: queue, snapshots, per-worker RNGs, with four
+/// client threads submitting concurrently.
+///
+/// One worker serves all requests so the merged histogram is a
+/// deterministic function of the gate seed: all requests are identical,
+/// so the single worker RNG stream maps to the same multiset of samples
+/// whatever order the client threads' submissions interleave in.
 #[test]
 fn aggregate_distribution_is_correct_through_the_service() {
-    let n = 4096usize;
-    let pairs = weighted_pairs(n);
-    let weights: Vec<f64> = pairs.iter().map(|&(_, w)| w).collect();
-    let mut registry = IndexRegistry::new();
-    registry.register_range_static("keys", pairs).unwrap();
-    let server = Server::start(
-        registry,
-        ServerConfig { workers: 4, queue_capacity: 256, seed: 11, ..ServerConfig::default() },
-    );
+    gate::run("serve_aggregate_distribution", |seed, scale| {
+        let n = 4096usize;
+        let pairs = weighted_pairs(n);
+        let weights: Vec<f64> = pairs.iter().map(|&(_, w)| w).collect();
+        let mut registry = IndexRegistry::new();
+        registry.register_range_static("keys", pairs).unwrap();
+        let server = Server::start(
+            registry,
+            ServerConfig { workers: 1, queue_capacity: 256, seed, ..ServerConfig::default() },
+        );
 
-    let (x, y) = (512.0, 3583.0);
-    let (a, b) = (512usize, 3584usize);
-    let clients = 4usize;
-    let calls = 300usize;
-    let s = 16u32;
-    let histograms: Vec<Vec<u64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|_| {
-                let client = server.client();
-                scope.spawn(move || {
-                    let mut hist = vec![0u64; b - a];
-                    for _ in 0..calls {
-                        let ids = sample_ids(
-                            client
-                                .call(Request::SampleWr {
-                                    index: "keys".into(),
-                                    range: Some((x, y)),
-                                    s,
-                                })
-                                .expect("query succeeds"),
-                        );
-                        assert_eq!(ids.len(), s as usize);
-                        for id in ids {
-                            hist[id as usize - a] += 1;
+        let (x, y) = (512.0, 3583.0);
+        let (a, b) = (512usize, 3584usize);
+        let clients = 4usize;
+        let calls = 300 * scale;
+        let s = 16u32;
+        let histograms: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let client = server.client();
+                    scope.spawn(move || {
+                        let mut hist = vec![0u64; b - a];
+                        for _ in 0..calls {
+                            let ids = sample_ids(
+                                client
+                                    .call(Request::SampleWr {
+                                        index: "keys".into(),
+                                        range: Some((x, y)),
+                                        s,
+                                    })
+                                    .expect("query succeeds"),
+                            );
+                            assert_eq!(ids.len(), s as usize);
+                            for id in ids {
+                                hist[id as usize - a] += 1;
+                            }
                         }
-                    }
-                    hist
+                        hist
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    });
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        });
 
-    let mut merged = vec![0u64; b - a];
-    for hist in &histograms {
-        for (m, &h) in merged.iter_mut().zip(hist) {
-            *m += h;
+        let mut merged = vec![0u64; b - a];
+        for hist in &histograms {
+            for (m, &h) in merged.iter_mut().zip(hist) {
+                *m += h;
+            }
         }
-    }
-    let gof = chi_square_gof(&merged, &weight_probs(&weights[a..b]));
-    assert!(gof.consistent_at(1e-6), "service-path distribution biased: p = {}", gof.p_value);
+        let gof = chi_square_gof(&merged, &weight_probs(&weights[a..b]));
 
-    let metrics = server.shutdown();
-    assert_eq!(metrics.completed, (clients * calls) as u64);
-    assert_eq!(metrics.failed + metrics.rejected_overload + metrics.deadline_missed, 0);
-    assert!(metrics.latency.count() == metrics.completed);
+        let metrics = server.shutdown();
+        assert_eq!(metrics.completed, (clients * calls) as u64);
+        assert_eq!(metrics.failed + metrics.rejected_overload + metrics.deadline_missed, 0);
+        assert!(metrics.latency.count() == metrics.completed);
+        vec![Trial::from_gof("service aggregate", &gof)]
+    });
 }
 
 /// Readers keep sampling (and never fail) while another client streams
 /// updates through snapshot publication — the zero-blocked-readers
-/// property of the mixed workload.
+/// property of the mixed workload. Progress is condition-based (fixed
+/// work per thread), so the test needs no timing at all.
 #[test]
 fn mixed_reads_and_updates_never_fail_readers() {
     let mut registry = IndexRegistry::new();
@@ -148,11 +164,19 @@ fn mixed_reads_and_updates_never_fail_readers() {
 /// A saturated queue refuses excess work promptly instead of queueing it.
 #[test]
 fn admission_control_rejects_when_queue_is_full() {
+    let vc = VirtualClock::new();
+    let clock = vc.handle();
     let mut registry = IndexRegistry::new();
     registry.register_range_static("keys", weighted_pairs(1 << 14)).unwrap();
     let server = Server::start(
         registry,
-        ServerConfig { workers: 1, queue_capacity: 2, seed: 5, ..ServerConfig::default() },
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            seed: 5,
+            clock: clock.clone(),
+            ..ServerConfig::default()
+        },
     );
     let client = server.client();
 
@@ -162,7 +186,7 @@ fn admission_control_rejects_when_queue_is_full() {
     for _ in 0..50 {
         match client.submit_nowait(
             Request::SampleWr { index: "keys".into(), range: None, s: 100_000 },
-            Instant::now(),
+            clock.now(),
             None,
         ) {
             Ok(()) => {}
@@ -182,52 +206,70 @@ fn admission_control_rejects_when_queue_is_full() {
     assert_eq!(metrics.queue_depth, 0);
 }
 
-/// A request whose deadline expires while queued is answered
-/// `DeadlineExceeded` without consuming sampling capacity.
+/// Deadline enforcement at pickup, on a frozen virtual clock: a request
+/// whose deadline equals the submission instant has deterministically
+/// expired by pickup (time cannot pass between them — the clock only
+/// moves when the test says so), while a deadline any distance in the
+/// virtual future deterministically survives.
 #[test]
 fn expired_deadlines_are_enforced_at_pickup() {
+    let vc = VirtualClock::new();
+    let clock = vc.handle();
     let mut registry = IndexRegistry::new();
-    registry.register_range_static("keys", weighted_pairs(1 << 14)).unwrap();
+    registry.register_range_static("keys", weighted_pairs(1024)).unwrap();
     let server = Server::start(
         registry,
-        ServerConfig { workers: 1, queue_capacity: 64, seed: 7, ..ServerConfig::default() },
+        ServerConfig { workers: 1, seed: 7, clock: clock.clone(), ..ServerConfig::default() },
     );
     let client = server.client();
 
-    // Occupy the single worker with slow work.
-    for _ in 0..3 {
+    let request = Request::SampleWr { index: "keys".into(), range: None, s: 1 };
+
+    // Deadline == now on a frozen clock: expired at pickup, every time.
+    let origin = clock.now();
+    let err = client.call_at(request.clone(), origin, Some(origin)).unwrap_err();
+    assert_eq!(err, ServeError::DeadlineExceeded);
+
+    // One millisecond of *virtual* headroom: the clock is frozen, so the
+    // worker always observes pickup strictly before the deadline, no
+    // matter how slowly the real machine schedules it.
+    let origin = clock.now();
+    let ids = sample_ids(
         client
-            .submit_nowait(
-                Request::SampleWr { index: "keys".into(), range: None, s: 500_000 },
-                Instant::now(),
-                None,
-            )
-            .unwrap();
-    }
-    // This request's deadline is already due; by the time the worker gets
-    // past the slow work it must be expired.
-    let err = client
-        .call_at(
-            Request::SampleWr { index: "keys".into(), range: None, s: 1 },
-            Instant::now(),
-            Some(Instant::now()),
-        )
-        .unwrap_err();
+            .call_at(request.clone(), origin, Some(origin + Duration::from_millis(1)))
+            .expect("a future virtual deadline never spuriously expires"),
+    );
+    assert_eq!(ids.len(), 1);
+
+    // Advancing the clock past an in-queue request's deadline expires it.
+    let origin = clock.now();
+    let deadline = origin + Duration::from_secs(10);
+    vc.advance(Duration::from_secs(11));
+    let err = client.call_at(request, origin, Some(deadline)).unwrap_err();
     assert_eq!(err, ServeError::DeadlineExceeded);
 
     let metrics = server.shutdown();
-    assert_eq!(metrics.deadline_missed, 1);
+    assert_eq!(metrics.deadline_missed, 2);
+    assert_eq!(metrics.completed, 1);
 }
 
 /// Shutdown stops admissions but drains and answers everything already
 /// accepted.
 #[test]
 fn shutdown_drains_accepted_work() {
+    let vc = VirtualClock::new();
+    let clock = vc.handle();
     let mut registry = IndexRegistry::new();
     registry.register_range_static("keys", weighted_pairs(1024)).unwrap();
     let server = Server::start(
         registry,
-        ServerConfig { workers: 2, queue_capacity: 512, seed: 9, ..ServerConfig::default() },
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 512,
+            seed: 9,
+            clock: clock.clone(),
+            ..ServerConfig::default()
+        },
     );
     let client = server.client();
     let mut accepted = 0u64;
@@ -235,7 +277,7 @@ fn shutdown_drains_accepted_work() {
         if client
             .submit_nowait(
                 Request::SampleWr { index: "keys".into(), range: None, s: 64 },
-                Instant::now(),
+                clock.now(),
                 None,
             )
             .is_ok()
@@ -277,37 +319,38 @@ fn wor_through_the_service() {
     server.shutdown();
 }
 
-/// Set-union queries serve frozen snapshots and republish a refreshed
-/// permutation once the rebuild budget is spent.
+/// Set-union queries serve frozen snapshots, republish a refreshed
+/// permutation once the rebuild budget is spent, and stay uniform over
+/// the union — the uniformity check runs as a registered gate.
 #[test]
 fn union_sampling_refreshes_its_permutation() {
-    let mut registry = IndexRegistry::new();
-    let mut rng = StdRng::seed_from_u64(31);
-    // n = 90 total members; the budget is n samples per permutation.
-    registry
-        .register_union("fam", vec![(0..60u64).collect(), (30..90u64).collect()], &mut rng)
-        .unwrap();
-    let server =
-        Server::start(registry, ServerConfig { workers: 2, seed: 41, ..ServerConfig::default() });
-    let swaps_before = server.metrics().snapshot_swaps;
-    let client = server.client();
-    let mut counts = vec![0u64; 90];
-    for _ in 0..40 {
-        let ids = sample_ids(
-            client
-                .call(Request::SampleUnion { index: "fam".into(), g: vec![0, 1], s: 30 })
-                .unwrap(),
-        );
-        for id in ids {
-            counts[id as usize] += 1;
+    gate::run("serve_union_uniformity", |seed, scale| {
+        let mut registry = IndexRegistry::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // n = 90 total members; the budget is n samples per permutation.
+        registry
+            .register_union("fam", vec![(0..60u64).collect(), (30..90u64).collect()], &mut rng)
+            .unwrap();
+        let server =
+            Server::start(registry, ServerConfig { workers: 1, seed, ..ServerConfig::default() });
+        let swaps_before = server.metrics().snapshot_swaps;
+        let client = server.client();
+        let mut counts = vec![0u64; 90];
+        for _ in 0..40 * scale {
+            let ids = sample_ids(
+                client
+                    .call(Request::SampleUnion { index: "fam".into(), g: vec![0, 1], s: 30 })
+                    .unwrap(),
+            );
+            for id in ids {
+                counts[id as usize] += 1;
+            }
         }
-    }
-    // 1200 samples ≫ budget 90: at least one permutation refresh.
-    let metrics = server.shutdown();
-    assert!(metrics.snapshot_swaps > swaps_before, "no permutation refresh was published");
-    // Uniformity over the union (loose bound; 1200 draws over 90 ids).
-    let gof = chi_square_gof(&counts, &iqs_stats::chisq::uniform_probs(90));
-    assert!(gof.consistent_at(1e-6), "union sampling biased: p = {}", gof.p_value);
+        // 1200 samples ≫ budget 90: at least one permutation refresh.
+        let metrics = server.shutdown();
+        assert!(metrics.snapshot_swaps > swaps_before, "no permutation refresh was published");
+        vec![Trial::from_gof("union uniformity", &chi_square_gof(&counts, &uniform_probs(90)))]
+    });
 }
 
 /// Typed error paths: unknown indexes, type mismatches, oversized

@@ -68,16 +68,16 @@ impl Default for Health {
 }
 
 impl Health {
-    /// Classifies the replica for candidate ordering. When a tripped
-    /// replica's cooldown has elapsed this *claims* the probe slot
-    /// (re-arming the cooldown), so a thundering herd sends one probe
-    /// per cooldown window, not one per query.
-    pub(crate) fn availability(&self, policy: &HealthPolicy) -> Availability {
+    /// Classifies the replica for candidate ordering, as of `now` on
+    /// the router's clock. When a tripped replica's cooldown has
+    /// elapsed this *claims* the probe slot (re-arming the cooldown),
+    /// so a thundering herd sends one probe per cooldown window, not
+    /// one per query.
+    pub(crate) fn availability(&self, policy: &HealthPolicy, now: Instant) -> Availability {
         let mut b = self.breaker.lock().expect("breaker poisoned");
         if !b.tripped {
             return Availability::Ready;
         }
-        let now = Instant::now();
         match b.probe_at {
             Some(at) if now < at => Availability::Skip,
             _ => {
@@ -98,19 +98,20 @@ impl Health {
         recovered
     }
 
-    /// Records a failed read. Returns `true` when this failure tripped
-    /// the breaker (the trip event, counted once).
-    pub(crate) fn on_failure(&self, policy: &HealthPolicy) -> bool {
+    /// Records a failed read observed at `now` on the router's clock.
+    /// Returns `true` when this failure tripped the breaker (the trip
+    /// event, counted once).
+    pub(crate) fn on_failure(&self, policy: &HealthPolicy, now: Instant) -> bool {
         let c = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
         let mut b = self.breaker.lock().expect("breaker poisoned");
         if b.tripped {
             // Failed probe: push the next one a full cooldown out.
-            b.probe_at = Some(Instant::now() + policy.probe_cooldown);
+            b.probe_at = Some(now + policy.probe_cooldown);
             return false;
         }
         if c >= policy.trip_threshold {
             b.tripped = true;
-            b.probe_at = Some(Instant::now() + policy.probe_cooldown);
+            b.probe_at = Some(now + policy.probe_cooldown);
             return true;
         }
         false
@@ -134,32 +135,42 @@ mod tests {
     fn trips_after_consecutive_failures_only() {
         let h = Health::default();
         let p = policy(1000);
-        assert!(!h.on_failure(&p));
-        assert!(!h.on_failure(&p));
+        let t0 = Instant::now();
+        assert!(!h.on_failure(&p, t0));
+        assert!(!h.on_failure(&p, t0));
         assert!(!h.on_success()); // success resets the streak
-        assert!(!h.on_failure(&p));
-        assert!(!h.on_failure(&p));
-        assert!(h.on_failure(&p)); // third consecutive: trips (once)
+        assert!(!h.on_failure(&p, t0));
+        assert!(!h.on_failure(&p, t0));
+        assert!(h.on_failure(&p, t0)); // third consecutive: trips (once)
         assert!(h.is_tripped());
-        assert!(!h.on_failure(&p)); // further failures don't re-trip
+        assert!(!h.on_failure(&p, t0)); // further failures don't re-trip
     }
 
     #[test]
     fn probe_slot_is_claimed_once_per_cooldown() {
+        // Time is an explicit parameter, so the cooldown window is
+        // exercised with arithmetic instants — no sleeping.
         let h = Health::default();
         let p = policy(40);
+        let t0 = Instant::now();
         for _ in 0..3 {
-            h.on_failure(&p);
+            h.on_failure(&p, t0);
         }
-        // Cooldown pending: everyone skips.
-        assert_eq!(h.availability(&p), Availability::Skip);
-        std::thread::sleep(Duration::from_millis(45));
-        // First caller gets the probe, the next skips again.
-        assert_eq!(h.availability(&p), Availability::Probe);
-        assert_eq!(h.availability(&p), Availability::Skip);
+        // Cooldown pending: everyone skips, right up to the boundary.
+        assert_eq!(h.availability(&p, t0), Availability::Skip);
+        assert_eq!(h.availability(&p, t0 + Duration::from_millis(39)), Availability::Skip);
+        // Cooldown elapsed: the first caller claims the probe, the next
+        // skips again until a further cooldown passes.
+        let t1 = t0 + Duration::from_millis(45);
+        assert_eq!(h.availability(&p, t1), Availability::Probe);
+        assert_eq!(h.availability(&p, t1), Availability::Skip);
+        // A failed probe re-arms the cooldown from the failure instant.
+        assert!(!h.on_failure(&p, t1));
+        assert_eq!(h.availability(&p, t1 + Duration::from_millis(39)), Availability::Skip);
+        assert_eq!(h.availability(&p, t1 + Duration::from_millis(40)), Availability::Probe);
         // A successful probe closes the breaker for everyone.
         assert!(h.on_success());
-        assert_eq!(h.availability(&p), Availability::Ready);
+        assert_eq!(h.availability(&p, t1 + Duration::from_millis(40)), Availability::Ready);
         assert!(!h.is_tripped());
     }
 }

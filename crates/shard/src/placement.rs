@@ -140,6 +140,11 @@ pub(crate) fn build_shard(
                 default_deadline: None,
                 max_sample_size: config.max_sample_size,
                 seed: config.seed.wrapping_add(SEED_GOLDEN.wrapping_mul(ordinal)),
+                // The replica must share the router's timeline: scatter
+                // deadlines are minted on the router's clock and checked
+                // at worker pickup, so mixing clocks would turn every
+                // virtual-time advance into a spurious deadline miss.
+                clock: config.clock.clone(),
             },
         );
         let client = server.client();

@@ -43,6 +43,7 @@ use iqs_alias::split::split_samples_with;
 use iqs_alias::AliasTable;
 use iqs_core::QueryError;
 use iqs_serve::{IndexView, PendingReply, Request, Response, Snapshot};
+use iqs_testkit::ClockHandle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -88,6 +89,12 @@ pub struct ShardConfig {
     /// Master seed: replica worker pools and router clients all derive
     /// distinct streams from it.
     pub seed: u64,
+    /// Time source for scatter deadlines, breaker cooldowns, injected
+    /// delays, and latency metrics. The default is the real clock; the
+    /// handle is also installed in every replica's server so the whole
+    /// cluster shares one timeline. Tests install a
+    /// [`iqs_testkit::VirtualClock`] handle and advance time explicitly.
+    pub clock: ClockHandle,
 }
 
 impl Default for ShardConfig {
@@ -101,6 +108,7 @@ impl Default for ShardConfig {
             scatter_deadline: Duration::from_secs(5),
             health: HealthPolicy::default(),
             seed: 0x5eed_1e55,
+            clock: ClockHandle::real(),
         }
     }
 }
@@ -136,7 +144,7 @@ type Attempt = (PendingReply, Option<Duration>, usize, Instant);
 /// Candidate replica order for one attempt: probes first, then ready
 /// replicas in rotating round-robin order, tripped replicas last (tried
 /// before failing the leg, never before a healthy replica).
-fn candidate_order(shard: &ShardHandle, policy: &HealthPolicy) -> Vec<usize> {
+fn candidate_order(shard: &ShardHandle, policy: &HealthPolicy, now: Instant) -> Vec<usize> {
     let n = shard.replicas.len();
     let start = shard.rr.fetch_add(1, Ordering::Relaxed) % n;
     let rotated: Vec<usize> = (0..n).map(|i| (start + i) % n).collect();
@@ -144,7 +152,7 @@ fn candidate_order(shard: &ShardHandle, policy: &HealthPolicy) -> Vec<usize> {
     let mut ready = Vec::new();
     let mut skips = Vec::new();
     for &i in &rotated {
-        match shard.replicas[i].health.availability(policy) {
+        match shard.replicas[i].health.availability(policy, now) {
             Availability::Probe => probes.push(i),
             Availability::Ready => ready.push(i),
             Availability::Skip => skips.push(i),
@@ -164,7 +172,7 @@ impl Inner {
 
     fn note_failure(&self, rep: &Replica) {
         self.counters.failovers.fetch_add(1, Ordering::Relaxed);
-        if rep.health.on_failure(&self.config.health) {
+        if rep.health.on_failure(&self.config.health, self.config.clock.now()) {
             self.counters.trips.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -180,7 +188,7 @@ impl Inner {
         request: &Request,
         origin: Instant,
     ) -> Option<Attempt> {
-        for ri in candidate_order(shard, &self.config.health) {
+        for ri in candidate_order(shard, &self.config.health, self.config.clock.now()) {
             if tried.contains(&ri) {
                 continue;
             }
@@ -194,7 +202,7 @@ impl Inner {
                 FaultMode::Delay(d) => Some(d),
                 FaultMode::Healthy => None,
             };
-            let deadline = Instant::now() + self.config.scatter_deadline;
+            let deadline = self.config.clock.now() + self.config.scatter_deadline;
             match rep.client.call_pending(request.clone(), origin, Some(deadline)) {
                 Ok(pending) => return Some((pending, delay, ri, deadline)),
                 Err(_) => self.note_failure(rep),
@@ -218,9 +226,9 @@ impl Inner {
             if let Some(d) = delay {
                 // Honor the injected delay, but never past this attempt's
                 // deadline: a reply that would land late is a timeout.
-                let now = Instant::now();
+                let now = self.config.clock.now();
                 let budget = deadline.saturating_duration_since(now);
-                std::thread::sleep(d.min(budget));
+                self.config.clock.sleep(d.min(budget));
                 if d > budget {
                     self.note_failure(rep);
                     attempt = self.try_submit(shard, tried, request, origin);
@@ -316,7 +324,7 @@ impl Inner {
         if degraded {
             self.counters.degraded_queries.fetch_add(1, Ordering::Relaxed);
         }
-        self.counters.latency.record(origin.elapsed());
+        self.counters.latency.record(self.config.clock.now().saturating_duration_since(origin));
     }
 }
 
@@ -639,7 +647,7 @@ impl ClusterClient {
     /// [`ShardError::EmptyRange`] when the (reachable) range holds no
     /// weight; [`ShardError::InvalidRequest`] past the sample-size bound.
     pub fn sample_wr(&mut self, range: Option<(f64, f64)>, s: u32) -> Result<Sampled, ShardError> {
-        let origin = Instant::now();
+        let origin = self.inner.config.clock.now();
         let result = self.route_sample_wr(range, s, origin);
         self.inner.finish(origin, matches!(&result, Ok(r) if r.degraded));
         result
@@ -657,7 +665,7 @@ impl ClusterClient {
     /// [`ShardError::Query`] ([`QueryError::DensityTooLow`]) when
     /// rejection stops making progress.
     pub fn sample_wor(&mut self, range: Option<(f64, f64)>, s: u32) -> Result<Sampled, ShardError> {
-        let origin = Instant::now();
+        let origin = self.inner.config.clock.now();
         let result = self.route_sample_wor(range, s, origin);
         self.inner.finish(origin, matches!(&result, Ok(r) if r.degraded));
         result
@@ -670,7 +678,7 @@ impl ClusterClient {
     /// None currently; the `Result` reserves room for router-level
     /// validation.
     pub fn range_count(&self, x: f64, y: f64) -> Result<Counted, ShardError> {
-        let origin = Instant::now();
+        let origin = self.inner.config.clock.now();
         let result = self.route_range_count(x, y, origin);
         self.inner.finish(origin, matches!(&result, Ok(c) if c.degraded));
         result

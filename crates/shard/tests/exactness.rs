@@ -1,89 +1,39 @@
 //! Exactness of the sharded two-level draw.
 //!
 //! Three independent lines of evidence:
-//! 1. **Exact replay** (proptest): a transparent reimplementation of the
-//!    two-level schedule — per-shard `ChunkedRange`s rebuilt from the
-//!    introspected slices, the same top-level alias split, the same seed
+//! 1. **Exact replay** (proptest): the testkit's transparent two-level
+//!    oracle — per-shard `ChunkedRange`s rebuilt from the introspected
+//!    slices, the same top-level alias split, the tier's real seed
 //!    schedule — reproduces `ShardedService::sample_wr_seeded` element
 //!    for element, on arbitrary weighted inputs with duplicate keys and
 //!    arbitrary query ranges.
 //! 2. **Exact counts** (proptest): scatter-gathered range counts equal a
 //!    direct scan, as integers.
-//! 3. **Chi-square**: the full concurrent cluster path (queues, workers,
-//!    replicas, failover machinery engaged but idle) matches the
-//!    single-node weighted distribution at the same `1e-6` threshold the
-//!    single-node samplers are held to.
+//! 3. **Chi-square** (testkit gate): the full cluster path (queues,
+//!    workers, replicas, failover machinery engaged but idle) matches
+//!    the single-node weighted distribution, judged by the registered
+//!    `shard_two_level_chi_square` gate under the suite seed.
 
-use std::sync::Arc;
-
-use iqs_alias::split::split_samples_with;
-use iqs_alias::AliasTable;
-use iqs_core::{ChunkedRange, RangeSampler};
 use iqs_shard::{leg_seed, ShardConfig, ShardError, ShardedService};
 use iqs_stats::chisq::{chi_square_gof, weight_probs};
+use iqs_testkit::gate::{self, Trial};
+use iqs_testkit::oracle::{two_level_reference, ShardLeg};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-/// The two-level schedule, reimplemented from core primitives only: no
-/// router, no service, no queues. Returns `None` for a no-weight range.
-fn reference_two_level(
-    svc: &ShardedService,
-    x: f64,
-    y: f64,
-    s: u32,
-    seed: u64,
-) -> Option<Vec<u64>> {
-    struct RefLeg {
-        shard_idx: usize,
-        elements: Arc<Vec<(u64, f64, f64)>>,
-        sampler: ChunkedRange,
-        weight: f64,
-    }
-    let mut legs = Vec::new();
-    for (idx, (lo, hi)) in svc.shard_spans().into_iter().enumerate() {
-        if hi < x || lo > y {
-            continue;
-        }
-        let elements = svc.shard_elements(idx).expect("span index is valid");
-        let pairs: Vec<(f64, f64)> = elements.iter().map(|&(_, key, w)| (key, w)).collect();
-        let sampler = ChunkedRange::new(pairs).expect("shard slices are non-empty");
-        // Mirror the router: cached total for covering queries, a prefix
-        // sum otherwise (bit-identical either way, asserted below).
-        let weight = if x <= lo && y >= hi {
-            sampler.range_weight(f64::NEG_INFINITY, f64::INFINITY)
-        } else {
-            sampler.range_weight(x, y)
-        };
-        if weight > 0.0 {
-            legs.push(RefLeg { shard_idx: idx, elements, sampler, weight });
-        }
-    }
-    if legs.is_empty() {
-        return None;
-    }
-    // Single-leg queries take the trivial split and consume no top-level
-    // randomness — the router does the same.
-    let counts = if legs.len() == 1 {
-        vec![s as usize]
-    } else {
-        let weights: Vec<f64> = legs.iter().map(|leg| leg.weight).collect();
-        let table = AliasTable::new(&weights).expect("positive leg weights");
-        let mut top = StdRng::seed_from_u64(seed);
-        split_samples_with(&table, s as usize, &mut top)
-    };
-    let mut out = Vec::with_capacity(s as usize);
-    for (leg, &count) in legs.iter().zip(&counts) {
-        if count == 0 {
-            continue;
-        }
-        let mut rng = StdRng::seed_from_u64(leg_seed(seed, leg.shard_idx));
-        let mut ranks = vec![0u32; count];
-        leg.sampler.sample_wr_batch(x, y, &mut rng, &mut ranks).expect("in-range draw");
-        out.extend(ranks.iter().map(|&rank| leg.elements[rank as usize].0));
-    }
-    Some(out)
+/// Runs the testkit's two-level oracle against a live service's
+/// introspected topology, under the tier's real seed schedule.
+fn reference_draw(svc: &ShardedService, x: f64, y: f64, s: u32, seed: u64) -> Option<Vec<u64>> {
+    let spans = svc.shard_spans();
+    let slices: Vec<_> =
+        (0..spans.len()).map(|idx| svc.shard_elements(idx).expect("span index is valid")).collect();
+    let legs: Vec<ShardLeg<'_>> = spans
+        .iter()
+        .zip(&slices)
+        .enumerate()
+        .map(|(idx, (&span, elems))| ShardLeg { shard_idx: idx, span, elements: elems })
+        .collect();
+    two_level_reference(&legs, x, y, s, seed, leg_seed)
 }
 
 fn elements_from(keys: &[u8], weights: &[f64]) -> Vec<(u64, f64, f64)> {
@@ -91,9 +41,9 @@ fn elements_from(keys: &[u8], weights: &[f64]) -> Vec<(u64, f64, f64)> {
 }
 
 proptest! {
-    /// The router's seeded draw equals the hand-rolled reference,
-    /// element for element, over arbitrary duplicate-key inputs, shard
-    /// counts, ranges, and seeds.
+    /// The router's seeded draw equals the testkit oracle, element for
+    /// element, over arbitrary duplicate-key inputs, shard counts,
+    /// ranges, and seeds.
     #[test]
     fn two_level_replay_matches_reference(
         keys in pvec(0u8..12, 2..48),
@@ -109,7 +59,7 @@ proptest! {
         let config = ShardConfig { shards, replicas: 1, ..ShardConfig::default() };
         let svc = ShardedService::new(elements, config).expect("valid build");
         let (x, y) = (lo.min(hi) as f64, lo.max(hi) as f64);
-        let expected = reference_two_level(&svc, x, y, s, seed);
+        let expected = reference_draw(&svc, x, y, s, seed);
         match svc.sample_wr_seeded(Some((x, y)), s, seed) {
             Ok(ids) => {
                 let expected = expected.expect("router found weight, reference must too");
@@ -170,65 +120,56 @@ proptest! {
     }
 }
 
-/// The full concurrent cluster path is distributionally identical to a
-/// single-node weighted sampler: chi-square over a partially-overlapping
-/// range at the single-node threshold.
+/// The full cluster path is distributionally identical to a single-node
+/// weighted sampler: chi-square over a partially-overlapping range,
+/// judged by the registered gate.
+///
+/// The gate's draws use one sequential client so the merged histogram is
+/// a deterministic function of the gate seed (client split streams,
+/// round-robin replica rotation, and per-replica worker streams all
+/// advance in a fixed order); the concurrent-client path is exercised by
+/// the failover and rebalance suites.
 #[test]
 fn sharded_chi_square_end_to_end() {
-    let n = 4096usize;
-    let elements: Vec<(u64, f64, f64)> =
-        (0..n).map(|i| (i as u64, i as f64, 1.0 + (i % 10) as f64)).collect();
-    let weights: Vec<f64> = elements.iter().map(|&(_, _, w)| w).collect();
-    let svc = ShardedService::new(
-        elements,
-        ShardConfig { shards: 4, replicas: 2, seed: 11, ..ShardConfig::default() },
-    )
-    .expect("valid build");
-    assert_eq!(svc.shard_count(), 4);
+    gate::run("shard_two_level_chi_square", |seed, scale| {
+        let n = 4096usize;
+        let elements: Vec<(u64, f64, f64)> =
+            (0..n).map(|i| (i as u64, i as f64, 1.0 + (i % 10) as f64)).collect();
+        let weights: Vec<f64> = elements.iter().map(|&(_, _, w)| w).collect();
+        let svc = ShardedService::new(
+            elements,
+            ShardConfig { shards: 4, replicas: 2, seed, ..ShardConfig::default() },
+        )
+        .expect("valid build");
+        assert_eq!(svc.shard_count(), 4);
 
-    // Partially overlaps shards 0 and 3, fully covers 1 and 2, so both
-    // the cached-total and live prefix-sum probe paths are exercised.
-    let (x, y) = (512.0, 3583.0);
-    let (a, b) = (512usize, 3584usize);
-    let clients = 4usize;
-    let calls = 300usize;
-    let s = 16u32;
-    let histograms: Vec<Vec<u64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|_| {
-                let mut client = svc.client();
-                scope.spawn(move || {
-                    let mut hist = vec![0u64; b - a];
-                    for _ in 0..calls {
-                        let drawn = client.sample_wr(Some((x, y)), s).expect("query succeeds");
-                        assert!(!drawn.degraded, "healthy cluster must not degrade");
-                        assert_eq!(drawn.missing, 0);
-                        assert_eq!(drawn.ids.len(), s as usize);
-                        for id in drawn.ids {
-                            hist[id as usize - a] += 1;
-                        }
-                    }
-                    hist
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
-    });
-
-    let mut merged = vec![0u64; b - a];
-    for hist in &histograms {
-        for (m, &h) in merged.iter_mut().zip(hist) {
-            *m += h;
+        // Partially overlaps shards 0 and 3, fully covers 1 and 2, so
+        // both the cached-total and live prefix-sum probe paths are
+        // exercised.
+        let (x, y) = (512.0, 3583.0);
+        let (a, b) = (512usize, 3584usize);
+        let calls = 1200 * scale;
+        let s = 16u32;
+        let mut client = svc.client();
+        let mut merged = vec![0u64; b - a];
+        for _ in 0..calls {
+            let drawn = client.sample_wr(Some((x, y)), s).expect("query succeeds");
+            assert!(!drawn.degraded, "healthy cluster must not degrade");
+            assert_eq!(drawn.missing, 0);
+            assert_eq!(drawn.ids.len(), s as usize);
+            for id in drawn.ids {
+                merged[id as usize - a] += 1;
+            }
         }
-    }
-    let gof = chi_square_gof(&merged, &weight_probs(&weights[a..b]));
-    assert!(gof.consistent_at(1e-6), "sharded distribution biased: p = {}", gof.p_value);
+        let gof = chi_square_gof(&merged, &weight_probs(&weights[a..b]));
 
-    let metrics = svc.metrics();
-    assert_eq!(metrics.router.queries, (clients * calls) as u64);
-    assert_eq!(metrics.router.degraded_queries, 0);
-    assert_eq!(metrics.router.failovers, 0);
-    assert!(metrics.router.probes_cached > 0, "covered shards should use cached totals");
-    assert!(metrics.router.probes_live > 0, "edge shards need live prefix sums");
-    assert_eq!(metrics.cluster.failed, 0, "no replica-side failures");
+        let metrics = svc.metrics();
+        assert_eq!(metrics.router.queries, calls as u64);
+        assert_eq!(metrics.router.degraded_queries, 0);
+        assert_eq!(metrics.router.failovers, 0);
+        assert!(metrics.router.probes_cached > 0, "covered shards should use cached totals");
+        assert!(metrics.router.probes_live > 0, "edge shards need live prefix sums");
+        assert_eq!(metrics.cluster.failed, 0, "no replica-side failures");
+        vec![Trial::from_gof("two-level vs single-node", &gof)]
+    });
 }

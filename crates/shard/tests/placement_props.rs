@@ -1,0 +1,130 @@
+//! Property tests for placement: under any sequence of shard splits and
+//! merges, the published topology remains a *partition* of the dataset —
+//! spans in strictly increasing key order with no gap and no overlap,
+//! every element in exactly one shard, and total sampling weight
+//! conserved to float tolerance.
+
+use iqs_shard::{ShardConfig, ShardError, ShardedService};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Concatenates the published shard slices in shard order.
+fn concatenated(svc: &ShardedService) -> Vec<(u64, f64, f64)> {
+    (0..svc.shard_count())
+        .flat_map(|idx| {
+            svc.shard_elements(idx).expect("index in range").iter().copied().collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Asserts every partition invariant against the baseline element list.
+fn assert_partition(svc: &ShardedService, baseline: &[(u64, f64, f64)]) {
+    // No gap, no overlap, nothing lost, nothing duplicated: the shard
+    // slices concatenate back to exactly the key-sorted dataset.
+    prop_assert_eq!(&concatenated(svc), &baseline.to_vec(), "shards no longer tile the dataset");
+
+    // Spans are the slices' real key extremes and strictly ascend —
+    // adjacent spans cannot touch because a run of equal keys is never
+    // straddled by a cut.
+    let spans = svc.shard_spans();
+    prop_assert_eq!(spans.len(), svc.shard_count());
+    let mut prev_hi = f64::NEG_INFINITY;
+    for (idx, &(lo, hi)) in spans.iter().enumerate() {
+        let slice = svc.shard_elements(idx).expect("index in range");
+        prop_assert!(!slice.is_empty(), "shard {} is empty", idx);
+        prop_assert_eq!(lo, slice.first().expect("non-empty").1, "shard {} lo span", idx);
+        prop_assert_eq!(hi, slice.last().expect("non-empty").1, "shard {} hi span", idx);
+        prop_assert!(lo <= hi, "shard {} span inverted", idx);
+        prop_assert!(prev_hi < lo || idx == 0, "shard {} overlaps its left neighbour", idx);
+        prev_hi = hi;
+    }
+
+    // Weight conservation: cached per-shard weights tile the total, and
+    // the total matches a direct sum over the elements.
+    let direct: f64 = baseline.iter().map(|&(_, _, w)| w).sum();
+    let tiled: f64 = svc.shard_weights().iter().sum();
+    prop_assert!(
+        (tiled - direct).abs() <= 1e-9 * direct.max(1.0),
+        "shard weights {} drifted from direct sum {}",
+        tiled,
+        direct
+    );
+    prop_assert!(
+        (svc.total_weight() - direct).abs() <= 1e-9 * direct.max(1.0),
+        "cached total {} drifted from direct sum {}",
+        svc.total_weight(),
+        direct
+    );
+}
+
+proptest! {
+    /// Arbitrary duplicate-key datasets, initial shard counts, and
+    /// split/merge sequences (targets chosen mod the live shard count)
+    /// keep every partition invariant. Refused operations — splitting an
+    /// all-equal-keys shard, merging when only one shard remains — must
+    /// leave the topology untouched.
+    #[test]
+    fn splits_and_merges_preserve_the_partition(
+        keys in pvec(0u8..12, 2..40),
+        raw_weights in pvec(0.25f64..8.0, 40),
+        shards in 1usize..5,
+        ops in pvec((0u8..2, 0u8..8), 0..6),
+    ) {
+        let elements: Vec<(u64, f64, f64)> = keys
+            .iter()
+            .zip(&raw_weights)
+            .enumerate()
+            .map(|(i, (&key, &w))| (i as u64, key as f64, w))
+            .collect();
+        let svc = ShardedService::new(
+            elements.clone(),
+            ShardConfig { shards, replicas: 1, ..ShardConfig::default() },
+        )
+        .expect("valid build");
+
+        // The baseline the topology must keep tiling: the service's own
+        // key-sorted view, which must be a permutation of the input.
+        let baseline = concatenated(&svc);
+        let mut sorted_input = elements;
+        sorted_input.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut sorted_baseline = baseline.clone();
+        sorted_baseline.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let mut sorted_want = sorted_input;
+        sorted_want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        prop_assert_eq!(sorted_baseline, sorted_want, "build dropped or invented elements");
+        assert_partition(&svc, &baseline);
+
+        for &(op, raw_idx) in &ops {
+            let count = svc.shard_count();
+            let idx = raw_idx as usize % count;
+            match op {
+                0 => match svc.split_shard(idx) {
+                    Ok(n) => prop_assert_eq!(n, count + 1, "split must add exactly one shard"),
+                    Err(ShardError::NoSplitPoint) => {
+                        // All-equal-keys shard: refusal must not disturb
+                        // the topology.
+                        prop_assert_eq!(svc.shard_count(), count);
+                    }
+                    Err(other) => prop_assert!(false, "unexpected split error: {}", other),
+                },
+                _ => {
+                    if count >= 2 {
+                        let left = idx.min(count - 2);
+                        let n = svc.merge_shards(left).expect("adjacent merge is valid");
+                        prop_assert_eq!(n, count - 1, "merge must remove exactly one shard");
+                    } else {
+                        prop_assert!(
+                            matches!(svc.merge_shards(0), Err(ShardError::UnknownShard(1))),
+                            "merging a single shard must be refused"
+                        );
+                    }
+                }
+            }
+            assert_partition(&svc, &baseline);
+        }
+
+        // Reads agree with the partition after the whole op sequence.
+        let counted = svc.client().range_count(f64::NEG_INFINITY, f64::INFINITY).expect("count");
+        prop_assert_eq!(counted.count, baseline.len());
+    }
+}

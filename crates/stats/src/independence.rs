@@ -12,6 +12,7 @@
 //! * [`pairwise_g_test`] — bucket consecutive queries' first samples into
 //!   a contingency table and run a G-test of independence.
 
+use crate::chisq::GofResult;
 use crate::special::chi2_sf;
 
 /// Report of the repeated-identical-query overlap test.
@@ -76,6 +77,16 @@ where
 /// Panics on length mismatch, fewer than 2 bins, or out-of-range bucket
 /// indices.
 pub fn pairwise_g_test(xs: &[usize], ys: &[usize], bins: usize) -> f64 {
+    pairwise_g_report(xs, ys, bins).p_value
+}
+
+/// [`pairwise_g_test`] with the full report: the G statistic and its
+/// degrees of freedom alongside the p-value, so statistical gates can
+/// print the statistic on failure.
+///
+/// # Panics
+/// As [`pairwise_g_test`].
+pub fn pairwise_g_report(xs: &[usize], ys: &[usize], bins: usize) -> GofResult {
     assert_eq!(xs.len(), ys.len(), "paired observations required");
     assert!(bins >= 2, "need at least two bins");
     let n = xs.len() as f64;
@@ -100,7 +111,7 @@ pub fn pairwise_g_test(xs: &[usize], ys: &[usize], bins: usize) -> f64 {
         }
     }
     let dof = ((bins - 1) * (bins - 1)) as f64;
-    chi2_sf(g, dof)
+    GofResult { statistic: g, dof, p_value: chi2_sf(g, dof) }
 }
 
 #[cfg(test)]

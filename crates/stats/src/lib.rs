@@ -25,4 +25,4 @@ pub mod special;
 
 pub use chisq::{chi_square_gof, g_test_gof, GofResult};
 pub use concentration::{binomial_tail_bound, ErrorRuns};
-pub use independence::{overlap_test, pairwise_g_test, OverlapReport};
+pub use independence::{overlap_test, pairwise_g_report, pairwise_g_test, OverlapReport};

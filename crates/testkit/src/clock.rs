@@ -1,0 +1,203 @@
+//! Real/virtual time behind one handle.
+//!
+//! Everything time-dependent in the serve and shard tiers (deadlines,
+//! queue waits, breaker cooldowns, injected delays, latency metrics)
+//! reads time through a [`ClockHandle`]. The default handle is the real
+//! clock and compiles down to `Instant::now()` / `thread::sleep`. Tests
+//! construct a [`VirtualClock`], hand its handle to the system under
+//! test, and advance time explicitly — no sleeping, no wall-clock races,
+//! and a frozen clock can never spuriously expire a deadline.
+//!
+//! Two design points worth stating:
+//!
+//! * **Virtual sleeps advance the clock.** `sleep(d)` on a virtual
+//!   handle adds `d` to the shared offset and returns immediately, so
+//!   code that "waits out" an injected delay completes instantly in real
+//!   time while observing the correct virtual timeline.
+//! * **Condvar waits poll under virtual time.** A blocking wait against
+//!   a virtual deadline cannot derive a real timeout from the virtual
+//!   remaining time (virtual time only moves on explicit `advance`/
+//!   `sleep`), so [`ClockHandle::wait_budget`] returns a short real poll
+//!   quantum instead: the waiter re-checks the virtual deadline every
+//!   few milliseconds and still wakes immediately on notification.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Real poll quantum for condvar waits against a virtual deadline.
+const VIRTUAL_POLL: Duration = Duration::from_millis(2);
+
+#[derive(Debug)]
+struct VirtualCore {
+    /// Real instant captured at clock creation; virtual now = base + offset.
+    base: Instant,
+    offset: Mutex<Duration>,
+}
+
+impl VirtualCore {
+    fn now(&self) -> Instant {
+        self.base + *self.offset.lock().expect("virtual clock poisoned")
+    }
+
+    fn advance(&self, d: Duration) {
+        let mut off = self.offset.lock().expect("virtual clock poisoned");
+        *off = off.saturating_add(d);
+    }
+}
+
+/// A cloneable time source: the real clock by default, or a handle onto
+/// a shared [`VirtualClock`]. Cheap to clone; all clones of a virtual
+/// handle observe the same timeline.
+#[derive(Clone, Debug, Default)]
+pub struct ClockHandle {
+    virt: Option<Arc<VirtualCore>>,
+}
+
+impl ClockHandle {
+    /// The real system clock (`Instant::now` / `thread::sleep`).
+    #[must_use]
+    pub fn real() -> ClockHandle {
+        ClockHandle { virt: None }
+    }
+
+    /// Whether this handle reads a virtual timeline.
+    #[must_use]
+    pub fn is_virtual(&self) -> bool {
+        self.virt.is_some()
+    }
+
+    /// The current instant on this clock's timeline.
+    #[must_use]
+    pub fn now(&self) -> Instant {
+        match &self.virt {
+            None => Instant::now(),
+            Some(core) => core.now(),
+        }
+    }
+
+    /// Sleeps for `d` on this clock's timeline. On the real clock this
+    /// blocks the thread; on a virtual clock it advances the shared
+    /// timeline by `d` and returns immediately.
+    pub fn sleep(&self, d: Duration) {
+        match &self.virt {
+            None => std::thread::sleep(d),
+            Some(core) => core.advance(d),
+        }
+    }
+
+    /// The real duration a condvar wait should block for, given
+    /// `remaining` time until a deadline on this clock's timeline. The
+    /// real clock waits out the full remainder; a virtual clock returns
+    /// a short poll quantum so the waiter re-checks virtual time
+    /// without busy-spinning (see the module docs).
+    #[must_use]
+    pub fn wait_budget(&self, remaining: Duration) -> Duration {
+        match &self.virt {
+            None => remaining,
+            Some(_) => VIRTUAL_POLL,
+        }
+    }
+}
+
+/// The controller for a virtual timeline: owns `advance`, hands out
+/// [`ClockHandle`]s to the system under test.
+#[derive(Debug)]
+pub struct VirtualClock {
+    core: Arc<VirtualCore>,
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock::new()
+    }
+}
+
+impl VirtualClock {
+    /// A fresh timeline starting at the current real instant with zero
+    /// elapsed virtual time.
+    #[must_use]
+    pub fn new() -> VirtualClock {
+        VirtualClock {
+            core: Arc::new(VirtualCore {
+                base: Instant::now(),
+                offset: Mutex::new(Duration::ZERO),
+            }),
+        }
+    }
+
+    /// A handle onto this timeline, to be installed in the system under
+    /// test (e.g. `ServerConfig::clock` / `ShardConfig::clock`).
+    #[must_use]
+    pub fn handle(&self) -> ClockHandle {
+        ClockHandle { virt: Some(Arc::clone(&self.core)) }
+    }
+
+    /// The current virtual instant.
+    #[must_use]
+    pub fn now(&self) -> Instant {
+        self.core.now()
+    }
+
+    /// Moves virtual time forward by `d`. All handles observe the jump
+    /// immediately; blocked deadline waits notice within one poll
+    /// quantum.
+    pub fn advance(&self, d: Duration) {
+        self.core.advance(d);
+    }
+
+    /// Virtual time elapsed since the clock was created.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        *self.core.offset.lock().expect("virtual clock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_handle_tracks_the_system_clock() {
+        let clock = ClockHandle::real();
+        assert!(!clock.is_virtual());
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+        assert_eq!(clock.wait_budget(Duration::from_secs(3)), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn virtual_time_moves_only_on_advance_and_sleep() {
+        let vc = VirtualClock::new();
+        let clock = vc.handle();
+        assert!(clock.is_virtual());
+        let t0 = clock.now();
+        assert_eq!(clock.now(), t0, "virtual time must not flow on its own");
+        vc.advance(Duration::from_millis(250));
+        assert_eq!(clock.now(), t0 + Duration::from_millis(250));
+        // A virtual sleep is an instant advance of the shared timeline.
+        let real_before = Instant::now();
+        clock.sleep(Duration::from_secs(3600));
+        assert!(Instant::now() - real_before < Duration::from_secs(5));
+        assert_eq!(vc.elapsed(), Duration::from_secs(3600) + Duration::from_millis(250));
+    }
+
+    #[test]
+    fn all_handles_share_one_timeline() {
+        let vc = VirtualClock::new();
+        let (a, b) = (vc.handle(), vc.handle());
+        a.sleep(Duration::from_millis(10));
+        assert_eq!(b.now(), a.now());
+        assert_eq!(b.now(), vc.now());
+    }
+
+    #[test]
+    fn virtual_wait_budget_is_a_short_poll() {
+        let vc = VirtualClock::new();
+        let clock = vc.handle();
+        assert!(clock.wait_budget(Duration::from_secs(3600)) <= Duration::from_millis(10));
+        // Even a tiny virtual remainder yields a non-zero real poll, so
+        // deadline waiters never busy-spin.
+        assert!(clock.wait_budget(Duration::from_nanos(1)) > Duration::ZERO);
+    }
+}

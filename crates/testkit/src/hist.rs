@@ -1,0 +1,58 @@
+//! Histogram scaffolding shared by the statistical suites.
+//!
+//! Every distributional test does the same bookkeeping before it can
+//! call a goodness-of-fit function: tally draws into a dense count
+//! vector, or project a sparse id→count map onto a fixed support order.
+//! These helpers replace the per-file copies of that loop.
+
+use std::collections::HashMap;
+
+/// Tallies draws into `bins` dense counts.
+///
+/// # Panics
+/// Panics if a draw is out of range — a wild index is a sampler bug,
+/// not a statistical fluctuation, and must not be folded into a bin.
+pub fn tally(bins: usize, draws: impl IntoIterator<Item = usize>) -> Vec<u64> {
+    let mut counts = vec![0u64; bins];
+    for d in draws {
+        assert!(d < bins, "draw {d} outside the {bins}-bin support");
+        counts[d] += 1;
+    }
+    counts
+}
+
+/// Projects a sparse id→count map onto `support` (in order), so the
+/// result lines up index-for-index with a probability vector over the
+/// same support. Ids absent from the map count zero; ids in the map but
+/// not in the support are a panic (the sampler escaped its range).
+///
+/// # Panics
+/// Panics if the map contains an id outside `support`.
+pub fn project(support: &[usize], counts: &HashMap<usize, u64>) -> Vec<u64> {
+    let total_in: u64 = support.iter().map(|i| counts.get(i).copied().unwrap_or(0)).sum();
+    let total: u64 = counts.values().sum();
+    assert_eq!(total_in, total, "sampler produced ids outside the expected support");
+    support.iter().map(|i| counts.get(i).copied().unwrap_or(0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_counts_in_place_and_rejects_escapes() {
+        assert_eq!(tally(4, [0usize, 1, 1, 3, 3, 3]), vec![1, 2, 0, 3]);
+        assert!(std::panic::catch_unwind(|| tally(2, [0usize, 5])).is_err());
+    }
+
+    #[test]
+    fn project_orders_by_support_and_rejects_foreign_ids() {
+        let mut m = HashMap::new();
+        m.insert(7usize, 3u64);
+        m.insert(2, 1);
+        assert_eq!(project(&[2, 5, 7], &m), vec![1, 0, 3]);
+        let mut foreign = m.clone();
+        foreign.insert(99, 1);
+        assert!(std::panic::catch_unwind(move || project(&[2, 5, 7], &foreign)).is_err());
+    }
+}

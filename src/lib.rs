@@ -5,7 +5,9 @@
 //! [`iqs_shard`] for the sharded/replicated tier over many such
 //! services, and the substrate crates ([`iqs_alias`], [`iqs_tree`],
 //! [`iqs_spatial`], [`iqs_sketch`], [`iqs_em`], [`iqs_stats`]) for the
-//! building blocks.
+//! building blocks. [`iqs_testkit`] is the correctness-tooling layer
+//! (virtual clock, statistical gates, fault plans, replay oracles) the
+//! tier test suites are built on.
 
 pub use iqs_alias as alias;
 pub use iqs_core as core;
@@ -15,4 +17,5 @@ pub use iqs_shard as shard;
 pub use iqs_sketch as sketch;
 pub use iqs_spatial as spatial;
 pub use iqs_stats as stats;
+pub use iqs_testkit as testkit;
 pub use iqs_tree as tree;

@@ -1,10 +1,15 @@
 //! Cross-structure distribution tests: every IQS structure must sample
 //! from exactly the same target distribution — weighted over `S_q` —
-//! regardless of its internal organization. Verified by chi-square
-//! goodness-of-fit at significance 1e-6 with fixed seeds.
+//! regardless of its internal organization. The chi-square checks run
+//! as registered `iqs::testkit` gates (suite-seeded, Holm-corrected,
+//! escalate-before-fail); the exact batch-replay check uses the
+//! testkit's oracle combinator.
 
 use iqs::core::{AliasAugmentedRange, ChunkedRange, RangeSampler, TreeSamplingRange};
 use iqs::stats::chisq::{chi_square_gof, weight_probs};
+use iqs::testkit::gate::{self, Trial};
+use iqs::testkit::hist::tally;
+use iqs::testkit::oracle::batch_replays_sequential;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,26 +31,22 @@ fn samplers(n: usize, seed: u64) -> Vec<(&'static str, Box<dyn RangeSampler>)> {
 
 #[test]
 fn all_range_samplers_pass_chi_square_against_the_weighted_target() {
-    let n = 512;
-    for (name, sampler) in samplers(n, 42) {
-        let mut rng = StdRng::seed_from_u64(777);
-        let (x, y) = (100.0, 400.0);
-        let (a, b) = sampler.rank_range(x, y);
-        let probs = weight_probs(&sampler.weights()[a..b]);
-        let mut counts = vec![0u64; b - a];
-        for _ in 0..300 {
-            for r in sampler.sample_wr(x, y, 500, &mut rng).unwrap() {
-                counts[r - a] += 1;
-            }
-        }
-        let gof = chi_square_gof(&counts, &probs);
-        assert!(
-            gof.consistent_at(1e-6),
-            "{name}: chi² = {:.1}, p = {:.3e}",
-            gof.statistic,
-            gof.p_value
-        );
-    }
+    gate::run("range_samplers_chi_square", |seed, scale| {
+        let n = 512;
+        samplers(n, 42)
+            .into_iter()
+            .map(|(name, sampler)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let (x, y) = (100.0, 400.0);
+                let (a, b) = sampler.rank_range(x, y);
+                let probs = weight_probs(&sampler.weights()[a..b]);
+                let draws = (0..300 * scale)
+                    .flat_map(|_| sampler.sample_wr(x, y, 500, &mut rng).unwrap())
+                    .map(|r| r - a);
+                Trial::from_gof(name, &chi_square_gof(&tally(b - a, draws), &probs))
+            })
+            .collect()
+    });
 }
 
 #[test]
@@ -101,29 +102,28 @@ fn wor_marginals_match_across_structures() {
 #[test]
 fn batch_api_passes_chi_square_against_the_weighted_target() {
     // The allocation-free batch path must sample from exactly the same
-    // weighted target as the sequential path — chi-square at 1e-6.
-    let n = 512;
-    for (name, sampler) in samplers(n, 45) {
-        let mut rng = StdRng::seed_from_u64(781);
-        let (x, y) = (100.0, 400.0);
-        let (a, b) = sampler.rank_range(x, y);
-        let probs = weight_probs(&sampler.weights()[a..b]);
-        let mut counts = vec![0u64; b - a];
-        let mut out = vec![0u32; 500];
-        for _ in 0..300 {
-            sampler.sample_wr_into(x, y, &mut rng, &mut out).unwrap();
-            for &r in &out {
-                counts[r as usize - a] += 1;
-            }
-        }
-        let gof = chi_square_gof(&counts, &probs);
-        assert!(
-            gof.consistent_at(1e-6),
-            "{name} batch: chi² = {:.1}, p = {:.3e}",
-            gof.statistic,
-            gof.p_value
-        );
-    }
+    // weighted target as the sequential path.
+    gate::run("batch_api_chi_square", |seed, scale| {
+        let n = 512;
+        samplers(n, 45)
+            .into_iter()
+            .map(|(name, sampler)| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let (x, y) = (100.0, 400.0);
+                let (a, b) = sampler.rank_range(x, y);
+                let probs = weight_probs(&sampler.weights()[a..b]);
+                let mut counts = vec![0u64; b - a];
+                let mut out = vec![0u32; 500];
+                for _ in 0..300 * scale {
+                    sampler.sample_wr_into(x, y, &mut rng, &mut out).unwrap();
+                    for &r in &out {
+                        counts[r as usize - a] += 1;
+                    }
+                }
+                Trial::from_gof(name, &chi_square_gof(&counts, &probs))
+            })
+            .collect()
+    });
 }
 
 proptest! {
@@ -132,8 +132,8 @@ proptest! {
     /// returns *exactly* the ranks `sample_wr` returns from an equally
     /// seeded generator — the batch path consumes the identical word
     /// stream, so the marginals are not merely chi-square-close (the
-    /// guarantee satellite tests above verify at significance 1e-6) but
-    /// pointwise identical.
+    /// gates above verify that) but pointwise identical. The comparison
+    /// itself is the testkit's [`batch_replays_sequential`] oracle.
     #[test]
     fn batch_replays_sequential_for_every_structure(
         n in 16usize..400,
@@ -145,26 +145,10 @@ proptest! {
         let x = lo_frac * n as f64;
         let y = (x + len_frac * n as f64).min(n as f64);
         for (name, sampler) in samplers(n, seed) {
-            let mut rng_seq = StdRng::seed_from_u64(seed ^ 0xA5A5);
-            let seq = sampler.sample_wr(x, y, s, &mut rng_seq);
-
-            let mut rng_batch = StdRng::seed_from_u64(seed ^ 0xA5A5);
-            let mut out = vec![0u32; s];
-            let batch = sampler.sample_wr_into(x, y, &mut rng_batch, &mut out);
-
-            match (seq, batch) {
-                (Ok(seq), Ok(())) => {
-                    let seq32: Vec<u32> = seq.iter().map(|&r| r as u32).collect();
-                    prop_assert_eq!(&seq32, &out, "{}: batch diverged from sequential", name);
-                }
-                (Err(_), Err(_)) => {} // both reject the empty range
-                (seq, batch) => {
-                    prop_assert!(
-                        false,
-                        "{}: seq {:?} vs batch {:?} disagree on errors",
-                        name, seq, batch
-                    );
-                }
+            if let Err(divergence) =
+                batch_replays_sequential(sampler.as_ref(), x, y, s, seed ^ 0xA5A5)
+            {
+                prop_assert!(false, "{}: {}", name, divergence);
             }
         }
     }

@@ -6,34 +6,38 @@
 use iqs::core::{ChunkedRange, RangeSampler};
 use iqs::em::{external_sort, EmMachine, EmRangeSampler, NaiveEmSampler, SamplePool};
 use iqs::stats::chisq::{chi_square_gof, uniform_probs};
+use iqs::testkit::gate::{self, Trial};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 #[test]
 fn em_range_sampler_matches_ram_distribution() {
-    let machine = EmMachine::new(64 * 8, 64);
-    let mut rng = StdRng::seed_from_u64(1100);
-    let n = 2048;
-    let keys: Vec<f64> = (0..n).map(f64::from).collect();
-    let mut em = EmRangeSampler::new(&machine, keys.clone());
-    let ram = ChunkedRange::new(keys.iter().map(|&k| (k, 1.0)).collect()).unwrap();
+    gate::run("em_vs_ram_distribution", |seed, scale| {
+        let machine = EmMachine::new(64 * 8, 64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2048;
+        let keys: Vec<f64> = (0..n).map(f64::from).collect();
+        let mut em = EmRangeSampler::new(&machine, keys.clone());
+        let ram = ChunkedRange::new(keys.iter().map(|&k| (k, 1.0)).collect()).unwrap();
 
-    let (x, y) = (300.0, 1700.0);
-    let k = 1401usize;
-    let mut em_counts = vec![0u64; k];
-    let mut ram_counts = vec![0u64; k];
-    for _ in 0..60 {
-        for v in em.query(x, y, 500, &mut rng).unwrap() {
-            em_counts[(v - x) as usize] += 1;
+        let (x, y) = (300.0, 1700.0);
+        let k = 1401usize;
+        let mut em_counts = vec![0u64; k];
+        let mut ram_counts = vec![0u64; k];
+        for _ in 0..60 * scale {
+            for v in em.query(x, y, 500, &mut rng).unwrap() {
+                em_counts[(v - x) as usize] += 1;
+            }
+            for r in ram.sample_wr(x, y, 500, &mut rng).unwrap() {
+                ram_counts[(ram.keys()[r] - x) as usize] += 1;
+            }
         }
-        for r in ram.sample_wr(x, y, 500, &mut rng).unwrap() {
-            ram_counts[(ram.keys()[r] - x) as usize] += 1;
-        }
-    }
-    for (name, counts) in [("EM", &em_counts), ("RAM", &ram_counts)] {
-        let gof = chi_square_gof(counts, &uniform_probs(k));
-        assert!(gof.consistent_at(1e-6), "{name}: p = {:.3e}", gof.p_value);
-    }
+        let probs = uniform_probs(k);
+        vec![
+            Trial::from_gof("EM", &chi_square_gof(&em_counts, &probs)),
+            Trial::from_gof("RAM", &chi_square_gof(&ram_counts, &probs)),
+        ]
+    });
 }
 
 #[test]

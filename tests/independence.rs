@@ -7,7 +7,8 @@
 use iqs::core::baseline::DependentRange;
 use iqs::core::setunion::SetUnionSampler;
 use iqs::core::{AliasAugmentedRange, ChunkedRange, RangeSampler, TreeSamplingRange};
-use iqs::stats::independence::{overlap_test, pairwise_g_test};
+use iqs::stats::independence::{overlap_test, pairwise_g_report};
+use iqs::testkit::gate::{self, Trial};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,14 +56,16 @@ fn dependent_baseline_fails_the_overlap_test() {
 fn successive_queries_are_uncorrelated_g_test() {
     // Bucket the first sample of each of 40k successive identical
     // queries; consecutive pairs must be independent.
-    let sampler = ChunkedRange::new(unit_pairs(160)).unwrap();
-    let mut rng = StdRng::seed_from_u64(902);
-    let draws: Vec<usize> =
-        (0..40_000).map(|_| sampler.sample_wr(0.0, 159.0, 1, &mut rng).unwrap()[0] / 20).collect();
-    let xs = &draws[..draws.len() - 1];
-    let ys = &draws[1..];
-    let p = pairwise_g_test(xs, ys, 8);
-    assert!(p > 1e-6, "successive-output G-test p = {p}");
+    gate::run("successive_queries_g_test", |seed, scale| {
+        let sampler = ChunkedRange::new(unit_pairs(160)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws: Vec<usize> = (0..40_000 * scale)
+            .map(|_| sampler.sample_wr(0.0, 159.0, 1, &mut rng).unwrap()[0] / 20)
+            .collect();
+        let xs = &draws[..draws.len() - 1];
+        let ys = &draws[1..];
+        vec![Trial::from_gof("successive outputs", &pairwise_g_report(xs, ys, 8))]
+    });
 }
 
 #[test]
@@ -101,17 +104,18 @@ fn dependent_baseline_violates_equation_one() {
 
 #[test]
 fn set_union_sampler_outputs_are_independent() {
-    let mut rng = StdRng::seed_from_u64(904);
-    let sets: Vec<Vec<u64>> =
-        vec![(0..80u64).collect(), (40..120u64).collect(), (0..120u64).step_by(2).collect()];
-    let mut s = SetUnionSampler::new(sets, &mut rng).unwrap();
-    let g = [0usize, 1, 2];
-    let draws: Vec<usize> =
-        (0..30_000).map(|_| (s.sample(&g, &mut rng).unwrap() / 15) as usize).collect();
-    let xs = &draws[..draws.len() - 1];
-    let ys = &draws[1..];
-    let p = pairwise_g_test(xs, ys, 8);
-    assert!(p > 1e-6, "set-union successive-output G-test p = {p}");
+    gate::run("set_union_g_test", |seed, scale| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sets: Vec<Vec<u64>> =
+            vec![(0..80u64).collect(), (40..120u64).collect(), (0..120u64).step_by(2).collect()];
+        let mut s = SetUnionSampler::new(sets, &mut rng).unwrap();
+        let g = [0usize, 1, 2];
+        let draws: Vec<usize> =
+            (0..30_000 * scale).map(|_| (s.sample(&g, &mut rng).unwrap() / 15) as usize).collect();
+        let xs = &draws[..draws.len() - 1];
+        let ys = &draws[1..];
+        vec![Trial::from_gof("set-union successive outputs", &pairwise_g_report(xs, ys, 8))]
+    });
 }
 
 #[test]

@@ -10,6 +10,8 @@ use iqs::core::coverage::CoverageSampler;
 use iqs::core::{ChunkedRange, RangeSampler};
 use iqs::spatial::{dist2, KdTree, Point, QuadTree, RangeTree, Rect};
 use iqs::stats::chisq::{chi_square_gof, uniform_probs};
+use iqs::testkit::gate::{self, Trial};
+use iqs::testkit::hist::project;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -39,28 +41,32 @@ fn three_spatial_indexes_agree_with_brute_force() {
 
 #[test]
 fn spatial_sampling_distributions_are_identical() {
-    let pts = random_points(400, 1002);
-    let q: Rect<2> = Rect::new([0.15, 0.2], [0.7, 0.85]);
-    let inside: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
-    let kd = CoverageSampler::new(KdTree::with_unit_weights(pts.clone()).unwrap());
-    let qt = CoverageSampler::new(QuadTree::with_unit_weights(pts.clone()).unwrap());
-    let rt = CoverageSampler::new(RangeTree::with_unit_weights(pts.clone()).unwrap());
-    let mut rng = StdRng::seed_from_u64(1003);
-    let draws = 100_000;
-    for (name, ids) in [
-        ("kd", kd.sample_wr(&q, draws, &mut rng).unwrap()),
-        ("quad", qt.sample_wr(&q, draws, &mut rng).unwrap()),
-        ("range", rt.sample_wr(&q, draws, &mut rng).unwrap()),
-    ] {
-        let mut counts: HashMap<usize, u64> = HashMap::new();
-        for id in ids {
-            *counts.entry(id).or_default() += 1;
-        }
-        assert_eq!(counts.len(), inside.len(), "{name}: support mismatch");
-        let vec_counts: Vec<u64> = inside.iter().map(|i| *counts.get(i).unwrap_or(&0)).collect();
-        let gof = chi_square_gof(&vec_counts, &uniform_probs(inside.len()));
-        assert!(gof.consistent_at(1e-6), "{name}: p = {:.3e}", gof.p_value);
-    }
+    gate::run("spatial_sampling_distributions", |seed, scale| {
+        let pts = random_points(400, 1002);
+        let q: Rect<2> = Rect::new([0.15, 0.2], [0.7, 0.85]);
+        let inside: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let kd = CoverageSampler::new(KdTree::with_unit_weights(pts.clone()).unwrap());
+        let qt = CoverageSampler::new(QuadTree::with_unit_weights(pts.clone()).unwrap());
+        let rt = CoverageSampler::new(RangeTree::with_unit_weights(pts.clone()).unwrap());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draws = 100_000 * scale;
+        [
+            ("kd", kd.sample_wr(&q, draws, &mut rng).unwrap()),
+            ("quad", qt.sample_wr(&q, draws, &mut rng).unwrap()),
+            ("range", rt.sample_wr(&q, draws, &mut rng).unwrap()),
+        ]
+        .into_iter()
+        .map(|(name, ids)| {
+            let mut counts: HashMap<usize, u64> = HashMap::new();
+            for id in ids {
+                *counts.entry(id).or_default() += 1;
+            }
+            assert_eq!(counts.len(), inside.len(), "{name}: support mismatch");
+            let vec_counts = project(&inside, &counts);
+            Trial::from_gof(name, &chi_square_gof(&vec_counts, &uniform_probs(inside.len())))
+        })
+        .collect()
+    });
 }
 
 #[test]
@@ -112,22 +118,25 @@ fn complement_and_range_partition_the_dataset() {
 
 #[test]
 fn weighted_spatial_sampling_matches_weights() {
-    let pts = random_points(300, 1007);
-    let mut rng = StdRng::seed_from_u64(1008);
-    let weights: Vec<f64> = (0..300).map(|_| 0.5 + rng.random::<f64>() * 5.0).collect();
-    let rt = CoverageSampler::new(RangeTree::new(pts.clone(), weights.clone()).unwrap());
-    let q: Rect<2> = Rect::new([0.0, 0.0], [0.8, 0.8]);
-    let inside: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
-    let total: f64 = inside.iter().map(|&i| weights[i]).sum();
-    let mut counts: HashMap<usize, u64> = HashMap::new();
-    let draws = 150_000;
-    for id in rt.sample_wr(&q, draws, &mut rng).unwrap() {
-        *counts.entry(id).or_default() += 1;
-    }
-    let vec_counts: Vec<u64> = inside.iter().map(|i| *counts.get(i).unwrap_or(&0)).collect();
-    let probs: Vec<f64> = inside.iter().map(|&i| weights[i] / total).collect();
-    let gof = chi_square_gof(&vec_counts, &probs);
-    assert!(gof.consistent_at(1e-6), "weighted range-tree p = {:.3e}", gof.p_value);
+    gate::run("weighted_spatial_chi_square", |seed, scale| {
+        let pts = random_points(300, 1007);
+        // The structure (and thus the target distribution) is pinned;
+        // only the sampling stream varies with the gate seed.
+        let mut wrng = StdRng::seed_from_u64(1008);
+        let weights: Vec<f64> = (0..300).map(|_| 0.5 + wrng.random::<f64>() * 5.0).collect();
+        let rt = CoverageSampler::new(RangeTree::new(pts.clone(), weights.clone()).unwrap());
+        let q: Rect<2> = Rect::new([0.0, 0.0], [0.8, 0.8]);
+        let inside: Vec<usize> = (0..pts.len()).filter(|&i| q.contains_point(&pts[i])).collect();
+        let total: f64 = inside.iter().map(|&i| weights[i]).sum();
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for id in rt.sample_wr(&q, 150_000 * scale, &mut rng).unwrap() {
+            *counts.entry(id).or_default() += 1;
+        }
+        let vec_counts = project(&inside, &counts);
+        let probs: Vec<f64> = inside.iter().map(|&i| weights[i] / total).collect();
+        vec![Trial::from_gof("weighted range-tree", &chi_square_gof(&vec_counts, &probs))]
+    });
 }
 
 #[test]

@@ -186,9 +186,16 @@ impl AliasTable {
     /// Indices fit in `u32` because construction caps `n` at `u32::MAX`.
     pub fn sample_into<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [u32]) {
         let mut block = BlockRng64::with_budget(rng, out.len());
+        // Redirect stats accumulate in a register and flush once per
+        // batch (see `crate::prof`), so the decode loop stays tight.
+        let mut redirects = 0u64;
         for slot in out.iter_mut() {
-            *slot = self.decode(block.next_word()) as u32;
+            let (col, coin) = self.split_word(block.next_word());
+            let idx = self.resolve(col, coin);
+            redirects += u64::from(idx != col);
+            *slot = idx as u32;
         }
+        crate::prof::add_alias_redirects(redirects);
     }
 
     /// Draws `s` independent indices, appending to `out`. Uses the same

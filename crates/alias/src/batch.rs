@@ -132,6 +132,9 @@ impl<'a, R: RngCore + ?Sized> BlockRng64<'a, R> {
             t
         };
         self.planned = self.planned.saturating_sub(take);
+        // Cost accounting lives on this cold path: one thread-local add
+        // per refill, nothing per word (see `crate::prof`).
+        crate::prof::add_rng_refill(take as u64);
         // One pass through the source — a single virtual call when `R`
         // is `dyn RngCore` — then unpack little-endian words. (A per-word
         // `next_u64` refill loop measures slower in both dispatch modes:

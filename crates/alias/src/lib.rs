@@ -34,6 +34,7 @@ pub mod batch;
 mod cdf;
 mod dynamic;
 mod error;
+pub mod prof;
 pub mod space;
 pub mod split;
 pub mod wor;

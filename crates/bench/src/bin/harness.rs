@@ -111,6 +111,9 @@ fn main() {
     if want("e18") {
         e18_sharded();
     }
+    if want("e19") {
+        e19_observability();
+    }
 }
 
 // =====================================================================
@@ -1173,7 +1176,7 @@ fn e17_service() {
         }
     });
     let sat_elapsed = sat_start.elapsed().as_secs_f64();
-    let sat = server.metrics().minus(&before);
+    let sat = server.metrics().minus(&before).expect("later snapshot dominates");
     let sat_qps = sat.completed as f64 / sat_elapsed;
     println!(
         "  saturation (closed loop, {} clients): {:.0} requests/s, p50 {:?}",
@@ -1214,7 +1217,7 @@ fn e17_service() {
             std::thread::sleep(Duration::from_millis(2));
         }
         let elapsed = start.elapsed().as_secs_f64();
-        let delta = server.metrics().minus(&before);
+        let delta = server.metrics().minus(&before).expect("later snapshot dominates");
         let achieved = delta.completed as f64 / elapsed;
         let us = |q: f64| delta.latency.quantile(q).map_or(f64::NAN, |d| d.as_secs_f64() * 1e6);
         println!(
@@ -1392,5 +1395,166 @@ fn e18_sharded() {
         m.router.failovers,
         m.router.trips,
         m.router.degraded_queries
+    );
+}
+
+// =====================================================================
+// E19 — observability overhead (iqs-obs): the cost of the emit site
+// with no subscriber installed, and the end-to-end price of full
+// request tracing on the serve and shard tiers, measured A/B with
+// interleaved rounds so drift hits both modes equally.
+// =====================================================================
+fn e19_observability() {
+    use iqs_obs::recorder::{self, Ctx, Phase};
+    use iqs_serve::{IndexRegistry, Request, Server, ServerConfig};
+    use iqs_shard::{ShardConfig, ShardedService};
+    use iqs_testkit::ClockHandle;
+    use std::time::Instant;
+
+    // CI sets E19_SMOKE=1 to run the same code with short intervals.
+    let smoke = std::env::var("E19_SMOKE").is_ok();
+    let workers = std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(4);
+    let n = 1usize << if smoke { 13 } else { 17 };
+    let s = 64u32;
+    let trial_secs = if smoke { 0.08 } else { 0.4 };
+    let rounds = if smoke { 2 } else { 7 };
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite qps"));
+        v[v.len() / 2]
+    };
+
+    println!("E19 observability overhead — {workers} workers, n = {n}, s = {s} per query");
+
+    // Phase 1 — the emit site itself. With no subscriber the hook is a
+    // single relaxed atomic load and an early return; with one installed
+    // a traced emit takes a clock read plus six ring-slot stores.
+    recorder::disable();
+    let ctx = Ctx::query(1);
+    let op = || recorder::emit(std::hint::black_box(ctx), Phase::RngCost, 1, 2);
+    let disabled_ns = time_ns(op, 1 << 20, 9);
+    recorder::install(&ClockHandle::default(), 1 << 12);
+    let traced_ns = time_ns(op, 1 << 20, 9);
+    recorder::disable();
+    let _ = recorder::drain();
+    println!("  emit site: disabled {disabled_ns:.2} ns/call, traced {traced_ns:.2} ns/call");
+    csv_row(
+        "e19_emit_site.csv",
+        "mode,ns_per_emit",
+        &format!("disabled,{disabled_ns:.3}\ntraced,{traced_ns:.3}"),
+    );
+
+    // Phase 2 — serve tier: closed-loop saturation with the recorder
+    // off (plain `call`, untraced) vs installed (`call_traced`, every
+    // request recording its full worker-side story).
+    let pairs: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 1.0 + (i % 10) as f64)).collect();
+    let mut registry = IndexRegistry::new();
+    registry.register_range_static("keys", pairs).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig { workers, queue_capacity: 1024, seed: 19, ..ServerConfig::default() },
+    );
+    let request = || Request::SampleWr { index: "keys".into(), range: None, s };
+    let serve_trial = |traced: bool| -> f64 {
+        let start = Instant::now();
+        let done: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2 * workers)
+                .map(|_| {
+                    let client = server.client();
+                    scope.spawn(move || {
+                        let mut count = 0u64;
+                        while start.elapsed().as_secs_f64() < trial_secs {
+                            if traced {
+                                let (_, result) = client.call_traced(request());
+                                result.expect("closed-loop call");
+                            } else {
+                                client.call(request()).expect("closed-loop call");
+                            }
+                            count += 1;
+                        }
+                        count
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).sum()
+        });
+        done as f64 / start.elapsed().as_secs_f64()
+    };
+    let (mut serve_off, mut serve_on) = (Vec::new(), Vec::new());
+    for _ in 0..rounds {
+        recorder::disable();
+        serve_off.push(serve_trial(false));
+        recorder::install(&ClockHandle::default(), 1 << 14);
+        serve_on.push(serve_trial(true));
+        recorder::disable();
+        let _ = recorder::drain();
+    }
+    let _ = server.shutdown();
+    let (off, on) = (median(&mut serve_off), median(&mut serve_on));
+    let serve_pct = (off - on) / off * 100.0;
+    println!(
+        "  serve tier: {off:.0} q/s untraced, {on:.0} q/s fully traced ({serve_pct:+.1}% cost)"
+    );
+    csv_row(
+        "e19_obs_overhead.csv",
+        "tier,off_qps,traced_qps,overhead_pct",
+        &format!("serve,{off:.0},{on:.0},{serve_pct:.2}"),
+    );
+
+    // Phase 3 — shard tier: the router traces every query once a
+    // subscriber is installed (plan, split, legs, cost, slow log), so
+    // the A/B is simply installed vs not.
+    let elements: Vec<(u64, f64, f64)> =
+        (0..n).map(|i| (i as u64, i as f64, 1.0 + (i % 10) as f64)).collect();
+    let svc = ShardedService::new(
+        elements,
+        ShardConfig { shards: 3, replicas: 2, seed: 19, ..ShardConfig::default() },
+    )
+    .expect("cluster build");
+    let shard_trial = || -> f64 {
+        let start = Instant::now();
+        let done: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let mut client = svc.client();
+                    scope.spawn(move || {
+                        let mut count = 0u64;
+                        while start.elapsed().as_secs_f64() < trial_secs {
+                            let drawn = client.sample_wr(None, s).expect("healthy cluster");
+                            assert!(!drawn.degraded);
+                            count += 1;
+                        }
+                        count
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).sum()
+        });
+        done as f64 / start.elapsed().as_secs_f64()
+    };
+    let (mut shard_off, mut shard_on) = (Vec::new(), Vec::new());
+    for _ in 0..rounds {
+        recorder::disable();
+        shard_off.push(shard_trial());
+        recorder::install(&ClockHandle::default(), 1 << 14);
+        shard_on.push(shard_trial());
+        recorder::disable();
+        let _ = recorder::drain();
+    }
+    let (off, on) = (median(&mut shard_off), median(&mut shard_on));
+    let shard_pct = (off - on) / off * 100.0;
+    println!(
+        "  shard tier: {off:.0} q/s untraced, {on:.0} q/s fully traced ({shard_pct:+.1}% cost)"
+    );
+    csv_row(
+        "e19_obs_overhead.csv",
+        "tier,off_qps,traced_qps,overhead_pct",
+        &format!("shard,{off:.0},{on:.0},{shard_pct:.2}"),
+    );
+    println!(
+        "  claim: a disabled emit site costs ~a nanosecond, so across the ~dozen sites a\n  \
+         query crosses the uninstalled recorder is far under 3% of any query's latency.\n  \
+         Full tracing is NOT free on microsecond-scale queries — expect a double-digit\n  \
+         percent toll on a single-vCPU host, dominated by clock reads — which is why\n  \
+         the subscriber is opt-in and off by default.\n"
     );
 }

@@ -205,12 +205,14 @@ impl SetUnionSampler {
 
     /// One rejection-sampling attempt loop — the code path shared by the
     /// sequential and batched queries. `members` is scratch reused across
-    /// draws.
+    /// draws; `rejects` accumulates rejected rounds (empty windows and
+    /// failed coins) so batch callers can flush cost stats once.
     fn sample_one<R: RngCore + ?Sized>(
         &self,
         g: &[usize],
         windows: u64,
         members: &mut Vec<u32>,
+        rejects: &mut u64,
         rng: &mut R,
     ) -> Result<u64, QueryError> {
         let u = self.id_by_rank.len() as u64;
@@ -230,6 +232,7 @@ impl SetUnionSampler {
             members.sort_unstable();
             members.dedup();
             if members.is_empty() {
+                *rejects += 1;
                 continue;
             }
             // Coin with heads probability |window|/m (clamped: the
@@ -239,6 +242,7 @@ impl SetUnionSampler {
                 let pick = members[rng.random_range(0..members.len())];
                 return Ok(self.id_by_rank[pick as usize]);
             }
+            *rejects += 1;
         }
         Err(QueryError::DensityTooLow)
     }
@@ -261,7 +265,10 @@ impl SetUnionSampler {
         }
         let windows = self.window_count(g);
         let mut members: Vec<u32> = Vec::with_capacity(self.m * 2);
-        self.sample_one(g, windows, &mut members, rng)
+        let mut rejects = 0u64;
+        let out = self.sample_one(g, windows, &mut members, &mut rejects, rng);
+        iqs_alias::prof::add_union_rejects(rejects);
+        out
     }
 
     /// Fills `out` with independent uniform elements of `∪G` — the batched
@@ -298,10 +305,13 @@ impl SetUnionSampler {
         let mut members: Vec<u32> = Vec::with_capacity(self.m * 2);
         // ~3 words per accepted attempt; rejections top up via refills.
         let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(4));
-        for slot in out.iter_mut() {
-            *slot = self.sample_one(g, windows, &mut members, &mut block)?;
-        }
-        Ok(())
+        let mut rejects = 0u64;
+        let res = out.iter_mut().try_for_each(|slot| {
+            *slot = self.sample_one(g, windows, &mut members, &mut rejects, &mut block)?;
+            Ok(())
+        });
+        iqs_alias::prof::add_union_rejects(rejects);
+        res
     }
 
     /// Fills `out` with independent uniform elements of `∪G` through a
@@ -333,10 +343,13 @@ impl SetUnionSampler {
         let windows = self.window_count(g);
         let mut members: Vec<u32> = Vec::with_capacity(self.m * 2);
         let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(4));
-        for slot in out.iter_mut() {
-            *slot = self.sample_one(g, windows, &mut members, &mut block)?;
-        }
-        Ok(())
+        let mut rejects = 0u64;
+        let res = out.iter_mut().try_for_each(|slot| {
+            *slot = self.sample_one(g, windows, &mut members, &mut rejects, &mut block)?;
+            Ok(())
+        });
+        iqs_alias::prof::add_union_rejects(rejects);
+        res
     }
 
     /// Number of samples one permutation may serve before the paper's

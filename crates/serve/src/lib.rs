@@ -58,7 +58,10 @@ mod snapshot;
 
 pub use api::{Request, Response, UpdateOp};
 pub use error::ServeError;
-pub use metrics::{HistogramSnapshot, LogHistogram, MetricsSnapshot, HIST_BUCKETS};
+pub use metrics::{
+    prom_histogram, HistogramDiffError, HistogramSnapshot, LogHistogram, MetricsSnapshot,
+    HIST_BUCKETS,
+};
 pub use registry::{IndexRegistry, IndexView, RangeView, WeightedView};
 pub use server::{Client, PendingReply, Server, ServerConfig};
 pub use snapshot::Snapshot;

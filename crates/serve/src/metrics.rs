@@ -74,6 +74,15 @@ impl HistogramSnapshot {
     /// fall, reported as the upper bound of the containing bucket (so the
     /// true quantile lies within 2× below the returned value). Returns
     /// `None` when the histogram is empty.
+    ///
+    /// **Top bucket**: bucket 63 is open-ended — it absorbs every
+    /// duration of `2^62` ns (~146 years) and beyond, including the
+    /// `Duration::MAX` / `u64::MAX`-nanosecond saturation of
+    /// [`LogHistogram::record`]. A quantile landing there reports
+    /// `Duration::from_nanos(1 << 63)`, the bucket's nominal upper
+    /// bound; unlike every other bucket this is a *lower* bound on the
+    /// true value. It deliberately never reports `Duration::MAX`, so
+    /// arithmetic on the result cannot overflow.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
         let total = self.count();
         if total == 0 {
@@ -84,19 +93,35 @@ impl HistogramSnapshot {
         for (b, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let upper_ns = if b >= 64 { u64::MAX } else { (1u128 << b) as u64 };
-                return Some(Duration::from_nanos(upper_ns));
+                // b ≤ 63, so the shift cannot overflow; bucket 63
+                // reports 2^63 ns (see the doc note above).
+                return Some(Duration::from_nanos(1u64 << b));
             }
         }
         None
     }
 
-    /// Bucket-wise difference `self - earlier` — the histogram of samples
-    /// recorded between two snapshots. Saturates at zero.
-    pub fn minus(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
-        HistogramSnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+    /// Bucket-wise difference `self - earlier` — the histogram of
+    /// samples recorded between two snapshots of one histogram.
+    ///
+    /// # Errors
+    /// [`HistogramDiffError`] when any bucket of `earlier` exceeds the
+    /// corresponding bucket of `self` — i.e. the snapshots are not an
+    /// (earlier, later) pair of the same monotone histogram. The old
+    /// behavior silently saturated such mismatches to zero, which made
+    /// a swapped-argument bug read as "an idle interval".
+    pub fn minus(
+        &self,
+        earlier: &HistogramSnapshot,
+    ) -> Result<HistogramSnapshot, HistogramDiffError> {
+        for (b, (&later, &early)) in self.buckets.iter().zip(earlier.buckets.iter()).enumerate() {
+            if early > later {
+                return Err(HistogramDiffError { bucket: b, later, earlier: early });
+            }
         }
+        Ok(HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i] - earlier.buckets[i]),
+        })
     }
 
     /// Bucket-wise sum `self + other` — pooling the latency
@@ -115,6 +140,30 @@ impl Default for HistogramSnapshot {
         HistogramSnapshot { buckets: [0; HIST_BUCKETS] }
     }
 }
+
+/// A histogram diff was asked of two snapshots that are not an
+/// (earlier, later) pair: some bucket shrank between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramDiffError {
+    /// First offending bucket index.
+    pub bucket: usize,
+    /// That bucket's count in the (claimed) later snapshot.
+    pub later: u64,
+    /// That bucket's count in the (claimed) earlier snapshot.
+    pub earlier: u64,
+}
+
+impl fmt::Display for HistogramDiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram bucket {} shrank from {} to {}: snapshots are not an (earlier, later) pair",
+            self.bucket, self.earlier, self.later
+        )
+    }
+}
+
+impl std::error::Error for HistogramDiffError {}
 
 // The vendored serde derive handles named-field structs only (no fixed
 // arrays), so the bucket array serializes by hand — as a bare JSON
@@ -157,6 +206,8 @@ pub(crate) struct Metrics {
     pub(crate) deadline_missed: AtomicU64,
     pub(crate) updates_applied: AtomicU64,
     pub(crate) queue_depth: AtomicUsize,
+    pub(crate) rng_words: AtomicU64,
+    pub(crate) rng_refills: AtomicU64,
     pub(crate) latency: LogHistogram,
     pub(crate) queue_wait: LogHistogram,
 }
@@ -171,6 +222,8 @@ impl Metrics {
             deadline_missed: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
+            rng_words: AtomicU64::new(0),
+            rng_refills: AtomicU64::new(0),
             latency: LogHistogram::new(),
             queue_wait: LogHistogram::new(),
         }
@@ -186,6 +239,8 @@ impl Metrics {
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             snapshot_swaps,
+            rng_words: self.rng_words.load(Ordering::Relaxed),
+            rng_refills: self.rng_refills.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
         }
@@ -218,6 +273,12 @@ pub struct MetricsSnapshot {
     pub queue_depth: usize,
     /// Total index snapshot publications across the registry.
     pub snapshot_swaps: u64,
+    /// Total 64-bit RNG words consumed by worker draw paths (counted at
+    /// [`iqs_alias::BlockRng64`] refill time, so it is the randomness
+    /// actually fetched from the generators).
+    pub rng_words: u64,
+    /// Total `BlockRng64` buffer refills performed by worker draw paths.
+    pub rng_refills: u64,
     /// End-to-end service latency (request origin → response ready).
     pub latency: HistogramSnapshot,
     /// Queue wait (admission → worker pickup) component of latency.
@@ -228,8 +289,12 @@ impl MetricsSnapshot {
     /// Counter-wise difference `self - earlier`, for metering an
     /// interval. Gauges (`queue_depth`) and totals (`snapshot_swaps`)
     /// keep the later value.
-    pub fn minus(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
-        MetricsSnapshot {
+    ///
+    /// # Errors
+    /// [`HistogramDiffError`] when the snapshots are not an (earlier,
+    /// later) pair of one service — see [`HistogramSnapshot::minus`].
+    pub fn minus(&self, earlier: &MetricsSnapshot) -> Result<MetricsSnapshot, HistogramDiffError> {
+        Ok(MetricsSnapshot {
             submitted: self.submitted.saturating_sub(earlier.submitted),
             completed: self.completed.saturating_sub(earlier.completed),
             failed: self.failed.saturating_sub(earlier.failed),
@@ -238,9 +303,11 @@ impl MetricsSnapshot {
             updates_applied: self.updates_applied.saturating_sub(earlier.updates_applied),
             queue_depth: self.queue_depth,
             snapshot_swaps: self.snapshot_swaps,
-            latency: self.latency.minus(&earlier.latency),
-            queue_wait: self.queue_wait.minus(&earlier.queue_wait),
-        }
+            rng_words: self.rng_words.saturating_sub(earlier.rng_words),
+            rng_refills: self.rng_refills.saturating_sub(earlier.rng_refills),
+            latency: self.latency.minus(&earlier.latency)?,
+            queue_wait: self.queue_wait.minus(&earlier.queue_wait)?,
+        })
     }
 
     /// Counter-wise sum `self + other`, pooling several services into
@@ -256,6 +323,8 @@ impl MetricsSnapshot {
             updates_applied: self.updates_applied.saturating_add(other.updates_applied),
             queue_depth: self.queue_depth.saturating_add(other.queue_depth),
             snapshot_swaps: self.snapshot_swaps.saturating_add(other.snapshot_swaps),
+            rng_words: self.rng_words.saturating_add(other.rng_words),
+            rng_refills: self.rng_refills.saturating_add(other.rng_refills),
             latency: self.latency.plus(&other.latency),
             queue_wait: self.queue_wait.plus(&other.queue_wait),
         }
@@ -274,6 +343,91 @@ impl MetricsSnapshot {
     pub fn from_json(text: &str) -> Result<MetricsSnapshot, serde_json::Error> {
         serde_json::from_str(text)
     }
+
+    /// Renders the snapshot as Prometheus-style text exposition.
+    /// Histogram buckets are emitted sparsely (only buckets that hold
+    /// samples, plus the `+Inf` total) with `le` set to the bucket's
+    /// upper bound in nanoseconds.
+    pub fn to_prometheus(&self) -> String {
+        self.render_prometheus(None)
+    }
+
+    /// [`MetricsSnapshot::to_prometheus`], with exemplar trace ids from
+    /// `slow` attached to the latency buckets they were observed in
+    /// (rendered as a `# {trace_id="…"}` suffix).
+    pub fn to_prometheus_with_exemplars(&self, slow: &iqs_obs::SlowLog) -> String {
+        self.render_prometheus(Some(slow))
+    }
+
+    fn render_prometheus(&self, slow: Option<&iqs_obs::SlowLog>) -> String {
+        let mut w = iqs_obs::PromWriter::new();
+        w.header("iqs_serve_requests_total", "Requests by outcome", "counter");
+        for (outcome, value) in [
+            ("submitted", self.submitted),
+            ("completed", self.completed),
+            ("failed", self.failed),
+            ("rejected_overload", self.rejected_overload),
+            ("deadline_missed", self.deadline_missed),
+        ] {
+            w.sample("iqs_serve_requests_total", &[("outcome", outcome)], value);
+        }
+        w.header("iqs_serve_updates_applied_total", "Update operations applied", "counter");
+        w.sample("iqs_serve_updates_applied_total", &[], self.updates_applied);
+        w.header("iqs_serve_queue_depth", "Backlog length at scrape time", "gauge");
+        w.sample("iqs_serve_queue_depth", &[], self.queue_depth as u64);
+        w.header("iqs_serve_snapshot_swaps_total", "Index snapshot publications", "counter");
+        w.sample("iqs_serve_snapshot_swaps_total", &[], self.snapshot_swaps);
+        w.header("iqs_serve_rng_words_total", "RNG words consumed by draw paths", "counter");
+        w.sample("iqs_serve_rng_words_total", &[], self.rng_words);
+        w.header("iqs_serve_rng_refills_total", "BlockRng64 buffer refills", "counter");
+        w.sample("iqs_serve_rng_refills_total", &[], self.rng_refills);
+        prom_histogram(
+            &mut w,
+            "iqs_serve_latency_ns",
+            "End-to-end service latency (ns)",
+            &self.latency,
+            slow,
+        );
+        prom_histogram(
+            &mut w,
+            "iqs_serve_queue_wait_ns",
+            "Queue wait before worker pickup (ns)",
+            &self.queue_wait,
+            None,
+        );
+        w.finish()
+    }
+}
+
+/// Writes one log₂ histogram in Prometheus text form: sparse cumulative
+/// `_bucket` lines (with exemplars where `slow` has one for the
+/// bucket), then the `+Inf` bucket and `_count`. Shared by the serve
+/// and shard expositions.
+pub fn prom_histogram(
+    w: &mut iqs_obs::PromWriter,
+    name: &str,
+    help: &str,
+    h: &HistogramSnapshot,
+    slow: Option<&iqs_obs::SlowLog>,
+) {
+    w.header(name, help, "histogram");
+    let bucket_name = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for (b, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let le = format!("{}", 1u128 << b);
+        let exemplar = slow.map_or(0, |s| s.exemplar(b));
+        if exemplar != 0 {
+            w.sample_with_exemplar(&bucket_name, &[("le", &le)], cumulative, exemplar);
+        } else {
+            w.sample(&bucket_name, &[("le", &le)], cumulative);
+        }
+    }
+    w.sample(&bucket_name, &[("le", "+Inf")], cumulative);
+    w.sample(&format!("{name}_count"), &[], cumulative);
 }
 
 fn fmt_dur(d: Option<Duration>) -> String {
@@ -370,7 +524,7 @@ mod tests {
         h.record(Duration::from_micros(5));
         h.record(Duration::from_millis(5));
         let snap = h.snapshot();
-        let idle = snap.minus(&snap);
+        let idle = snap.minus(&snap).expect("same snapshot diffs cleanly");
         assert_eq!(idle.count(), 0);
         assert_eq!(idle.quantile(0.5), None);
         assert_eq!(idle.quantile(0.999), None);
@@ -382,7 +536,7 @@ mod tests {
         m.queue_depth.store(2, Ordering::Relaxed);
         m.latency.record(Duration::from_micros(1));
         let s = m.snapshot(9);
-        let interval = s.minus(&s);
+        let interval = s.minus(&s).expect("same snapshot diffs cleanly");
         assert_eq!(interval.submitted, 0);
         assert_eq!(interval.latency.count(), 0);
         assert_eq!(interval.latency.quantile(0.99), None);
@@ -406,7 +560,7 @@ mod tests {
         assert_eq!(s.quantile(1.0), Some(Duration::from_nanos(1u64 << 63)));
         // Saturated buckets still diff and pool without overflow.
         assert_eq!(s.plus(&s).buckets[HIST_BUCKETS - 1], 6);
-        assert_eq!(s.minus(&s).count(), 0);
+        assert_eq!(s.minus(&s).expect("same snapshot diffs cleanly").count(), 0);
     }
 
     #[test]
@@ -438,8 +592,15 @@ mod tests {
         let before = h.snapshot();
         h.record(Duration::from_nanos(10));
         h.record(Duration::from_nanos(10));
-        let delta = h.snapshot().minus(&before);
+        let delta = h.snapshot().minus(&before).expect("later minus earlier");
         assert_eq!(delta.count(), 2);
+
+        // Swapped arguments are a caller bug and must surface as an
+        // error naming the shrinking bucket, not read as "idle".
+        let err = before.minus(&h.snapshot()).expect_err("earlier minus later");
+        assert_eq!(err.bucket, 4); // 10ns -> bucket 4
+        assert_eq!((err.earlier, err.later), (3, 1));
+        assert!(err.to_string().contains("bucket 4"));
     }
 
     #[test]
@@ -480,6 +641,89 @@ mod tests {
         assert_eq!(pooled.latency.buckets[2], 2);
         let zero = MetricsSnapshot::default();
         assert_eq!(zero.plus(&pooled), pooled);
+    }
+
+    #[test]
+    fn rng_counters_ride_the_json_wire_format() {
+        let m = Metrics::new();
+        m.rng_words.fetch_add(640, Ordering::Relaxed);
+        m.rng_refills.fetch_add(10, Ordering::Relaxed);
+        let snap = m.snapshot(0);
+        let json = snap.to_json();
+        assert!(json.contains("\"rng_words\":640"), "missing rng_words: {json}");
+        assert!(json.contains("\"rng_refills\":10"), "missing rng_refills: {json}");
+        let back = MetricsSnapshot::from_json(&json).expect("round trip");
+        assert_eq!(back, snap);
+        // Interval diff and pooling cover the new counters too.
+        assert_eq!(snap.minus(&snap).unwrap().rng_words, 0);
+        assert_eq!(snap.plus(&snap).rng_refills, 20);
+    }
+
+    /// Golden-file test for the Prometheus exposition format: the exact
+    /// bytes are pinned so accidental format drift is caught (dashboards
+    /// parse this).
+    #[test]
+    fn prometheus_exposition_matches_golden() {
+        let m = Metrics::new();
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.completed.fetch_add(2, Ordering::Relaxed);
+        m.failed.fetch_add(1, Ordering::Relaxed);
+        m.rng_words.fetch_add(128, Ordering::Relaxed);
+        m.rng_refills.fetch_add(2, Ordering::Relaxed);
+        m.latency.record(Duration::from_nanos(100)); // bucket 7, le=128
+        m.latency.record(Duration::from_nanos(100));
+        m.latency.record(Duration::from_micros(100)); // bucket 17, le=131072
+        m.queue_wait.record(Duration::from_nanos(3)); // bucket 2, le=4
+        let text = m.snapshot(1).to_prometheus();
+        let golden = "\
+# HELP iqs_serve_requests_total Requests by outcome
+# TYPE iqs_serve_requests_total counter
+iqs_serve_requests_total{outcome=\"submitted\"} 3
+iqs_serve_requests_total{outcome=\"completed\"} 2
+iqs_serve_requests_total{outcome=\"failed\"} 1
+iqs_serve_requests_total{outcome=\"rejected_overload\"} 0
+iqs_serve_requests_total{outcome=\"deadline_missed\"} 0
+# HELP iqs_serve_updates_applied_total Update operations applied
+# TYPE iqs_serve_updates_applied_total counter
+iqs_serve_updates_applied_total 0
+# HELP iqs_serve_queue_depth Backlog length at scrape time
+# TYPE iqs_serve_queue_depth gauge
+iqs_serve_queue_depth 0
+# HELP iqs_serve_snapshot_swaps_total Index snapshot publications
+# TYPE iqs_serve_snapshot_swaps_total counter
+iqs_serve_snapshot_swaps_total 1
+# HELP iqs_serve_rng_words_total RNG words consumed by draw paths
+# TYPE iqs_serve_rng_words_total counter
+iqs_serve_rng_words_total 128
+# HELP iqs_serve_rng_refills_total BlockRng64 buffer refills
+# TYPE iqs_serve_rng_refills_total counter
+iqs_serve_rng_refills_total 2
+# HELP iqs_serve_latency_ns End-to-end service latency (ns)
+# TYPE iqs_serve_latency_ns histogram
+iqs_serve_latency_ns_bucket{le=\"128\"} 2
+iqs_serve_latency_ns_bucket{le=\"131072\"} 3
+iqs_serve_latency_ns_bucket{le=\"+Inf\"} 3
+iqs_serve_latency_ns_count 3
+# HELP iqs_serve_queue_wait_ns Queue wait before worker pickup (ns)
+# TYPE iqs_serve_queue_wait_ns histogram
+iqs_serve_queue_wait_ns_bucket{le=\"4\"} 1
+iqs_serve_queue_wait_ns_bucket{le=\"+Inf\"} 1
+iqs_serve_queue_wait_ns_count 1
+";
+        assert_eq!(text, golden);
+    }
+
+    #[test]
+    fn prometheus_exemplars_annotate_latency_buckets() {
+        let m = Metrics::new();
+        m.latency.record(Duration::from_nanos(100)); // bucket 7
+        let slow = iqs_obs::SlowLog::new(4);
+        slow.observe(42, 100);
+        let text = m.snapshot(0).to_prometheus_with_exemplars(&slow);
+        assert!(
+            text.contains("iqs_serve_latency_ns_bucket{le=\"128\"} 1 # {trace_id=\"42\"}"),
+            "missing exemplar: {text}"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use iqs_core::{QueryError, RangeSampler};
+use iqs_obs::{recorder, Ctx, Phase, SlowEntry, SlowLog};
 use iqs_testkit::ClockHandle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -85,12 +86,16 @@ struct Job {
     /// `None` for fire-and-forget submissions; outcomes still land in the
     /// metrics.
     reply: Option<OneShot<Result<Response, ServeError>>>,
+    /// Trace context the request carries through the queue to the
+    /// worker. Untraced for plain calls.
+    ctx: Ctx,
 }
 
 struct Shared {
     registry: IndexRegistry,
     queue: BoundedQueue<Job>,
     metrics: Metrics,
+    slow: SlowLog,
     accepting: AtomicBool,
     max_sample_size: u32,
     clock: ClockHandle,
@@ -103,12 +108,17 @@ impl Shared {
         origin: Instant,
         deadline: Option<Instant>,
         reply: Option<OneShot<Result<Response, ServeError>>>,
+        ctx: Ctx,
     ) -> Result<(), ServeError> {
         self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
         if !self.accepting.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
-        let job = Job { request, origin, enqueued: self.clock.now(), deadline, reply };
+        let job = Job { request, origin, enqueued: self.clock.now(), deadline, reply, ctx };
+        // Emit before the push: once the job is visible, a worker may
+        // record its Pickup, and the Enqueue record must already hold a
+        // smaller sequence number for traces to order deterministically.
+        recorder::emit(ctx, Phase::Enqueue, 0, 0);
         match self.queue.try_push(job) {
             Ok(()) => {
                 self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -158,8 +168,36 @@ impl Client {
         deadline: Option<Instant>,
     ) -> Result<Response, ServeError> {
         let reply = OneShot::new();
-        self.shared.submit(request, origin, deadline, Some(reply.clone()))?;
+        self.shared.submit(request, origin, deadline, Some(reply.clone()), Ctx::none())?;
         reply.wait()
+    }
+
+    /// [`Client::call`], with the request traced end to end: a fresh
+    /// trace id is allocated (when the [`iqs_obs`] recorder is
+    /// installed), carried through the queue to the worker, and its
+    /// records — enqueue, pickup, deadline check, per-draw RNG cost,
+    /// completion — can be reconstructed afterwards with
+    /// [`iqs_obs::TraceView`]. Returns the trace id
+    /// ([`iqs_obs::UNTRACED`] when recording is disabled) alongside the
+    /// outcome.
+    ///
+    /// # Errors
+    /// As [`Client::call`].
+    pub fn call_traced(&self, request: Request) -> (u64, Result<Response, ServeError>) {
+        let trace = recorder::next_trace_id();
+        let ctx = Ctx::query(trace);
+        let origin = self.shared.clock.now();
+        let deadline = self.default_deadline.map(|d| origin + d);
+        let reply = OneShot::new();
+        if let Err(e) = self.shared.submit(request, origin, deadline, Some(reply.clone()), ctx) {
+            return (trace, Err(e));
+        }
+        let result = reply.wait();
+        let latency = self.shared.clock.now().saturating_duration_since(origin);
+        let latency_ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        recorder::emit(ctx, Phase::QueryDone, latency_ns, u64::from(result.is_err()));
+        self.shared.slow.observe(trace, latency_ns);
+        (trace, result)
     }
 
     /// Submits `request` and returns a [`PendingReply`] without waiting,
@@ -177,8 +215,25 @@ impl Client {
         origin: Instant,
         deadline: Option<Instant>,
     ) -> Result<PendingReply, ServeError> {
+        self.call_pending_ctx(request, origin, deadline, Ctx::none())
+    }
+
+    /// [`Client::call_pending`] carrying an explicit trace context —
+    /// the scatter entry point for layers that manage their own traces
+    /// (the sharded router submits each scatter leg with the query's
+    /// trace id and the leg's span).
+    ///
+    /// # Errors
+    /// As [`Client::call_pending`].
+    pub fn call_pending_ctx(
+        &self,
+        request: Request,
+        origin: Instant,
+        deadline: Option<Instant>,
+        ctx: Ctx,
+    ) -> Result<PendingReply, ServeError> {
         let reply = OneShot::new();
-        self.shared.submit(request, origin, deadline, Some(reply.clone()))?;
+        self.shared.submit(request, origin, deadline, Some(reply.clone()), ctx)?;
         Ok(PendingReply { reply, clock: self.shared.clock.clone() })
     }
 
@@ -196,12 +251,24 @@ impl Client {
         origin: Instant,
         deadline: Option<Instant>,
     ) -> Result<(), ServeError> {
-        self.shared.submit(request, origin, deadline, None)
+        self.shared.submit(request, origin, deadline, None, Ctx::none())
     }
 
     /// A point-in-time copy of the service metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.snapshot_metrics()
+    }
+
+    /// Drains the slow-query log: the top-k slowest *traced* requests
+    /// since the last drain, slowest first.
+    pub fn slow_queries(&self) -> Vec<SlowEntry> {
+        self.shared.slow.take()
+    }
+
+    /// Prometheus-style text exposition of the current metrics, with
+    /// slow-log exemplar trace ids attached to latency buckets.
+    pub fn prometheus(&self) -> String {
+        self.shared.snapshot_metrics().to_prometheus_with_exemplars(&self.shared.slow)
     }
 }
 
@@ -246,6 +313,7 @@ impl Server {
             registry,
             queue: BoundedQueue::new(config.queue_capacity),
             metrics: Metrics::new(),
+            slow: SlowLog::default(),
             accepting: AtomicBool::new(true),
             max_sample_size: config.max_sample_size,
             clock: config.clock.clone(),
@@ -273,6 +341,18 @@ impl Server {
     /// A point-in-time copy of the service metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.snapshot_metrics()
+    }
+
+    /// Drains the slow-query log: the top-k slowest *traced* requests
+    /// since the last drain, slowest first.
+    pub fn slow_queries(&self) -> Vec<SlowEntry> {
+        self.shared.slow.take()
+    }
+
+    /// Prometheus-style text exposition of the current metrics, with
+    /// slow-log exemplar trace ids attached to latency buckets.
+    pub fn prometheus(&self) -> String {
+        self.shared.snapshot_metrics().to_prometheus_with_exemplars(&self.shared.slow)
     }
 
     /// Read access to the registry (snapshot loads, swap counts).
@@ -325,19 +405,51 @@ fn worker_loop(shared: &Shared, seed: u64) {
     while let Some(job) = shared.queue.pop() {
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
         let picked = shared.clock.now();
-        shared.metrics.queue_wait.record(picked.saturating_duration_since(job.enqueued));
+        let wait = picked.saturating_duration_since(job.enqueued);
+        shared.metrics.queue_wait.record(wait);
+        recorder::emit(job.ctx, Phase::Pickup, wait.as_nanos().min(u64::MAX as u128) as u64, 0);
         // `>=`, not `>`: a request whose deadline equals the pickup
         // instant has no time left to do work, and on a frozen virtual
         // clock this is what makes deadline misses deterministic.
         if job.deadline.is_some_and(|dl| picked >= dl) {
             shared.metrics.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            recorder::emit(job.ctx, Phase::DeadlineMiss, 0, 0);
             if let Some(reply) = &job.reply {
                 reply.put(Err(ServeError::DeadlineExceeded));
             }
             continue;
         }
+        let cost_before = iqs_alias::prof::read();
         let result = dispatch(shared, &job.request, &mut rng, &mut scratch);
-        shared.metrics.latency.record(shared.clock.now().saturating_duration_since(job.origin));
+        let done = shared.clock.now();
+        // Per-draw cost: the thread-local profile delta over the
+        // dispatch. The RNG-word/refill totals feed the always-on
+        // service counters (two relaxed adds); the full breakdown is
+        // recorded only when the request is traced.
+        let cost = iqs_alias::prof::read().minus(&cost_before);
+        if !cost.is_zero() {
+            shared.metrics.rng_words.fetch_add(cost.rng_words, Ordering::Relaxed);
+            shared.metrics.rng_refills.fetch_add(cost.rng_refills, Ordering::Relaxed);
+        }
+        recorder::emit(
+            job.ctx,
+            Phase::RngCost,
+            cost.rng_words,
+            iqs_obs::recorder::pack_cost(
+                cost.rng_refills,
+                cost.alias_redirects,
+                cost.tree_descents,
+                cost.union_rejects,
+            ),
+        );
+        let service = done.saturating_duration_since(job.origin);
+        shared.metrics.latency.record(service);
+        recorder::emit(
+            job.ctx,
+            Phase::WorkDone,
+            service.as_nanos().min(u64::MAX as u128) as u64,
+            u64::from(result.is_ok()),
+        );
         match &result {
             Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
             Err(_) => shared.metrics.failed.fetch_add(1, Ordering::Relaxed),

@@ -1,0 +1,66 @@
+//! Determinism of the flight recorder under the virtual clock.
+//!
+//! Two runs of the same traced workload — same seed, one worker, a
+//! fresh virtual clock, [`recorder::install`] resetting the sequence
+//! and trace-id counters — must drain byte-identical JSONL traces:
+//! timestamps come from the virtual clock, RNG costs from the seeded
+//! worker stream, and the record order from the blocking call path's
+//! synchronization. This is the in-process half of the CI determinism
+//! job; the printed digest gives the job a line to diff across whole
+//! process runs under a pinned `IQS_TEST_SEED`.
+
+use std::time::Duration;
+
+use iqs_obs::{recorder, records_to_jsonl};
+use iqs_serve::{IndexRegistry, Request, Server, ServerConfig};
+use iqs_testkit::seed::suite_seed;
+use iqs_testkit::VirtualClock;
+
+/// FNV-1a, for a compact stable digest of the trace dump.
+fn fnv1a(text: &str) -> u64 {
+    text.bytes()
+        .fold(0xcbf2_9ce4_8422_2325_u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+}
+
+fn run_once(seed: u64) -> String {
+    let vc = VirtualClock::new();
+    recorder::install(&vc.handle(), 4096);
+    let mut registry = IndexRegistry::new();
+    registry
+        .register_range_static(
+            "keys",
+            (0..512).map(|i| (f64::from(i), 1.0 + f64::from(i % 3))).collect(),
+        )
+        .expect("register");
+    let server = Server::start(
+        registry,
+        ServerConfig { workers: 1, seed, clock: vc.handle(), ..ServerConfig::default() },
+    );
+    let client = server.client();
+    for i in 0..8u32 {
+        let (trace, result) = client.call_traced(Request::SampleWr {
+            index: "keys".into(),
+            range: Some((10.0, 500.0)),
+            s: 4 + i,
+        });
+        assert_ne!(trace, 0, "installed recorder must allocate trace ids");
+        let _ = result.expect("query succeeds");
+        // Advance virtual time between queries so timestamps are
+        // non-trivial yet identical across runs.
+        vc.advance(Duration::from_micros(50));
+    }
+    let _ = server.shutdown();
+    recorder::disable();
+    let records = recorder::drain();
+    assert!(!records.is_empty(), "traced workload must leave records");
+    records_to_jsonl(&records)
+}
+
+#[test]
+fn same_seed_virtual_clock_runs_emit_byte_identical_traces() {
+    let seed = suite_seed();
+    let first = run_once(seed);
+    let second = run_once(seed);
+    assert_eq!(first, second, "same-seed virtual-clock runs must trace identically");
+    println!("obs_trace digest: {} bytes, fnv1a {:#018x}", first.len(), fnv1a(&first));
+}

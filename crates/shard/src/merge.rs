@@ -26,6 +26,11 @@ pub struct Sampled {
     /// Draws planned for shards that could not deliver them. Always 0
     /// when `degraded` is `false`.
     pub missing: usize,
+    /// Flight-recorder trace id for this query, or
+    /// [`iqs_obs::UNTRACED`] (0) when tracing was disabled. Feed it to
+    /// [`iqs_obs::TraceView::build`] over drained records to
+    /// reconstruct the query's two-level schedule.
+    pub trace: u64,
 }
 
 /// A scatter-gathered count.
@@ -38,6 +43,9 @@ pub struct Counted {
     pub degraded: bool,
     /// Overlapping shards that failed to answer.
     pub shards_unavailable: usize,
+    /// Flight-recorder trace id for this query, or
+    /// [`iqs_obs::UNTRACED`] (0) when tracing was disabled.
+    pub trace: u64,
 }
 
 impl Sampled {

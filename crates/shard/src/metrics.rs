@@ -12,7 +12,8 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use iqs_serve::{HistogramSnapshot, LogHistogram, MetricsSnapshot};
+use iqs_obs::{PromWriter, SlowLog};
+use iqs_serve::{prom_histogram, HistogramSnapshot, LogHistogram, MetricsSnapshot};
 
 /// Live router counters; all increments are relaxed atomics on the
 /// query path.
@@ -28,6 +29,9 @@ pub(crate) struct RouterCounters {
     pub(crate) recoveries: AtomicU64,
     pub(crate) rebalances: AtomicU64,
     pub(crate) latency: LogHistogram,
+    /// Top-k slowest traced queries per interval, plus per-bucket
+    /// exemplar trace ids for the router latency histogram.
+    pub(crate) slow: SlowLog,
 }
 
 impl RouterCounters {
@@ -115,6 +119,51 @@ impl ClusterMetrics {
     pub fn from_json(text: &str) -> Result<ClusterMetrics, serde_json::Error> {
         serde_json::from_str(text)
     }
+
+    /// Prometheus-style text exposition: router counters and latency
+    /// under `iqs_shard_*`, followed by the pooled per-replica service
+    /// metrics in the `iqs_serve_*` families, so one scrape covers the
+    /// whole tier.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        self.render_prometheus(None)
+    }
+
+    pub(crate) fn render_prometheus(&self, slow: Option<&SlowLog>) -> String {
+        let r = &self.router;
+        let mut w = PromWriter::new();
+        w.header("iqs_shard_topology_shards", "Shards in the topology", "gauge");
+        w.sample("iqs_shard_topology_shards", &[], self.shards as u64);
+        w.header("iqs_shard_router_events_total", "Router events by kind", "counter");
+        for (event, value) in [
+            ("queries", r.queries),
+            ("legs", r.legs),
+            ("probes_cached", r.probes_cached),
+            ("probes_live", r.probes_live),
+            ("failovers", r.failovers),
+            ("degraded_queries", r.degraded_queries),
+            ("breaker_trips", r.trips),
+            ("breaker_recoveries", r.recoveries),
+            ("rebalances", r.rebalances),
+        ] {
+            w.sample("iqs_shard_router_events_total", &[("event", event)], value);
+        }
+        w.header("iqs_shard_replicas", "Replicas in the topology", "gauge");
+        w.sample("iqs_shard_replicas", &[], self.replicas.len() as u64);
+        w.header("iqs_shard_replicas_tripped", "Replicas with an open breaker", "gauge");
+        let tripped = self.replicas.iter().filter(|m| m.tripped).count();
+        w.sample("iqs_shard_replicas_tripped", &[], tripped as u64);
+        prom_histogram(
+            &mut w,
+            "iqs_shard_router_latency_ns",
+            "End-to-end router latency (ns)",
+            &r.latency,
+            slow,
+        );
+        let mut out = w.finish();
+        out.push_str(&self.cluster.to_prometheus());
+        out
+    }
 }
 
 fn fmt_dur(d: Option<std::time::Duration>) -> String {
@@ -189,5 +238,38 @@ mod tests {
         let text = m.to_string();
         assert!(text.contains("9 queries"));
         assert!(text.contains("1 tripped"));
+    }
+
+    #[test]
+    fn prometheus_exposition_covers_router_and_pooled_serve() {
+        let counters = RouterCounters::default();
+        counters.queries.fetch_add(9, Ordering::Relaxed);
+        counters.failovers.fetch_add(2, Ordering::Relaxed);
+        counters.latency.record(Duration::from_micros(15));
+        counters.slow.observe(7, Duration::from_micros(15).as_nanos() as u64);
+        let serve = MetricsSnapshot { submitted: 42, completed: 41, ..Default::default() };
+        let m = ClusterMetrics {
+            shards: 2,
+            router: counters.snapshot(),
+            cluster: serve.plus(&serve),
+            replicas: vec![
+                ReplicaMetrics { shard: 0, replica: 0, tripped: false, serve },
+                ReplicaMetrics { shard: 1, replica: 0, tripped: true, serve },
+            ],
+        };
+        let text = m.to_prometheus();
+        assert!(text.contains("iqs_shard_topology_shards 2\n"));
+        assert!(text.contains("iqs_shard_router_events_total{event=\"queries\"} 9\n"));
+        assert!(text.contains("iqs_shard_router_events_total{event=\"failovers\"} 2\n"));
+        assert!(text.contains("iqs_shard_replicas 2\n"));
+        assert!(text.contains("iqs_shard_replicas_tripped 1\n"));
+        assert!(text.contains("iqs_shard_router_latency_ns_count 1\n"));
+        // The pooled serve families follow in the same scrape.
+        assert!(text.contains("iqs_serve_requests_total{outcome=\"submitted\"} 84\n"));
+        // With the live slow log attached, the latency bucket carries an
+        // exemplar trace id (15 µs lands in the (2^13, 2^14] bucket).
+        let with_exemplars = m.render_prometheus(Some(&counters.slow));
+        assert!(with_exemplars
+            .contains("iqs_shard_router_latency_ns_bucket{le=\"16384\"} 1 # {trace_id=\"7\"}\n"));
     }
 }

@@ -42,6 +42,7 @@ use std::time::{Duration, Instant};
 use iqs_alias::split::split_samples_with;
 use iqs_alias::AliasTable;
 use iqs_core::QueryError;
+use iqs_obs::{recorder, Ctx, Phase, SlowEntry};
 use iqs_serve::{IndexView, PendingReply, Request, Response, Snapshot};
 use iqs_testkit::ClockHandle;
 use rand::rngs::StdRng;
@@ -141,6 +142,14 @@ struct Leg {
 /// and this attempt's deadline.
 type Attempt = (PendingReply, Option<Duration>, usize, Instant);
 
+/// The draw count a scatter request asks its shard for (0 for counts).
+fn planned_of(request: &Request) -> u64 {
+    match request {
+        Request::SampleWr { s, .. } | Request::SampleWor { s, .. } => u64::from(*s),
+        _ => 0,
+    }
+}
+
 /// Candidate replica order for one attempt: probes first, then ready
 /// replicas in rotating round-robin order, tripped replicas last (tried
 /// before failing the leg, never before a healthy replica).
@@ -164,16 +173,20 @@ fn candidate_order(shard: &ShardHandle, policy: &HealthPolicy, now: Instant) -> 
 }
 
 impl Inner {
-    fn note_success(&self, rep: &Replica) {
+    /// `ctx` is the leg's shard-scoped trace context; breaker
+    /// transitions are recorded against it with `a` = replica index.
+    fn note_success(&self, rep: &Replica, ctx: Ctx, ri: usize) {
         if rep.health.on_success() {
             self.counters.recoveries.fetch_add(1, Ordering::Relaxed);
+            recorder::emit(ctx, Phase::BreakerRecover, ri as u64, 0);
         }
     }
 
-    fn note_failure(&self, rep: &Replica) {
+    fn note_failure(&self, rep: &Replica, ctx: Ctx, ri: usize) {
         self.counters.failovers.fetch_add(1, Ordering::Relaxed);
         if rep.health.on_failure(&self.config.health, self.config.clock.now()) {
             self.counters.trips.fetch_add(1, Ordering::Relaxed);
+            recorder::emit(ctx, Phase::BreakerTrip, ri as u64, 0);
         }
     }
 
@@ -187,6 +200,7 @@ impl Inner {
         tried: &mut Vec<usize>,
         request: &Request,
         origin: Instant,
+        ctx: Ctx,
     ) -> Option<Attempt> {
         for ri in candidate_order(shard, &self.config.health, self.config.clock.now()) {
             if tried.contains(&ri) {
@@ -196,16 +210,33 @@ impl Inner {
             let rep = &shard.replicas[ri];
             let delay = match rep.fault.get() {
                 FaultMode::Down | FaultMode::Error => {
-                    self.note_failure(rep);
+                    recorder::emit(ctx, Phase::LegFailover, ri as u64, 1);
+                    self.note_failure(rep, ctx, ri);
                     continue;
                 }
                 FaultMode::Delay(d) => Some(d),
                 FaultMode::Healthy => None,
             };
             let deadline = self.config.clock.now() + self.config.scatter_deadline;
-            match rep.client.call_pending(request.clone(), origin, Some(deadline)) {
-                Ok(pending) => return Some((pending, delay, ri, deadline)),
-                Err(_) => self.note_failure(rep),
+            match rep.client.call_pending_ctx(
+                request.clone(),
+                origin,
+                Some(deadline),
+                ctx.replica(ri),
+            ) {
+                Ok(pending) => {
+                    recorder::emit(
+                        ctx.replica(ri),
+                        Phase::LegSubmit,
+                        ri as u64,
+                        planned_of(request),
+                    );
+                    return Some((pending, delay, ri, deadline));
+                }
+                Err(_) => {
+                    recorder::emit(ctx, Phase::LegFailover, ri as u64, 2);
+                    self.note_failure(rep, ctx, ri);
+                }
             }
         }
         None
@@ -220,6 +251,7 @@ impl Inner {
         tried: &mut Vec<usize>,
         request: &Request,
         origin: Instant,
+        ctx: Ctx,
     ) -> Option<Response> {
         while let Some((pending, delay, ri, deadline)) = attempt.take() {
             let rep = &shard.replicas[ri];
@@ -229,20 +261,35 @@ impl Inner {
                 let now = self.config.clock.now();
                 let budget = deadline.saturating_duration_since(now);
                 self.config.clock.sleep(d.min(budget));
+                recorder::emit(
+                    ctx.replica(ri),
+                    Phase::DelayAbsorb,
+                    d.min(budget).as_nanos().min(u64::MAX as u128) as u64,
+                    0,
+                );
                 if d > budget {
-                    self.note_failure(rep);
-                    attempt = self.try_submit(shard, tried, request, origin);
+                    recorder::emit(ctx, Phase::LegFailover, ri as u64, 5);
+                    self.note_failure(rep, ctx, ri);
+                    attempt = self.try_submit(shard, tried, request, origin, ctx);
                     continue;
                 }
             }
             match pending.wait_deadline(deadline) {
                 Some(Ok(response)) => {
-                    self.note_success(rep);
+                    self.note_success(rep, ctx, ri);
+                    let delivered = match &response {
+                        Response::Samples(ids) => ids.len() as u64,
+                        Response::Count(count) => *count as u64,
+                        _ => 0,
+                    };
+                    recorder::emit(ctx.replica(ri), Phase::LegDone, delivered, 0);
                     return Some(response);
                 }
-                Some(Err(_)) | None => {
-                    self.note_failure(rep);
-                    attempt = self.try_submit(shard, tried, request, origin);
+                outcome @ (Some(Err(_)) | None) => {
+                    let cause = if outcome.is_some() { 3 } else { 4 };
+                    recorder::emit(ctx, Phase::LegFailover, ri as u64, cause);
+                    self.note_failure(rep, ctx, ri);
+                    attempt = self.try_submit(shard, tried, request, origin, ctx);
                 }
             }
         }
@@ -254,22 +301,26 @@ impl Inner {
     /// concurrently across shards.
     fn scatter(
         &self,
-        legs: Vec<(Arc<ShardHandle>, Request)>,
+        legs: Vec<(Arc<ShardHandle>, Request, Ctx)>,
         origin: Instant,
     ) -> Vec<Option<Response>> {
         self.counters.legs.fetch_add(legs.len() as u64, Ordering::Relaxed);
         let in_flight: Vec<_> = legs
             .into_iter()
-            .map(|(shard, request)| {
+            .map(|(shard, request, ctx)| {
                 let mut tried = Vec::new();
-                let attempt = self.try_submit(&shard, &mut tried, &request, origin);
-                (shard, request, tried, attempt)
+                let attempt = self.try_submit(&shard, &mut tried, &request, origin, ctx);
+                (shard, request, ctx, tried, attempt)
             })
             .collect();
         in_flight
             .into_iter()
-            .map(|(shard, request, mut tried, attempt)| {
-                self.gather_leg(&shard, attempt, &mut tried, &request, origin)
+            .map(|(shard, request, ctx, mut tried, attempt)| {
+                let response = self.gather_leg(&shard, attempt, &mut tried, &request, origin, ctx);
+                if response.is_none() {
+                    recorder::emit(ctx, Phase::LegDegraded, planned_of(&request), 0);
+                }
+                response
             })
             .collect()
     }
@@ -279,7 +330,7 @@ impl Inner {
     /// total; partial overlaps read a prefix sum from any live replica.
     /// A shard whose weight cannot be determined (every replica faulted)
     /// is excluded and flagged, degrading the query.
-    fn plan(&self, topo: &Topology, x: f64, y: f64) -> (Vec<Leg>, bool) {
+    fn plan(&self, topo: &Topology, x: f64, y: f64, ctx: Ctx) -> (Vec<Leg>, bool) {
         let mut legs = Vec::new();
         let mut degraded = false;
         for idx in topo.overlapping(x, y) {
@@ -297,10 +348,14 @@ impl Inner {
             };
             match weight {
                 Some(w) if w > 0.0 => {
+                    recorder::emit(ctx, Phase::RouterPlan, idx as u64, w.to_bits());
                     legs.push(Leg { shard_idx: idx, shard: Arc::clone(shard), weight: w })
                 }
                 Some(_) => {} // nothing in range here
-                None => degraded = true,
+                None => {
+                    recorder::emit(ctx, Phase::PlanDark, idx as u64, 0);
+                    degraded = true;
+                }
             }
         }
         (legs, degraded)
@@ -319,12 +374,16 @@ impl Inner {
         Ok(split_samples_with(&table, s, rng))
     }
 
-    fn finish(&self, origin: Instant, degraded: bool) {
+    fn finish(&self, origin: Instant, degraded: bool, ctx: Ctx) {
         self.counters.queries.fetch_add(1, Ordering::Relaxed);
         if degraded {
             self.counters.degraded_queries.fetch_add(1, Ordering::Relaxed);
         }
-        self.counters.latency.record(self.config.clock.now().saturating_duration_since(origin));
+        let latency = self.config.clock.now().saturating_duration_since(origin);
+        self.counters.latency.record(latency);
+        let latency_ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        recorder::emit(ctx, Phase::QueryDone, latency_ns, u64::from(degraded));
+        self.counters.slow.observe(ctx.trace, latency_ns);
     }
 }
 
@@ -635,6 +694,22 @@ impl ShardedService {
             replicas,
         }
     }
+
+    /// Drains the router's slow-query log: the top-k slowest traced
+    /// cluster queries since the last drain, slowest first. Pair each
+    /// entry's trace id with [`iqs_obs::recorder::drain`] to pull the
+    /// full schedule of a slow query.
+    #[must_use]
+    pub fn slow_queries(&self) -> Vec<SlowEntry> {
+        self.inner.counters.slow.take()
+    }
+
+    /// Prometheus-style text exposition of the cluster metrics, with
+    /// slow-log exemplar trace ids attached to router latency buckets.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        self.metrics().render_prometheus(Some(&self.inner.counters.slow))
+    }
 }
 
 impl ClusterClient {
@@ -647,9 +722,10 @@ impl ClusterClient {
     /// [`ShardError::EmptyRange`] when the (reachable) range holds no
     /// weight; [`ShardError::InvalidRequest`] past the sample-size bound.
     pub fn sample_wr(&mut self, range: Option<(f64, f64)>, s: u32) -> Result<Sampled, ShardError> {
+        let ctx = Ctx::query(recorder::next_trace_id());
         let origin = self.inner.config.clock.now();
-        let result = self.route_sample_wr(range, s, origin);
-        self.inner.finish(origin, matches!(&result, Ok(r) if r.degraded));
+        let result = self.route_sample_wr(range, s, origin, ctx);
+        self.inner.finish(origin, matches!(&result, Ok(r) if r.degraded), ctx);
         result
     }
 
@@ -665,9 +741,10 @@ impl ClusterClient {
     /// [`ShardError::Query`] ([`QueryError::DensityTooLow`]) when
     /// rejection stops making progress.
     pub fn sample_wor(&mut self, range: Option<(f64, f64)>, s: u32) -> Result<Sampled, ShardError> {
+        let ctx = Ctx::query(recorder::next_trace_id());
         let origin = self.inner.config.clock.now();
-        let result = self.route_sample_wor(range, s, origin);
-        self.inner.finish(origin, matches!(&result, Ok(r) if r.degraded));
+        let result = self.route_sample_wor(range, s, origin, ctx);
+        self.inner.finish(origin, matches!(&result, Ok(r) if r.degraded), ctx);
         result
     }
 
@@ -678,9 +755,10 @@ impl ClusterClient {
     /// None currently; the `Result` reserves room for router-level
     /// validation.
     pub fn range_count(&self, x: f64, y: f64) -> Result<Counted, ShardError> {
+        let ctx = Ctx::query(recorder::next_trace_id());
         let origin = self.inner.config.clock.now();
-        let result = self.route_range_count(x, y, origin);
-        self.inner.finish(origin, matches!(&result, Ok(c) if c.degraded));
+        let result = self.route_range_count(x, y, origin, ctx);
+        self.inner.finish(origin, matches!(&result, Ok(c) if c.degraded), ctx);
         result
     }
 
@@ -690,28 +768,51 @@ impl ClusterClient {
         ShardedService { inner: Arc::clone(&self.inner) }.metrics()
     }
 
+    /// Drains the router's slow-query log (same as
+    /// [`ShardedService::slow_queries`]).
+    #[must_use]
+    pub fn slow_queries(&self) -> Vec<SlowEntry> {
+        self.inner.counters.slow.take()
+    }
+
+    /// Prometheus-style exposition (same as
+    /// [`ShardedService::prometheus`]).
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        self.metrics().render_prometheus(Some(&self.inner.counters.slow))
+    }
+
     fn route_sample_wr(
         &mut self,
         range: Option<(f64, f64)>,
         s: u32,
         origin: Instant,
+        ctx: Ctx,
     ) -> Result<Sampled, ShardError> {
         if s > self.inner.config.max_sample_size {
             return Err(ShardError::InvalidRequest("sample size exceeds the configured maximum"));
         }
         let (x, y) = range.unwrap_or((f64::NEG_INFINITY, f64::INFINITY));
         let topo = self.inner.topo.load();
-        let (legs, plan_degraded) = self.inner.plan(&topo, x, y);
+        let (legs, plan_degraded) = self.inner.plan(&topo, x, y, ctx);
         if legs.is_empty() {
             if plan_degraded {
                 // Every overlapping shard is unreachable: report the
                 // degradation rather than misreporting an empty range.
-                return Ok(Sampled { ids: Vec::new(), degraded: true, missing: s as usize });
+                return Ok(Sampled {
+                    ids: Vec::new(),
+                    degraded: true,
+                    missing: s as usize,
+                    trace: ctx.trace,
+                });
             }
             return Err(ShardError::EmptyRange);
         }
         let counts = Inner::split_counts(&legs, s as usize, &mut self.rng)?;
-        let scatter_legs: Vec<(Arc<ShardHandle>, Request)> = legs
+        for (leg, &count) in legs.iter().zip(&counts) {
+            recorder::emit(ctx, Phase::SplitCount, leg.shard_idx as u64, count as u64);
+        }
+        let scatter_legs: Vec<(Arc<ShardHandle>, Request, Ctx)> = legs
             .iter()
             .zip(&counts)
             .filter(|&(_, &count)| count > 0)
@@ -723,12 +824,13 @@ impl ClusterClient {
                         range: Some((x, y)),
                         s: count as u32,
                     },
+                    ctx.shard(leg.shard_idx),
                 )
             })
             .collect();
         let planned: Vec<usize> = counts.into_iter().filter(|&count| count > 0).collect();
         let responses = self.inner.scatter(scatter_legs, origin);
-        let mut out = Sampled { degraded: plan_degraded, ..Sampled::default() };
+        let mut out = Sampled { degraded: plan_degraded, trace: ctx.trace, ..Sampled::default() };
         for (response, &planned_count) in responses.into_iter().zip(&planned) {
             let ids = match response {
                 Some(Response::Samples(ids)) => Some(ids),
@@ -744,12 +846,13 @@ impl ClusterClient {
         range: Option<(f64, f64)>,
         s: u32,
         origin: Instant,
+        ctx: Ctx,
     ) -> Result<Sampled, ShardError> {
         if s > self.inner.config.max_sample_size {
             return Err(ShardError::InvalidRequest("sample size exceeds the configured maximum"));
         }
         let (x, y) = range.unwrap_or((f64::NEG_INFINITY, f64::INFINITY));
-        let counted = self.route_range_count(x, y, origin)?;
+        let counted = self.route_range_count(x, y, origin, ctx)?;
         let want = s as usize;
         if !counted.degraded {
             if counted.count == 0 {
@@ -763,7 +866,8 @@ impl ClusterClient {
             }
         }
         let mut seen = HashSet::with_capacity(want);
-        let mut out = Sampled { degraded: counted.degraded, ..Sampled::default() };
+        let mut out =
+            Sampled { degraded: counted.degraded, trace: ctx.trace, ..Sampled::default() };
         let mut rounds = 0;
         while out.ids.len() < want {
             rounds += 1;
@@ -771,7 +875,7 @@ impl ClusterClient {
                 return Err(ShardError::Query(QueryError::DensityTooLow));
             }
             let need = (want - out.ids.len()) as u32;
-            let draw = self.route_sample_wr(Some((x, y)), need, origin)?;
+            let draw = self.route_sample_wr(Some((x, y)), need, origin, ctx)?;
             if draw.degraded {
                 out.degraded = true;
                 out.missing = want - out.ids.len();
@@ -786,18 +890,25 @@ impl ClusterClient {
         Ok(out)
     }
 
-    fn route_range_count(&self, x: f64, y: f64, origin: Instant) -> Result<Counted, ShardError> {
+    fn route_range_count(
+        &self,
+        x: f64,
+        y: f64,
+        origin: Instant,
+        ctx: Ctx,
+    ) -> Result<Counted, ShardError> {
         let topo = self.inner.topo.load();
-        let legs: Vec<(Arc<ShardHandle>, Request)> = topo
+        let legs: Vec<(Arc<ShardHandle>, Request, Ctx)> = topo
             .overlapping(x, y)
             .map(|idx| {
                 (
                     Arc::clone(&topo.shards[idx]),
                     Request::RangeCount { index: SHARD_INDEX.to_string(), x, y },
+                    ctx.shard(idx),
                 )
             })
             .collect();
-        let mut out = Counted::default();
+        let mut out = Counted { trace: ctx.trace, ..Counted::default() };
         for response in self.inner.scatter(legs, origin) {
             out.absorb(match response {
                 Some(Response::Count(count)) => Some(count),

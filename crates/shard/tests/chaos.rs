@@ -6,8 +6,10 @@
 //! against the live cluster: a violation found under a 24-event random
 //! plan reduces to its 2-event essential core.
 
+use std::collections::BTreeSet;
 use std::time::Duration;
 
+use iqs_obs::{recorder, TraceView};
 use iqs_shard::{FaultMode, HealthPolicy, ShardConfig, ShardedService};
 use iqs_testkit::seed::{derive, suite_seed};
 use iqs_testkit::{FaultKind, FaultPlan, PlanShape, VirtualClock};
@@ -48,38 +50,44 @@ fn cluster(seed: u64) -> (ShardedService, VirtualClock) {
 /// translating each step's active events into injected faults
 /// (Down > Error > Delay when they overlap on one replica). Returns the
 /// steps at which a full-span `range_count` reported degradation.
+/// Injects `plan`'s step into the cluster's fault cells
+/// (Down > Error > Delay when events overlap on one replica).
+fn inject_step(plan: &FaultPlan, faults: &iqs_shard::FaultPlan, step: usize) {
+    faults.clear();
+    for shard in 0..SHAPE.shards {
+        for replica in 0..SHAPE.replicas {
+            let active: Vec<FaultKind> = plan
+                .active_at(step)
+                .into_iter()
+                .filter(|e| e.shard == shard && e.replica == replica)
+                .map(|e| e.kind)
+                .collect();
+            let delay = plan
+                .active_at(step)
+                .into_iter()
+                .filter(|e| e.shard == shard && e.replica == replica)
+                .map(|e| e.delay_ms)
+                .max()
+                .unwrap_or(0);
+            if active.contains(&FaultKind::Down) {
+                faults.kill(shard, replica).expect("valid address");
+            } else if active.contains(&FaultKind::Error) {
+                faults.set(shard, replica, FaultMode::Error).expect("valid address");
+            } else if active.contains(&FaultKind::Delay) {
+                faults
+                    .set(shard, replica, FaultMode::Delay(Duration::from_millis(delay)))
+                    .expect("valid address");
+            }
+        }
+    }
+}
+
 fn degraded_steps(plan: &FaultPlan, svc: &ShardedService, vc: &VirtualClock) -> Vec<usize> {
     let faults = svc.fault_plan();
     let mut client = svc.client();
     let mut degraded = Vec::new();
     for step in 0..SHAPE.steps {
-        faults.clear();
-        for shard in 0..SHAPE.shards {
-            for replica in 0..SHAPE.replicas {
-                let active: Vec<FaultKind> = plan
-                    .active_at(step)
-                    .into_iter()
-                    .filter(|e| e.shard == shard && e.replica == replica)
-                    .map(|e| e.kind)
-                    .collect();
-                let delay = plan
-                    .active_at(step)
-                    .into_iter()
-                    .filter(|e| e.shard == shard && e.replica == replica)
-                    .map(|e| e.delay_ms)
-                    .max()
-                    .unwrap_or(0);
-                if active.contains(&FaultKind::Down) {
-                    faults.kill(shard, replica).expect("valid address");
-                } else if active.contains(&FaultKind::Error) {
-                    faults.set(shard, replica, FaultMode::Error).expect("valid address");
-                } else if active.contains(&FaultKind::Delay) {
-                    faults
-                        .set(shard, replica, FaultMode::Delay(Duration::from_millis(delay)))
-                        .expect("valid address");
-                }
-            }
-        }
+        inject_step(plan, &faults, step);
         // One virtual second per step: any breaker tripped in an earlier
         // step is past its cooldown and will be probed, so lingering
         // breaker state never outlives the schedule that caused it.
@@ -158,4 +166,64 @@ fn cluster_violations_shrink_to_two_events() {
         partial.events.remove(drop);
         assert!(!violates(&partial), "dropping event {drop} must restore availability");
     }
+}
+
+/// With the flight recorder on, every degraded response's trace tells
+/// the whole failure story: the abandoned legs name exactly the plan's
+/// dark shards, each dark shard shows a failover attempt on every
+/// replica, and across the schedule the traces capture breaker trips.
+#[test]
+fn degraded_traces_name_dark_shards_and_failure_events() {
+    let seed = derive(suite_seed(), "chaos_trace");
+    let plan = FaultPlan::generate(seed, &SHAPE);
+    assert!(
+        (0..SHAPE.steps).any(|step| !plan.dark_shards(step, SHAPE.replicas).is_empty()),
+        "seed {seed:#x}: schedule never darkens a shard; derive a different label"
+    );
+    let (svc, vc) = cluster(seed);
+    recorder::install(&vc.handle(), 8192);
+    let faults = svc.fault_plan();
+    let mut client = svc.client();
+    let mut degraded_traces = 0u32;
+    let mut trips_seen = 0usize;
+    for step in 0..SHAPE.steps {
+        inject_step(&plan, &faults, step);
+        vc.advance(Duration::from_secs(1));
+        let dark: BTreeSet<u32> =
+            plan.dark_shards(step, SHAPE.replicas).into_iter().map(|s| s as u32).collect();
+        let drawn = client.sample_wr(None, 32).expect("reads never fail under faults");
+        let records = recorder::drain();
+        let view = TraceView::build(&records, drawn.trace);
+        assert_eq!(drawn.degraded, !dark.is_empty(), "step {step}");
+        assert_eq!(view.is_degraded(), drawn.degraded, "step {step}: trace verdict");
+        if !drawn.degraded {
+            continue;
+        }
+        degraded_traces += 1;
+        // The abandoned legs are exactly the plan's dark shards, and the
+        // lost counts cover the response's missing draws.
+        let lost: BTreeSet<u32> = view.degraded_legs().iter().map(|&(sh, _)| sh).collect();
+        assert_eq!(lost, dark, "step {step}: degraded legs must name the dark shards");
+        let lost_total: u64 = view.degraded_legs().iter().map(|&(_, c)| c).sum();
+        assert_eq!(lost_total, drawn.missing as u64, "step {step}");
+        // Every dark shard was given a fair chance: a failover event per
+        // replica before the leg was abandoned.
+        for &shard in &dark {
+            let attempts: BTreeSet<u32> = view
+                .failovers()
+                .iter()
+                .filter(|&&(sh, _, _)| sh == shard)
+                .map(|&(_, replica, _)| replica)
+                .collect();
+            assert_eq!(
+                attempts.len(),
+                SHAPE.replicas,
+                "step {step}: dark shard {shard} must record a failover on every replica"
+            );
+        }
+        trips_seen += view.breaker_trips().len();
+    }
+    recorder::disable();
+    assert!(degraded_traces > 0, "the schedule must degrade at least one query");
+    assert!(trips_seen > 0, "repeated failures must trip breakers inside traced queries");
 }

@@ -293,9 +293,18 @@ impl TreeSampler {
         // One word per descent step; plan for two levels per sample and
         // let refills top up beyond that.
         let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(2));
+        // Descent-depth accounting accumulates locally and flushes once
+        // per batch (see `iqs_alias::prof`).
+        let mut steps = 0u64;
         for slot in out.iter_mut() {
-            *slot = self.sample_leaf_block(q, &mut block) as u32;
+            let mut u = q;
+            while let Some(alias) = &self.child_alias[u] {
+                u = self.tree.children_of(u)[alias.sample_block(&mut block)] as usize;
+                steps += 1;
+            }
+            *slot = u as u32;
         }
+        iqs_alias::prof::add_tree_descents(steps);
     }
 
     /// Draws `s` independent weighted leaf samples from the subtree of `q`.

@@ -7,11 +7,14 @@
 //! [`iqs_spatial`], [`iqs_sketch`], [`iqs_em`], [`iqs_stats`]) for the
 //! building blocks. [`iqs_testkit`] is the correctness-tooling layer
 //! (virtual clock, statistical gates, fault plans, replay oracles) the
-//! tier test suites are built on.
+//! tier test suites are built on, and [`iqs_obs`] is the observability
+//! layer (flight recorder, trace reconstruction, cost profiling,
+//! exporters) threaded through the serve and shard tiers.
 
 pub use iqs_alias as alias;
 pub use iqs_core as core;
 pub use iqs_em as em;
+pub use iqs_obs as obs;
 pub use iqs_serve as serve;
 pub use iqs_shard as shard;
 pub use iqs_sketch as sketch;

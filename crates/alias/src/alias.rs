@@ -164,6 +164,37 @@ impl AliasTable {
         }
     }
 
+    /// Vectorized first half of [`Self::decode`] over a whole word
+    /// buffer: computes every draw's column and coin before any table
+    /// row is touched. The loop body is branch-free integer/float
+    /// arithmetic on three flat slices, which the compiler
+    /// auto-vectorizes to SIMD width; separating it from the gather
+    /// phase is what lets the pipelined kernels overlap the dependent
+    /// row loads (see [`crate::pipeline`]).
+    ///
+    /// # Panics
+    /// If `cols` or `coins` is shorter than `words`.
+    #[inline]
+    pub fn decode_many(&self, words: &[u64], cols: &mut [u32], coins: &mut [f64]) {
+        let n = self.prob.len() as u64; // n ≤ u32::MAX, enforced by `new`
+        let cols = &mut cols[..words.len()];
+        let coins = &mut coins[..words.len()];
+        for ((&z, col), coin) in words.iter().zip(cols.iter_mut()).zip(coins.iter_mut()) {
+            *col = (((z >> 32) * n) >> 32) as u32;
+            *coin = (z & 0xFFFF_FFFF) as f64 * (1.0 / 4_294_967_296.0);
+        }
+    }
+
+    /// Hints the cache hierarchy to pull column `col`'s urn row
+    /// (`prob[col]` and `alias[col]`) — issued `K` draws ahead of the
+    /// [`Self::resolve`] that will read it. Out-of-range columns are
+    /// ignored (see [`crate::prefetch`]).
+    #[inline(always)]
+    pub fn prefetch_row(&self, col: usize) {
+        crate::prefetch::slice_element(&self.prob, col);
+        crate::prefetch::slice_element(&self.alias, col);
+    }
+
     /// Draws one index in `O(1)` worst-case time, consuming a single
     /// 64-bit word from `rng` (see [`Self::decode`]).
     #[inline]
@@ -186,14 +217,47 @@ impl AliasTable {
     /// Indices fit in `u32` because construction caps `n` at `u32::MAX`.
     pub fn sample_into<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut [u32]) {
         let mut block = BlockRng64::with_budget(rng, out.len());
+        self.sample_block_into(&mut block, 0, out);
+    }
+
+    /// The pipelined batch kernel: fills `out` with `base + index` for
+    /// independent weighted indices drawn from `block`'s word stream.
+    ///
+    /// This is the shared fast path behind [`Self::sample_into`] *and*
+    /// the composite structures' per-piece draws (Lemma 2's chosen
+    /// range, Theorem 3's boundary pieces), which pass their element
+    /// offset as `base` instead of translating in a second pass. Each
+    /// [`crate::pipeline::TILE`]-draw tile runs the three-phase shape
+    /// documented in [`crate::pipeline`]: bulk word fill (sequence
+    /// order, so draws stay bit-identical to the sequential path),
+    /// vectorized [`Self::decode_many`], then the `K`-wide interleaved
+    /// gather with explicit row prefetch.
+    pub fn sample_block_into<R: RngCore + ?Sized>(
+        &self,
+        block: &mut BlockRng64<'_, R>,
+        base: u32,
+        out: &mut [u32],
+    ) {
+        let mut words = [0u64; crate::pipeline::TILE];
+        let mut cols = [0u32; crate::pipeline::TILE];
+        let mut coins = [0f64; crate::pipeline::TILE];
         // Redirect stats accumulate in a register and flush once per
-        // batch (see `crate::prof`), so the decode loop stays tight.
+        // batch (see `crate::prof`), so the gather loop stays tight.
         let mut redirects = 0u64;
-        for slot in out.iter_mut() {
-            let (col, coin) = self.split_word(block.next_word());
-            let idx = self.resolve(col, coin);
-            redirects += u64::from(idx != col);
-            *slot = idx as u32;
+        for tile in out.chunks_mut(crate::pipeline::TILE) {
+            let m = tile.len();
+            block.fill_words(&mut words[..m]);
+            self.decode_many(&words[..m], &mut cols, &mut coins);
+            crate::pipeline::interleave(
+                m,
+                |i| cols[i],
+                |&col| self.prefetch_row(col as usize),
+                |i, col| {
+                    let idx = self.resolve(col as usize, coins[i]);
+                    redirects += u64::from(idx != col as usize);
+                    tile[i] = base + idx as u32;
+                },
+            );
         }
         crate::prof::add_alias_redirects(redirects);
     }
@@ -368,6 +432,51 @@ mod tests {
         let mut seq = StdRng::seed_from_u64(12);
         let direct: Vec<usize> = (0..64).map(|_| t.decode(seq.next_u64())).collect();
         assert_eq!(via_block, direct);
+    }
+
+    #[test]
+    fn decode_many_matches_split_word() {
+        let t = AliasTable::new(&[1.0, 2.0, 3.0, 4.0, 5.5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let words: Vec<u64> = (0..300).map(|_| rand::RngCore::next_u64(&mut rng)).collect();
+        let mut cols = vec![0u32; 300];
+        let mut coins = vec![0f64; 300];
+        t.decode_many(&words, &mut cols, &mut coins);
+        for (i, &z) in words.iter().enumerate() {
+            let (col, coin) = t.split_word(z);
+            assert_eq!(cols[i] as usize, col);
+            assert_eq!(coins[i], coin);
+        }
+    }
+
+    #[test]
+    fn sample_block_into_applies_base_offset() {
+        let t = AliasTable::new(&[1.0, 2.0, 3.0]).unwrap();
+        let mut a = StdRng::seed_from_u64(63);
+        let mut with_base = vec![0u32; 50];
+        {
+            let mut block = crate::BlockRng64::with_budget(&mut a, 50);
+            t.sample_block_into(&mut block, 1000, &mut with_base);
+        }
+        let mut b = StdRng::seed_from_u64(63);
+        let mut plain = vec![0u32; 50];
+        t.sample_into(&mut b, &mut plain);
+        let shifted: Vec<u32> = plain.iter().map(|&x| x + 1000).collect();
+        assert_eq!(with_base, shifted);
+    }
+
+    #[test]
+    fn pipelined_batch_matches_sequential_at_tile_boundaries() {
+        let t = AliasTable::new(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]).unwrap();
+        let tile = crate::pipeline::TILE;
+        for s in [tile - 1, tile, tile + 1, 2 * tile + 17] {
+            let mut a = StdRng::seed_from_u64(s as u64);
+            let mut batch = vec![0u32; s];
+            t.sample_into(&mut a, &mut batch);
+            let mut b = StdRng::seed_from_u64(s as u64);
+            let seq: Vec<u32> = (0..s).map(|_| t.sample(&mut b) as u32).collect();
+            assert_eq!(batch, seq, "s = {s}");
+        }
     }
 
     #[test]

@@ -97,6 +97,42 @@ impl<'a, R: RngCore + ?Sized> BlockRng64<'a, R> {
         }
     }
 
+    /// Copies the next `dst.len()` words of the stream into `dst` — the
+    /// pre-generation step of the software-pipelined batch kernels
+    /// (see [`crate::pipeline`]). Buffered words drain first, then the
+    /// remainder is fetched from the source in full passes, so the words
+    /// land in `dst` in exactly the order [`Self::next_word`] would have
+    /// returned them. Unlike the budgeted `next_word` refill path, this
+    /// fetches *exactly* what the caller asked for — no over-buffering,
+    /// no refund needed.
+    pub fn fill_words(&mut self, dst: &mut [u64]) {
+        let buffered = (self.len - self.pos).min(dst.len());
+        dst[..buffered].copy_from_slice(&self.buf[self.pos..self.pos + buffered]);
+        self.pos += buffered;
+        let mut rest = &mut dst[buffered..];
+        while !rest.is_empty() {
+            let take = rest.len().min(BLOCK_WORDS);
+            self.planned = self.planned.saturating_sub(take);
+            crate::prof::add_rng_refill(take as u64);
+            let mut bytes = [0u8; BLOCK_WORDS * 8];
+            self.src.fill_bytes(&mut bytes[..take * 8]);
+            for (w, chunk) in rest[..take].iter_mut().zip(bytes[..take * 8].chunks_exact(8)) {
+                *w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            rest = &mut rest[take..];
+        }
+    }
+
+    /// Returns the next word **without consuming it**, if one is
+    /// buffered. The variable-depth descent kernels use this to resolve
+    /// the (cache-hot) first step of the *next* draw early and prefetch
+    /// its cold second-level node — a bounded lookahead that never
+    /// perturbs the stream, so replay equivalence is untouched.
+    #[inline(always)]
+    pub fn peek_word(&self) -> Option<u64> {
+        (self.pos < self.len).then(|| self.buf[self.pos])
+    }
+
     /// Returns the next uniform 64-bit word.
     #[inline(always)]
     pub fn next_word(&mut self) -> u64 {
@@ -146,6 +182,17 @@ impl<'a, R: RngCore + ?Sized> BlockRng64<'a, R> {
         }
         self.len = take;
         self.pos = 0;
+    }
+}
+
+impl<R: RngCore + ?Sized> Drop for BlockRng64<'_, R> {
+    fn drop(&mut self) {
+        // Refills bill every fetched word at fetch time (cheap: one add
+        // per cold refill). Words still buffered when the block dies were
+        // fetched but never consumed by any draw — refund them so
+        // `prof::rng_words` reports consumption, not prefetch overshoot
+        // (previously over-counted by up to one block per batch).
+        crate::prof::sub_rng_words((self.len - self.pos) as u64);
     }
 }
 
@@ -221,6 +268,64 @@ mod tests {
         let mut seq = StdRng::seed_from_u64(11);
         let want: Vec<u64> = (0..300).map(|_| seq.next_u64()).collect();
         assert_eq!(draws, want);
+    }
+
+    #[test]
+    fn fill_words_continues_the_stream_exactly() {
+        // Mixed access: a few next_word draws (leaving a partially
+        // consumed buffer), a bulk fill, then more single draws — the
+        // concatenation must equal the raw sequential stream.
+        let mut seq = StdRng::seed_from_u64(77);
+        let want: Vec<u64> = (0..500).map(|_| seq.next_u64()).collect();
+
+        let mut src = StdRng::seed_from_u64(77);
+        let mut block = BlockRng64::with_budget(&mut src, 500);
+        let mut got = Vec::with_capacity(500);
+        for _ in 0..5 {
+            got.push(block.next_word());
+        }
+        let mut bulk = vec![0u64; 300];
+        block.fill_words(&mut bulk);
+        got.extend_from_slice(&bulk);
+        // A second fill larger than one block, then drain the tail.
+        let mut bulk2 = vec![0u64; 130];
+        block.fill_words(&mut bulk2);
+        got.extend_from_slice(&bulk2);
+        while got.len() < 500 {
+            got.push(block.next_word());
+        }
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn fill_words_bills_exactly_what_it_fetches() {
+        let before = crate::prof::read();
+        let mut src = StdRng::seed_from_u64(3);
+        {
+            let mut block = BlockRng64::with_budget(&mut src, 200);
+            let mut words = vec![0u64; 200];
+            block.fill_words(&mut words);
+        }
+        let delta = crate::prof::read().minus(&before);
+        assert_eq!(delta.rng_words, 200, "bulk fetch bills per word: {delta:?}");
+        assert_eq!(delta.rng_refills, 200u64.div_ceil(BLOCK_WORDS as u64));
+    }
+
+    #[test]
+    fn peek_word_is_non_consuming() {
+        let mut src = StdRng::seed_from_u64(13);
+        let mut block = BlockRng64::new(&mut src);
+        assert_eq!(block.peek_word(), None, "empty buffer has nothing to peek");
+        let first = block.next_word();
+        let peeked = block.peek_word().expect("refilled buffer");
+        let second = block.next_word();
+        assert_eq!(peeked, second);
+        assert_ne!(first, second); // sanity: stream advanced
+                                   // Peek at the very end of the buffer: consume the rest.
+        while block.peek_word().is_some() {
+            block.next_word();
+        }
+        assert_eq!(block.peek_word(), None);
     }
 
     #[test]

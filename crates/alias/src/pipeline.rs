@@ -1,0 +1,172 @@
+//! The shared software-pipelined batch kernel.
+//!
+//! E16 measured why batching bought only 1.1–1.4× instead of 3×: the
+//! dominant per-sample cost is a *dependent random load* (an alias row,
+//! a tree node) whose address comes out of the just-decoded RNG word,
+//! and the sequential and batched loops both serialize on it — one
+//! outstanding miss at a time. This module restructures every
+//! fixed-words-per-draw batch loop in the workspace into the same
+//! three-phase shape so that `K` independent draws keep their loads in
+//! flight simultaneously:
+//!
+//! 1. **Pre-generate** — the batch's RNG words are pulled from
+//!    [`crate::BlockRng64`] in sequence order into a tile buffer
+//!    ([`BlockRng64::fill_words`](crate::BlockRng64::fill_words)), and
+//!    word `wpd·i + j` is assigned to draw `i`'s `j`-th random decision
+//!    — exactly the assignment the sequential path makes. Execution
+//!    order below is therefore free to interleave draws while the drawn
+//!    *sequence* stays bit-identical, which is what lets the existing
+//!    exact-replay proptests and `testkit::oracle::batch_replays_sequential`
+//!    act as the regression oracle for this whole rewrite.
+//! 2. **Decode** — cheap arithmetic only (widening-multiply column
+//!    selection, coin extraction; see `AliasTable::decode_many`),
+//!    touching no sampler memory, so it vectorizes.
+//! 3. **Gather** — a `K`-wide rotating window ([`interleave`]): while
+//!    draw `i`'s dependent load completes, the explicit prefetch for
+//!    draw `i + K`'s row is already in the memory system.
+//!
+//! Kernels that consume a *variable* number of words per draw (tree
+//! descents, whose depth is data-dependent) cannot pre-assign words to
+//! draws without running the draw — for those, only bounded lookahead
+//! tricks are available (see `TreeSampler::sample_leaves_into` and the
+//! E20 analysis in EXPERIMENTS.md).
+
+/// Window width `K`: how many draws are kept in flight. Tuned on the
+/// E20 K-sweep (see EXPERIMENTS.md): 4 leaves latency on the table, 16
+/// adds register pressure and evicts its own prefetches on small
+/// tables; 8 is the plateau. Matches typical L1 miss-level parallelism
+/// (10–12 fill buffers) with headroom for the demand loads.
+pub const WINDOW: usize = 8;
+
+/// Draws per tile: word tiles live on the stack (a few KiB) and stay
+/// L1-resident through decode + gather. 256 draws keeps the largest
+/// tile (3 words/draw in the Theorem-3 middle kernel) at 6 KiB while
+/// making the per-tile window refill (see [`interleave`]'s stall
+/// accounting) a ≤3% effect.
+pub const TILE: usize = 256;
+
+/// Runs one tile of `n` draws through the `K`-wide rotating window.
+///
+/// * `decode(i)` — stage-2 arithmetic for draw `i`: reads pre-generated
+///   words and cheap (cache-hot) side tables only, returns the draw's
+///   gather descriptor (column, coin, table id…).
+/// * `prefetch(&d)` — issues the explicit prefetch(es) for the
+///   descriptor's dependent row.
+/// * `finish(i, d)` — performs the dependent load(s) and writes the
+///   sample; runs `K` draws behind `decode`/`prefetch`.
+///
+/// Draw `i`'s descriptor is decoded and prefetched when draw `i - K`
+/// finishes, so every finish executes with its row prefetched `K` draws
+/// earlier. The first `min(n, K)` draws enter before the window is full
+/// (their prefetch distance ramps from 0 to `K`); they are what the
+/// `window_stalls` profiling counter counts (see [`crate::prof`]).
+/// Flushes `n` prefetches and `min(n, K)` stalls to the thread-local
+/// profile in one add.
+#[inline]
+pub fn interleave<T, D, P, F>(n: usize, mut decode: D, prefetch: P, mut finish: F)
+where
+    T: Copy + Default,
+    D: FnMut(usize) -> T,
+    P: Fn(&T),
+    F: FnMut(usize, T),
+{
+    if n == 0 {
+        return;
+    }
+    let k = WINDOW.min(n);
+    let mut ring = [T::default(); WINDOW];
+    // Prologue: fill the window.
+    for (i, slot) in ring.iter_mut().enumerate().take(k) {
+        let d = decode(i);
+        prefetch(&d);
+        *slot = d;
+    }
+    // Steady state: decode + prefetch draw i + K, finish draw i. Draw
+    // i's descriptor is read out *before* draw i + K refills the slot
+    // (with k = WINDOW they share `i % WINDOW`).
+    for i in 0..n {
+        let cur = ring[i % WINDOW];
+        let j = i + k;
+        if j < n {
+            let d = decode(j);
+            prefetch(&d);
+            ring[j % WINDOW] = d;
+        }
+        finish(i, cur);
+    }
+    crate::prof::add_pipeline(n as u64, k as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_visits_every_draw_once_in_order() {
+        let inputs: Vec<u32> = (0..100).collect();
+        let mut decoded = Vec::new();
+        let mut finished = Vec::new();
+        let mut out = vec![0u32; 100];
+        interleave(
+            100,
+            |i| {
+                decoded.push(i);
+                inputs[i] * 3
+            },
+            |_d| {},
+            |i, d| {
+                finished.push(i);
+                out[i] = d;
+            },
+        );
+        // Every draw decoded exactly once, finished exactly once, in order.
+        assert_eq!(finished, (0..100).collect::<Vec<_>>());
+        let mut sorted = decoded.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn decode_runs_window_ahead_of_finish() {
+        // When draw i finishes, draws up to i + K must already be decoded.
+        use std::cell::Cell;
+        let max_decoded = Cell::new(0usize);
+        let ok = Cell::new(true);
+        interleave::<usize, _, _, _>(
+            64,
+            |i| {
+                max_decoded.set(max_decoded.get().max(i));
+                i
+            },
+            |_| {},
+            |i, _| {
+                ok.set(ok.get() && max_decoded.get() >= (i + WINDOW).min(63));
+            },
+        );
+        assert!(ok.get(), "finish(i) ran before decode(i + K)");
+    }
+
+    #[test]
+    fn short_batches_degrade_gracefully() {
+        for n in [0usize, 1, 2, WINDOW - 1, WINDOW, WINDOW + 1] {
+            let mut out = vec![u32::MAX; n];
+            interleave(n, |i| i as u32, |_| {}, |i, d| out[i] = d);
+            assert_eq!(out, (0..n as u32).collect::<Vec<_>>(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn pipeline_counters_flush_once_per_tile() {
+        let before = crate::prof::read();
+        interleave::<u32, _, _, _>(100, |i| i as u32, |_| {}, |_, _| {});
+        let delta = crate::prof::read().minus(&before);
+        assert_eq!(delta.prefetches, 100);
+        assert_eq!(delta.window_stalls, WINDOW as u64);
+        let before = crate::prof::read();
+        interleave::<u32, _, _, _>(3, |i| i as u32, |_| {}, |_, _| {});
+        let delta = crate::prof::read().minus(&before);
+        assert_eq!(delta.prefetches, 3);
+        assert_eq!(delta.window_stalls, 3, "short batch: whole batch is ramp");
+    }
+}

@@ -21,10 +21,23 @@ use std::cell::Cell;
 /// Deltas between two snapshots attribute cost to the work in between.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Cost {
-    /// 64-bit words fetched from the underlying RNG by block refills.
+    /// 64-bit words *consumed* from the underlying RNG. Refills bill at
+    /// fetch time; a [`crate::BlockRng64`] refunds its unconsumed
+    /// buffered words on drop, so a partially-consumed buffer at batch
+    /// end does not inflate this counter (it used to over-count by up
+    /// to one block per batch).
     pub rng_words: u64,
     /// Block-refill events (each one `fill_bytes` pass on the source).
     pub rng_refills: u64,
+    /// Explicit prefetches issued by the software-pipelined batch
+    /// kernels (one per draw entering the rotating window; see
+    /// [`crate::pipeline::interleave`]).
+    pub prefetches: u64,
+    /// Draws that entered the pipeline before its window was full — the
+    /// per-tile ramp during which prefetch distance is still building
+    /// (plus entire batches shorter than the window). High
+    /// stall-to-prefetch ratios mean batches too small to pipeline.
+    pub window_stalls: u64,
     /// Alias draws that resolved through the alias redirect rather than
     /// the directly chosen column.
     pub alias_redirects: u64,
@@ -42,6 +55,8 @@ impl Cost {
         Cost {
             rng_words: self.rng_words.saturating_sub(earlier.rng_words),
             rng_refills: self.rng_refills.saturating_sub(earlier.rng_refills),
+            prefetches: self.prefetches.saturating_sub(earlier.prefetches),
+            window_stalls: self.window_stalls.saturating_sub(earlier.window_stalls),
             alias_redirects: self.alias_redirects.saturating_sub(earlier.alias_redirects),
             tree_descents: self.tree_descents.saturating_sub(earlier.tree_descents),
             union_rejects: self.union_rejects.saturating_sub(earlier.union_rejects),
@@ -58,6 +73,8 @@ impl Cost {
 thread_local! {
     static RNG_WORDS: Cell<u64> = const { Cell::new(0) };
     static RNG_REFILLS: Cell<u64> = const { Cell::new(0) };
+    static PREFETCHES: Cell<u64> = const { Cell::new(0) };
+    static WINDOW_STALLS: Cell<u64> = const { Cell::new(0) };
     static ALIAS_REDIRECTS: Cell<u64> = const { Cell::new(0) };
     static TREE_DESCENTS: Cell<u64> = const { Cell::new(0) };
     static UNION_REJECTS: Cell<u64> = const { Cell::new(0) };
@@ -76,6 +93,28 @@ fn bump(cell: &'static std::thread::LocalKey<Cell<u64>>, n: u64) {
 pub fn add_rng_refill(words: u64) {
     RNG_WORDS.with(|c| c.set(c.get().wrapping_add(words)));
     RNG_REFILLS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Refunds `words` previously billed by [`add_rng_refill`] that were
+/// buffered but never consumed. Called from [`crate::BlockRng64`]'s
+/// drop only, so `rng_words` settles to the *consumed* word count once
+/// the block goes out of scope. (A delta read while a block is still
+/// alive may transiently include its unconsumed tail.)
+#[inline]
+pub fn sub_rng_words(words: u64) {
+    if words > 0 {
+        RNG_WORDS.with(|c| c.set(c.get().wrapping_sub(words)));
+    }
+}
+
+/// Accounts one tile through the pipelined batch kernel: `prefetches`
+/// draws entered the rotating window (one explicit prefetch each) and
+/// `stalls` of them did so before the window was full. Flushed once per
+/// tile by [`crate::pipeline::interleave`].
+#[inline]
+pub fn add_pipeline(prefetches: u64, stalls: u64) {
+    bump(&PREFETCHES, prefetches);
+    bump(&WINDOW_STALLS, stalls);
 }
 
 /// Accounts `n` alias draws that resolved through the redirect column.
@@ -106,6 +145,8 @@ pub fn read() -> Cost {
     Cost {
         rng_words: RNG_WORDS.with(Cell::get),
         rng_refills: RNG_REFILLS.with(Cell::get),
+        prefetches: PREFETCHES.with(Cell::get),
+        window_stalls: WINDOW_STALLS.with(Cell::get),
         alias_redirects: ALIAS_REDIRECTS.with(Cell::get),
         tree_descents: TREE_DESCENTS.with(Cell::get),
         union_rejects: UNION_REJECTS.with(Cell::get),
@@ -145,6 +186,24 @@ mod tests {
         let delta = read().minus(&before);
         assert!(delta.alias_redirects > 0, "skewed table must redirect: {delta:?}");
         assert!(delta.alias_redirects <= 512);
+    }
+
+    #[test]
+    fn dropped_blocks_refund_unconsumed_words() {
+        // A budgeted block that over-fetches (MIN_REFILL clamp) must not
+        // bill the unused tail once dropped: 3 draws from a budget-3
+        // block fetch MIN_REFILL = 8 words but consume 3.
+        let before = read();
+        let mut rng = StdRng::seed_from_u64(17);
+        {
+            let mut block = BlockRng64::with_budget(&mut rng, 3);
+            for _ in 0..3 {
+                block.next_word();
+            }
+        }
+        let delta = read().minus(&before);
+        assert_eq!(delta.rng_words, 3, "only consumed words billed: {delta:?}");
+        assert_eq!(delta.rng_refills, 1);
     }
 
     #[test]

@@ -1,12 +1,60 @@
 //! Property tests for the alias-method primitives.
 
-use iqs_alias::{split, validate_weights, wor, AliasTable, CdfSampler, DynamicAlias};
+use iqs_alias::pipeline::{TILE, WINDOW};
+use iqs_alias::{split, validate_weights, wor, AliasTable, BlockRng64, CdfSampler, DynamicAlias};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 proptest! {
+    /// The pipelined `sample_into` replays the sequential single-draw
+    /// path exactly, at batch sizes straddling the window (`s = K ± d`)
+    /// and the tile seam — where ring-buffer and pre-generation bugs
+    /// would surface as reordered or substituted draws.
+    #[test]
+    fn pipelined_sample_into_replays_sequential_at_window_boundaries(
+        weights in pvec(0.01f64..100.0, 1..60),
+        seed in 0u64..500,
+        delta in 0usize..=(2 * WINDOW),
+        big in TILE.saturating_sub(WINDOW)..(TILE + WINDOW),
+    ) {
+        let t = AliasTable::new(&weights).unwrap();
+        for s in [delta.max(1), big] {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut batch = vec![0u32; s];
+            t.sample_into(&mut a, &mut batch);
+            let mut b = StdRng::seed_from_u64(seed);
+            let seq: Vec<u32> = (0..s).map(|_| t.sample(&mut b) as u32).collect();
+            prop_assert_eq!(batch, seq, "s = {}", s);
+        }
+    }
+
+    /// Refill accounting settles to *consumed* words: once its block is
+    /// dropped, a batch of `s` single-word draws has billed exactly `s`
+    /// to `prof::rng_words` regardless of refill granularity, budget
+    /// overshoot, or how the draws interleave `next_word`/`fill_words`.
+    #[test]
+    fn rng_word_accounting_bills_exactly_consumed_words(
+        s in 1usize..600,
+        budget in 0usize..700,
+        seed in 0u64..200,
+    ) {
+        let before = iqs_alias::prof::read();
+        let mut rng = StdRng::seed_from_u64(seed);
+        {
+            let mut block = BlockRng64::with_budget(&mut rng, budget);
+            // Mix the two consumption APIs: half via bulk fill, half via
+            // single draws.
+            let mut bulk = vec![0u64; s / 2];
+            block.fill_words(&mut bulk);
+            for _ in 0..(s - s / 2) {
+                block.next_word();
+            }
+        }
+        let delta = iqs_alias::prof::read().minus(&before);
+        prop_assert_eq!(delta.rng_words, s as u64);
+    }
     /// validate_weights accepts exactly the finite-positive vectors.
     #[test]
     fn validation_is_sound(weights in pvec(-10.0f64..10.0, 0..50)) {

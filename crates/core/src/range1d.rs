@@ -224,9 +224,37 @@ impl TreeSamplingRange {
         self.tree.leaf_range(u).0
     }
 
+    /// `descend_block` with the dual-child next-level prefetch: while
+    /// this level's coin is decoded, both grandchild pairs are already
+    /// in flight — one of them is the next iteration's dependent load.
+    /// A descent consumes a *data-dependent* number of words, so the
+    /// word pre-assignment that pipelines the fixed-words-per-draw
+    /// kernels does not apply (see `iqs_alias::pipeline`); bounded
+    /// lookahead inside (and across, see [`Self::sample_wr_batch`])
+    /// single draws is the available lever.
+    fn descend_block_prefetching<R: RngCore + ?Sized>(
+        &self,
+        mut u: u32,
+        block: &mut BlockRng64<'_, R>,
+    ) -> usize {
+        while !self.tree.is_leaf(u) {
+            let (l, r) = self.tree.children(u);
+            self.tree.prefetch_children(l);
+            self.tree.prefetch_children(r);
+            let wl = self.tree.node_weight(l);
+            let wr = self.tree.node_weight(r);
+            u = if block.u01() * (wl + wr) < wl { l } else { r };
+        }
+        self.tree.leaf_range(u).0
+    }
+
     /// Monomorphizing batch query: fills `out` with independent weighted
     /// samples from `[x, y]`, drawing randomness in blocks. See the
     /// [`RangeSampler`] *Dual sampling API* notes.
+    ///
+    /// Prefetch hints never consume randomness, so this returns samples
+    /// bit-identical to [`Self::sample_wr_batch_reference`] (and to the
+    /// sequential path).
     ///
     /// # Errors
     /// [`QueryError::EmptyRange`] when the interval holds no elements.
@@ -246,6 +274,43 @@ impl TreeSamplingRange {
         let chooser = AliasTable::new(&weights).expect("positive node weights");
         // One word picks the canonical node, one per descent level after
         // that; plan for the tree depth and let refills top up if short.
+        let depth = usize::BITS as usize - self.keys.len().leading_zeros() as usize;
+        let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(depth + 1));
+        for slot in out.iter_mut() {
+            let root = canon[chooser.sample_block(&mut block)];
+            *slot = self.descend_block_prefetching(root, &mut block) as u32;
+            // Draw-boundary peek: the next buffered word *is* the next
+            // draw's chooser word. Resolving it through the (query-local,
+            // cache-hot) chooser costs a few cycles and lets the next
+            // descent's first dependent load start during this draw's
+            // epilogue. Peeking never consumes the word.
+            if let Some(w) = block.peek_word() {
+                self.tree.prefetch_children(canon[chooser.decode(w)]);
+            }
+        }
+        Ok(())
+    }
+
+    /// The pre-PR6 batch kernel (no prefetch hints), retained verbatim as
+    /// the E20 baseline and as a differential-test oracle for
+    /// [`Self::sample_wr_batch`].
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when the interval holds no elements.
+    pub fn sample_wr_batch_reference<R: RngCore + ?Sized>(
+        &self,
+        x: f64,
+        y: f64,
+        rng: &mut R,
+        out: &mut [u32],
+    ) -> Result<(), QueryError> {
+        let (a, b) = self.rank_range(x, y);
+        let canon = self.tree.canonical_nodes(a, b);
+        if canon.is_empty() {
+            return Err(QueryError::EmptyRange);
+        }
+        let weights: Vec<f64> = canon.iter().map(|&u| self.tree.node_weight(u)).collect();
+        let chooser = AliasTable::new(&weights).expect("positive node weights");
         let depth = usize::BITS as usize - self.keys.len().leading_zeros() as usize;
         let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(depth + 1));
         for slot in out.iter_mut() {
@@ -351,6 +416,31 @@ impl AliasAugmentedRange {
         } else {
             Err(QueryError::EmptyRange)
         }
+    }
+
+    /// The pre-PR6 batch kernel — one serialized draw at a time through
+    /// `PreparedRange::draw_block` — retained as the E20 baseline and as
+    /// a differential-test oracle for [`Self::sample_wr_batch`] (both
+    /// must return bit-identical samples).
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when the interval holds no elements.
+    pub fn sample_wr_batch_reference<R: RngCore + ?Sized>(
+        &self,
+        x: f64,
+        y: f64,
+        rng: &mut R,
+        out: &mut [u32],
+    ) -> Result<(), QueryError> {
+        let (a, b) = self.rank_range(x, y);
+        let Some(ctx) = self.engine.prepare(a, b) else {
+            return Err(QueryError::EmptyRange);
+        };
+        let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(2));
+        for slot in out.iter_mut() {
+            *slot = ctx.draw_block(&mut block) as u32;
+        }
+        Ok(())
     }
 }
 
@@ -498,10 +588,17 @@ impl ChunkedRange {
 
     /// Monomorphizing batch query: fills `out` with independent weighted
     /// samples from `[x, y]`, drawing randomness in blocks and resolving
-    /// the chunk-aligned middle *in place* (chunk picks are written into
-    /// `out` and then rewritten as ranks), so the whole query performs no
-    /// sample-sized allocation. See the [`RangeSampler`] *Dual sampling
-    /// API* notes.
+    /// the chunk-aligned middle *in place*, so the whole query performs
+    /// no sample-sized allocation. See the [`RangeSampler`] *Dual
+    /// sampling API* notes.
+    ///
+    /// Every phase runs the pipelined three-phase shape of
+    /// `iqs_alias::pipeline` — bulk word fill in sequence order,
+    /// vectorized decode, `K`-wide interleaved gather with explicit
+    /// prefetch — and every word keeps the sequential path's
+    /// word-to-decision assignment, so the samples stay bit-identical to
+    /// [`Self::sample_wr_batch_reference`] and to [`Self::sample_wr`]
+    /// (`RangeSampler::sample_wr`) under a word-replaying generator.
     ///
     /// # Errors
     /// [`QueryError::EmptyRange`] when the interval holds no elements.
@@ -512,6 +609,7 @@ impl ChunkedRange {
         rng: &mut R,
         out: &mut [u32],
     ) -> Result<(), QueryError> {
+        const TILE: usize = iqs_alias::pipeline::TILE;
         let s = out.len();
         let (ra, rb) = self.rank_range(x, y);
         if ra >= rb {
@@ -525,14 +623,135 @@ impl ChunkedRange {
 
         if ca == cl {
             let table = AliasTable::new(&self.weights[ra..rb]).expect("positive weights");
+            table.sample_block_into(&mut block, ra as u32, out);
+            return Ok(());
+        }
+
+        // Figure 2's three-way decomposition, identical to the sequential
+        // path (see `sample_wr`) but writing into disjoint sub-slices.
+        let b1 = (ca + 1) * self.chunk;
+        let b3 = cl * self.chunk;
+        let w1: f64 = self.weights[ra..b1].iter().sum();
+        let w2 = self.fenwick.range_sum(ca + 1, cl);
+        let w3: f64 = self.weights[b3..rb].iter().sum();
+
+        // Split phase: the batch's first `s` words are its split coins
+        // (same words, same order, same `u01` arithmetic as the
+        // sequential path), pulled in bulk and classified with no table
+        // accesses at all.
+        let total = w1 + w2 + w3;
+        let (mut s1, mut s3) = (0usize, 0usize);
+        {
+            let mut coins = [0u64; TILE];
+            let mut left = s;
+            while left > 0 {
+                let m = left.min(TILE);
+                block.fill_words(&mut coins[..m]);
+                for &w in &coins[..m] {
+                    let t = (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * total;
+                    if t < w1 {
+                        s1 += 1;
+                    } else if t >= w1 + w2 {
+                        s3 += 1;
+                    }
+                }
+                left -= m;
+            }
+        }
+
+        let (part1, rest) = out.split_at_mut(s1);
+        let (part3, part2) = rest.split_at_mut(s3);
+        if !part1.is_empty() {
+            let table = AliasTable::new(&self.weights[ra..b1]).expect("positive weights");
+            table.sample_block_into(&mut block, ra as u32, part1);
+        }
+        if !part3.is_empty() {
+            let table = AliasTable::new(&self.weights[b3..rb]).expect("positive weights");
+            table.sample_block_into(&mut block, b3 as u32, part3);
+        }
+        if !part2.is_empty() {
+            // Chunk-aligned middle. The sequential path interleaves each
+            // draw's T_chunk pick word(s) with its intra-chunk word, so a
+            // tile's words arrive strided: draw `i` owns words
+            // `wpd·i .. wpd·(i+1)`, the last being the intra-chunk word.
+            // De-striding into per-stage buffers keeps the assignment
+            // while letting each stage run as its own pipelined pass.
+            let ctx = self.tchunk.prepare(ca + 1, cl).expect("w2 > 0 implies non-empty middle");
+            let pick_wpd = ctx.words_per_draw();
+            let wpd = pick_wpd + 1;
+            let mut words = [0u64; 3 * TILE];
+            let mut pick_words = [0u64; 2 * TILE];
+            let mut chunk_words = [0u64; TILE];
+            let mut picks = [0u32; TILE];
+            for tile in part2.chunks_mut(TILE) {
+                let m = tile.len();
+                block.fill_words(&mut words[..wpd * m]);
+                for i in 0..m {
+                    for j in 0..pick_wpd {
+                        pick_words[pick_wpd * i + j] = words[wpd * i + j];
+                    }
+                    chunk_words[i] = words[wpd * i + pick_wpd];
+                }
+                // Pass 1: resolve every chunk pick through T_chunk.
+                ctx.draw_words_into(&pick_words[..pick_wpd * m], &mut picks[..m]);
+                // Header sweep: each picked chunk table's header (Vec
+                // pointers + length) is itself a dependent load; warm
+                // them all before the gather pass needs them.
+                for &k in &picks[..m] {
+                    iqs_alias::prefetch::slice_element(&self.chunk_alias, k as usize);
+                }
+                // Pass 2: intra-chunk resolution, prefetching chunk
+                // `k`'s urn row `K` draws ahead.
+                iqs_alias::pipeline::interleave(
+                    m,
+                    |i| {
+                        let k = picks[i] as usize;
+                        let (col, coin) = self.chunk_alias[k].split_word(chunk_words[i]);
+                        (picks[i], col as u32, coin)
+                    },
+                    |&(k, col, _)| self.chunk_alias[k as usize].prefetch_row(col as usize),
+                    |i, (k, col, coin)| {
+                        let k = k as usize;
+                        let r = k * self.chunk + self.chunk_alias[k].resolve(col as usize, coin);
+                        tile[i] = r as u32;
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// The pre-PR6 batch kernel — serialized draws, no pre-generation,
+    /// no prefetch — retained verbatim as the E20 baseline and as a
+    /// differential-test oracle for [`Self::sample_wr_batch`] (both must
+    /// return bit-identical samples).
+    ///
+    /// # Errors
+    /// [`QueryError::EmptyRange`] when the interval holds no elements.
+    pub fn sample_wr_batch_reference<R: RngCore + ?Sized>(
+        &self,
+        x: f64,
+        y: f64,
+        rng: &mut R,
+        out: &mut [u32],
+    ) -> Result<(), QueryError> {
+        let s = out.len();
+        let (ra, rb) = self.rank_range(x, y);
+        if ra >= rb {
+            return Err(QueryError::EmptyRange);
+        }
+        let ca = ra / self.chunk;
+        let cl = (rb - 1) / self.chunk;
+        let mut block = BlockRng64::with_budget(rng, s.saturating_mul(4));
+
+        if ca == cl {
+            let table = AliasTable::new(&self.weights[ra..rb]).expect("positive weights");
             for slot in out.iter_mut() {
                 *slot = (ra + table.sample_block(&mut block)) as u32;
             }
             return Ok(());
         }
 
-        // Figure 2's three-way decomposition, identical to the sequential
-        // path (see `sample_wr`) but writing into disjoint sub-slices.
         let b1 = (ca + 1) * self.chunk;
         let b3 = cl * self.chunk;
         let w1: f64 = self.weights[ra..b1].iter().sum();
@@ -565,9 +784,6 @@ impl ChunkedRange {
             }
         }
         if !part2.is_empty() {
-            // Chunk-aligned middle: one fused pass per sample — T_chunk
-            // pick and intra-chunk resolution back to back, consuming the
-            // same word order as the sequential path.
             let ctx = self.tchunk.prepare(ca + 1, cl).expect("w2 > 0 implies non-empty middle");
             for slot in part2.iter_mut() {
                 let k = ctx.draw_block(&mut block);
@@ -776,6 +992,42 @@ mod tests {
                 s.sample_wr_into(x, y, &mut b, &mut batch).unwrap();
                 let seq32: Vec<u32> = seq.iter().map(|&r| r as u32).collect();
                 assert_eq!(batch, seq32, "{name} [{x},{y}]");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_kernels_match_reference_kernels() {
+        // The retained pre-PR6 kernels are the differential oracle: the
+        // pipelined rewrites must reproduce their samples bit for bit at
+        // window/tile boundary sizes and across query shapes.
+        let tree = TreeSamplingRange::new(pairs(700, 31)).unwrap();
+        let alias = AliasAugmentedRange::new(pairs(700, 31)).unwrap();
+        let chunked = ChunkedRange::new(pairs(700, 31)).unwrap();
+        let tile = iqs_alias::pipeline::TILE;
+        for s in [1usize, 7, 8, 9, tile - 1, tile, tile + 1, 2 * tile + 13] {
+            for (x, y) in [(0.0, 699.0), (13.0, 488.0), (40.0, 45.0)] {
+                let seed = s as u64 ^ 0xABCD;
+                let mut new = vec![0u32; s];
+                let mut old = vec![0u32; s];
+
+                let mut r1 = StdRng::seed_from_u64(seed);
+                tree.sample_wr_batch(x, y, &mut r1, &mut new).unwrap();
+                let mut r2 = StdRng::seed_from_u64(seed);
+                tree.sample_wr_batch_reference(x, y, &mut r2, &mut old).unwrap();
+                assert_eq!(new, old, "tree s={s} [{x},{y}]");
+
+                let mut r1 = StdRng::seed_from_u64(seed);
+                alias.sample_wr_batch(x, y, &mut r1, &mut new).unwrap();
+                let mut r2 = StdRng::seed_from_u64(seed);
+                alias.sample_wr_batch_reference(x, y, &mut r2, &mut old).unwrap();
+                assert_eq!(new, old, "alias s={s} [{x},{y}]");
+
+                let mut r1 = StdRng::seed_from_u64(seed);
+                chunked.sample_wr_batch(x, y, &mut r1, &mut new).unwrap();
+                let mut r2 = StdRng::seed_from_u64(seed);
+                chunked.sample_wr_batch_reference(x, y, &mut r2, &mut old).unwrap();
+                assert_eq!(new, old, "chunked s={s} [{x},{y}]");
             }
         }
     }

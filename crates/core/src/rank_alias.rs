@@ -128,9 +128,7 @@ impl RankAliasAugmented {
         let Some(ctx) = self.prepare(a, b) else {
             return false;
         };
-        for slot in out.iter_mut() {
-            *slot = ctx.draw_block(block) as u32;
-        }
+        ctx.draw_block_into(block, out);
         true
     }
 }
@@ -170,6 +168,82 @@ impl PreparedRange<'_> {
             None => 0,
         };
         self.lo[j] + self.tbl[j].sample_block(block)
+    }
+
+    /// Words each draw consumes: one chooser word (when the canonical
+    /// cover has more than one node) plus one node word. Fixed per
+    /// prepared range, which is what makes word pre-assignment — and
+    /// hence pipelining — possible (see `iqs_alias::pipeline`).
+    #[inline]
+    pub fn words_per_draw(&self) -> usize {
+        1 + usize::from(self.chooser.is_some())
+    }
+
+    /// Decodes a tile of pre-generated words into rank samples through
+    /// the interleaved window. Word `wpd·i + j` is draw `i`'s `j`-th
+    /// decision — exactly the sequential assignment of
+    /// [`Self::draw_block`] — so outputs are bit-identical to the
+    /// sequential path. The decode phase reads only the (query-local,
+    /// cache-hot) chooser and the node tables' *lengths*; the dependent
+    /// load into the chosen node's urn row happens `K` draws after its
+    /// prefetch.
+    ///
+    /// `words.len()` must be exactly `words_per_draw() * out.len()`.
+    pub fn draw_words_into(&self, words: &[u64], out: &mut [u32]) {
+        debug_assert_eq!(words.len(), self.words_per_draw() * out.len());
+        match &self.chooser {
+            None => {
+                let t = self.tbl[0];
+                let base = self.lo[0] as u32;
+                iqs_alias::pipeline::interleave(
+                    out.len(),
+                    |i| {
+                        let (col, coin) = t.split_word(words[i]);
+                        (col as u32, coin)
+                    },
+                    |&(col, _)| t.prefetch_row(col as usize),
+                    |i, (col, coin)| out[i] = base + t.resolve(col as usize, coin) as u32,
+                );
+            }
+            Some(c) => {
+                iqs_alias::pipeline::interleave(
+                    out.len(),
+                    |i| {
+                        let j = c.decode(words[2 * i]);
+                        let (col, coin) = self.tbl[j].split_word(words[2 * i + 1]);
+                        (j as u32, col as u32, coin)
+                    },
+                    |&(j, col, _)| self.tbl[j as usize].prefetch_row(col as usize),
+                    |i, (j, col, coin)| {
+                        let j = j as usize;
+                        out[i] = (self.lo[j] + self.tbl[j].resolve(col as usize, coin)) as u32;
+                    },
+                );
+            }
+        }
+    }
+
+    /// Pipelined batch draw: fills `out` with independent weighted rank
+    /// samples, pulling the whole tile's words from `block` up front
+    /// (sequence order) and running them through
+    /// [`Self::draw_words_into`]. The single-node case degrades to the
+    /// plain alias kernel with the node's leaf offset as `base`.
+    pub fn draw_block_into<R: RngCore + ?Sized>(
+        &self,
+        block: &mut BlockRng64<'_, R>,
+        out: &mut [u32],
+    ) {
+        if self.chooser.is_none() {
+            self.tbl[0].sample_block_into(block, self.lo[0] as u32, out);
+            return;
+        }
+        const TILE: usize = iqs_alias::pipeline::TILE;
+        let mut words = [0u64; 2 * TILE];
+        for tile in out.chunks_mut(TILE) {
+            let m = tile.len();
+            block.fill_words(&mut words[..2 * m]);
+            self.draw_words_into(&words[..2 * m], tile);
+        }
     }
 }
 
@@ -238,6 +312,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut block = BlockRng64::new(&mut rng);
         assert!(!r.sample_block_into(9, 9, &mut block, &mut []));
+    }
+
+    #[test]
+    fn pipelined_block_path_replays_sequential_at_tile_boundaries() {
+        // Exercises the word-pre-assignment argument across tile seams
+        // and the chooser (multi-node) decode path.
+        let weights: Vec<f64> = (1..=128).map(f64::from).collect();
+        let r = RankAliasAugmented::new(&weights);
+        let tile = iqs_alias::pipeline::TILE;
+        for s in [tile - 1, tile, tile + 1, 2 * tile + 9] {
+            let mut rng_a = StdRng::seed_from_u64(s as u64);
+            let mut seq = Vec::new();
+            assert!(r.sample_into(7, 99, s, &mut rng_a, &mut seq));
+            let mut rng_b = StdRng::seed_from_u64(s as u64);
+            let mut block = BlockRng64::new(&mut rng_b);
+            let mut batch = vec![0u32; s];
+            assert!(r.sample_block_into(7, 99, &mut block, &mut batch));
+            let seq32: Vec<u32> = seq.iter().map(|&x| x as u32).collect();
+            assert_eq!(batch, seq32, "s = {s}");
+        }
     }
 
     #[test]

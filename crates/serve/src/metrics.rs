@@ -208,6 +208,8 @@ pub(crate) struct Metrics {
     pub(crate) queue_depth: AtomicUsize,
     pub(crate) rng_words: AtomicU64,
     pub(crate) rng_refills: AtomicU64,
+    pub(crate) prefetches: AtomicU64,
+    pub(crate) window_stalls: AtomicU64,
     pub(crate) latency: LogHistogram,
     pub(crate) queue_wait: LogHistogram,
 }
@@ -224,6 +226,8 @@ impl Metrics {
             queue_depth: AtomicUsize::new(0),
             rng_words: AtomicU64::new(0),
             rng_refills: AtomicU64::new(0),
+            prefetches: AtomicU64::new(0),
+            window_stalls: AtomicU64::new(0),
             latency: LogHistogram::new(),
             queue_wait: LogHistogram::new(),
         }
@@ -241,6 +245,8 @@ impl Metrics {
             snapshot_swaps,
             rng_words: self.rng_words.load(Ordering::Relaxed),
             rng_refills: self.rng_refills.load(Ordering::Relaxed),
+            prefetches: self.prefetches.load(Ordering::Relaxed),
+            window_stalls: self.window_stalls.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
         }
@@ -279,6 +285,14 @@ pub struct MetricsSnapshot {
     pub rng_words: u64,
     /// Total `BlockRng64` buffer refills performed by worker draw paths.
     pub rng_refills: u64,
+    /// Explicit cache prefetches issued by the software-pipelined batch
+    /// kernels (one per draw entering the rotating window; see
+    /// `iqs_alias::pipeline`).
+    pub prefetches: u64,
+    /// Pipelined draws issued before their kernel's window was full —
+    /// the per-tile ramp. A high stall-to-prefetch ratio means request
+    /// batch sizes too small to hide memory latency.
+    pub window_stalls: u64,
     /// End-to-end service latency (request origin → response ready).
     pub latency: HistogramSnapshot,
     /// Queue wait (admission → worker pickup) component of latency.
@@ -305,6 +319,8 @@ impl MetricsSnapshot {
             snapshot_swaps: self.snapshot_swaps,
             rng_words: self.rng_words.saturating_sub(earlier.rng_words),
             rng_refills: self.rng_refills.saturating_sub(earlier.rng_refills),
+            prefetches: self.prefetches.saturating_sub(earlier.prefetches),
+            window_stalls: self.window_stalls.saturating_sub(earlier.window_stalls),
             latency: self.latency.minus(&earlier.latency)?,
             queue_wait: self.queue_wait.minus(&earlier.queue_wait)?,
         })
@@ -325,6 +341,8 @@ impl MetricsSnapshot {
             snapshot_swaps: self.snapshot_swaps.saturating_add(other.snapshot_swaps),
             rng_words: self.rng_words.saturating_add(other.rng_words),
             rng_refills: self.rng_refills.saturating_add(other.rng_refills),
+            prefetches: self.prefetches.saturating_add(other.prefetches),
+            window_stalls: self.window_stalls.saturating_add(other.window_stalls),
             latency: self.latency.plus(&other.latency),
             queue_wait: self.queue_wait.plus(&other.queue_wait),
         }
@@ -381,6 +399,18 @@ impl MetricsSnapshot {
         w.sample("iqs_serve_rng_words_total", &[], self.rng_words);
         w.header("iqs_serve_rng_refills_total", "BlockRng64 buffer refills", "counter");
         w.sample("iqs_serve_rng_refills_total", &[], self.rng_refills);
+        w.header(
+            "iqs_serve_prefetches_total",
+            "Explicit prefetches issued by pipelined kernels",
+            "counter",
+        );
+        w.sample("iqs_serve_prefetches_total", &[], self.prefetches);
+        w.header(
+            "iqs_serve_window_stalls_total",
+            "Pipelined draws issued during window ramp",
+            "counter",
+        );
+        w.sample("iqs_serve_window_stalls_total", &[], self.window_stalls);
         prom_histogram(
             &mut w,
             "iqs_serve_latency_ns",
@@ -648,15 +678,21 @@ mod tests {
         let m = Metrics::new();
         m.rng_words.fetch_add(640, Ordering::Relaxed);
         m.rng_refills.fetch_add(10, Ordering::Relaxed);
+        m.prefetches.fetch_add(600, Ordering::Relaxed);
+        m.window_stalls.fetch_add(24, Ordering::Relaxed);
         let snap = m.snapshot(0);
         let json = snap.to_json();
         assert!(json.contains("\"rng_words\":640"), "missing rng_words: {json}");
         assert!(json.contains("\"rng_refills\":10"), "missing rng_refills: {json}");
+        assert!(json.contains("\"prefetches\":600"), "missing prefetches: {json}");
+        assert!(json.contains("\"window_stalls\":24"), "missing window_stalls: {json}");
         let back = MetricsSnapshot::from_json(&json).expect("round trip");
         assert_eq!(back, snap);
         // Interval diff and pooling cover the new counters too.
         assert_eq!(snap.minus(&snap).unwrap().rng_words, 0);
         assert_eq!(snap.plus(&snap).rng_refills, 20);
+        assert_eq!(snap.minus(&snap).unwrap().prefetches, 0);
+        assert_eq!(snap.plus(&snap).window_stalls, 48);
     }
 
     /// Golden-file test for the Prometheus exposition format: the exact
@@ -670,6 +706,8 @@ mod tests {
         m.failed.fetch_add(1, Ordering::Relaxed);
         m.rng_words.fetch_add(128, Ordering::Relaxed);
         m.rng_refills.fetch_add(2, Ordering::Relaxed);
+        m.prefetches.fetch_add(120, Ordering::Relaxed);
+        m.window_stalls.fetch_add(8, Ordering::Relaxed);
         m.latency.record(Duration::from_nanos(100)); // bucket 7, le=128
         m.latency.record(Duration::from_nanos(100));
         m.latency.record(Duration::from_micros(100)); // bucket 17, le=131072
@@ -698,6 +736,12 @@ iqs_serve_rng_words_total 128
 # HELP iqs_serve_rng_refills_total BlockRng64 buffer refills
 # TYPE iqs_serve_rng_refills_total counter
 iqs_serve_rng_refills_total 2
+# HELP iqs_serve_prefetches_total Explicit prefetches issued by pipelined kernels
+# TYPE iqs_serve_prefetches_total counter
+iqs_serve_prefetches_total 120
+# HELP iqs_serve_window_stalls_total Pipelined draws issued during window ramp
+# TYPE iqs_serve_window_stalls_total counter
+iqs_serve_window_stalls_total 8
 # HELP iqs_serve_latency_ns End-to-end service latency (ns)
 # TYPE iqs_serve_latency_ns histogram
 iqs_serve_latency_ns_bucket{le=\"128\"} 2

@@ -430,6 +430,8 @@ fn worker_loop(shared: &Shared, seed: u64) {
         if !cost.is_zero() {
             shared.metrics.rng_words.fetch_add(cost.rng_words, Ordering::Relaxed);
             shared.metrics.rng_refills.fetch_add(cost.rng_refills, Ordering::Relaxed);
+            shared.metrics.prefetches.fetch_add(cost.prefetches, Ordering::Relaxed);
+            shared.metrics.window_stalls.fetch_add(cost.window_stalls, Ordering::Relaxed);
         }
         recorder::emit(
             job.ctx,

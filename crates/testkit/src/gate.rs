@@ -55,6 +55,7 @@ pub const MANIFEST: &[&str] = &[
     "serve_aggregate_distribution",
     "serve_union_uniformity",
     "shard_two_level_chi_square",
+    "pipelined_kernels_chi_square",
     "testkit_gate_selfcheck",
 ];
 

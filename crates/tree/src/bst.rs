@@ -163,6 +163,20 @@ impl RankBst {
         (node.left, node.right)
     }
 
+    /// Hints the cache hierarchy to pull `u`'s child nodes — the next
+    /// level's dependent loads in a weighted descent (see
+    /// `iqs_alias::prefetch`). A no-op on leaves and out-of-range ids,
+    /// so callers may issue it speculatively for nodes they might not
+    /// descend into; it never changes observable state.
+    #[inline(always)]
+    pub fn prefetch_children(&self, u: NodeId) {
+        let Some(node) = self.nodes.get(u as usize) else { return };
+        if node.left != NIL {
+            iqs_alias::prefetch::slice_element(&self.nodes, node.left as usize);
+            iqs_alias::prefetch::slice_element(&self.nodes, node.right as usize);
+        }
+    }
+
     /// All node leaf-intervals, indexed by [`NodeId`] — the input an
     /// [`crate::IntervalSampler`] needs to serve every node.
     pub fn all_leaf_ranges(&self) -> Vec<(usize, usize)> {

@@ -290,6 +290,12 @@ impl TreeSampler {
     /// `rng` in blocks of up to 64 words, so the per-word RNG overhead is
     /// amortized even when `rng` is a `&mut dyn RngCore`.
     pub fn sample_leaves_into<R: RngCore + ?Sized>(&self, q: usize, rng: &mut R, out: &mut [u32]) {
+        // A descent consumes a data-dependent number of words, so the
+        // word pre-assignment behind the fixed-words-per-draw pipelined
+        // kernels (`iqs_alias::pipeline`) cannot apply here; the
+        // available latency lever is bounded lookahead *across* draw
+        // boundaries (the peek below).
+        //
         // One word per descent step; plan for two levels per sample and
         // let refills top up beyond that.
         let mut block = BlockRng64::with_budget(rng, out.len().saturating_mul(2));
@@ -303,8 +309,30 @@ impl TreeSampler {
                 steps += 1;
             }
             *slot = u as u32;
+            // Draw-boundary peek: the next buffered word *is* the next
+            // draw's first descent word, and the subtree root's alias
+            // table is cache-hot (touched by every draw). Resolving the
+            // next first step through it costs a few cycles and starts
+            // the next descent's cold second-level loads during this
+            // draw's epilogue. Peeking never consumes the word, so the
+            // drawn sequence is untouched.
+            if let Some(w) = block.peek_word() {
+                if let Some(alias) = &self.child_alias[q] {
+                    let c = self.tree.children_of(q)[alias.decode(w)] as usize;
+                    self.prefetch_node(c);
+                }
+            }
         }
         iqs_alias::prof::add_tree_descents(steps);
+    }
+
+    /// Hints the cache toward node `u`'s descent state: its child-alias
+    /// slot and child-list header, the two dependent loads a descent
+    /// step performs. Purely a hint — never changes observable state.
+    #[inline]
+    fn prefetch_node(&self, u: usize) {
+        iqs_alias::prefetch::slice_element(&self.child_alias, u);
+        iqs_alias::prefetch::slice_element(&self.tree.children, u);
     }
 
     /// Draws `s` independent weighted leaf samples from the subtree of `q`.
@@ -459,6 +487,24 @@ mod tests {
         let mut sub = vec![0u32; 256];
         sampler.sample_leaves_into(1, &mut rng, &mut sub);
         assert!(sub.iter().all(|&l| l == 4 || l == 5));
+    }
+
+    #[test]
+    fn peek_prefetch_batch_replays_sequential_on_random_trees() {
+        // Deep, irregular trees exercise the draw-boundary peek across
+        // many refill seams; the samples must stay bit-identical to the
+        // sequential descent.
+        let mut rng = StdRng::seed_from_u64(40);
+        for (n, s) in [(2000usize, 333usize), (50, 7), (500, 64)] {
+            let t = Tree::random(n, 4, &mut rng);
+            let sampler = TreeSampler::new(t);
+            let mut a = StdRng::seed_from_u64(41);
+            let mut out = vec![0u32; s];
+            sampler.sample_leaves_into(0, &mut a, &mut out);
+            let mut b = StdRng::seed_from_u64(41);
+            let seq: Vec<u32> = (0..s).map(|_| sampler.sample_leaf(0, &mut b) as u32).collect();
+            assert_eq!(out, seq, "n={n} s={s}");
+        }
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! The wire format: length-prefixed frames with a fixed 32-byte header.
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic          b"IQ"
+//!      2     1  version        1
+//!      3     1  kind           Request / Ok / Err / Announce / Ack / Metrics
+//!      4     4  span           u32 LE — obs span (shard/replica encoding)
+//!      8     8  trace          u64 LE — obs trace id (0 = untraced)
+//!     16     8  deadline_ns    u64 LE — remaining budget, relative (0 = none)
+//!     24     4  flags          u32 LE — reserved, must be 0
+//!     28     4  payload_len    u32 LE
+//!     32     …  payload        UTF-8 JSON, `payload_len` bytes
+//! ```
+//!
+//! All integers are little-endian. The deadline crosses the wire as a
+//! *relative* budget rather than an absolute instant — the peers share
+//! no clock, and a budget survives arbitrary clock skew (the receiver
+//! re-anchors it on its own clock at arrival).
+//!
+//! Decoding is strict and total: every malformed input maps to a typed
+//! [`FrameError`], reserved flag bits are refused, and the declared
+//! payload length is validated against the receiver's limit *before*
+//! any allocation, so a hostile header cannot balloon memory.
+
+use std::io::Read;
+
+use crate::error::{FrameError, NetError};
+
+/// The two magic bytes opening every frame.
+pub const MAGIC: [u8; 2] = *b"IQ";
+
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Bytes in the fixed header.
+pub const HEADER_LEN: usize = 32;
+
+/// Default per-frame payload limit (16 MiB — a full `max_sample_size`
+/// response of 2²⁰ ids encodes well under this).
+pub const DEFAULT_MAX_PAYLOAD: u64 = 16 * 1024 * 1024;
+
+/// What a frame carries; the header's `kind` byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Kind {
+    /// A [`Request`](iqs_serve::Request) for the replica to serve.
+    Request = 1,
+    /// A successful [`Response`](iqs_serve::Response).
+    Ok = 2,
+    /// A [`ServeError`](iqs_serve::ServeError) reply.
+    Err = 3,
+    /// A registry [`Announce`](crate::Announce).
+    Announce = 4,
+    /// A registry [`Ack`](crate::Ack).
+    Ack = 5,
+    /// A metrics request (empty payload) or
+    /// [`MetricsSnapshot`](iqs_serve::MetricsSnapshot) reply.
+    Metrics = 6,
+}
+
+impl Kind {
+    fn from_byte(b: u8) -> Result<Kind, FrameError> {
+        match b {
+            1 => Ok(Kind::Request),
+            2 => Ok(Kind::Ok),
+            3 => Ok(Kind::Err),
+            4 => Ok(Kind::Announce),
+            5 => Ok(Kind::Ack),
+            6 => Ok(Kind::Metrics),
+            other => Err(FrameError::BadKind(other)),
+        }
+    }
+}
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// What the payload is.
+    pub kind: Kind,
+    /// Obs trace id, carried across the process boundary (0 = untraced).
+    pub trace: u64,
+    /// Obs span (the shard/replica encoding), carried with the trace.
+    pub span: u32,
+    /// Remaining deadline budget in nanoseconds, relative to receipt
+    /// (0 = no deadline).
+    pub deadline_ns: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+}
+
+/// Encodes one frame: header plus UTF-8 JSON payload.
+#[must_use]
+pub fn encode_frame(kind: Kind, trace: u64, span: u32, deadline_ns: u64, payload: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind as u8);
+    out.extend_from_slice(&span.to_le_bytes());
+    out.extend_from_slice(&trace.to_le_bytes());
+    out.extend_from_slice(&deadline_ns.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // flags, reserved
+    let len = u32::try_from(payload.len()).expect("payload length fits u32");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload.as_bytes());
+    out
+}
+
+fn le_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn le_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Validates and decodes the 32-byte header at the front of `buf`.
+///
+/// # Errors
+/// [`FrameError::Truncated`] when fewer than [`HEADER_LEN`] bytes are
+/// present; then magic, version, kind, flags, and the payload-length
+/// bound are checked in that order.
+pub fn decode_header(buf: &[u8], max_payload: u64) -> Result<Header, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated { needed: HEADER_LEN as u64, have: buf.len() as u64 });
+    }
+    let magic = [buf[0], buf[1]];
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    if buf[2] != VERSION {
+        return Err(FrameError::BadVersion(buf[2]));
+    }
+    let kind = Kind::from_byte(buf[3])?;
+    let span = le_u32(buf, 4);
+    let trace = le_u64(buf, 8);
+    let deadline_ns = le_u64(buf, 16);
+    let flags = le_u32(buf, 24);
+    if flags != 0 {
+        return Err(FrameError::ReservedFlags(flags));
+    }
+    let payload_len = le_u32(buf, 28);
+    if u64::from(payload_len) > max_payload {
+        return Err(FrameError::Oversized { declared: u64::from(payload_len), max: max_payload });
+    }
+    Ok(Header { kind, trace, span, deadline_ns, payload_len })
+}
+
+/// Decodes one complete frame from `buf`: the validated header plus the
+/// payload as UTF-8 text. `buf` must contain exactly one frame.
+///
+/// # Errors
+/// Everything [`decode_header`] raises, plus [`FrameError::Truncated`]
+/// when the buffer is shorter than the declared frame and
+/// [`FrameError::BadPayload`] for non-UTF-8 payload bytes or trailing
+/// garbage after the frame.
+pub fn decode_frame(buf: &[u8], max_payload: u64) -> Result<(Header, &str), FrameError> {
+    let header = decode_header(buf, max_payload)?;
+    let total = HEADER_LEN as u64 + u64::from(header.payload_len);
+    if (buf.len() as u64) < total {
+        return Err(FrameError::Truncated { needed: total, have: buf.len() as u64 });
+    }
+    if buf.len() as u64 > total {
+        return Err(FrameError::BadPayload(format!(
+            "{} trailing bytes after the frame",
+            buf.len() as u64 - total
+        )));
+    }
+    let payload = std::str::from_utf8(&buf[HEADER_LEN..])
+        .map_err(|e| FrameError::BadPayload(format!("payload is not UTF-8: {e}")))?;
+    Ok((header, payload))
+}
+
+/// Reads one frame from a byte stream: the header first, then exactly
+/// the declared payload. The payload buffer grows incrementally via a
+/// bounded `take` read, so even a corrupt-but-in-range length field
+/// only ever allocates what actually arrives.
+///
+/// # Errors
+/// [`NetError::Frame`] for header defects, [`NetError::Io`] for stream
+/// failures (including EOF mid-frame, which the caller sees as a
+/// connection loss rather than a protocol error).
+pub fn read_frame(r: &mut impl Read, max_payload: u64) -> Result<(Header, String), NetError> {
+    let mut head = [0u8; HEADER_LEN];
+    // The io::ErrorKind rides along in the text so transports can tell
+    // a socket timeout (WouldBlock / TimedOut) from a real failure.
+    r.read_exact(&mut head)
+        .map_err(|e| NetError::Io(format!("reading frame header ({:?}): {e}", e.kind())))?;
+    let header = decode_header(&head, max_payload)?;
+    let mut payload_bytes = Vec::new();
+    let declared = u64::from(header.payload_len);
+    let got = r
+        .take(declared)
+        .read_to_end(&mut payload_bytes)
+        .map_err(|e| NetError::Io(format!("reading frame payload ({:?}): {e}", e.kind())))?;
+    if (got as u64) < declared {
+        return Err(NetError::Io(format!(
+            "connection closed mid-frame: {got} of {declared} payload bytes"
+        )));
+    }
+    let payload = String::from_utf8(payload_bytes)
+        .map_err(|e| FrameError::BadPayload(format!("payload is not UTF-8: {e}")))?;
+    Ok((header, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_bytes_and_streams() {
+        let frame = encode_frame(Kind::Request, 42, 7, 1_000_000, "{\"x\":1}");
+        let (header, payload) = decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect("decode");
+        assert_eq!(header.kind, Kind::Request);
+        assert_eq!(header.trace, 42);
+        assert_eq!(header.span, 7);
+        assert_eq!(header.deadline_ns, 1_000_000);
+        assert_eq!(payload, "{\"x\":1}");
+        let mut cursor = std::io::Cursor::new(frame.clone());
+        let (h2, p2) = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).expect("stream decode");
+        assert_eq!(h2, header);
+        assert_eq!(p2, payload);
+    }
+
+    #[test]
+    fn strict_checks_fire_in_order() {
+        let good = encode_frame(Kind::Ok, 0, 0, 0, "[]");
+        assert!(matches!(
+            decode_header(&good[..10], DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::Truncated { .. })
+        ));
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_frame(&bad, DEFAULT_MAX_PAYLOAD), Err(FrameError::BadMagic(_))));
+        let mut bad = good.clone();
+        bad[2] = 9;
+        assert!(matches!(decode_frame(&bad, DEFAULT_MAX_PAYLOAD), Err(FrameError::BadVersion(9))));
+        let mut bad = good.clone();
+        bad[3] = 0;
+        assert!(matches!(decode_frame(&bad, DEFAULT_MAX_PAYLOAD), Err(FrameError::BadKind(0))));
+        let mut bad = good.clone();
+        bad[24] = 1;
+        assert!(matches!(
+            decode_frame(&bad, DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::ReservedFlags(1))
+        ));
+        // A hostile length field is refused by the header check alone.
+        let mut bad = good.clone();
+        bad[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_header(&bad, 1024), Err(FrameError::Oversized { .. })));
+        // Truncated payloads and trailing garbage are both refused.
+        let frame = encode_frame(Kind::Ok, 0, 0, 0, "[1,2,3]");
+        assert!(matches!(
+            decode_frame(&frame[..frame.len() - 2], DEFAULT_MAX_PAYLOAD),
+            Err(FrameError::Truncated { .. })
+        ));
+        let mut long = frame.clone();
+        long.push(b'!');
+        assert!(matches!(decode_frame(&long, DEFAULT_MAX_PAYLOAD), Err(FrameError::BadPayload(_))));
+    }
+
+    #[test]
+    fn stream_reader_reports_eof_mid_frame_as_io() {
+        let frame = encode_frame(Kind::Metrics, 1, 2, 3, "{\"a\":true}");
+        let mut cursor = std::io::Cursor::new(&frame[..frame.len() - 3]);
+        assert!(matches!(read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD), Err(NetError::Io(_))));
+    }
+}

@@ -1,0 +1,129 @@
+//! The blocking TCP listener: frames in, handler replies out.
+//!
+//! One accept thread plus one thread per live connection — plain
+//! blocking I/O, matching the serve tier's thread-per-worker design.
+//! Connections poll a shared stop flag through short read timeouts, so
+//! shutdown needs no signals: set the flag, nudge the accept loop with
+//! a self-connection, join.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::frame::{encode_frame, read_frame};
+use crate::transport::FrameHandler;
+
+/// How often a connection thread wakes to check the stop flag.
+const POLL: Duration = Duration::from_millis(250);
+
+/// A running TCP frame server. Dropping it shuts the listener down and
+/// joins every thread.
+pub struct TcpServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serves frames through `handler`.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] when the bind fails.
+    pub fn spawn(
+        bind: &str,
+        handler: Arc<dyn FrameHandler>,
+        max_payload: u64,
+    ) -> Result<TcpServer, NetError> {
+        let listener =
+            TcpListener::bind(bind).map_err(|e| NetError::Io(format!("binding {bind}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| NetError::Io(format!("resolving local addr: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::spawn(move || {
+            let mut workers = Vec::new();
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let handler = Arc::clone(&handler);
+                let stop = Arc::clone(&accept_stop);
+                workers.push(std::thread::spawn(move || {
+                    serve_connection(stream, &*handler, &stop, max_payload);
+                }));
+            }
+            for worker in workers {
+                worker.join().ok();
+            }
+        });
+        Ok(TcpServer { addr, stop, accept: Some(accept) })
+    }
+
+    /// The bound address (the actual port when bound to `:0`).
+    #[must_use]
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// Stops accepting, closes every connection, joins all threads.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Nudge the blocking accept so it observes the flag.
+        TcpStream::connect(self.addr).ok();
+        if let Some(accept) = self.accept.take() {
+            accept.join().ok();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One connection's serve loop: read a frame, hand it to the handler,
+/// write the reply; repeat until EOF, error, or shutdown. A malformed
+/// *header* desynchronizes the stream, so the connection closes; the
+/// client reconnects with framing intact.
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: &dyn FrameHandler,
+    stop: &AtomicBool,
+    max_payload: u64,
+) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    stream.set_nodelay(true).ok();
+    let mut buf = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match read_frame(&mut stream, max_payload) {
+            Ok((header, payload)) => {
+                buf.clear();
+                buf.extend_from_slice(&encode_frame(
+                    header.kind,
+                    header.trace,
+                    header.span,
+                    header.deadline_ns,
+                    &payload,
+                ));
+                let reply = handler.handle_frame(&buf);
+                if stream.write_all(&reply).and_then(|()| stream.flush()).is_err() {
+                    return;
+                }
+            }
+            // A poll-interval timeout with no frame started: keep going.
+            Err(NetError::Io(detail))
+                if detail.contains("WouldBlock") || detail.contains("TimedOut") => {}
+            // EOF, connection reset, or a corrupt header: close.
+            Err(_) => return,
+        }
+    }
+}

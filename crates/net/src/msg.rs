@@ -1,0 +1,125 @@
+//! Typed message codecs over the raw frame layer: one function pair per
+//! protocol exchange, so call sites never touch JSON or header fields
+//! directly.
+
+use iqs_serve::{MetricsSnapshot, Request, Response, ServeError};
+use serde::de::Parser;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::frame::{encode_frame, Kind};
+use crate::registry::{Ack, Announce};
+
+/// Parses a full JSON payload as `T`, requiring the payload to be
+/// exactly one value (trailing bytes are refused).
+///
+/// # Errors
+/// [`NetError::Decode`] with the parser's diagnostic.
+pub fn from_json<T: Deserialize>(payload: &str) -> Result<T, NetError> {
+    let mut p = Parser::new(payload);
+    let value = T::deserialize_json(&mut p).map_err(|e| NetError::Decode(e.to_string()))?;
+    p.expect_eof().map_err(|e| NetError::Decode(e.to_string()))?;
+    Ok(value)
+}
+
+fn to_json<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    out
+}
+
+/// Encodes a request frame. `deadline_ns` is the remaining budget the
+/// replica should honor (0 = none); `trace`/`span` carry the obs
+/// context across the process boundary.
+#[must_use]
+pub fn encode_request(request: &Request, trace: u64, span: u32, deadline_ns: u64) -> Vec<u8> {
+    encode_frame(Kind::Request, trace, span, deadline_ns, &to_json(request))
+}
+
+/// Encodes a reply frame: [`Kind::Ok`] carrying the [`Response`] or
+/// [`Kind::Err`] carrying the [`ServeError`], echoing the request's
+/// trace and span.
+#[must_use]
+pub fn encode_reply(outcome: &Result<Response, ServeError>, trace: u64, span: u32) -> Vec<u8> {
+    match outcome {
+        Ok(response) => encode_frame(Kind::Ok, trace, span, 0, &to_json(response)),
+        Err(error) => encode_frame(Kind::Err, trace, span, 0, &to_json(error)),
+    }
+}
+
+/// Decodes a reply frame by kind: [`Kind::Ok`] → `Ok(Ok(response))`,
+/// [`Kind::Err`] → `Ok(Err(serve_error))` — a *successful* decode of a
+/// replica-side failure, which the router treats exactly like a local
+/// error reply.
+///
+/// # Errors
+/// [`NetError::Decode`] for malformed payloads or a non-reply kind.
+pub fn decode_reply(kind: Kind, payload: &str) -> Result<Result<Response, ServeError>, NetError> {
+    match kind {
+        Kind::Ok => Ok(Ok(from_json::<Response>(payload)?)),
+        Kind::Err => Ok(Err(from_json::<ServeError>(payload)?)),
+        other => Err(NetError::Decode(format!("expected a reply frame, got {other:?}"))),
+    }
+}
+
+/// Encodes a metrics request (empty payload; the kind says it all).
+#[must_use]
+pub fn encode_metrics_request() -> Vec<u8> {
+    encode_frame(Kind::Metrics, 0, 0, 0, "")
+}
+
+/// Encodes a metrics reply carrying the snapshot.
+#[must_use]
+pub fn encode_metrics_reply(snapshot: &MetricsSnapshot) -> Vec<u8> {
+    encode_frame(Kind::Metrics, 0, 0, 0, &to_json(snapshot))
+}
+
+/// Encodes a registry announcement.
+#[must_use]
+pub fn encode_announce(announce: &Announce) -> Vec<u8> {
+    encode_frame(Kind::Announce, 0, 0, 0, &to_json(announce))
+}
+
+/// Encodes a registry acknowledgement.
+#[must_use]
+pub fn encode_ack(ack: &Ack) -> Vec<u8> {
+    encode_frame(Kind::Ack, 0, 0, 0, &to_json(ack))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{decode_frame, DEFAULT_MAX_PAYLOAD};
+
+    #[test]
+    fn request_and_reply_roundtrip() {
+        let request = Request::SampleWr {
+            index: "shard".into(),
+            range: Some((f64::NEG_INFINITY, f64::INFINITY)),
+            s: 64,
+        };
+        let frame = encode_request(&request, 99, 0x0002_0001, 5_000_000);
+        let (header, payload) = decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect("frame");
+        assert_eq!(header.kind, Kind::Request);
+        assert_eq!(header.trace, 99);
+        assert_eq!(header.span, 0x0002_0001);
+        assert_eq!(header.deadline_ns, 5_000_000);
+        assert_eq!(from_json::<Request>(payload).expect("payload"), request);
+
+        for outcome in [
+            Ok(Response::Samples(vec![1, 2, 3])),
+            Err(ServeError::Overloaded),
+            Err(ServeError::Remote("lease expired".into())),
+        ] {
+            let frame = encode_reply(&outcome, 7, 3);
+            let (header, payload) = decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect("frame");
+            assert_eq!(decode_reply(header.kind, payload).expect("reply"), outcome);
+        }
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_refused() {
+        assert!(matches!(from_json::<Response>("{\"Count\":3} junk"), Err(NetError::Decode(_))));
+        assert!(matches!(decode_reply(Kind::Request, "{}"), Err(NetError::Decode(_))));
+    }
+}

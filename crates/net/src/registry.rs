@@ -1,0 +1,185 @@
+//! The TTL-leased service registry: replicas announce the shard span
+//! they serve, routers discover who is live.
+//!
+//! A lease is just `(announcement, expiry instant)`. Liveness is
+//! evaluated lazily against the registry's clock, with the same closed
+//! convention the serve tier uses for request deadlines (`picked >= dl`
+//! misses): a lease is dead *exactly at* its expiry instant. Replicas
+//! re-announce well inside their TTL (a third is customary); a renewal
+//! with the same or newer epoch extends the lease seamlessly, while an
+//! announcement with an older epoch than the live lease is refused —
+//! a restarted replica must come back with a fresher epoch to displace
+//! its previous incarnation.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use iqs_testkit::ClockHandle;
+use serde::{Deserialize, Serialize};
+
+/// A replica's announcement: where it listens, which shard span it
+/// serves, the span's cached total weight, its epoch, and the lease TTL
+/// it requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Announce {
+    /// The address the replica serves frames on.
+    pub addr: String,
+    /// Smallest element key in the replica's shard slice.
+    pub lo_key: f64,
+    /// Largest element key in the replica's shard slice.
+    pub hi_key: f64,
+    /// The slice's total sampling weight (the replica's cached snapshot
+    /// value; routers use it for covering-query planning).
+    pub total_weight: f64,
+    /// Monotone incarnation number; a restart must announce a higher
+    /// epoch to displace the previous lease.
+    pub epoch: u64,
+    /// Requested lease duration in milliseconds.
+    pub ttl_ms: u64,
+}
+
+/// The registry's reply to an announcement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ack {
+    /// Whether the lease was granted (false: a newer epoch holds it).
+    pub accepted: bool,
+    /// The epoch currently holding the lease.
+    pub epoch: u64,
+}
+
+/// A granted lease: the announcement plus its expiry on the registry's
+/// clock.
+#[derive(Debug, Clone)]
+pub struct Lease {
+    /// The announcement that obtained the lease.
+    pub announce: Announce,
+    /// The instant the lease dies (dead exactly at, not after).
+    pub expires: Instant,
+}
+
+/// The registry: live leases keyed by address, evaluated against one
+/// clock. Share it via `Arc`; all methods take `&self`.
+pub struct ServiceRegistry {
+    clock: ClockHandle,
+    leases: Mutex<HashMap<String, Lease>>,
+}
+
+impl ServiceRegistry {
+    /// A registry on the given clock (the testkit virtual clock in
+    /// simulation, the real clock in deployment).
+    #[must_use]
+    pub fn new(clock: ClockHandle) -> ServiceRegistry {
+        ServiceRegistry { clock, leases: Mutex::new(HashMap::new()) }
+    }
+
+    /// Processes one announcement: grants or renews the lease unless a
+    /// strictly newer epoch already holds the address (an *expired*
+    /// lease never blocks — any epoch may reclaim a dead address).
+    pub fn announce(&self, announce: Announce) -> Ack {
+        let now = self.clock.now();
+        let mut leases = self.leases.lock().expect("registry lock poisoned");
+        if let Some(existing) = leases.get(&announce.addr) {
+            if now < existing.expires && announce.epoch < existing.announce.epoch {
+                return Ack { accepted: false, epoch: existing.announce.epoch };
+            }
+        }
+        let epoch = announce.epoch;
+        let expires = now + Duration::from_millis(announce.ttl_ms);
+        leases.insert(announce.addr.clone(), Lease { announce, expires });
+        Ack { accepted: true, epoch }
+    }
+
+    /// Whether `addr` holds a live lease. Dead exactly at the expiry
+    /// instant: announcing with TTL `t` and asking at `now + t` is
+    /// already dead.
+    #[must_use]
+    pub fn is_live(&self, addr: &str) -> bool {
+        let now = self.clock.now();
+        let leases = self.leases.lock().expect("registry lock poisoned");
+        leases.get(addr).is_some_and(|lease| now < lease.expires)
+    }
+
+    /// The lease currently held for `addr`, live or not.
+    #[must_use]
+    pub fn lease(&self, addr: &str) -> Option<Lease> {
+        self.leases.lock().expect("registry lock poisoned").get(addr).cloned()
+    }
+
+    /// Every live announcement, sorted by `(lo_key, addr)` so discovery
+    /// is deterministic regardless of announcement order.
+    #[must_use]
+    pub fn live(&self) -> Vec<Announce> {
+        let now = self.clock.now();
+        let leases = self.leases.lock().expect("registry lock poisoned");
+        let mut out: Vec<Announce> = leases
+            .values()
+            .filter(|lease| now < lease.expires)
+            .map(|lease| lease.announce.clone())
+            .collect();
+        out.sort_by(|a, b| a.lo_key.total_cmp(&b.lo_key).then_with(|| a.addr.cmp(&b.addr)));
+        out
+    }
+
+    /// Drops expired leases; returns how many were swept. Liveness is
+    /// lazy, so sweeping is optional housekeeping, not correctness.
+    pub fn sweep(&self) -> usize {
+        let now = self.clock.now();
+        let mut leases = self.leases.lock().expect("registry lock poisoned");
+        let before = leases.len();
+        leases.retain(|_, lease| now < lease.expires);
+        before - leases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqs_testkit::VirtualClock;
+
+    fn ann(addr: &str, lo: f64, epoch: u64, ttl_ms: u64) -> Announce {
+        Announce {
+            addr: addr.into(),
+            lo_key: lo,
+            hi_key: lo + 9.0,
+            total_weight: 10.0,
+            epoch,
+            ttl_ms,
+        }
+    }
+
+    #[test]
+    fn epoch_ordering_and_reclamation() {
+        let clock = VirtualClock::new();
+        let registry = ServiceRegistry::new(clock.handle());
+        assert!(registry.announce(ann("a", 0.0, 2, 100)).accepted);
+        // An older epoch cannot displace a live lease...
+        let nack = registry.announce(ann("a", 0.0, 1, 100));
+        assert!(!nack.accepted);
+        assert_eq!(nack.epoch, 2);
+        // ...but once it expires, any epoch reclaims the address.
+        clock.advance(Duration::from_millis(100));
+        assert!(!registry.is_live("a"));
+        assert!(registry.announce(ann("a", 0.0, 1, 100)).accepted);
+        assert!(registry.is_live("a"));
+    }
+
+    #[test]
+    fn live_listing_is_sorted_and_sweep_collects() {
+        let clock = VirtualClock::new();
+        let registry = ServiceRegistry::new(clock.handle());
+        registry.announce(ann("z", 10.0, 1, 50));
+        registry.announce(ann("b", 0.0, 1, 100));
+        registry.announce(ann("a", 0.0, 1, 100));
+        let live = registry.live();
+        assert_eq!(
+            live.iter().map(|a| a.addr.as_str()).collect::<Vec<_>>(),
+            ["a", "b", "z"],
+            "lo_key first, then addr"
+        );
+        clock.advance(Duration::from_millis(50));
+        assert_eq!(registry.live().len(), 2);
+        assert_eq!(registry.sweep(), 1);
+        assert!(registry.lease("z").is_none());
+    }
+}

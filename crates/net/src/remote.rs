@@ -1,0 +1,316 @@
+//! Remote replicas: an `iqs-serve` node behind a frame handler, and the
+//! [`ReplicaLink`] that reaches it over a [`Transport`].
+//!
+//! [`ReplicaServer`] is the server half: it decodes request frames,
+//! re-anchors the relative deadline budget on its own clock, threads
+//! the wire's trace/span into the obs [`Ctx`] (so `TraceView`
+//! reconstructs the two-level schedule across processes), runs the
+//! request through the node's normal admission queue, and encodes the
+//! reply — typed errors included. [`RemoteReplica`] is the client half:
+//! it implements `iqs-shard`'s [`ReplicaLink`], so
+//! [`ShardedService::from_links`](iqs_shard::ShardedService::from_links)
+//! composes local and remote legs interchangeably and the router's
+//! failover, breaker, and degraded accounting apply unchanged.
+//!
+//! When a [`ServiceRegistry`] is attached, a remote replica whose lease
+//! has expired refuses submission with [`ServeError::Remote`] — the
+//! same shape as any transport failure, so expired leases flow into the
+//! breaker path with honest accounting rather than hanging on a dead
+//! address.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use iqs_obs::Ctx;
+use iqs_serve::{Client, MetricsSnapshot, Request, Response, ServeError};
+use iqs_shard::{PendingLeg, ReplicaLink, ShardSpec, SHARD_INDEX};
+use iqs_testkit::ClockHandle;
+
+use crate::error::NetError;
+use crate::frame::{decode_frame, Kind, DEFAULT_MAX_PAYLOAD};
+use crate::msg::{
+    decode_reply, encode_ack, encode_announce, encode_metrics_reply, encode_metrics_request,
+    encode_reply, encode_request, from_json,
+};
+use crate::registry::{Ack, Announce, ServiceRegistry};
+use crate::transport::{FrameHandler, Transport};
+
+/// Default deadline for synchronous weight probes and metrics pulls.
+const PROBE_DEADLINE: Duration = Duration::from_secs(1);
+
+/// The server half: one `iqs-serve` node exposed as a [`FrameHandler`],
+/// servable in-memory ([`SimNet::bind`](crate::SimNet::bind)) or over
+/// TCP ([`TcpServer::spawn`](crate::TcpServer::spawn)).
+pub struct ReplicaServer {
+    client: Client,
+    clock: ClockHandle,
+    max_payload: u64,
+}
+
+impl ReplicaServer {
+    /// Wraps a node's client; `clock` must be the clock the node's
+    /// server was started on (deadline budgets are re-anchored on it).
+    #[must_use]
+    pub fn new(client: Client, clock: ClockHandle) -> ReplicaServer {
+        ReplicaServer { client, clock, max_payload: DEFAULT_MAX_PAYLOAD }
+    }
+
+    fn serve_request(&self, trace: u64, span: u32, deadline_ns: u64, payload: &str) -> Vec<u8> {
+        let request = match from_json::<Request>(payload) {
+            Ok(request) => request,
+            Err(e) => {
+                return encode_reply(&Err(ServeError::Remote(e.to_string())), trace, span);
+            }
+        };
+        let origin = self.clock.now();
+        let deadline = (deadline_ns > 0).then(|| origin + Duration::from_nanos(deadline_ns));
+        let ctx = Ctx { trace, span };
+        let outcome = match self.client.call_pending_ctx(request, origin, deadline, ctx) {
+            Ok(pending) => match deadline {
+                Some(dl) => pending.wait_deadline(dl).unwrap_or(Err(ServeError::DeadlineExceeded)),
+                None => pending.wait(),
+            },
+            Err(refused) => Err(refused),
+        };
+        encode_reply(&outcome, trace, span)
+    }
+}
+
+impl FrameHandler for ReplicaServer {
+    fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        let (header, payload) = match decode_frame(frame, self.max_payload) {
+            Ok(decoded) => decoded,
+            Err(e) => return encode_reply(&Err(ServeError::Remote(e.to_string())), 0, 0),
+        };
+        match header.kind {
+            Kind::Request => {
+                self.serve_request(header.trace, header.span, header.deadline_ns, payload)
+            }
+            Kind::Metrics => encode_metrics_reply(&self.client.metrics()),
+            other => encode_reply(
+                &Err(ServeError::Remote(format!("replica cannot serve {other:?} frames"))),
+                header.trace,
+                header.span,
+            ),
+        }
+    }
+}
+
+/// The client half: a [`ReplicaLink`] that reaches one replica address
+/// over a transport. Weight probes and metrics go through the replica's
+/// normal request queue (they are requests like any other); scatter
+/// legs ride [`Transport::begin`] so the router's fan-out still
+/// overlaps across shards.
+pub struct RemoteReplica {
+    transport: Arc<dyn Transport>,
+    addr: String,
+    index: String,
+    registry: Option<Arc<ServiceRegistry>>,
+    probe_deadline: Duration,
+}
+
+impl RemoteReplica {
+    /// A link to the replica at `addr`, serving the conventional
+    /// [`SHARD_INDEX`] with no lease checking.
+    #[must_use]
+    pub fn new(transport: Arc<dyn Transport>, addr: impl Into<String>) -> RemoteReplica {
+        RemoteReplica {
+            transport,
+            addr: addr.into(),
+            index: SHARD_INDEX.to_string(),
+            registry: None,
+            probe_deadline: PROBE_DEADLINE,
+        }
+    }
+
+    /// Attaches a registry: submission refuses when the address's lease
+    /// is expired, feeding the router's breaker path.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<ServiceRegistry>) -> RemoteReplica {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Overrides the index name requests address.
+    #[must_use]
+    pub fn with_index(mut self, index: impl Into<String>) -> RemoteReplica {
+        self.index = index.into();
+        self
+    }
+
+    /// Overrides the synchronous probe/metrics deadline (default 1 s).
+    #[must_use]
+    pub fn with_probe_deadline(mut self, probe_deadline: Duration) -> RemoteReplica {
+        self.probe_deadline = probe_deadline;
+        self
+    }
+
+    /// The address this link targets.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One synchronous request round trip under the probe deadline.
+    fn probe(&self, request: &Request) -> Result<Response, ServeError> {
+        let clock = self.transport.clock();
+        let deadline = clock.now() + self.probe_deadline;
+        let frame = encode_request(request, 0, 0, self.probe_deadline.as_nanos() as u64);
+        let (header, payload) = self
+            .transport
+            .call(&self.addr, frame, deadline)
+            .map_err(|e| ServeError::Remote(e.to_string()))?;
+        decode_reply(header.kind, &payload).map_err(|e| ServeError::Remote(e.to_string()))?
+    }
+
+    fn weight_of(&self, request: &Request) -> Result<f64, ServeError> {
+        match self.probe(request)? {
+            Response::Weight(w) => Ok(w),
+            other => Err(ServeError::Remote(format!("expected a weight reply, got {other:?}"))),
+        }
+    }
+}
+
+impl ReplicaLink for RemoteReplica {
+    fn submit(
+        &self,
+        request: Request,
+        _origin: Instant,
+        deadline: Instant,
+        ctx: Ctx,
+    ) -> Result<PendingLeg, ServeError> {
+        if let Some(registry) = &self.registry {
+            if !registry.is_live(&self.addr) {
+                return Err(ServeError::Remote(format!("lease expired for {}", self.addr)));
+            }
+        }
+        let budget = deadline.saturating_duration_since(self.transport.clock().now());
+        let frame = encode_request(
+            &request,
+            ctx.trace,
+            ctx.span,
+            budget.as_nanos().min(u64::MAX as u128) as u64,
+        );
+        let in_flight = self
+            .transport
+            .begin(&self.addr, frame, deadline)
+            .map_err(|e| ServeError::Remote(e.to_string()))?;
+        let addr = self.addr.clone();
+        Ok(PendingLeg::deferred(move |deadline| match in_flight.finish(deadline) {
+            // A timeout is the remote analogue of a missed pickup
+            // deadline: `None`, so the router fails over.
+            Err(NetError::Timeout { .. }) => None,
+            Err(e) => Some(Err(ServeError::Remote(format!("{addr}: {e}")))),
+            Ok((header, payload)) => match decode_reply(header.kind, &payload) {
+                Ok(outcome) => Some(outcome),
+                Err(e) => Some(Err(ServeError::Remote(format!("{addr}: {e}")))),
+            },
+        }))
+    }
+
+    fn total_weight(&self) -> Result<f64, ServeError> {
+        self.weight_of(&Request::TotalWeight { index: self.index.clone() })
+    }
+
+    fn range_weight(&self, x: f64, y: f64) -> Result<f64, ServeError> {
+        self.weight_of(&Request::RangeWeight { index: self.index.clone(), x, y })
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        let clock = self.transport.clock();
+        let deadline = clock.now() + self.probe_deadline;
+        let Ok((header, payload)) =
+            self.transport.call(&self.addr, encode_metrics_request(), deadline)
+        else {
+            return MetricsSnapshot::default();
+        };
+        if header.kind != Kind::Metrics {
+            return MetricsSnapshot::default();
+        }
+        from_json::<MetricsSnapshot>(&payload).unwrap_or_default()
+    }
+}
+
+/// A [`FrameHandler`] exposing a [`ServiceRegistry`] to the network:
+/// announce frames in, ack frames out.
+pub struct RegistryHandler {
+    registry: Arc<ServiceRegistry>,
+}
+
+impl RegistryHandler {
+    /// Wraps the registry.
+    #[must_use]
+    pub fn new(registry: Arc<ServiceRegistry>) -> RegistryHandler {
+        RegistryHandler { registry }
+    }
+}
+
+impl FrameHandler for RegistryHandler {
+    fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        let refused = |detail: String| encode_reply(&Err(ServeError::Remote(detail)), 0, 0);
+        let (header, payload) = match decode_frame(frame, DEFAULT_MAX_PAYLOAD) {
+            Ok(decoded) => decoded,
+            Err(e) => return refused(e.to_string()),
+        };
+        if header.kind != Kind::Announce {
+            return refused(format!("registry cannot serve {:?} frames", header.kind));
+        }
+        match from_json::<Announce>(payload) {
+            Ok(announce) => encode_ack(&self.registry.announce(announce)),
+            Err(e) => refused(e.to_string()),
+        }
+    }
+}
+
+/// Sends one announcement to a remote registry and returns its ack.
+/// Replicas call this on a re-announce cadence well inside their TTL.
+///
+/// # Errors
+/// Transport failures, or a non-ack reply ([`NetError::Decode`]).
+pub fn announce_once(
+    transport: &dyn Transport,
+    registry_addr: &str,
+    announce: &Announce,
+    deadline: Instant,
+) -> Result<Ack, NetError> {
+    let (header, payload) = transport.call(registry_addr, encode_announce(announce), deadline)?;
+    if header.kind != Kind::Ack {
+        return Err(NetError::Decode(format!("expected an ack frame, got {:?}", header.kind)));
+    }
+    from_json::<Ack>(&payload)
+}
+
+/// Groups the registry's live announcements into shard specs for
+/// [`ShardedService::from_links`](iqs_shard::ShardedService::from_links):
+/// announces sharing an exact `(lo_key, hi_key)` span are replicas of
+/// one shard, ordered by key span and, within a shard, by address —
+/// deterministic regardless of announcement order. Every link carries
+/// the registry, so lease expiry feeds the breaker path.
+#[must_use]
+pub fn shard_specs(
+    registry: &Arc<ServiceRegistry>,
+    transport: &Arc<dyn Transport>,
+) -> Vec<ShardSpec> {
+    let mut specs: Vec<ShardSpec> = Vec::new();
+    for announce in registry.live() {
+        let link: Arc<dyn ReplicaLink> = Arc::new(
+            RemoteReplica::new(Arc::clone(transport), announce.addr.clone())
+                .with_registry(Arc::clone(registry)),
+        );
+        match specs.last_mut() {
+            Some(spec)
+                if spec.lo_key.to_bits() == announce.lo_key.to_bits()
+                    && spec.hi_key.to_bits() == announce.hi_key.to_bits() =>
+            {
+                spec.links.push(link);
+            }
+            _ => specs.push(ShardSpec {
+                lo_key: announce.lo_key,
+                hi_key: announce.hi_key,
+                total_weight: announce.total_weight,
+                links: vec![link],
+            }),
+        }
+    }
+    specs
+}

@@ -1,0 +1,125 @@
+//! Decoder robustness: hostile, truncated, and bit-flipped inputs map
+//! to typed errors — never a panic, never an attacker-sized allocation.
+
+use std::io::Cursor;
+
+use iqs_net::frame::{
+    decode_frame, decode_header, encode_frame, read_frame, Kind, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
+};
+use iqs_net::msg;
+use iqs_net::{FrameError, NetError};
+use iqs_serve::{Request, Response};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+fn valid_frame() -> Vec<u8> {
+    msg::encode_request(
+        &Request::SampleWr { index: "shard".into(), range: Some((0.0, 64.0)), s: 8 },
+        0x1122_3344_5566_7788,
+        0x0002_0001,
+        5_000_000,
+    )
+}
+
+proptest! {
+    /// Arbitrary byte soup through every decoding entry point: the only
+    /// outcomes are `Ok` or a typed error.
+    #[test]
+    fn byte_soup_never_panics(bytes in pvec(0u8..=255, 0..200)) {
+        let _ = decode_header(&bytes, DEFAULT_MAX_PAYLOAD);
+        let _ = decode_frame(&bytes, DEFAULT_MAX_PAYLOAD);
+        let _ = read_frame(&mut Cursor::new(&bytes), DEFAULT_MAX_PAYLOAD);
+        // And with a tiny receiver limit, which exercises Oversized.
+        let _ = decode_frame(&bytes, 4);
+    }
+
+    /// Single-bit corruption anywhere in a valid frame never panics,
+    /// and corruption of the magic, version, flags, or length fields is
+    /// always *detected* (a flipped kind byte can land on another valid
+    /// kind, and payload flips can stay valid JSON — those are for the
+    /// typed layer above, not the frame layer).
+    #[test]
+    fn bit_flips_never_panic_and_header_flips_are_detected(
+        position in 0usize..10_000,
+        bit in 0u8..8,
+    ) {
+        let mut frame = valid_frame();
+        let byte = position % frame.len();
+        frame[byte] ^= 1 << bit;
+        let outcome = decode_frame(&frame, DEFAULT_MAX_PAYLOAD);
+        let must_detect = byte < 3 || (24..HEADER_LEN).contains(&byte);
+        if must_detect {
+            prop_assert!(outcome.is_err(), "flip at byte {} bit {} went unnoticed", byte, bit);
+        }
+        // The streaming reader agrees with the buffer decoder.
+        let _ = read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD);
+    }
+}
+
+/// Every possible truncation of a valid frame reports `Truncated` with
+/// the exact byte counts — no panic, no partial success.
+#[test]
+fn every_truncation_reports_exact_counts() {
+    let frame = valid_frame();
+    for cut in 0..frame.len() {
+        match decode_frame(&frame[..cut], DEFAULT_MAX_PAYLOAD) {
+            Err(FrameError::Truncated { needed, have }) => {
+                assert_eq!(have, cut as u64);
+                let expected_need =
+                    if cut < HEADER_LEN { HEADER_LEN as u64 } else { frame.len() as u64 };
+                assert_eq!(needed, expected_need, "cut at {cut}");
+            }
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+/// A hostile length field is refused by the header check alone, before
+/// any payload allocation; and the streaming reader's bounded `take`
+/// only ever allocates what actually arrived.
+#[test]
+fn hostile_lengths_cannot_balloon_memory() {
+    // Declared length far past the receiver's limit: refused at the
+    // header, Oversized, no allocation.
+    let mut frame = encode_frame(Kind::Ok, 0, 0, 0, "[]");
+    frame[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_header(&frame, DEFAULT_MAX_PAYLOAD),
+        Err(FrameError::Oversized { declared, max })
+            if declared == u64::from(u32::MAX) && max == DEFAULT_MAX_PAYLOAD
+    ));
+    assert!(matches!(
+        read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD),
+        Err(NetError::Frame(FrameError::Oversized { .. }))
+    ));
+
+    // Declared length inside the limit but the stream ends after a few
+    // bytes: the reader reports a mid-frame close having read only what
+    // arrived.
+    let mut frame = encode_frame(Kind::Ok, 0, 0, 0, "[]");
+    frame[28..32].copy_from_slice(&10_000_000u32.to_le_bytes());
+    match read_frame(&mut Cursor::new(&frame), DEFAULT_MAX_PAYLOAD) {
+        Err(NetError::Io(detail)) => {
+            assert!(detail.contains("2 of 10000000"), "unexpected detail: {detail}")
+        }
+        other => panic!("expected a mid-frame Io error, got {other:?}"),
+    }
+}
+
+/// A structurally valid frame whose payload is not the promised type is
+/// a typed decode error at the message layer — never a panic.
+#[test]
+fn corrupt_payloads_are_typed_errors() {
+    for payload in ["", "not json", "{\"Nope\":1}", "{\"Samples\":[1,", "[1,2,3] junk", "nu1l"] {
+        let frame = encode_frame(Kind::Ok, 0, 0, 0, payload);
+        let (header, text) = decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect("frame layer ok");
+        assert!(matches!(msg::decode_reply(header.kind, text), Err(NetError::Decode(_))));
+        assert!(matches!(msg::from_json::<Request>(text), Err(NetError::Decode(_))));
+        assert!(matches!(msg::from_json::<Response>(text), Err(NetError::Decode(_))));
+    }
+    // Non-UTF-8 payload bytes are a frame-layer BadPayload.
+    let mut frame = encode_frame(Kind::Ok, 0, 0, 0, "ab");
+    frame[HEADER_LEN] = 0xff;
+    frame[HEADER_LEN + 1] = 0xfe;
+    assert!(matches!(decode_frame(&frame, DEFAULT_MAX_PAYLOAD), Err(FrameError::BadPayload(_))));
+}

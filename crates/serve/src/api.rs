@@ -151,3 +151,327 @@ impl Response {
         }
     }
 }
+
+// Wire encoding: externally tagged JSON objects (`{"SampleWr":{...}}`),
+// hand-written because the vendored serde derive covers named-field
+// structs only. Field order is fixed and load-bearing — the pull-parser
+// reads fields in declaration order — and `iqs-net` pins the exact
+// bytes with golden-frame fixtures, so any change here is a wire-format
+// version bump.
+
+use serde::de::{Error as DeError, Parser};
+use serde::{Deserialize, Serialize};
+
+/// Opens `{"tag":` for a tagged enum body.
+fn open_tag(tag: &str, out: &mut String) {
+    out.push('{');
+    serde::de::write_json_string(tag, out);
+    out.push(':');
+}
+
+/// Reads the tag of an externally tagged enum value, leaving the cursor
+/// on the body. The caller must consume the closing `}`.
+fn read_tag(p: &mut Parser<'_>) -> Result<String, DeError> {
+    p.expect_char('{')?;
+    let tag = p.parse_string()?;
+    p.expect_char(':')?;
+    Ok(tag)
+}
+
+impl Serialize for UpdateOp {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            UpdateOp::Upsert { id, key, weight } => {
+                open_tag("Upsert", out);
+                out.push_str("{\"id\":");
+                id.serialize_json(out);
+                out.push_str(",\"key\":");
+                key.serialize_json(out);
+                out.push_str(",\"weight\":");
+                weight.serialize_json(out);
+                out.push_str("}}");
+            }
+            UpdateOp::Remove { id } => {
+                open_tag("Remove", out);
+                out.push_str("{\"id\":");
+                id.serialize_json(out);
+                out.push_str("}}");
+            }
+        }
+    }
+}
+
+impl Deserialize for UpdateOp {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, DeError> {
+        let tag = read_tag(p)?;
+        let op = match tag.as_str() {
+            "Upsert" => {
+                p.expect_char('{')?;
+                p.expect_key("id")?;
+                let id = u64::deserialize_json(p)?;
+                p.expect_char(',')?;
+                p.expect_key("key")?;
+                let key = f64::deserialize_json(p)?;
+                p.expect_char(',')?;
+                p.expect_key("weight")?;
+                let weight = f64::deserialize_json(p)?;
+                p.expect_char('}')?;
+                UpdateOp::Upsert { id, key, weight }
+            }
+            "Remove" => {
+                p.expect_char('{')?;
+                p.expect_key("id")?;
+                let id = u64::deserialize_json(p)?;
+                p.expect_char('}')?;
+                UpdateOp::Remove { id }
+            }
+            other => return Err(DeError::custom(format!("unknown UpdateOp variant {other:?}"))),
+        };
+        p.expect_char('}')?;
+        Ok(op)
+    }
+}
+
+impl Serialize for Request {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Request::SampleWr { index, range, s } | Request::SampleWor { index, range, s } => {
+                let tag =
+                    if matches!(self, Request::SampleWr { .. }) { "SampleWr" } else { "SampleWor" };
+                open_tag(tag, out);
+                out.push_str("{\"index\":");
+                index.serialize_json(out);
+                out.push_str(",\"range\":");
+                range.serialize_json(out);
+                out.push_str(",\"s\":");
+                s.serialize_json(out);
+                out.push_str("}}");
+            }
+            Request::RangeCount { index, x, y } | Request::RangeWeight { index, x, y } => {
+                let tag = if matches!(self, Request::RangeCount { .. }) {
+                    "RangeCount"
+                } else {
+                    "RangeWeight"
+                };
+                open_tag(tag, out);
+                out.push_str("{\"index\":");
+                index.serialize_json(out);
+                out.push_str(",\"x\":");
+                x.serialize_json(out);
+                out.push_str(",\"y\":");
+                y.serialize_json(out);
+                out.push_str("}}");
+            }
+            Request::SampleUnion { index, g, s } => {
+                open_tag("SampleUnion", out);
+                out.push_str("{\"index\":");
+                index.serialize_json(out);
+                out.push_str(",\"g\":");
+                g.serialize_json(out);
+                out.push_str(",\"s\":");
+                s.serialize_json(out);
+                out.push_str("}}");
+            }
+            Request::TotalWeight { index } => {
+                open_tag("TotalWeight", out);
+                out.push_str("{\"index\":");
+                index.serialize_json(out);
+                out.push_str("}}");
+            }
+            Request::Update { index, ops } => {
+                open_tag("Update", out);
+                out.push_str("{\"index\":");
+                index.serialize_json(out);
+                out.push_str(",\"ops\":");
+                ops.serialize_json(out);
+                out.push_str("}}");
+            }
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, DeError> {
+        let tag = read_tag(p)?;
+        let request = match tag.as_str() {
+            "SampleWr" | "SampleWor" => {
+                p.expect_char('{')?;
+                p.expect_key("index")?;
+                let index = String::deserialize_json(p)?;
+                p.expect_char(',')?;
+                p.expect_key("range")?;
+                let range = Option::<(f64, f64)>::deserialize_json(p)?;
+                p.expect_char(',')?;
+                p.expect_key("s")?;
+                let s = u32::deserialize_json(p)?;
+                p.expect_char('}')?;
+                if tag == "SampleWr" {
+                    Request::SampleWr { index, range, s }
+                } else {
+                    Request::SampleWor { index, range, s }
+                }
+            }
+            "RangeCount" | "RangeWeight" => {
+                p.expect_char('{')?;
+                p.expect_key("index")?;
+                let index = String::deserialize_json(p)?;
+                p.expect_char(',')?;
+                p.expect_key("x")?;
+                let x = f64::deserialize_json(p)?;
+                p.expect_char(',')?;
+                p.expect_key("y")?;
+                let y = f64::deserialize_json(p)?;
+                p.expect_char('}')?;
+                if tag == "RangeCount" {
+                    Request::RangeCount { index, x, y }
+                } else {
+                    Request::RangeWeight { index, x, y }
+                }
+            }
+            "SampleUnion" => {
+                p.expect_char('{')?;
+                p.expect_key("index")?;
+                let index = String::deserialize_json(p)?;
+                p.expect_char(',')?;
+                p.expect_key("g")?;
+                let g = Vec::<u32>::deserialize_json(p)?;
+                p.expect_char(',')?;
+                p.expect_key("s")?;
+                let s = u32::deserialize_json(p)?;
+                p.expect_char('}')?;
+                Request::SampleUnion { index, g, s }
+            }
+            "TotalWeight" => {
+                p.expect_char('{')?;
+                p.expect_key("index")?;
+                let index = String::deserialize_json(p)?;
+                p.expect_char('}')?;
+                Request::TotalWeight { index }
+            }
+            "Update" => {
+                p.expect_char('{')?;
+                p.expect_key("index")?;
+                let index = String::deserialize_json(p)?;
+                p.expect_char(',')?;
+                p.expect_key("ops")?;
+                let ops = Vec::<UpdateOp>::deserialize_json(p)?;
+                p.expect_char('}')?;
+                Request::Update { index, ops }
+            }
+            other => return Err(DeError::custom(format!("unknown Request variant {other:?}"))),
+        };
+        p.expect_char('}')?;
+        Ok(request)
+    }
+}
+
+impl Serialize for Response {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Response::Samples(ids) => {
+                open_tag("Samples", out);
+                ids.serialize_json(out);
+                out.push('}');
+            }
+            Response::Count(count) => {
+                open_tag("Count", out);
+                count.serialize_json(out);
+                out.push('}');
+            }
+            Response::Weight(w) => {
+                open_tag("Weight", out);
+                w.serialize_json(out);
+                out.push('}');
+            }
+            Response::Updated { applied, version } => {
+                open_tag("Updated", out);
+                out.push_str("{\"applied\":");
+                applied.serialize_json(out);
+                out.push_str(",\"version\":");
+                version.serialize_json(out);
+                out.push_str("}}");
+            }
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, DeError> {
+        let tag = read_tag(p)?;
+        let response = match tag.as_str() {
+            "Samples" => Response::Samples(Vec::<u64>::deserialize_json(p)?),
+            "Count" => Response::Count(usize::deserialize_json(p)?),
+            "Weight" => Response::Weight(f64::deserialize_json(p)?),
+            "Updated" => {
+                p.expect_char('{')?;
+                p.expect_key("applied")?;
+                let applied = usize::deserialize_json(p)?;
+                p.expect_char(',')?;
+                p.expect_key("version")?;
+                let version = u64::deserialize_json(p)?;
+                p.expect_char('}')?;
+                Response::Updated { applied, version }
+            }
+            other => return Err(DeError::custom(format!("unknown Response variant {other:?}"))),
+        };
+        p.expect_char('}')?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + std::fmt::Debug + PartialEq>(v: &T) {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        let mut p = Parser::new(&s);
+        let back = T::deserialize_json(&mut p).unwrap_or_else(|e| panic!("parse {s:?}: {e}"));
+        p.expect_eof().expect("trailing garbage");
+        assert_eq!(&back, v, "round-trip through {s}");
+    }
+
+    #[test]
+    fn requests_roundtrip_including_nonfinite_ranges() {
+        roundtrip(&Request::SampleWr { index: "a".into(), range: Some((0.25, 7.5)), s: 3 });
+        roundtrip(&Request::SampleWr { index: "a".into(), range: None, s: 1 });
+        // The router's full-range scatter legs carry ±infinity endpoints;
+        // the wire must not mangle them.
+        roundtrip(&Request::SampleWr {
+            index: "shard".into(),
+            range: Some((f64::NEG_INFINITY, f64::INFINITY)),
+            s: 64,
+        });
+        roundtrip(&Request::SampleWor { index: "b\"x".into(), range: Some((-1.0, 1.0)), s: 9 });
+        roundtrip(&Request::RangeCount { index: "c".into(), x: -0.5, y: 1e300 });
+        roundtrip(&Request::SampleUnion { index: "u".into(), g: vec![0, 7, 2], s: 12 });
+        roundtrip(&Request::SampleUnion { index: "u".into(), g: Vec::new(), s: 1 });
+        roundtrip(&Request::TotalWeight { index: "t".into() });
+        roundtrip(&Request::RangeWeight { index: "w".into(), x: 2.0, y: 3.0 });
+        roundtrip(&Request::Update {
+            index: "d".into(),
+            ops: vec![
+                UpdateOp::Upsert { id: 4, key: 0.125, weight: 2.5 },
+                UpdateOp::Remove { id: 9 },
+            ],
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip(&Response::Samples(vec![1, 2, u64::MAX]));
+        roundtrip(&Response::Samples(Vec::new()));
+        roundtrip(&Response::Count(0));
+        roundtrip(&Response::Weight(1.0 / 3.0));
+        roundtrip(&Response::Updated { applied: 5, version: 17 });
+    }
+
+    #[test]
+    fn unknown_variants_are_typed_errors() {
+        for text in ["{\"Nope\":3}", "[]", "{\"Samples\":{}}"] {
+            let mut p = Parser::new(text);
+            assert!(Response::deserialize_json(&mut p).is_err(), "{text} should not parse");
+        }
+    }
+}

@@ -44,6 +44,7 @@
 mod error;
 mod fault;
 mod health;
+mod link;
 mod merge;
 mod metrics;
 mod placement;
@@ -52,6 +53,8 @@ mod router;
 pub use error::ShardError;
 pub use fault::FaultMode;
 pub use health::HealthPolicy;
+pub use link::{PendingLeg, ReplicaLink, ShardSpec};
 pub use merge::{Counted, Sampled};
 pub use metrics::{ClusterMetrics, ReplicaMetrics, RouterMetrics};
+pub use placement::SHARD_INDEX;
 pub use router::{leg_seed, ClusterClient, FaultPlan, ShardConfig, ShardSlice, ShardedService};

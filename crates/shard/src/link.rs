@@ -1,0 +1,172 @@
+//! The router's replica interface, abstracted over *where* the replica
+//! runs.
+//!
+//! Historically a replica was a struct in the router's address space —
+//! a [`Client`] plus the [`Server`] that owns its worker pool. This
+//! module narrows what the router actually needs from a replica to one
+//! object-safe trait, [`ReplicaLink`]: submit a scatter leg, probe
+//! weights for planning, snapshot metrics. `iqs-net` implements the
+//! same trait over a wire transport, so a topology can mix in-process
+//! and remote legs and the scatter/gather, failover, breaker, and
+//! degradation machinery applies unchanged to both.
+//!
+//! The asymmetry that remains is deliberate: [`ReplicaLink::local_registry`]
+//! exposes direct snapshot access only for in-process replicas. Seeded
+//! replay and rebalancing read shard slices synchronously and
+//! deterministically — semantics a wire cannot provide — so those
+//! operations refuse remote shards with a typed error instead of
+//! pretending.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use iqs_obs::Ctx;
+use iqs_serve::{
+    Client, IndexRegistry, MetricsSnapshot, PendingReply, Request, Response, ServeError, Server,
+};
+
+use crate::placement::SHARD_INDEX;
+
+/// A submitted scatter leg whose response can be awaited once, bounded
+/// by a deadline on the router's clock.
+pub enum PendingLeg {
+    /// An in-process reply handle (local replica).
+    Local(PendingReply),
+    /// An already-resolved outcome (synchronous transports — the sim
+    /// transport completes the round trip inside `submit`). `None`
+    /// means the attempt timed out.
+    Ready(Option<Result<Response, ServeError>>),
+    /// A deferred completion, invoked once with the gather deadline
+    /// (TCP: the request is written at submit, the reply read here, so
+    /// legs still fan out across shards before the first wait).
+    Deferred(Box<dyn FnOnce(Instant) -> Option<Result<Response, ServeError>> + Send>),
+}
+
+impl PendingLeg {
+    /// Wraps a completion closure.
+    pub fn deferred(
+        f: impl FnOnce(Instant) -> Option<Result<Response, ServeError>> + Send + 'static,
+    ) -> PendingLeg {
+        PendingLeg::Deferred(Box::new(f))
+    }
+
+    /// Blocks until the response arrives or `deadline` passes; `None`
+    /// means the attempt timed out (the router fails over).
+    pub fn wait_deadline(self, deadline: Instant) -> Option<Result<Response, ServeError>> {
+        match self {
+            PendingLeg::Local(pending) => pending.wait_deadline(deadline),
+            PendingLeg::Ready(outcome) => outcome,
+            PendingLeg::Deferred(finish) => finish(deadline),
+        }
+    }
+}
+
+/// What the router needs from one replica of one shard: leg submission,
+/// weight probes for the planner's top-level alias table, and metrics.
+///
+/// Implementations must be cheap to call concurrently; the router
+/// submits to many links from one thread and expects `submit` to fan
+/// out (queue or write) rather than block on the reply.
+pub trait ReplicaLink: Send + Sync {
+    /// Submits one scatter leg. `origin` is the latency origin,
+    /// `deadline` this attempt's deadline on the router's clock, `ctx`
+    /// the leg's trace context (trace ids cross process boundaries so
+    /// `TraceView` still reconstructs the two-level schedule).
+    ///
+    /// # Errors
+    /// Admission refusals and transport failures surface immediately;
+    /// dispatch errors arrive through the returned [`PendingLeg`].
+    fn submit(
+        &self,
+        request: Request,
+        origin: Instant,
+        deadline: Instant,
+        ctx: Ctx,
+    ) -> Result<PendingLeg, ServeError>;
+
+    /// The replica's total sampling weight (the planner's cached-probe
+    /// path at build time).
+    ///
+    /// # Errors
+    /// [`ServeError`] when the index is unreachable or unregistered.
+    fn total_weight(&self) -> Result<f64, ServeError>;
+
+    /// The replica's in-range weight over `[x, y]` (the planner's live
+    /// probe for partially covered shards).
+    ///
+    /// # Errors
+    /// [`ServeError`] when the index is unreachable or unregistered.
+    fn range_weight(&self, x: f64, y: f64) -> Result<f64, ServeError>;
+
+    /// A point-in-time copy of the replica's service metrics. Remote
+    /// implementations report a default (empty) snapshot when the
+    /// replica is unreachable.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Direct access to the replica's index registry, for deterministic
+    /// seeded replay and rebalancing. `None` (the default) for remote
+    /// replicas — those operations require in-process snapshots.
+    fn local_registry(&self) -> Option<&IndexRegistry> {
+        None
+    }
+}
+
+/// One shard of a remote topology: the key span and cached weight a
+/// registry lease advertises, plus the links serving it. Feed a sorted,
+/// disjoint list to [`ShardedService::from_links`].
+///
+/// [`ShardedService::from_links`]: crate::ShardedService::from_links
+pub struct ShardSpec {
+    /// Smallest element key in the shard.
+    pub lo_key: f64,
+    /// Largest element key in the shard.
+    pub hi_key: f64,
+    /// Total sampling weight of the shard's slice (the replicas'
+    /// cached snapshot value, carried by their announcements).
+    pub total_weight: f64,
+    /// The replicas serving this shard.
+    pub links: Vec<Arc<dyn ReplicaLink>>,
+}
+
+/// An in-process replica: a full single-node service, owned. Dropping
+/// the link drains and joins the worker pool.
+pub(crate) struct LocalReplica {
+    client: Client,
+    server: Server,
+}
+
+impl LocalReplica {
+    pub(crate) fn new(server: Server) -> LocalReplica {
+        LocalReplica { client: server.client(), server }
+    }
+}
+
+impl ReplicaLink for LocalReplica {
+    fn submit(
+        &self,
+        request: Request,
+        origin: Instant,
+        deadline: Instant,
+        ctx: Ctx,
+    ) -> Result<PendingLeg, ServeError> {
+        self.client.call_pending_ctx(request, origin, Some(deadline), ctx).map(PendingLeg::Local)
+    }
+
+    fn total_weight(&self) -> Result<f64, ServeError> {
+        self.server.registry().total_weight(SHARD_INDEX)
+    }
+
+    fn range_weight(&self, x: f64, y: f64) -> Result<f64, ServeError> {
+        // Weight probes bypass the queue: they are deterministic reads
+        // of the published snapshot, not sampling work.
+        self.server.registry().range_weight(SHARD_INDEX, x, y)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.client.metrics()
+    }
+
+    fn local_registry(&self) -> Option<&IndexRegistry> {
+        Some(self.server.registry())
+    }
+}

@@ -12,36 +12,35 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use iqs_serve::{Client, IndexRegistry, Server, ServerConfig};
+use iqs_serve::{IndexRegistry, Server, ServerConfig};
 
 use crate::error::ShardError;
 use crate::fault::FaultCell;
 use crate::health::Health;
+use crate::link::{LocalReplica, ReplicaLink};
 use crate::router::ShardConfig;
 
-/// The name every replica registers its slice under.
-pub(crate) const SHARD_INDEX: &str = "shard";
+/// The index name every replica registers its slice under. Part of the
+/// remote protocol: `iqs-net` replica servers register the same name,
+/// so a router's scatter requests resolve identically in-process and
+/// over the wire.
+pub const SHARD_INDEX: &str = "shard";
 
 /// Mixing constant for deriving per-server seeds (same splitmix64
 /// increment the serve worker pool uses for per-worker streams).
 pub(crate) const SEED_GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
 
-/// One replica: a full single-node sampling service over the shard's
-/// slice, plus the router-side health and fault state attached to it.
+/// One replica as the router sees it: a link (in-process or remote)
+/// plus the router-side health and fault state attached to it.
 pub(crate) struct Replica {
-    pub(crate) client: Client,
+    pub(crate) link: Arc<dyn ReplicaLink>,
     pub(crate) health: Health,
     pub(crate) fault: FaultCell,
-    /// Owns the worker pool; dropping the replica drains and joins it.
-    server: Server,
 }
 
 impl Replica {
-    /// Direct read access to this replica's registry (weight probes and
-    /// seeded replay bypass the queue — they are deterministic reads of
-    /// the published snapshot).
-    pub(crate) fn registry(&self) -> &IndexRegistry {
-        self.server.registry()
+    pub(crate) fn new(link: Arc<dyn ReplicaLink>) -> Replica {
+        Replica { link, health: Health::default(), fault: FaultCell::default() }
     }
 }
 
@@ -147,17 +146,11 @@ pub(crate) fn build_shard(
                 clock: config.clock.clone(),
             },
         );
-        let client = server.client();
-        replicas.push(Arc::new(Replica {
-            client,
-            health: Health::default(),
-            fault: FaultCell::default(),
-            server,
-        }));
+        replicas.push(Arc::new(Replica::new(Arc::new(LocalReplica::new(server)))));
     }
     // Identical slices build identical ChunkedRanges, so this cached
     // value is bit-identical on every replica.
-    let total_weight = replicas[0].registry().total_weight(SHARD_INDEX)?;
+    let total_weight = replicas[0].link.total_weight()?;
     Ok(Arc::new(ShardHandle {
         lo_key: elements.first().expect("shard slices are non-empty").1,
         hi_key: elements.last().expect("shard slices are non-empty").1,

@@ -43,7 +43,7 @@ use iqs_alias::split::split_samples_with;
 use iqs_alias::AliasTable;
 use iqs_core::QueryError;
 use iqs_obs::{recorder, Ctx, Phase, SlowEntry};
-use iqs_serve::{IndexView, PendingReply, Request, Response, Snapshot};
+use iqs_serve::{IndexView, Request, Response, Snapshot};
 use iqs_testkit::ClockHandle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,6 +51,7 @@ use rand::SeedableRng;
 use crate::error::ShardError;
 use crate::fault::FaultMode;
 use crate::health::{Availability, HealthPolicy};
+use crate::link::{PendingLeg, ShardSpec};
 use crate::merge::{Counted, Sampled};
 use crate::metrics::{ClusterMetrics, ReplicaMetrics, RouterCounters};
 use crate::placement::{
@@ -137,10 +138,10 @@ struct Leg {
     weight: f64,
 }
 
-/// An attempt in flight: the pending reply, the injected delay to honor
+/// An attempt in flight: the pending leg, the injected delay to honor
 /// at gather (if the chosen replica is delay-faulted), the replica index,
 /// and this attempt's deadline.
-type Attempt = (PendingReply, Option<Duration>, usize, Instant);
+type Attempt = (PendingLeg, Option<Duration>, usize, Instant);
 
 /// The draw count a scatter request asks its shard for (0 for counts).
 fn planned_of(request: &Request) -> u64 {
@@ -218,12 +219,7 @@ impl Inner {
                 FaultMode::Healthy => None,
             };
             let deadline = self.config.clock.now() + self.config.scatter_deadline;
-            match rep.client.call_pending_ctx(
-                request.clone(),
-                origin,
-                Some(deadline),
-                ctx.replica(ri),
-            ) {
+            match rep.link.submit(request.clone(), origin, deadline, ctx.replica(ri)) {
                 Ok(pending) => {
                     recorder::emit(
                         ctx.replica(ri),
@@ -344,7 +340,7 @@ impl Inner {
                     .replicas
                     .iter()
                     .filter(|r| !matches!(r.fault.get(), FaultMode::Down | FaultMode::Error))
-                    .find_map(|r| r.registry().range_weight(SHARD_INDEX, x, y).ok())
+                    .find_map(|r| r.link.range_weight(x, y).ok())
             };
             match weight {
                 Some(w) if w > 0.0 => {
@@ -385,6 +381,15 @@ impl Inner {
         recorder::emit(ctx, Phase::QueryDone, latency_ns, u64::from(degraded));
         self.counters.slow.observe(ctx.trace, latency_ns);
     }
+}
+
+/// The first replica's in-process registry, for deterministic reads
+/// that bypass the queue (seeded replay). Remote topologies have none.
+fn registry_of(shard: &ShardHandle) -> Result<&iqs_serve::IndexRegistry, ShardError> {
+    shard.replicas[0]
+        .link
+        .local_registry()
+        .ok_or(ShardError::InvalidRequest("seeded replay requires local shards"))
 }
 
 /// The per-shard RNG seed schedule: leg `shard_idx` of a seeded query
@@ -479,6 +484,65 @@ impl ShardedService {
         })
     }
 
+    /// Builds the tier over pre-existing replicas — typically
+    /// `iqs-net` remote links discovered from a service registry, but
+    /// any [`crate::ReplicaLink`] implementation works. Specs must
+    /// arrive in key order with disjoint spans (the discovery helpers
+    /// produce exactly that); the cached `total_weight` drives the
+    /// planner's covering-query path just as locally built shards do.
+    ///
+    /// Shards built this way carry no element slice, so seeded replay
+    /// and split/merge rebalancing refuse them with
+    /// [`ShardError::InvalidRequest`]; every query path works
+    /// unchanged.
+    ///
+    /// # Errors
+    /// [`ShardError::Config`] for an empty spec list, a shard with no
+    /// links, an inverted or overlapping key span, or a non-finite /
+    /// non-positive cached weight.
+    pub fn from_links(specs: Vec<ShardSpec>, config: ShardConfig) -> Result<Self, ShardError> {
+        if specs.is_empty() {
+            return Err(ShardError::Config("at least one shard spec is required"));
+        }
+        let mut shards = Vec::with_capacity(specs.len());
+        let mut prev_hi = f64::NEG_INFINITY;
+        for spec in specs {
+            if spec.links.is_empty() {
+                return Err(ShardError::Config("every shard needs at least one replica link"));
+            }
+            if !spec.lo_key.is_finite() || !spec.hi_key.is_finite() || spec.lo_key > spec.hi_key {
+                return Err(ShardError::Config("shard key span must be finite with lo <= hi"));
+            }
+            if spec.lo_key <= prev_hi {
+                return Err(ShardError::Config("shard key spans must be disjoint and ascending"));
+            }
+            prev_hi = spec.hi_key;
+            if !spec.total_weight.is_finite() || spec.total_weight <= 0.0 {
+                return Err(ShardError::Config("shard total weight must be finite and positive"));
+            }
+            let replicas =
+                spec.links.into_iter().map(|link| Arc::new(Replica::new(link))).collect();
+            shards.push(Arc::new(ShardHandle {
+                lo_key: spec.lo_key,
+                hi_key: spec.hi_key,
+                total_weight: spec.total_weight,
+                elements: Arc::new(Vec::new()),
+                replicas,
+                rr: std::sync::atomic::AtomicUsize::new(0),
+            }));
+        }
+        Ok(ShardedService {
+            inner: Arc::new(Inner {
+                topo: Snapshot::new(Topology { shards }),
+                config,
+                counters: RouterCounters::default(),
+                server_seq: AtomicU64::new(1),
+                client_seq: AtomicU64::new(0),
+                rebalance: Mutex::new(()),
+            }),
+        })
+    }
+
     /// A new query client with its own independent split-RNG stream.
     #[must_use]
     pub fn client(&self) -> ClusterClient {
@@ -544,7 +608,10 @@ impl ShardedService {
     ///
     /// # Errors
     /// [`ShardError::EmptyRange`] when no shard holds in-range weight;
-    /// [`ShardError::Query`] when a replica's sampler rejects the draw.
+    /// [`ShardError::Query`] when a replica's sampler rejects the draw;
+    /// [`ShardError::InvalidRequest`] on a remote topology — seeded
+    /// replay reads published snapshots directly, which a wire cannot
+    /// provide.
     pub fn sample_wr_seeded(
         &self,
         range: Option<(f64, f64)>,
@@ -563,7 +630,7 @@ impl ShardedService {
             let weight = if x <= shard.lo_key && y >= shard.hi_key {
                 shard.total_weight
             } else {
-                shard.replicas[0].registry().range_weight(SHARD_INDEX, x, y)?
+                registry_of(shard)?.range_weight(SHARD_INDEX, x, y)?
             };
             if weight > 0.0 {
                 legs.push(Leg { shard_idx: idx, shard: Arc::clone(shard), weight });
@@ -579,8 +646,7 @@ impl ShardedService {
             if count == 0 {
                 continue;
             }
-            let view = leg.shard.replicas[0]
-                .registry()
+            let view = registry_of(&leg.shard)?
                 .view(SHARD_INDEX)
                 .expect("every replica registers the shard index");
             let IndexView::Range(rv) = view.as_ref() else {
@@ -606,11 +672,16 @@ impl ShardedService {
     /// # Errors
     /// [`ShardError::UnknownShard`] for a bad index;
     /// [`ShardError::NoSplitPoint`] when every element of the shard
-    /// shares one key (an equal run is never straddled).
+    /// shares one key (an equal run is never straddled);
+    /// [`ShardError::InvalidRequest`] for a remote shard — the router
+    /// holds no element slice to re-partition.
     pub fn split_shard(&self, shard: usize) -> Result<usize, ShardError> {
         let _guard = self.inner.rebalance.lock().expect("rebalance lock poisoned");
         let topo = self.inner.topo.load();
         let handle = topo.shards.get(shard).ok_or(ShardError::UnknownShard(shard))?;
+        if handle.elements.is_empty() {
+            return Err(ShardError::InvalidRequest("remote shards cannot be rebalanced"));
+        }
         let keys: Vec<f64> = handle.elements.iter().map(|&(_, key, _)| key).collect();
         let cut = split_point(&keys).ok_or(ShardError::NoSplitPoint)?;
         let left = build_shard(
@@ -636,12 +707,16 @@ impl ShardedService {
     /// shard count.
     ///
     /// # Errors
-    /// [`ShardError::UnknownShard`] when `left + 1` is past the end.
+    /// [`ShardError::UnknownShard`] when `left + 1` is past the end;
+    /// [`ShardError::InvalidRequest`] when either shard is remote.
     pub fn merge_shards(&self, left: usize) -> Result<usize, ShardError> {
         let _guard = self.inner.rebalance.lock().expect("rebalance lock poisoned");
         let topo = self.inner.topo.load();
         if left + 1 >= topo.shards.len() {
             return Err(ShardError::UnknownShard(left + 1));
+        }
+        if topo.shards[left].elements.is_empty() || topo.shards[left + 1].elements.is_empty() {
+            return Err(ShardError::InvalidRequest("remote shards cannot be rebalanced"));
         }
         // Adjacent slices of one key-sorted list: concatenation stays
         // key-sorted.
@@ -674,7 +749,7 @@ impl ShardedService {
         let mut cluster: Option<iqs_serve::MetricsSnapshot> = None;
         for (si, shard) in topo.shards.iter().enumerate() {
             for (ri, rep) in shard.replicas.iter().enumerate() {
-                let serve = rep.client.metrics();
+                let serve = rep.link.metrics();
                 cluster = Some(match cluster {
                     Some(acc) => acc.plus(&serve),
                     None => serve,

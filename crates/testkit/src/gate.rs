@@ -56,6 +56,8 @@ pub const MANIFEST: &[&str] = &[
     "serve_union_uniformity",
     "shard_two_level_chi_square",
     "pipelined_kernels_chi_square",
+    "net_sim_cluster_chi_square",
+    "net_multi_process_chi_square",
     "testkit_gate_selfcheck",
 ];
 

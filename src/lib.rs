@@ -9,11 +9,16 @@
 //! (virtual clock, statistical gates, fault plans, replay oracles) the
 //! tier test suites are built on, and [`iqs_obs`] is the observability
 //! layer (flight recorder, trace reconstruction, cost profiling,
-//! exporters) threaded through the serve and shard tiers.
+//! exporters) threaded through the serve and shard tiers. [`iqs_net`]
+//! extends the shard tier across process boundaries: a length-prefixed
+//! wire format, TCP and deterministic in-memory transports, a
+//! TTL-leased replica registry, and remote replica links the router
+//! treats identically to in-process ones.
 
 pub use iqs_alias as alias;
 pub use iqs_core as core;
 pub use iqs_em as em;
+pub use iqs_net as net;
 pub use iqs_obs as obs;
 pub use iqs_serve as serve;
 pub use iqs_shard as shard;

@@ -9,6 +9,7 @@ use std::error::Error;
 
 use iqs::alias::WeightError;
 use iqs::core::QueryError;
+use iqs::net::{FrameError, NetError};
 use iqs::serve::ServeError;
 use iqs::shard::ShardError;
 use iqs::spatial::SpatialError;
@@ -27,6 +28,8 @@ fn all_public_error_enums_are_boxable_errors() {
     assert_boxable::<SpatialError>();
     assert_boxable::<ServeError>();
     assert_boxable::<ShardError>();
+    assert_boxable::<FrameError>();
+    assert_boxable::<NetError>();
 }
 
 #[test]
@@ -43,6 +46,11 @@ fn errors_round_trip_through_dyn_error() {
         Box::new(ShardError::from(ServeError::from(QueryError::EmptyRange)));
     let source = shard_err.source().expect("shard errors expose the service source");
     assert!(source.source().is_some(), "the chain reaches the structure error");
+
+    // A frame error wrapped by the transport layer keeps its source.
+    let net_err: Box<dyn Error + Send + Sync> =
+        Box::new(NetError::from(FrameError::Truncated { needed: 32, have: 4 }));
+    assert!(net_err.source().is_some(), "NetError::Frame exposes the frame source");
 
     // Every enum Displays something non-empty through the trait object.
     let samples: Vec<Box<dyn Error + Send + Sync>> = vec![

@@ -145,11 +145,19 @@ impl<'a> Parser<'a> {
     }
 
     /// Parses a float (bit-exact for values printed via `Display`).
+    /// Non-finite values arrive as the strings `"inf"` / `"-inf"` /
+    /// `"NaN"` (the serializer's encoding; plain `inf` is not JSON) and
+    /// are handed to `FromStr`, which accepts those spellings.
     pub fn parse_float<T>(&mut self) -> Result<T, Error>
     where
         T: std::str::FromStr,
         T::Err: fmt::Display,
     {
+        if self.peek() == Some(b'"') {
+            let start = self.pos;
+            let tok = self.parse_string()?;
+            return tok.parse().map_err(|e| Error::new(format!("bad float {tok:?}: {e}"), start));
+        }
         self.parse_unsigned()
     }
 

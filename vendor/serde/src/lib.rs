@@ -45,9 +45,38 @@ impl_display_number!(
     u8 => parse_unsigned, u16 => parse_unsigned, u32 => parse_unsigned,
     u64 => parse_unsigned, usize => parse_unsigned,
     i8 => parse_signed, i16 => parse_signed, i32 => parse_signed,
-    i64 => parse_signed, isize => parse_signed,
-    f32 => parse_float, f64 => parse_float
+    i64 => parse_signed, isize => parse_signed
 );
+
+// Floats need their own impl: `Display` prints non-finite values as
+// `inf` / `-inf` / `NaN`, which are not JSON. Encoding them as strings
+// keeps the output parseable (`f64::from_str` reads the same spellings
+// back), and full-range sampling requests legitimately carry ±infinity
+// endpoints over the wire.
+macro_rules! impl_float {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    use std::fmt::Write;
+                    write!(out, "{self}").expect("infallible");
+                } else if self.is_nan() {
+                    out.push_str("\"NaN\"");
+                } else if self.is_sign_positive() {
+                    out.push_str("\"inf\"");
+                } else {
+                    out.push_str("\"-inf\"");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                p.parse_float()
+            }
+        }
+    )+};
+}
+impl_float!(f32, f64);
 
 impl Serialize for bool {
     fn serialize_json(&self, out: &mut String) {
@@ -176,6 +205,21 @@ mod tests {
         }
         assert_eq!(roundtrip(&u64::MAX), u64::MAX);
         assert_eq!(roundtrip(&-12345i64), -12345);
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip_as_strings() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY] {
+            let mut s = String::new();
+            v.serialize_json(&mut s);
+            assert!(s.starts_with('"'), "non-finite floats must encode as JSON strings: {s}");
+            assert_eq!(roundtrip(&v).to_bits(), v.to_bits());
+        }
+        assert!(roundtrip(&f64::NAN).is_nan());
+        assert_eq!(roundtrip(&(f32::NEG_INFINITY)), f32::NEG_INFINITY);
+        // Inside containers too — the shape the wire format actually ships.
+        let range = Some((f64::NEG_INFINITY, f64::INFINITY));
+        assert_eq!(roundtrip(&range), range);
     }
 
     #[test]

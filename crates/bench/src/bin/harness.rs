@@ -125,6 +125,9 @@ fn main() {
     if want("e21") {
         e21_net();
     }
+    if want("e22") {
+        e22_tiered();
+    }
 }
 
 // =====================================================================
@@ -1868,5 +1871,119 @@ fn e21_net() {
          in `multi_process_cluster` certifies the networked draw.\n",
         (local_rate / best_remote).max(1.0),
         best_remote / local_rate,
+    );
+}
+
+// =====================================================================
+// E22 — tiered hot/cold serving: samples/s vs cache-hit rate vs budget.
+// =====================================================================
+fn e22_tiered() {
+    use iqs_em::EvictionPolicy;
+    use iqs_obs::Ctx;
+    use iqs_tier::{ShardTier, TierConfig, TieredIndex};
+    use std::time::Instant;
+
+    // CI sets E22_SMOKE=1 to run the same code briefly at a small size.
+    let smoke = std::env::var("E22_SMOKE").is_ok();
+    let n = 1usize << if smoke { 13 } else { 16 };
+    let shards = 8usize;
+    let per = n / shards;
+    let s = 64usize;
+    let queries = if smoke { 400 } else { 4000 };
+    let block_words = 256usize;
+
+    println!("E22  tiered hot/cold serving — samples/s vs cache-hit rate vs block budget");
+    println!("     n = {n}, {shards} shards, s = {s}, {queries} skewed queries (80% on 2 shards)");
+    println!(
+        "{:>14} {:>8} {:>8} {:>12} {:>9} {:>8} {:>8}",
+        "setup", "budget", "hot", "samples/s", "hit rate", "reads", "writes"
+    );
+
+    let shard_data = |k: usize| -> Vec<(u64, f64, f64)> {
+        (k * per..(k + 1) * per).map(|i| (i as u64, i as f64, 1.0 + (i % 10) as f64)).collect()
+    };
+    // Skewed closed-loop workload, fixed ahead of time: 80% of queries
+    // land on shards 0-1, the rest spread uniformly; each query covers
+    // the middle half of its shard so boundary chunks stay in play.
+    let mut wrng = StdRng::seed_from_u64(22);
+    let workload: Vec<(f64, f64)> = (0..queries)
+        .map(|_| {
+            let k = if wrng.random::<f64>() < 0.8 {
+                usize::from(wrng.random::<f64>() < 0.5)
+            } else {
+                (wrng.random::<f64>() * shards as f64) as usize % shards
+            };
+            ((k * per + per / 4) as f64, (k * per + 3 * per / 4) as f64)
+        })
+        .collect();
+
+    let run = |setup: &str, budget: usize, placement: ShardTier, hot_budget: usize| {
+        let mut b = TieredIndex::builder(TierConfig {
+            block_words,
+            cold_cache_blocks: budget,
+            policy: EvictionPolicy::SegmentedLru,
+            hot_element_budget: hot_budget,
+            promote_accesses: 64,
+        });
+        for k in 0..shards {
+            b = b.add_shard(&format!("s{k}"), shard_data(k), placement);
+        }
+        let idx = b.build().expect("build tiered index");
+        let mut rng = StdRng::seed_from_u64(220);
+        // Warm up: a quarter of the workload, then one maintenance pass
+        // so the access counters place the busy shards.
+        for &(x, y) in &workload[..queries / 4] {
+            idx.sample_wr(Some((x, y)), s, &mut rng, Ctx::none()).expect("warmup draw");
+        }
+        idx.maintain();
+        let before = idx.io_stats();
+        let start = Instant::now();
+        for &(x, y) in &workload {
+            idx.sample_wr(Some((x, y)), s, &mut rng, Ctx::none()).expect("measured draw");
+        }
+        let dt = start.elapsed().as_secs_f64();
+        let io = idx.io_stats().minus(&before).expect("counters are monotone");
+        let rate = (queries * s) as f64 / dt;
+        let hot_now = idx.tiers().iter().filter(|(_, t)| *t == ShardTier::Hot).count();
+        println!(
+            "{:>14} {:>8} {:>8} {:>12.0} {:>8.1}% {:>8} {:>8}",
+            setup,
+            budget,
+            hot_now,
+            rate,
+            io.hit_rate() * 100.0,
+            io.reads,
+            io.writes
+        );
+        csv_row(
+            "e22_tiered.csv",
+            "setup,budget_blocks,hot_shards,queries,s,samples_per_sec,hit_rate,reads,writes",
+            &format!(
+                "{setup},{budget},{hot_now},{queries},{s},{rate:.0},{:.4},{},{}",
+                io.hit_rate(),
+                io.reads,
+                io.writes
+            ),
+        );
+    };
+
+    // All-hot baseline (budget irrelevant), all-cold at three budgets,
+    // and the tiered middle: start cold, let maintenance promote the
+    // two busy shards into a 2-shard RAM budget.
+    run("hot", 4, ShardTier::Hot, n);
+    for &budget in &[8usize, 32, 128] {
+        run("cold", budget, ShardTier::Cold, 0);
+    }
+    for &budget in &[8usize, 32, 128] {
+        run("tiered", budget, ShardTier::Cold, 2 * per);
+    }
+
+    println!(
+        "\n  E22 claim: the hot tier serves at RAM speed with zero I/O; the cold tier's\n  \
+         throughput tracks its cache-hit rate, which the block budget controls; the\n  \
+         tiered setup recovers most of the hot tier's rate on a skewed workload by\n  \
+         promoting the two busy shards while the block cache absorbs the cold tail.\n  \
+         Caveats: single-threaded closed loop on a 1-vCPU runner, and the EM machine\n  \
+         simulates block transfers in RAM, so cold-path costs understate a real disk.\n"
     );
 }

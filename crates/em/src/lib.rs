@@ -9,9 +9,11 @@
 //! faithful, because the model's metric **is** the count of block
 //! transfers, and a buffer-pool simulator counts exactly those:
 //!
-//! * [`EmMachine`] — a buffer pool of `M/B` block frames with LRU
-//!   eviction, shared by all arrays, counting block reads and (dirty)
-//!   writes;
+//! * [`EmMachine`] — a buffer pool of `M/B` block frames with a pluggable
+//!   eviction policy ([`EvictionPolicy`]: LRU, clock, or segmented LRU),
+//!   shared by all arrays, counting block reads, (dirty) writes, and
+//!   cache hits/misses; the machine is `Send + Sync`, so a serving tier
+//!   can draw from one simulated disk on many worker threads;
 //! * [`EmArray`] — a disk-resident array whose element accesses fault
 //!   blocks through the machine;
 //! * [`external_sort`] — multi-way external merge sort,
@@ -39,7 +41,7 @@ mod samplepool;
 mod sort;
 mod weighted;
 
-pub use machine::{EmArray, EmMachine, IoStats};
+pub use machine::{EmArray, EmMachine, EvictionPolicy, IoStats, IoStatsDiffError};
 pub use rangesampler::{EmRangeSampler, NaiveEmRangeSampler};
 pub use samplepool::{NaiveEmSampler, SamplePool};
 pub use sort::external_sort;

@@ -1,15 +1,24 @@
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 use std::marker::PhantomData;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Cumulative I/O counters of an [`EmMachine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// `reads`/`writes` are block *transfers* (the EM cost metric);
+/// `hits`/`misses` classify every buffer-pool touch, so a cache-hit rate
+/// is `hits / (hits + misses)`. `misses ≥ reads`: a write-allocate miss
+/// with no-fetch installs a frame without a read transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct IoStats {
     /// Blocks read from disk into the buffer pool.
     pub reads: u64,
     /// Dirty blocks written back to disk.
     pub writes: u64,
+    /// Buffer-pool touches served from a resident frame (no transfer).
+    pub hits: u64,
+    /// Buffer-pool touches that faulted (installed a frame).
+    pub misses: u64,
 }
 
 impl IoStats {
@@ -17,10 +26,118 @@ impl IoStats {
     pub fn total(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Fraction of touches served from resident frames, in `[0, 1]`.
+    /// Reports `0.0` before any touch.
+    pub fn hit_rate(&self) -> f64 {
+        let touches = self.hits + self.misses;
+        if touches == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / touches as f64
+    }
+
+    /// Counter-wise difference `self - earlier` — the I/O performed
+    /// between two snapshots of one machine's counters. The interval
+    /// form lets several meters share one machine without resetting it
+    /// (mirrors `HistogramSnapshot::minus` on the serve tier).
+    ///
+    /// # Errors
+    /// [`IoStatsDiffError`] when any counter of `earlier` exceeds the
+    /// corresponding counter of `self` — the snapshots are not an
+    /// (earlier, later) pair of the same monotone counters, i.e. a
+    /// swapped-argument bug that must not read as "an idle interval".
+    pub fn minus(&self, earlier: &IoStats) -> Result<IoStats, IoStatsDiffError> {
+        for (counter, later, early) in [
+            ("reads", self.reads, earlier.reads),
+            ("writes", self.writes, earlier.writes),
+            ("hits", self.hits, earlier.hits),
+            ("misses", self.misses, earlier.misses),
+        ] {
+            if early > later {
+                return Err(IoStatsDiffError { counter, later, earlier: early });
+            }
+        }
+        Ok(IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        })
+    }
+
+    /// Counter-wise sum `self + other`, pooling the I/O of several
+    /// machines (or intervals) into one view. Saturates at `u64::MAX`.
+    pub fn plus(&self, other: &IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads.saturating_add(other.reads),
+            writes: self.writes.saturating_add(other.writes),
+            hits: self.hits.saturating_add(other.hits),
+            misses: self.misses.saturating_add(other.misses),
+        }
+    }
+}
+
+/// An I/O-counter diff was asked of two snapshots that are not an
+/// (earlier, later) pair: some counter shrank between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoStatsDiffError {
+    /// Name of the first offending counter.
+    pub counter: &'static str,
+    /// That counter's value in the (claimed) later snapshot.
+    pub later: u64,
+    /// That counter's value in the (claimed) earlier snapshot.
+    pub earlier: u64,
+}
+
+impl fmt::Display for IoStatsDiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "I/O counter `{}` shrank from {} to {}: snapshots are not an (earlier, later) pair",
+            self.counter, self.earlier, self.later
+        )
+    }
+}
+
+impl std::error::Error for IoStatsDiffError {}
+
+/// Buffer-pool eviction policy of an [`EmMachine`].
+///
+/// The EM cost model only counts transfers, so the policy never changes
+/// an algorithm's *output* — only which resident block a fault evicts,
+/// and hence the transfer count under reuse. The tiered serving layer
+/// exposes this knob per cold shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Strict least-recently-used (the model's textbook default).
+    #[default]
+    Lru,
+    /// Clock (second chance): a circular scan clearing reference bits,
+    /// evicting the first unreferenced frame. O(1) bookkeeping per touch.
+    Clock,
+    /// Segmented LRU: misses enter a probationary segment; a hit
+    /// promotes to a protected segment (capped at ~80% of frames, LRU
+    /// overflow demotes back). Scan-resistant: one sequential pass
+    /// cannot flush the hot set.
+    SegmentedLru,
 }
 
 /// Identity of a block: (array id, block index within the array).
 type BlockKey = (u32, u64);
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Recency stamp; orders the LRU / segmented-LRU maps.
+    stamp: u64,
+    dirty: bool,
+    /// Clock reference bit.
+    referenced: bool,
+    /// Segmented-LRU: resident in the protected segment.
+    protected: bool,
+    /// Clock: slot index in the ring.
+    slot: usize,
+}
 
 #[derive(Debug)]
 struct Pool {
@@ -29,53 +146,179 @@ struct Pool {
     /// Block size in words (`B`). One array item occupies
     /// `size_of::<T>() / 8` words.
     block_words: usize,
-    /// Resident blocks: key → (LRU stamp, dirty).
-    resident: HashMap<BlockKey, (u64, bool)>,
-    /// LRU order: stamp → key.
+    policy: EvictionPolicy,
+    /// Resident blocks.
+    resident: HashMap<BlockKey, Frame>,
+    /// Recency order: stamp → key. Under `Lru` this holds every resident
+    /// block; under `SegmentedLru` only the probationary segment.
     lru: BTreeMap<u64, BlockKey>,
+    /// Segmented-LRU protected segment: stamp → key.
+    protected_lru: BTreeMap<u64, BlockKey>,
+    /// Protected-segment capacity (`SegmentedLru` only).
+    protected_cap: usize,
+    /// Clock ring of slots (`None` = free slot after a discard).
+    ring: Vec<Option<BlockKey>>,
+    hand: usize,
     clock: u64,
     stats: IoStats,
     next_array: u32,
 }
 
 impl Pool {
-    /// Touches `key`; faults it in (counting a read unless `no_fetch`) if
-    /// absent, updates LRU, marks dirty if `write`. Evicting a dirty block
-    /// counts a write. `no_fetch` models write-allocate of a block the
-    /// caller fully overwrites: no read transfer is needed.
-    fn touch(&mut self, key: BlockKey, write: bool, no_fetch: bool) {
+    fn next_stamp(&mut self) -> u64 {
         self.clock += 1;
-        let stamp = self.clock;
-        if let Some((old_stamp, dirty)) = self.resident.get_mut(&key) {
-            self.lru.remove(&std::mem::replace(old_stamp, stamp));
-            *dirty |= write;
-            self.lru.insert(stamp, key);
+        self.clock
+    }
+
+    /// Touches `key`; faults it in (counting a read unless `no_fetch`) if
+    /// absent, updates recency state, marks dirty if `write`. Evicting a
+    /// dirty block counts a write. `no_fetch` models write-allocate of a
+    /// block the caller fully overwrites: no read transfer is needed.
+    fn touch(&mut self, key: BlockKey, write: bool, no_fetch: bool) {
+        let stamp = self.next_stamp();
+        if self.resident.contains_key(&key) {
+            self.stats.hits += 1;
+            self.promote(key, stamp, write);
             return;
         }
         // Fault: evict if full.
+        self.stats.misses += 1;
         if self.resident.len() >= self.capacity {
-            let (&victim_stamp, &victim) =
-                self.lru.iter().next().expect("non-empty pool at capacity");
-            self.lru.remove(&victim_stamp);
-            let (_, dirty) = self.resident.remove(&victim).expect("victim resident");
-            if dirty {
+            let victim = self.pick_victim();
+            let frame = self.resident.remove(&victim).expect("victim resident");
+            self.unlink(victim, &frame);
+            if frame.dirty {
                 self.stats.writes += 1;
             }
         }
         if !no_fetch {
             self.stats.reads += 1;
         }
-        self.resident.insert(key, (stamp, write));
-        self.lru.insert(stamp, key);
+        self.install(key, stamp, write);
+    }
+
+    /// Hit path: refresh recency per policy.
+    fn promote(&mut self, key: BlockKey, stamp: u64, write: bool) {
+        match self.policy {
+            EvictionPolicy::Lru => {
+                let frame = self.resident.get_mut(&key).expect("hit is resident");
+                self.lru.remove(&std::mem::replace(&mut frame.stamp, stamp));
+                frame.dirty |= write;
+                self.lru.insert(stamp, key);
+            }
+            EvictionPolicy::Clock => {
+                let frame = self.resident.get_mut(&key).expect("hit is resident");
+                frame.referenced = true;
+                frame.dirty |= write;
+            }
+            EvictionPolicy::SegmentedLru => {
+                let frame = self.resident.get_mut(&key).expect("hit is resident");
+                let old = std::mem::replace(&mut frame.stamp, stamp);
+                frame.dirty |= write;
+                if frame.protected {
+                    self.protected_lru.remove(&old);
+                    self.protected_lru.insert(stamp, key);
+                } else {
+                    // Probation hit: promote into the protected segment.
+                    frame.protected = true;
+                    self.lru.remove(&old);
+                    self.protected_lru.insert(stamp, key);
+                    self.shrink_protected();
+                }
+            }
+        }
+    }
+
+    /// Demotes protected-segment overflow back to probation (MRU end).
+    fn shrink_protected(&mut self) {
+        while self.protected_lru.len() > self.protected_cap {
+            let (&old_stamp, &demoted) =
+                self.protected_lru.iter().next().expect("overflowing segment non-empty");
+            self.protected_lru.remove(&old_stamp);
+            let stamp = self.next_stamp();
+            let frame = self.resident.get_mut(&demoted).expect("demoted block resident");
+            frame.protected = false;
+            frame.stamp = stamp;
+            self.lru.insert(stamp, demoted);
+        }
+    }
+
+    /// Miss path: choose the frame to evict.
+    fn pick_victim(&mut self) -> BlockKey {
+        match self.policy {
+            EvictionPolicy::Lru => *self.lru.values().next().expect("non-empty pool at capacity"),
+            EvictionPolicy::Clock => loop {
+                let slot = self.hand;
+                self.hand = (self.hand + 1) % self.ring.len();
+                let Some(key) = self.ring[slot] else { continue };
+                let frame = self.resident.get_mut(&key).expect("ring key resident");
+                if frame.referenced {
+                    frame.referenced = false;
+                } else {
+                    return key;
+                }
+            },
+            EvictionPolicy::SegmentedLru => match self.lru.values().next() {
+                Some(&key) => key,
+                // Probation empty: fall back to the protected LRU.
+                None => *self.protected_lru.values().next().expect("non-empty pool at capacity"),
+            },
+        }
+    }
+
+    /// Removes an evicted/discarded frame from the policy structures.
+    fn unlink(&mut self, _key: BlockKey, frame: &Frame) {
+        match self.policy {
+            EvictionPolicy::Lru => {
+                self.lru.remove(&frame.stamp);
+            }
+            EvictionPolicy::Clock => {
+                self.ring[frame.slot] = None;
+            }
+            EvictionPolicy::SegmentedLru => {
+                if frame.protected {
+                    self.protected_lru.remove(&frame.stamp);
+                } else {
+                    self.lru.remove(&frame.stamp);
+                }
+            }
+        }
+    }
+
+    /// Installs a freshly faulted frame into the policy structures.
+    fn install(&mut self, key: BlockKey, stamp: u64, write: bool) {
+        let mut frame = Frame { stamp, dirty: write, referenced: true, protected: false, slot: 0 };
+        match self.policy {
+            EvictionPolicy::Lru | EvictionPolicy::SegmentedLru => {
+                self.lru.insert(stamp, key);
+            }
+            EvictionPolicy::Clock => {
+                // Reuse a free ring slot if one exists, else append.
+                frame.slot = match self.ring.iter().position(Option::is_none) {
+                    Some(free) => {
+                        self.ring[free] = Some(key);
+                        free
+                    }
+                    None => {
+                        self.ring.push(Some(key));
+                        self.ring.len() - 1
+                    }
+                };
+            }
+        }
+        self.resident.insert(key, frame);
     }
 
     fn flush(&mut self) {
-        for (_, (_, dirty)) in self.resident.drain() {
-            if dirty {
+        for (_, frame) in self.resident.drain() {
+            if frame.dirty {
                 self.stats.writes += 1;
             }
         }
         self.lru.clear();
+        self.protected_lru.clear();
+        self.ring.clear();
+        self.hand = 0;
     }
 
     /// Drops an array's blocks without counting write-backs (the array is
@@ -84,8 +327,8 @@ impl Pool {
         let keys: Vec<BlockKey> =
             self.resident.keys().copied().filter(|&(a, _)| a == array).collect();
         for k in keys {
-            let (stamp, _) = self.resident.remove(&k).expect("present");
-            self.lru.remove(&stamp);
+            let frame = self.resident.remove(&k).expect("present");
+            self.unlink(k, &frame);
         }
     }
 }
@@ -94,6 +337,10 @@ impl Pool {
 /// unbounded block-addressed disk, counting block transfers. All
 /// [`EmArray`]s created from one machine share its memory — exactly the
 /// model's single-memory semantics.
+///
+/// The machine is `Send + Sync` (the pool sits behind a mutex), so a
+/// cold-tier index can be served from a multi-threaded worker pool; the
+/// per-touch lock is the price of faithful shared-buffer-pool counting.
 ///
 /// # Example
 /// ```
@@ -110,24 +357,41 @@ impl Pool {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EmMachine {
-    pool: Rc<RefCell<Pool>>,
+    pool: Arc<Mutex<Pool>>,
 }
 
 impl EmMachine {
     /// Creates a machine with `mem_words` words of memory (`M`) and
-    /// `block_words` words per block (`B`).
+    /// `block_words` words per block (`B`), with LRU eviction.
     ///
     /// # Panics
     /// Panics unless `M ≥ 2B` and `B ≥ 1` (the model's own requirement).
     pub fn new(mem_words: usize, block_words: usize) -> Self {
+        EmMachine::with_policy(mem_words, block_words, EvictionPolicy::Lru)
+    }
+
+    /// [`EmMachine::new`] with an explicit buffer-pool eviction policy.
+    ///
+    /// # Panics
+    /// As [`EmMachine::new`].
+    pub fn with_policy(mem_words: usize, block_words: usize, policy: EvictionPolicy) -> Self {
         assert!(block_words >= 1, "block size must be positive");
         assert!(mem_words >= 2 * block_words, "EM model requires M >= 2B");
+        let capacity = mem_words / block_words;
+        // SLRU protected segment: ~80% of frames, always leaving at
+        // least one probationary frame.
+        let protected_cap = (capacity * 4 / 5).clamp(1, capacity - 1);
         EmMachine {
-            pool: Rc::new(RefCell::new(Pool {
-                capacity: mem_words / block_words,
+            pool: Arc::new(Mutex::new(Pool {
+                capacity,
                 block_words,
+                policy,
                 resident: HashMap::new(),
                 lru: BTreeMap::new(),
+                protected_lru: BTreeMap::new(),
+                protected_cap,
+                ring: Vec::new(),
+                hand: 0,
                 clock: 0,
                 stats: IoStats::default(),
                 next_array: 0,
@@ -135,29 +399,38 @@ impl EmMachine {
         }
     }
 
+    fn pool(&self) -> std::sync::MutexGuard<'_, Pool> {
+        self.pool.lock().expect("EM buffer pool poisoned")
+    }
+
     /// Block size `B` in words.
     pub fn block_words(&self) -> usize {
-        self.pool.borrow().block_words
+        self.pool().block_words
     }
 
     /// Number of buffer frames `M/B`.
     pub fn frame_count(&self) -> usize {
-        self.pool.borrow().capacity
+        self.pool().capacity
+    }
+
+    /// The buffer pool's eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.pool().policy
     }
 
     /// Cumulative I/O counters.
     pub fn stats(&self) -> IoStats {
-        self.pool.borrow().stats
+        self.pool().stats
     }
 
     /// Resets the I/O counters (keeps the buffer contents).
     pub fn reset_stats(&self) {
-        self.pool.borrow_mut().stats = IoStats::default();
+        self.pool().stats = IoStats::default();
     }
 
     /// Empties the buffer pool, writing back dirty blocks (counted).
     pub fn flush(&self) {
-        self.pool.borrow_mut().flush();
+        self.pool().flush();
     }
 
     /// Creates a disk-resident array from the given items. The initial
@@ -165,12 +438,12 @@ impl EmMachine {
     /// subsequent accesses are counted.
     pub fn array_from<T: Copy>(&self, items: Vec<T>) -> EmArray<T> {
         let id = {
-            let mut pool = self.pool.borrow_mut();
+            let mut pool = self.pool();
             let id = pool.next_array;
             pool.next_array += 1;
             id
         };
-        EmArray { machine: self.clone(), id, data: RefCell::new(items), _marker: PhantomData }
+        EmArray { machine: self.clone(), id, data: Mutex::new(items), _marker: PhantomData }
     }
 
     /// Creates a zero-initialized disk-resident array of the given length.
@@ -180,7 +453,7 @@ impl EmMachine {
 
     fn items_per_block<T>(&self) -> usize {
         let words_per_item = std::mem::size_of::<T>().div_ceil(8).max(1);
-        (self.pool.borrow().block_words / words_per_item).max(1)
+        (self.pool().block_words / words_per_item).max(1)
     }
 }
 
@@ -188,23 +461,32 @@ impl EmMachine {
 /// containing block through the machine's buffer pool, so sequential scans
 /// cost `⌈n/B⌉` I/Os while scattered accesses cost up to one I/O each —
 /// the asymmetry at the heart of Section 8.
+///
+/// Like the machine, arrays are `Send + Sync` (for `T: Send`): the
+/// simulated disk contents sit behind their own mutex, taken after the
+/// pool lock is released, so concurrent readers serialize per array but
+/// never deadlock against the pool.
 #[derive(Debug)]
 pub struct EmArray<T: Copy> {
     machine: EmMachine,
     id: u32,
-    data: RefCell<Vec<T>>,
+    data: Mutex<Vec<T>>,
     _marker: PhantomData<T>,
 }
 
 impl<T: Copy> EmArray<T> {
+    fn data(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
+        self.data.lock().expect("EM array contents poisoned")
+    }
+
     /// Number of items.
     pub fn len(&self) -> usize {
-        self.data.borrow().len()
+        self.data().len()
     }
 
     /// True when the array has no items.
     pub fn is_empty(&self) -> bool {
-        self.data.borrow().is_empty()
+        self.data().is_empty()
     }
 
     /// Items per block for this element type.
@@ -214,20 +496,20 @@ impl<T: Copy> EmArray<T> {
 
     fn touch(&self, index: usize, write: bool, no_fetch: bool) {
         let block = (index / self.items_per_block()) as u64;
-        self.machine.pool.borrow_mut().touch((self.id, block), write, no_fetch);
+        self.machine.pool().touch((self.id, block), write, no_fetch);
     }
 
     /// Reads item `index` (counts an I/O on a buffer miss).
     pub fn get(&self, index: usize) -> T {
         self.touch(index, false, false);
-        self.data.borrow()[index]
+        self.data()[index]
     }
 
     /// Writes item `index` (counts an I/O on a buffer miss; the dirty
     /// block costs another I/O when evicted or flushed).
     pub fn set(&self, index: usize, value: T) {
         self.touch(index, true, false);
-        self.data.borrow_mut()[index] = value;
+        self.data()[index] = value;
     }
 
     /// Writes item `index` into a block the caller is overwriting wholesale
@@ -236,7 +518,7 @@ impl<T: Copy> EmArray<T> {
     /// does for append-style writes. The eventual write-back is counted.
     pub fn set_fresh(&self, index: usize, value: T) {
         self.touch(index, true, true);
-        self.data.borrow_mut()[index] = value;
+        self.data()[index] = value;
     }
 
     /// Marks item `index`'s block dirty without a read transfer and without
@@ -260,7 +542,7 @@ impl<T: Copy> EmArray<T> {
     /// Destroys the array, dropping its buffered blocks without counting
     /// write-backs (scratch-file semantics).
     pub fn discard(self) {
-        self.machine.pool.borrow_mut().discard_array(self.id);
+        self.machine.pool().discard_array(self.id);
     }
 }
 
@@ -272,6 +554,14 @@ mod tests {
     #[should_panic]
     fn rejects_tiny_memory() {
         EmMachine::new(10, 8);
+    }
+
+    #[test]
+    fn machine_and_arrays_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmMachine>();
+        assert_send_sync::<EmArray<f64>>();
+        assert_send_sync::<EmArray<(f64, u64)>>();
     }
 
     #[test]
@@ -310,6 +600,9 @@ mod tests {
             a.get(0);
         }
         assert_eq!(m.stats().reads, 1);
+        assert_eq!(m.stats().misses, 1);
+        assert_eq!(m.stats().hits, 99);
+        assert!((m.stats().hit_rate() - 0.99).abs() < 1e-12);
     }
 
     #[test]
@@ -363,6 +656,80 @@ mod tests {
     }
 
     #[test]
+    fn clock_gives_referenced_blocks_a_second_chance() {
+        let m = EmMachine::with_policy(192, 64, EvictionPolicy::Clock); // 3 frames
+        assert_eq!(m.policy(), EvictionPolicy::Clock);
+        let a = m.array_from(vec![0u64; 64 * 8]);
+        a.get(0); // block 0 → slot 0, referenced
+        a.get(64); // block 1 → slot 1, referenced
+        a.get(128); // block 2 → slot 2, referenced
+                    // Fault block 3: the hand sweeps once clearing every bit, then
+                    // evicts slot 0 (block 0). Blocks 1 and 2 are now unreferenced.
+        a.get(192);
+        a.get(64); // hit: re-reference block 1
+                   // Fault block 4: the hand (at slot 1) skips block 1 — its bit is
+                   // set, the second chance — and evicts block 2 at slot 2.
+        a.get(256);
+        m.reset_stats();
+        a.get(64); // survived thanks to the reference bit
+        a.get(192);
+        a.get(256);
+        assert_eq!(m.stats().hits, 3, "referenced block skipped by the hand");
+        a.get(128); // block 2 was the victim
+        assert_eq!(m.stats().misses, 1);
+    }
+
+    #[test]
+    fn clock_policy_outputs_match_lru_outputs() {
+        // Policy changes cost, never data: the same access pattern reads
+        // the same values under every policy.
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Clock, EvictionPolicy::SegmentedLru] {
+            let m = EmMachine::with_policy(128, 64, policy);
+            let a = m.array_from((0..256u64).collect::<Vec<_>>());
+            let mut acc = Vec::new();
+            for i in (0..256).step_by(17) {
+                acc.push(a.get(i));
+            }
+            assert_eq!(acc, (0..256u64).step_by(17).collect::<Vec<_>>(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn segmented_lru_resists_a_scan() {
+        // 4 frames, protected cap = 3. Touch two blocks twice (hot set →
+        // protected), then stream many cold blocks once each. Under
+        // plain LRU the scan flushes everything; SLRU keeps the hot set.
+        let m = EmMachine::with_policy(256, 64, EvictionPolicy::SegmentedLru);
+        let a = m.array_from(vec![0u64; 64 * 32]);
+        a.get(0);
+        a.get(0); // promote block 0
+        a.get(64);
+        a.get(64); // promote block 1
+        for c in 2..20 {
+            a.get(c * 64); // one-touch scan
+        }
+        m.reset_stats();
+        a.get(0);
+        a.get(64);
+        assert_eq!(m.stats().hits, 2, "hot set survives the scan");
+
+        // Same pattern under LRU: the scan evicts the hot set.
+        let m = EmMachine::new(256, 64);
+        let a = m.array_from(vec![0u64; 64 * 32]);
+        a.get(0);
+        a.get(0);
+        a.get(64);
+        a.get(64);
+        for c in 2..20 {
+            a.get(c * 64);
+        }
+        m.reset_stats();
+        a.get(0);
+        a.get(64);
+        assert_eq!(m.stats().misses, 2, "LRU loses the hot set to the scan");
+    }
+
+    #[test]
     fn discard_skips_writeback() {
         let m = EmMachine::new(1024, 64);
         let a = m.array_from(vec![0u64; 64]);
@@ -371,5 +738,64 @@ mod tests {
         a.discard();
         m.flush();
         assert_eq!(m.stats().writes, 0);
+    }
+
+    #[test]
+    fn discard_under_clock_frees_ring_slots() {
+        let m = EmMachine::with_policy(128, 64, EvictionPolicy::Clock); // 2 frames
+        let a = m.array_from(vec![0u64; 256]);
+        a.get(0);
+        a.get(64);
+        a.discard();
+        // The freed slots are reusable; new faults do not grow past
+        // capacity or panic on tombstoned ring entries.
+        let b = m.array_from(vec![1u64; 256]);
+        m.reset_stats();
+        for blk in 0..4 {
+            b.get(blk * 64);
+        }
+        assert_eq!(m.stats().misses, 4);
+        assert_eq!(b.get(0), 1);
+    }
+
+    #[test]
+    fn stats_interval_diff_and_error() {
+        let m = EmMachine::new(1024, 64);
+        let a = m.array_from(vec![0u64; 256]);
+        m.reset_stats();
+        a.get(0);
+        let before = m.stats();
+        a.get(64);
+        a.get(64);
+        let delta = m.stats().minus(&before).expect("later minus earlier");
+        assert_eq!(delta, IoStats { reads: 1, writes: 0, hits: 1, misses: 1 });
+        assert_eq!(delta.total(), 1);
+        // Swapped arguments surface as an error naming the counter.
+        let err = before.minus(&m.stats()).expect_err("earlier minus later");
+        assert_eq!(err.counter, "reads");
+        assert_eq!((err.earlier, err.later), (2, 1));
+        assert!(err.to_string().contains("`reads`"));
+        // Pooling saturates instead of overflowing.
+        let big = IoStats { reads: u64::MAX, writes: 1, hits: 0, misses: 0 };
+        assert_eq!(big.plus(&big).reads, u64::MAX);
+    }
+
+    #[test]
+    fn stats_json_round_trip_is_exact() {
+        let m = EmMachine::new(1024, 64);
+        let a = m.array_from(vec![0u64; 256]);
+        m.reset_stats();
+        a.get(0);
+        a.get(0);
+        a.set(100, 5);
+        m.flush();
+        let stats = m.stats();
+        let json = serde_json::to_string(&stats).expect("serializable");
+        assert!(json.starts_with("{\"reads\":"), "unexpected shape: {json}");
+        assert!(json.contains("\"hits\":1"), "missing hits: {json}");
+        let back: IoStats = serde_json::from_str(&json).expect("round trip");
+        assert_eq!(back, stats);
+        // Malformed input surfaces a parse error, not a panic.
+        assert!(serde_json::from_str::<IoStats>("{\"reads\":1").is_err());
     }
 }

@@ -108,8 +108,22 @@ impl SamplePool {
     /// an amortized rebuild.
     pub fn query<R: Rng + ?Sized>(&mut self, s: usize, rng: &mut R) -> Vec<f64> {
         let mut out = Vec::with_capacity(s);
+        self.query_into(s, rng, &mut out);
+        out
+    }
+
+    /// [`Self::query`] into a caller-owned buffer (appended, not cleared),
+    /// the workspace's allocation-free batch convention. Returns the
+    /// number of samples appended (always `s`).
+    pub fn query_into<R: Rng + ?Sized>(
+        &mut self,
+        s: usize,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) -> usize {
+        let base = out.len();
         let n = self.data.len();
-        while out.len() < s {
+        while out.len() - base < s {
             if self.cursor == n {
                 let old = std::mem::replace(
                     &mut self.pool,
@@ -119,13 +133,13 @@ impl SamplePool {
                 self.cursor = 0;
                 self.rebuilds += 1;
             }
-            let take = (s - out.len()).min(n - self.cursor);
+            let take = (s - (out.len() - base)).min(n - self.cursor);
             for i in 0..take {
                 out.push(self.pool.get(self.cursor + i));
             }
             self.cursor += take;
         }
-        out
+        s
     }
 }
 
@@ -223,6 +237,20 @@ mod tests {
         assert_eq!(out.len(), 250);
         assert!(sp.rebuilds() >= 2);
         assert!(out.iter().all(|&v| (0.0..100.0).contains(&v)));
+    }
+
+    #[test]
+    fn query_into_appends_without_clearing() {
+        let m = EmMachine::new(64 * 8, 64);
+        let mut rng = StdRng::seed_from_u64(115);
+        let data: Vec<f64> = (0..100).map(f64::from).collect();
+        let mut sp = SamplePool::new(&m, data, &mut rng);
+        let mut out = vec![-5.0f64];
+        // 250 samples from a 100-element pool: spans rebuilds too.
+        assert_eq!(sp.query_into(250, &mut rng, &mut out), 250);
+        assert_eq!(out.len(), 251);
+        assert_eq!(out[0], -5.0, "existing contents untouched");
+        assert!(out[1..].iter().all(|&v| (0.0..100.0).contains(&v)));
     }
 
     #[test]

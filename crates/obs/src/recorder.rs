@@ -92,6 +92,10 @@ pub enum Phase {
     /// The query completed end to end. `a`=total latency in
     /// nanoseconds, `b`=1 if the response was degraded.
     QueryDone = 16,
+    /// A cold-tier (external-memory) draw was served through the block
+    /// cache. `a`=sample count, `b`=packed interval I/O counters (see
+    /// [`pack_io`]).
+    ColdDraw = 17,
 }
 
 impl Phase {
@@ -115,6 +119,7 @@ impl Phase {
             14 => Phase::RngCost,
             15 => Phase::WorkDone,
             16 => Phase::QueryDone,
+            17 => Phase::ColdDraw,
             _ => return None,
         })
     }
@@ -139,6 +144,7 @@ impl Phase {
             Phase::RngCost => "rng_cost",
             Phase::WorkDone => "work_done",
             Phase::QueryDone => "query_done",
+            Phase::ColdDraw => "cold_draw",
         }
     }
 }
@@ -171,6 +177,23 @@ pub fn pack_cost(refills: u64, redirects: u64, descents: u64, rejects: u64) -> u
 /// `(refills, redirects, descents, rejects)`.
 #[must_use]
 pub fn unpack_cost(b: u64) -> (u64, u64, u64, u64) {
+    (b & 0xffff, b >> 16 & 0xffff, b >> 32 & 0xffff, b >> 48)
+}
+
+/// Packs one cold draw's interval I/O counters into [`Phase::ColdDraw`]'s
+/// `b` payload: 16 bits each (saturating) for block reads, block writes,
+/// cache hits and cache misses, low to high.
+#[must_use]
+pub fn pack_io(reads: u64, writes: u64, hits: u64, misses: u64) -> u64 {
+    fn clamp16(v: u64) -> u64 {
+        v.min(0xffff)
+    }
+    clamp16(reads) | clamp16(writes) << 16 | clamp16(hits) << 32 | clamp16(misses) << 48
+}
+
+/// Unpacks [`pack_io`]'s payload back into `(reads, writes, hits, misses)`.
+#[must_use]
+pub fn unpack_io(b: u64) -> (u64, u64, u64, u64) {
     (b & 0xffff, b >> 16 & 0xffff, b >> 32 & 0xffff, b >> 48)
 }
 
@@ -607,12 +630,14 @@ mod tests {
         assert_eq!(span_shard(ctx.leg(3, 1).span), Some(3));
         assert_eq!(span_replica(ctx.leg(3, 1).span), Some(1));
         assert_eq!(ctx.shard(3).replica(1), ctx.leg(3, 1));
-        for v in 1..=16u8 {
+        for v in 1..=17u8 {
             assert_eq!(Phase::from_u8(v).map(|p| p as u8), Some(v));
         }
         assert_eq!(Phase::from_u8(0), None);
-        assert_eq!(Phase::from_u8(17), None);
+        assert_eq!(Phase::from_u8(18), None);
         assert_eq!(unpack_cost(pack_cost(3, 7, 11, 13)), (3, 7, 11, 13));
         assert_eq!(unpack_cost(pack_cost(1 << 40, 0, 0, 2)), (0xffff, 0, 0, 2));
+        assert_eq!(unpack_io(pack_io(5, 2, 400, 9)), (5, 2, 400, 9));
+        assert_eq!(unpack_io(pack_io(0, 1 << 33, 0, 0)), (0, 0xffff, 0, 0));
     }
 }

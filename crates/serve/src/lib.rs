@@ -59,9 +59,9 @@ mod snapshot;
 pub use api::{Request, Response, UpdateOp};
 pub use error::ServeError;
 pub use metrics::{
-    prom_histogram, HistogramDiffError, HistogramSnapshot, LogHistogram, MetricsSnapshot,
+    prom_histogram, HistogramDiffError, HistogramSnapshot, IoReport, LogHistogram, MetricsSnapshot,
     HIST_BUCKETS,
 };
-pub use registry::{IndexRegistry, IndexView, RangeView, WeightedView};
+pub use registry::{ExternalIndex, IndexRegistry, IndexView, RangeView, WeightedView};
 pub use server::{Client, PendingReply, Server, ServerConfig};
 pub use snapshot::Snapshot;

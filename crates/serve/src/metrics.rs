@@ -210,6 +210,10 @@ pub(crate) struct Metrics {
     pub(crate) rng_refills: AtomicU64,
     pub(crate) prefetches: AtomicU64,
     pub(crate) window_stalls: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    pub(crate) block_reads: AtomicU64,
+    pub(crate) block_writes: AtomicU64,
     pub(crate) latency: LogHistogram,
     pub(crate) queue_wait: LogHistogram,
 }
@@ -228,9 +232,22 @@ impl Metrics {
             rng_refills: AtomicU64::new(0),
             prefetches: AtomicU64::new(0),
             window_stalls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            block_reads: AtomicU64::new(0),
+            block_writes: AtomicU64::new(0),
             latency: LogHistogram::new(),
             queue_wait: LogHistogram::new(),
         }
+    }
+
+    /// Folds one external-index draw's block-I/O report into the
+    /// counters (relaxed adds, same cost class as the other counters).
+    pub(crate) fn record_io(&self, io: &IoReport) {
+        self.cache_hits.fetch_add(io.cache_hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(io.cache_misses, Ordering::Relaxed);
+        self.block_reads.fetch_add(io.block_reads, Ordering::Relaxed);
+        self.block_writes.fetch_add(io.block_writes, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self, snapshot_swaps: u64) -> MetricsSnapshot {
@@ -247,10 +264,30 @@ impl Metrics {
             rng_refills: self.rng_refills.load(Ordering::Relaxed),
             prefetches: self.prefetches.load(Ordering::Relaxed),
             window_stalls: self.window_stalls.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            block_reads: self.block_reads.load(Ordering::Relaxed),
+            block_writes: self.block_writes.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
         }
     }
+}
+
+/// Block-I/O accounting for one draw served by an external-memory index
+/// (the tiered backend's cold path). Returned alongside the samples so
+/// the worker can fold the interval into the service counters without
+/// the index and the service sharing atomic state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoReport {
+    /// Buffer-pool touches served from a resident frame.
+    pub cache_hits: u64,
+    /// Buffer-pool touches that faulted a frame in.
+    pub cache_misses: u64,
+    /// Blocks read from the simulated disk.
+    pub block_reads: u64,
+    /// Dirty blocks written back to the simulated disk.
+    pub block_writes: u64,
 }
 
 /// A point-in-time copy of every service metric. Obtain via
@@ -293,6 +330,15 @@ pub struct MetricsSnapshot {
     /// the per-tile ramp. A high stall-to-prefetch ratio means request
     /// batch sizes too small to hide memory latency.
     pub window_stalls: u64,
+    /// External-index block-cache touches served from resident frames
+    /// (cold-tier draws; zero for purely in-memory services).
+    pub cache_hits: u64,
+    /// External-index block-cache touches that faulted a frame in.
+    pub cache_misses: u64,
+    /// Blocks read from the external index's simulated disk.
+    pub block_reads: u64,
+    /// Dirty blocks written back to the external index's simulated disk.
+    pub block_writes: u64,
     /// End-to-end service latency (request origin → response ready).
     pub latency: HistogramSnapshot,
     /// Queue wait (admission → worker pickup) component of latency.
@@ -321,6 +367,10 @@ impl MetricsSnapshot {
             rng_refills: self.rng_refills.saturating_sub(earlier.rng_refills),
             prefetches: self.prefetches.saturating_sub(earlier.prefetches),
             window_stalls: self.window_stalls.saturating_sub(earlier.window_stalls),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            block_reads: self.block_reads.saturating_sub(earlier.block_reads),
+            block_writes: self.block_writes.saturating_sub(earlier.block_writes),
             latency: self.latency.minus(&earlier.latency)?,
             queue_wait: self.queue_wait.minus(&earlier.queue_wait)?,
         })
@@ -343,6 +393,10 @@ impl MetricsSnapshot {
             rng_refills: self.rng_refills.saturating_add(other.rng_refills),
             prefetches: self.prefetches.saturating_add(other.prefetches),
             window_stalls: self.window_stalls.saturating_add(other.window_stalls),
+            cache_hits: self.cache_hits.saturating_add(other.cache_hits),
+            cache_misses: self.cache_misses.saturating_add(other.cache_misses),
+            block_reads: self.block_reads.saturating_add(other.block_reads),
+            block_writes: self.block_writes.saturating_add(other.block_writes),
             latency: self.latency.plus(&other.latency),
             queue_wait: self.queue_wait.plus(&other.queue_wait),
         }
@@ -411,6 +465,18 @@ impl MetricsSnapshot {
             "counter",
         );
         w.sample("iqs_serve_window_stalls_total", &[], self.window_stalls);
+        w.header(
+            "iqs_serve_block_cache_touches_total",
+            "External-index block-cache touches by outcome",
+            "counter",
+        );
+        for (outcome, value) in [("hit", self.cache_hits), ("miss", self.cache_misses)] {
+            w.sample("iqs_serve_block_cache_touches_total", &[("outcome", outcome)], value);
+        }
+        w.header("iqs_serve_block_io_total", "External-index block transfers", "counter");
+        for (op, value) in [("read", self.block_reads), ("write", self.block_writes)] {
+            w.sample("iqs_serve_block_io_total", &[("op", op)], value);
+        }
         prom_histogram(
             &mut w,
             "iqs_serve_latency_ns",
@@ -695,6 +761,31 @@ mod tests {
         assert_eq!(snap.plus(&snap).window_stalls, 48);
     }
 
+    #[test]
+    fn io_counters_ride_the_json_wire_format() {
+        let m = Metrics::new();
+        m.record_io(&IoReport {
+            cache_hits: 900,
+            cache_misses: 100,
+            block_reads: 80,
+            block_writes: 6,
+        });
+        m.record_io(&IoReport { cache_hits: 50, ..IoReport::default() });
+        let snap = m.snapshot(0);
+        let json = snap.to_json();
+        assert!(json.contains("\"cache_hits\":950"), "missing cache_hits: {json}");
+        assert!(json.contains("\"cache_misses\":100"), "missing cache_misses: {json}");
+        assert!(json.contains("\"block_reads\":80"), "missing block_reads: {json}");
+        assert!(json.contains("\"block_writes\":6"), "missing block_writes: {json}");
+        let back = MetricsSnapshot::from_json(&json).expect("round trip");
+        assert_eq!(back, snap);
+        // Interval diff and pooling cover the new counters too.
+        assert_eq!(snap.minus(&snap).unwrap().cache_hits, 0);
+        assert_eq!(snap.plus(&snap).cache_misses, 200);
+        assert_eq!(snap.plus(&snap).block_reads, 160);
+        assert_eq!(snap.minus(&snap).unwrap().block_writes, 0);
+    }
+
     /// Golden-file test for the Prometheus exposition format: the exact
     /// bytes are pinned so accidental format drift is caught (dashboards
     /// parse this).
@@ -708,6 +799,12 @@ mod tests {
         m.rng_refills.fetch_add(2, Ordering::Relaxed);
         m.prefetches.fetch_add(120, Ordering::Relaxed);
         m.window_stalls.fetch_add(8, Ordering::Relaxed);
+        m.record_io(&IoReport {
+            cache_hits: 90,
+            cache_misses: 10,
+            block_reads: 9,
+            block_writes: 4,
+        });
         m.latency.record(Duration::from_nanos(100)); // bucket 7, le=128
         m.latency.record(Duration::from_nanos(100));
         m.latency.record(Duration::from_micros(100)); // bucket 17, le=131072
@@ -742,6 +839,14 @@ iqs_serve_prefetches_total 120
 # HELP iqs_serve_window_stalls_total Pipelined draws issued during window ramp
 # TYPE iqs_serve_window_stalls_total counter
 iqs_serve_window_stalls_total 8
+# HELP iqs_serve_block_cache_touches_total External-index block-cache touches by outcome
+# TYPE iqs_serve_block_cache_touches_total counter
+iqs_serve_block_cache_touches_total{outcome=\"hit\"} 90
+iqs_serve_block_cache_touches_total{outcome=\"miss\"} 10
+# HELP iqs_serve_block_io_total External-index block transfers
+# TYPE iqs_serve_block_io_total counter
+iqs_serve_block_io_total{op=\"read\"} 9
+iqs_serve_block_io_total{op=\"write\"} 4
 # HELP iqs_serve_latency_ns End-to-end service latency (ns)
 # TYPE iqs_serve_latency_ns histogram
 iqs_serve_latency_ns_bucket{le=\"128\"} 2

@@ -29,7 +29,54 @@ use rand::Rng;
 
 use crate::api::UpdateOp;
 use crate::error::ServeError;
+use crate::metrics::IoReport;
 use crate::snapshot::Snapshot;
+
+/// An index whose draws are served by an engine outside the in-memory
+/// view structures — e.g. the tiered backend's external-memory cold
+/// path. The service dispatches `SampleWr` / `RangeCount` /
+/// weight-probe requests straight to the implementation and folds the
+/// returned [`IoReport`] into its metrics; everything else
+/// (queueing, deadlines, tracing, snapshots of *this registry entry*)
+/// stays the service's job.
+///
+/// Implementations must be internally synchronized: workers call these
+/// methods concurrently on one shared instance.
+pub trait ExternalIndex: Send + Sync + std::fmt::Debug {
+    /// Draws `s` independent weighted samples (element ids), restricted
+    /// to keys in `[x, y]` when `range` is given, and reports the block
+    /// I/O the draw performed. `ctx` carries the request's trace span so
+    /// implementations can emit flight-recorder records.
+    ///
+    /// # Errors
+    /// [`ServeError::EmptyRange`] when the (restricted) key range holds
+    /// no elements; any other [`ServeError`] the engine surfaces.
+    fn sample_wr(
+        &self,
+        range: Option<(f64, f64)>,
+        s: usize,
+        rng: &mut dyn rand::RngCore,
+        ctx: iqs_obs::Ctx,
+    ) -> Result<(Vec<u64>, IoReport), ServeError>;
+
+    /// Exact number of elements with keys in `[x, y]`.
+    ///
+    /// # Errors
+    /// Any [`ServeError`] the engine surfaces.
+    fn range_count(&self, x: f64, y: f64) -> Result<usize, ServeError>;
+
+    /// Exact total weight of elements with keys in `[x, y]`.
+    ///
+    /// # Errors
+    /// Any [`ServeError`] the engine surfaces.
+    fn range_weight(&self, x: f64, y: f64) -> Result<f64, ServeError>;
+
+    /// Total sampling weight of the index.
+    ///
+    /// # Errors
+    /// Any [`ServeError`] the engine surfaces.
+    fn total_weight(&self) -> Result<f64, ServeError>;
+}
 
 /// Published view of a 1-D weighted range index: a Theorem-3 structure
 /// plus the rank → element-id mapping. `sampler` is `None` when the
@@ -97,6 +144,9 @@ pub enum IndexView {
     Weighted(WeightedView),
     /// Set-union sampling (Theorem 8), served frozen.
     Union(SetUnionSampler),
+    /// An externally served index (e.g. a tiered hot/cold backend): the
+    /// view is a handle, the engine manages its own storage.
+    External(Arc<dyn ExternalIndex>),
 }
 
 /// The writer-side state of one index.
@@ -111,6 +161,9 @@ enum Master {
     /// Union index: no element updates; the mutex still serializes
     /// permutation refreshes (which clone from the current view).
     Union,
+    /// External index: the engine owns all mutation (tier transitions
+    /// republish *its* internal snapshots, not this registry entry).
+    External,
 }
 
 /// One registered index.
@@ -280,6 +333,20 @@ impl IndexRegistry {
         self.insert_entry(name, IndexView::Union(sampler), Master::Union)
     }
 
+    /// Registers an externally served index (e.g. `iqs_tier`'s
+    /// `TieredIndex`). The engine handles draws and its own storage
+    /// transitions; the service routes requests and accounts I/O.
+    ///
+    /// # Errors
+    /// A duplicate-name error.
+    pub fn register_external(
+        &mut self,
+        name: &str,
+        index: Arc<dyn ExternalIndex>,
+    ) -> Result<(), ServeError> {
+        self.insert_entry(name, IndexView::External(index), Master::External)
+    }
+
     /// Registered index names, unordered.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.map.keys().map(String::as_str)
@@ -305,6 +372,7 @@ impl IndexRegistry {
             IndexView::Union(_) => {
                 Err(ServeError::Unsupported("union indexes have no weight dimension"))
             }
+            IndexView::External(ev) => ev.total_weight(),
         }
     }
 
@@ -318,6 +386,7 @@ impl IndexRegistry {
     pub fn range_weight(&self, name: &str, x: f64, y: f64) -> Result<f64, ServeError> {
         match &*self.entry(name)?.view.load() {
             IndexView::Range(rv) => Ok(rv.sampler.as_ref().map_or(0.0, |s| s.range_weight(x, y))),
+            IndexView::External(ev) => ev.range_weight(x, y),
             _ => Err(ServeError::Unsupported("range weight requires a range index")),
         }
     }
@@ -349,7 +418,7 @@ impl IndexRegistry {
         let mut applied = 0usize;
         let mut first_err: Option<ServeError> = None;
         match &mut *master {
-            Master::StaticRange | Master::Union => {
+            Master::StaticRange | Master::Union | Master::External => {
                 return Err(ServeError::Unsupported("updates require a dynamic index"));
             }
             Master::DynRange(d) => {

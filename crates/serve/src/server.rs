@@ -420,7 +420,7 @@ fn worker_loop(shared: &Shared, seed: u64) {
             continue;
         }
         let cost_before = iqs_alias::prof::read();
-        let result = dispatch(shared, &job.request, &mut rng, &mut scratch);
+        let result = dispatch(shared, &job.request, &mut rng, &mut scratch, job.ctx);
         let done = shared.clock.now();
         // Per-draw cost: the thread-local profile delta over the
         // dispatch. The RNG-word/refill totals feed the always-on
@@ -474,6 +474,7 @@ fn dispatch(
     request: &Request,
     rng: &mut StdRng,
     scratch: &mut Scratch,
+    ctx: Ctx,
 ) -> Result<Response, ServeError> {
     let registry = &shared.registry;
     match request {
@@ -504,6 +505,11 @@ fn dispatch(
                 IndexView::Union(_) => {
                     Err(ServeError::Unsupported("use SampleUnion for set-union indexes"))
                 }
+                IndexView::External(ev) => {
+                    let (samples, io) = ev.sample_wr(*range, s, rng, ctx)?;
+                    shared.metrics.record_io(&io);
+                    Ok(Response::Samples(samples))
+                }
             }
         }
         Request::SampleWor { index, range, s } => {
@@ -521,10 +527,13 @@ fn dispatch(
         }
         Request::RangeCount { index, x, y } => {
             let view = registry.entry(index)?.view.load();
-            let IndexView::Range(rv) = &*view else {
-                return Err(ServeError::Unsupported("range counting requires a range index"));
-            };
-            Ok(Response::Count(rv.sampler.as_ref().map_or(0, |s| s.range_count(*x, *y))))
+            match &*view {
+                IndexView::Range(rv) => {
+                    Ok(Response::Count(rv.sampler.as_ref().map_or(0, |s| s.range_count(*x, *y))))
+                }
+                IndexView::External(ev) => Ok(Response::Count(ev.range_count(*x, *y)?)),
+                _ => Err(ServeError::Unsupported("range counting requires a range index")),
+            }
         }
         Request::SampleUnion { index, g, s } => {
             let s = check_sample_size(*s, shared.max_sample_size)?;

@@ -58,6 +58,7 @@ pub const MANIFEST: &[&str] = &[
     "pipelined_kernels_chi_square",
     "net_sim_cluster_chi_square",
     "net_multi_process_chi_square",
+    "tiered_cold_path_chi_square",
     "testkit_gate_selfcheck",
 ];
 

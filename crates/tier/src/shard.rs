@@ -1,0 +1,138 @@
+//! Per-shard state: the two tier representations and the slot that
+//! publishes whichever one is current.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex};
+
+use iqs_core::ChunkedRange;
+use iqs_em::EmWeightedRangeSampler;
+use iqs_serve::Snapshot;
+
+use crate::{ShardTier, TierError};
+
+/// A shard resident in RAM: the Theorem-3 structure plus the rank→id
+/// map (`ChunkedRange` reports samples as ranks in key order).
+#[derive(Debug)]
+pub(crate) struct HotShard {
+    pub(crate) sampler: ChunkedRange,
+    /// Element ids by rank, aligned with the sampler's key order.
+    pub(crate) ids: Vec<u64>,
+}
+
+impl HotShard {
+    /// Builds the RAM representation from the shard's master triples.
+    pub(crate) fn build(triples: &[(u64, f64, f64)]) -> Result<HotShard, TierError> {
+        let mut sorted: Vec<(u64, f64, f64)> = triples.to_vec();
+        // Stable sort by key: `ChunkedRange::new`'s internal sort is also
+        // stable, so already-sorted input keeps `ids[rank]` aligned with
+        // the sampler's rank order even under duplicate keys.
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite keys"));
+        let pairs: Vec<(f64, f64)> = sorted.iter().map(|&(_, k, w)| (k, w)).collect();
+        let ids: Vec<u64> = sorted.iter().map(|&(id, _, _)| id).collect();
+        Ok(HotShard { sampler: ChunkedRange::new(pairs)?, ids })
+    }
+}
+
+/// A shard on the simulated disk. The sampler sits behind a mutex
+/// because pool-backed queries take `&mut self`; the `Option` is the
+/// retirement hand-off — promotion publishes the hot snapshot first,
+/// then `take()`s the sampler and discards its blocks, and a reader that
+/// finds `None` reloads the (already hot) snapshot instead of failing.
+#[derive(Debug)]
+pub(crate) struct ColdShard {
+    pub(crate) sampler: Mutex<Option<EmWeightedRangeSampler>>,
+}
+
+/// The published representation of one shard: exactly one tier at a
+/// time, swapped atomically by maintenance.
+#[derive(Debug)]
+pub(crate) enum TierState {
+    Hot(HotShard),
+    Cold(ColdShard),
+}
+
+/// One shard of the tiered index. The immutable identity (name, key
+/// span, master triples) lives beside a [`Snapshot`]-published
+/// [`TierState`], so readers pin a representation per request and
+/// transitions republish without ever blocking a read.
+#[derive(Debug)]
+pub(crate) struct ShardSlot {
+    pub(crate) name: String,
+    /// Smallest key in the shard.
+    pub(crate) lo: f64,
+    /// Largest key in the shard.
+    pub(crate) hi: f64,
+    pub(crate) len: usize,
+    pub(crate) total_weight: f64,
+    /// Master copy of the `(id, key, weight)` triples; tier transitions
+    /// rebuild from it off-path.
+    pub(crate) triples: Arc<Vec<(u64, f64, f64)>>,
+    pub(crate) state: Snapshot<TierState>,
+    /// Samples drawn from this shard since the last maintenance decay;
+    /// drives cold→hot promotion and picks demotion victims.
+    pub(crate) accesses: AtomicU64,
+    /// Serializes tier transitions of this shard.
+    pub(crate) transition: Mutex<()>,
+}
+
+impl ShardSlot {
+    /// The shard's currently published tier.
+    pub(crate) fn tier(&self) -> ShardTier {
+        match &*self.state.load() {
+            TierState::Hot(_) => ShardTier::Hot,
+            TierState::Cold(_) => ShardTier::Cold,
+        }
+    }
+
+    /// True when `[x, y]` intersects the shard's key span.
+    pub(crate) fn overlaps(&self, x: f64, y: f64) -> bool {
+        !(self.hi < x || self.lo > y)
+    }
+}
+
+/// Maps hot-tier sample ranks to element ids.
+pub(crate) fn ranks_to_ids(ids: &[u64], ranks: &[usize], out: &mut Vec<u64>) {
+    out.extend(ranks.iter().map(|&r| ids[r]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqs_core::RangeSampler;
+
+    #[test]
+    fn hot_shard_maps_ranks_back_to_caller_ids() {
+        // Ids deliberately unsorted relative to keys: id = 100 - key.
+        let triples: Vec<(u64, f64, f64)> =
+            (0..50).map(|i| (100 - i as u64, i as f64, 1.0 + i as f64)).collect();
+        let hot = HotShard::build(&triples).unwrap();
+        assert_eq!(hot.ids.len(), 50);
+        for (rank, &key) in hot.sampler.keys().iter().enumerate() {
+            assert_eq!(hot.ids[rank], 100 - key as u64);
+        }
+        let mut out = Vec::new();
+        ranks_to_ids(&hot.ids, &[0, 49, 7], &mut out);
+        assert_eq!(out, vec![100, 51, 93]);
+    }
+
+    #[test]
+    fn overlap_test_is_inclusive_on_both_ends() {
+        let slot = ShardSlot {
+            name: "s".into(),
+            lo: 10.0,
+            hi: 20.0,
+            len: 1,
+            total_weight: 1.0,
+            triples: Arc::new(vec![(0, 10.0, 1.0)]),
+            state: Snapshot::new(TierState::Cold(ColdShard { sampler: Mutex::new(None) })),
+            accesses: AtomicU64::new(0),
+            transition: Mutex::new(()),
+        };
+        assert!(slot.overlaps(0.0, 10.0));
+        assert!(slot.overlaps(20.0, 30.0));
+        assert!(slot.overlaps(12.0, 13.0));
+        assert!(!slot.overlaps(0.0, 9.9));
+        assert!(!slot.overlaps(20.1, 30.0));
+        assert_eq!(slot.tier(), ShardTier::Cold);
+    }
+}

@@ -13,7 +13,10 @@
 //! extends the shard tier across process boundaries: a length-prefixed
 //! wire format, TCP and deterministic in-memory transports, a
 //! TTL-leased replica registry, and remote replica links the router
-//! treats identically to in-process ones.
+//! treats identically to in-process ones. [`iqs_tier`] is the tiered
+//! hot/cold storage backend: indexes bigger than RAM served from the
+//! Section-8 external-memory structure behind a bounded block cache,
+//! with obs-driven promotion into the in-memory Theorem-3 structure.
 
 pub use iqs_alias as alias;
 pub use iqs_core as core;
@@ -26,4 +29,5 @@ pub use iqs_sketch as sketch;
 pub use iqs_spatial as spatial;
 pub use iqs_stats as stats;
 pub use iqs_testkit as testkit;
+pub use iqs_tier as tier;
 pub use iqs_tree as tree;

@@ -13,6 +13,7 @@ use iqs::net::{FrameError, NetError};
 use iqs::serve::ServeError;
 use iqs::shard::ShardError;
 use iqs::spatial::SpatialError;
+use iqs::tier::TierError;
 use iqs::tree::{BstError, TreeError};
 
 /// The contract: `Error + Display` (implied) + `Send + Sync + 'static`,
@@ -30,6 +31,7 @@ fn all_public_error_enums_are_boxable_errors() {
     assert_boxable::<ShardError>();
     assert_boxable::<FrameError>();
     assert_boxable::<NetError>();
+    assert_boxable::<TierError>();
 }
 
 #[test]
@@ -46,6 +48,13 @@ fn errors_round_trip_through_dyn_error() {
         Box::new(ShardError::from(ServeError::from(QueryError::EmptyRange)));
     let source = shard_err.source().expect("shard errors expose the service source");
     assert!(source.source().is_some(), "the chain reaches the structure error");
+
+    // A structure error wrapped by the tiered backend keeps its source,
+    // and the tier error converts onward into the service surface.
+    let tier_err: Box<dyn Error + Send + Sync> = Box::new(TierError::from(QueryError::EmptyRange));
+    assert!(tier_err.source().is_some(), "TierError::Query exposes the structure source");
+    let through_serve = ServeError::from(TierError::from(QueryError::EmptyRange));
+    assert!(through_serve.source().is_some(), "tier errors chain through ServeError");
 
     // A frame error wrapped by the transport layer keeps its source.
     let net_err: Box<dyn Error + Send + Sync> =

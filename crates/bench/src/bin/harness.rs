@@ -128,6 +128,9 @@ fn main() {
     if want("e22") {
         e22_tiered();
     }
+    if want("e23") {
+        e23_autopilot();
+    }
 }
 
 // =====================================================================
@@ -1985,5 +1988,108 @@ fn e22_tiered() {
          promoting the two busy shards while the block cache absorbs the cold tail.\n  \
          Caveats: single-threaded closed loop on a 1-vCPU runner, and the EM machine\n  \
          simulates block transfers in RAM, so cold-path costs understate a real disk.\n"
+    );
+}
+
+// =====================================================================
+// E23 — autopilot: the chaos scenario matrix, controller on vs off.
+// =====================================================================
+fn e23_autopilot() {
+    use iqs_ctl::chaos::{run_matrix, ChaosConfig};
+    use iqs_testkit::{ClockHandle, Scenario};
+
+    // CI sets E23_SMOKE=1 to run the same matrix with truncated phases.
+    let smoke = std::env::var("E23_SMOKE").is_ok();
+    let mut scenarios = Scenario::matrix();
+    if smoke {
+        for sc in &mut scenarios {
+            for phase in &mut sc.phases {
+                phase.ticks = phase.ticks.min(3);
+                phase.queries_per_tick = phase.queries_per_tick.min(24);
+            }
+        }
+    }
+
+    println!("E23  autopilot — chaos scenario matrix, controller on vs off (A/B, one seed)");
+    println!(
+        "     4 shards x 1 replica over 512 weighted keys, s = 8, 25 ms scatter deadline{}",
+        if smoke { " (smoke: truncated phases)" } else { "" }
+    );
+    println!(
+        "{:>18} {:>4} {:>7} {:>7} {:>9} {:>8} {:>10} {:>10} {:>13} {:>7}",
+        "scenario",
+        "ctl",
+        "queries",
+        "failed",
+        "degraded",
+        "missing",
+        "p50 us",
+        "p99 us",
+        "spl/mrg/rbd",
+        "shards"
+    );
+
+    // The workload script is a pure function of this seed; on the real
+    // clock only the *measured latencies* pick up wall-time noise.
+    let cfg = ChaosConfig::on_clock(ClockHandle::real(), 0x1905_2023);
+    let pairs = run_matrix(&scenarios, &cfg).expect("chaos matrix runs");
+    for (on, off) in &pairs {
+        for cell in [on, off] {
+            println!(
+                "{:>18} {:>4} {:>7} {:>7} {:>9} {:>8} {:>10.1} {:>10.1} {:>13} {:>7}",
+                cell.scenario,
+                if cell.controller { "on" } else { "off" },
+                cell.queries,
+                cell.failed,
+                cell.degraded,
+                cell.missing,
+                cell.p50_ns as f64 / 1e3,
+                cell.p99_ns as f64 / 1e3,
+                format!("{}/{}/{}", cell.splits, cell.merges, cell.rebuilds),
+                cell.final_shards
+            );
+            csv_row(
+                "e23_autopilot.csv",
+                "scenario,controller,queries,failed,degraded,missing,p50_ns,p99_ns,splits,merges,rebuilds,final_shards",
+                &format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{}",
+                    cell.scenario,
+                    cell.controller,
+                    cell.queries,
+                    cell.failed,
+                    cell.degraded,
+                    cell.missing,
+                    cell.p50_ns,
+                    cell.p99_ns,
+                    cell.splits,
+                    cell.merges,
+                    cell.rebuilds,
+                    cell.final_shards
+                ),
+            );
+        }
+        assert_eq!(on.failed + off.failed, 0, "the matrix's availability contract");
+    }
+    let kill = pairs.iter().map(|(on, _)| on).find(|c| c.scenario == "replica_kill");
+    if let Some(on) = kill {
+        let off = &pairs.iter().find(|(o, _)| o.scenario == "replica_kill").unwrap().1;
+        println!(
+            "\n  replica_kill A/B: degraded {} -> {} ({}x), p99 {:.1}us -> {:.1}us",
+            off.degraded,
+            on.degraded,
+            off.degraded.checked_div(on.degraded).unwrap_or(off.degraded),
+            off.p99_ns as f64 / 1e3,
+            on.p99_ns as f64 / 1e3
+        );
+    }
+    println!(
+        "\n  E23 claim: with the controller on, the same scripted workload (same seed, same\n  \
+         faults) sees fewer degraded reads and a lower p99 than with it off: sustained\n  \
+         hotspots are split, cold shards re-merged, and the zombie replica (40 ms delay\n  \
+         vs a 25 ms scatter deadline) is rebuilt around within one control tick instead\n  \
+         of taxing every touched query for the rest of the run. Zero reads fail in any\n  \
+         cell, either arm. Caveats: 1-vCPU runner — wall-clock latencies are noisy and\n  \
+         the closed-loop driver understates contention; the deterministic form of this\n  \
+         matrix (virtual clock, byte-identical A/B) runs in CI as chaos_matrix.rs.\n"
     );
 }

@@ -87,6 +87,7 @@ fn build(seed: u64) -> SimCluster {
                     max_sample_size: 1 << 20,
                     seed: seed ^ GOLDEN.wrapping_mul((si * REPLICAS + ri + 1) as u64),
                     clock: clock.handle(),
+                    tenants: Vec::new(),
                 },
             );
             let total = server.registry().total_weight(SHARD_INDEX).expect("range index");

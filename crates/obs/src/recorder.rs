@@ -96,6 +96,13 @@ pub enum Phase {
     /// cache. `a`=sample count, `b`=packed interval I/O counters (see
     /// [`pack_io`]).
     ColdDraw = 17,
+    /// The autopilot controller acted on the topology. `a`=action code
+    /// (see [`ctl_action_name`]), `b`=shard index the action targeted
+    /// (for rebuilds: `shard << 16 | replica`).
+    CtlDecision = 18,
+    /// Per-tenant admission control shed the request before it reached
+    /// the queue. `a`=tenant index.
+    ShedQuota = 19,
 }
 
 impl Phase {
@@ -120,6 +127,8 @@ impl Phase {
             15 => Phase::WorkDone,
             16 => Phase::QueryDone,
             17 => Phase::ColdDraw,
+            18 => Phase::CtlDecision,
+            19 => Phase::ShedQuota,
             _ => return None,
         })
     }
@@ -145,7 +154,21 @@ impl Phase {
             Phase::WorkDone => "work_done",
             Phase::QueryDone => "query_done",
             Phase::ColdDraw => "cold_draw",
+            Phase::CtlDecision => "ctl_decision",
+            Phase::ShedQuota => "shed_quota",
         }
+    }
+}
+
+/// Controller action codes carried in [`Phase::CtlDecision`]'s `a`
+/// payload.
+#[must_use]
+pub fn ctl_action_name(action: u64) -> &'static str {
+    match action {
+        1 => "split",
+        2 => "merge",
+        3 => "rebuild_replica",
+        _ => "unknown",
     }
 }
 
@@ -630,11 +653,11 @@ mod tests {
         assert_eq!(span_shard(ctx.leg(3, 1).span), Some(3));
         assert_eq!(span_replica(ctx.leg(3, 1).span), Some(1));
         assert_eq!(ctx.shard(3).replica(1), ctx.leg(3, 1));
-        for v in 1..=17u8 {
+        for v in 1..=19u8 {
             assert_eq!(Phase::from_u8(v).map(|p| p as u8), Some(v));
         }
         assert_eq!(Phase::from_u8(0), None);
-        assert_eq!(Phase::from_u8(18), None);
+        assert_eq!(Phase::from_u8(20), None);
         assert_eq!(unpack_cost(pack_cost(3, 7, 11, 13)), (3, 7, 11, 13));
         assert_eq!(unpack_cost(pack_cost(1 << 40, 0, 0, 2)), (0xffff, 0, 0, 2));
         assert_eq!(unpack_io(pack_io(5, 2, 400, 9)), (5, 2, 400, 9));

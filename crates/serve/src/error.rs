@@ -25,6 +25,13 @@ pub enum ServeError {
     /// Admission control refused the request: the queue is at capacity.
     /// Back off and retry; in-budget traffic keeps its latency.
     Overloaded,
+    /// Per-tenant admission control refused the request: the named
+    /// tenant's token-bucket quota is exhausted. Unlike [`Overloaded`]
+    /// (a service-wide condition), this is the tenant's own excess —
+    /// other tenants' traffic is unaffected.
+    ///
+    /// [`Overloaded`]: ServeError::Overloaded
+    QuotaExceeded(String),
     /// The request's deadline expired before a worker picked it up.
     DeadlineExceeded,
     /// The service is shutting down and no longer admits requests.
@@ -48,6 +55,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::InvalidRequest(what) => write!(f, "invalid request: {what}"),
             ServeError::Overloaded => write!(f, "service overloaded: request queue at capacity"),
+            ServeError::QuotaExceeded(tenant) => {
+                write!(f, "tenant {tenant:?} exceeded its admission quota")
+            }
             ServeError::DeadlineExceeded => write!(f, "deadline expired before the request ran"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::Remote(detail) => write!(f, "remote replica failure: {detail}"),
@@ -144,6 +154,11 @@ impl Serialize for ServeError {
                 out.push('}');
             }
             ServeError::Overloaded => out.push_str("\"Overloaded\""),
+            ServeError::QuotaExceeded(tenant) => {
+                tagged("QuotaExceeded", out);
+                tenant.serialize_json(out);
+                out.push('}');
+            }
             ServeError::DeadlineExceeded => out.push_str("\"DeadlineExceeded\""),
             ServeError::ShuttingDown => out.push_str("\"ShuttingDown\""),
             ServeError::Remote(detail) => {
@@ -217,6 +232,7 @@ impl Deserialize for ServeError {
                 let what = String::deserialize_json(p)?;
                 ServeError::Remote(format!("invalid request: {what}"))
             }
+            "QuotaExceeded" => ServeError::QuotaExceeded(String::deserialize_json(p)?),
             "Remote" => ServeError::Remote(String::deserialize_json(p)?),
             other => return Err(DeError::custom(format!("unknown ServeError variant {other:?}"))),
         };
@@ -260,6 +276,7 @@ mod tests {
             ServeError::Weight(WeightError::NonPositive { index: 3, weight: -0.5 }),
             ServeError::Weight(WeightError::TotalOverflow),
             ServeError::Overloaded,
+            ServeError::QuotaExceeded("bulk".into()),
             ServeError::DeadlineExceeded,
             ServeError::ShuttingDown,
             ServeError::Remote("connection refused".into()),

@@ -51,6 +51,7 @@
 mod api;
 mod error;
 mod metrics;
+mod qos;
 mod queue;
 mod registry;
 mod server;
@@ -60,8 +61,9 @@ pub use api::{Request, Response, UpdateOp};
 pub use error::ServeError;
 pub use metrics::{
     prom_histogram, HistogramDiffError, HistogramSnapshot, IoReport, LogHistogram, MetricsSnapshot,
-    HIST_BUCKETS,
+    TenantMetricsSnapshot, HIST_BUCKETS,
 };
+pub use qos::TenantSpec;
 pub use registry::{ExternalIndex, IndexRegistry, IndexView, RangeView, WeightedView};
 pub use server::{Client, PendingReply, Server, ServerConfig};
 pub use snapshot::Snapshot;

@@ -195,6 +195,43 @@ impl serde::Deserialize for HistogramSnapshot {
     }
 }
 
+/// Live per-tenant counters: one row per tenant configured in
+/// `ServerConfig::tenants`, indexed by tenant id. Same cost class as the
+/// global counters — relaxed adds on the submit/worker paths.
+#[derive(Debug)]
+pub(crate) struct TenantCounters {
+    pub(crate) name: String,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) shed_quota: AtomicU64,
+    pub(crate) deadline_missed: AtomicU64,
+}
+
+impl TenantCounters {
+    fn new(name: &str) -> Self {
+        TenantCounters {
+            name: name.to_string(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shed_quota: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+        }
+    }
+
+    fn snapshot(&self) -> TenantMetricsSnapshot {
+        TenantMetricsSnapshot {
+            name: self.name.clone(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            shed_quota: self.shed_quota.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The service's live counters. All increments are relaxed atomics on the
 /// worker/submit hot paths.
 #[derive(Debug)]
@@ -216,10 +253,16 @@ pub(crate) struct Metrics {
     pub(crate) block_writes: AtomicU64,
     pub(crate) latency: LogHistogram,
     pub(crate) queue_wait: LogHistogram,
+    pub(crate) tenants: Vec<TenantCounters>,
 }
 
 impl Metrics {
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
+        Metrics::with_tenants(&[])
+    }
+
+    pub(crate) fn with_tenants(tenant_names: &[&str]) -> Self {
         Metrics {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
@@ -238,6 +281,7 @@ impl Metrics {
             block_writes: AtomicU64::new(0),
             latency: LogHistogram::new(),
             queue_wait: LogHistogram::new(),
+            tenants: tenant_names.iter().map(|n| TenantCounters::new(n)).collect(),
         }
     }
 
@@ -270,6 +314,52 @@ impl Metrics {
             block_writes: self.block_writes.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
+            tenants: self.tenants.iter().map(TenantCounters::snapshot).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of one tenant's QoS counters, keyed by the
+/// tenant's configured name. Rides inside [`MetricsSnapshot::tenants`];
+/// empty for servers configured without tenants, so the wire format and
+/// expositions of tenant-less services are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct TenantMetricsSnapshot {
+    /// The tenant's configured name (metrics label value).
+    pub name: String,
+    /// Requests this tenant offered (including later-rejected ones).
+    pub submitted: u64,
+    /// Requests that completed with an `Ok` response — the tenant's
+    /// goodput.
+    pub completed: u64,
+    /// Requests that completed with a typed error.
+    pub failed: u64,
+    /// Requests refused at admission by the tenant's token-bucket quota.
+    pub shed_quota: u64,
+    /// Requests dropped because their deadline expired before pickup.
+    pub deadline_missed: u64,
+}
+
+impl TenantMetricsSnapshot {
+    fn minus(&self, earlier: &TenantMetricsSnapshot) -> TenantMetricsSnapshot {
+        TenantMetricsSnapshot {
+            name: self.name.clone(),
+            submitted: self.submitted.saturating_sub(earlier.submitted),
+            completed: self.completed.saturating_sub(earlier.completed),
+            failed: self.failed.saturating_sub(earlier.failed),
+            shed_quota: self.shed_quota.saturating_sub(earlier.shed_quota),
+            deadline_missed: self.deadline_missed.saturating_sub(earlier.deadline_missed),
+        }
+    }
+
+    fn plus(&self, other: &TenantMetricsSnapshot) -> TenantMetricsSnapshot {
+        TenantMetricsSnapshot {
+            name: self.name.clone(),
+            submitted: self.submitted.saturating_add(other.submitted),
+            completed: self.completed.saturating_add(other.completed),
+            failed: self.failed.saturating_add(other.failed),
+            shed_quota: self.shed_quota.saturating_add(other.shed_quota),
+            deadline_missed: self.deadline_missed.saturating_add(other.deadline_missed),
         }
     }
 }
@@ -296,7 +386,7 @@ pub struct IoReport {
 /// offered-load step), JSON round-trip with
 /// [`MetricsSnapshot::to_json`] / [`MetricsSnapshot::from_json`] so the
 /// harness and the shard-tier aggregator consume one wire format.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct MetricsSnapshot {
     /// Requests offered to the service (including later-rejected ones).
     pub submitted: u64,
@@ -343,6 +433,10 @@ pub struct MetricsSnapshot {
     pub latency: HistogramSnapshot,
     /// Queue wait (admission → worker pickup) component of latency.
     pub queue_wait: HistogramSnapshot,
+    /// Per-tenant QoS counters, one row per configured tenant (empty
+    /// when the server has no tenants — the wire format then matches
+    /// pre-QoS snapshots field-for-field plus an empty array).
+    pub tenants: Vec<TenantMetricsSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -373,6 +467,14 @@ impl MetricsSnapshot {
             block_writes: self.block_writes.saturating_sub(earlier.block_writes),
             latency: self.latency.minus(&earlier.latency)?,
             queue_wait: self.queue_wait.minus(&earlier.queue_wait)?,
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| match earlier.tenants.iter().find(|e| e.name == t.name) {
+                    Some(e) => t.minus(e),
+                    None => t.clone(),
+                })
+                .collect(),
         })
     }
 
@@ -399,6 +501,16 @@ impl MetricsSnapshot {
             block_writes: self.block_writes.saturating_add(other.block_writes),
             latency: self.latency.plus(&other.latency),
             queue_wait: self.queue_wait.plus(&other.queue_wait),
+            tenants: {
+                let mut tenants = self.tenants.clone();
+                for o in &other.tenants {
+                    match tenants.iter_mut().find(|t| t.name == o.name) {
+                        Some(t) => *t = t.plus(o),
+                        None => tenants.push(o.clone()),
+                    }
+                }
+                tenants
+            },
         }
     }
 
@@ -442,6 +554,28 @@ impl MetricsSnapshot {
             ("deadline_missed", self.deadline_missed),
         ] {
             w.sample("iqs_serve_requests_total", &[("outcome", outcome)], value);
+        }
+        if !self.tenants.is_empty() {
+            w.header(
+                "iqs_serve_tenant_requests_total",
+                "Per-tenant requests by outcome",
+                "counter",
+            );
+            for t in &self.tenants {
+                for (outcome, value) in [
+                    ("submitted", t.submitted),
+                    ("completed", t.completed),
+                    ("failed", t.failed),
+                    ("shed_quota", t.shed_quota),
+                    ("deadline_missed", t.deadline_missed),
+                ] {
+                    w.sample(
+                        "iqs_serve_tenant_requests_total",
+                        &[("tenant", &t.name), ("outcome", outcome)],
+                        value,
+                    );
+                }
+            }
         }
         w.header("iqs_serve_updates_applied_total", "Update operations applied", "counter");
         w.sample("iqs_serve_updates_applied_total", &[], self.updates_applied);
@@ -565,7 +699,15 @@ impl fmt::Display for MetricsSnapshot {
             fmt_dur(self.queue_wait.quantile(0.50)),
             fmt_dur(self.queue_wait.quantile(0.99)),
             fmt_dur(self.queue_wait.quantile(0.999)),
-        )
+        )?;
+        for t in &self.tenants {
+            write!(
+                f,
+                "\ntenant {}: {} submitted, {} ok, {} failed, {} shed (quota), {} deadline-missed",
+                t.name, t.submitted, t.completed, t.failed, t.shed_quota, t.deadline_missed
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -791,10 +933,14 @@ mod tests {
     /// parse this).
     #[test]
     fn prometheus_exposition_matches_golden() {
-        let m = Metrics::new();
+        let m = Metrics::with_tenants(&["gold", "bulk"]);
         m.submitted.fetch_add(3, Ordering::Relaxed);
         m.completed.fetch_add(2, Ordering::Relaxed);
         m.failed.fetch_add(1, Ordering::Relaxed);
+        m.tenants[0].submitted.fetch_add(2, Ordering::Relaxed);
+        m.tenants[0].completed.fetch_add(2, Ordering::Relaxed);
+        m.tenants[1].submitted.fetch_add(1, Ordering::Relaxed);
+        m.tenants[1].shed_quota.fetch_add(5, Ordering::Relaxed);
         m.rng_words.fetch_add(128, Ordering::Relaxed);
         m.rng_refills.fetch_add(2, Ordering::Relaxed);
         m.prefetches.fetch_add(120, Ordering::Relaxed);
@@ -818,6 +964,18 @@ iqs_serve_requests_total{outcome=\"completed\"} 2
 iqs_serve_requests_total{outcome=\"failed\"} 1
 iqs_serve_requests_total{outcome=\"rejected_overload\"} 0
 iqs_serve_requests_total{outcome=\"deadline_missed\"} 0
+# HELP iqs_serve_tenant_requests_total Per-tenant requests by outcome
+# TYPE iqs_serve_tenant_requests_total counter
+iqs_serve_tenant_requests_total{tenant=\"gold\",outcome=\"submitted\"} 2
+iqs_serve_tenant_requests_total{tenant=\"gold\",outcome=\"completed\"} 2
+iqs_serve_tenant_requests_total{tenant=\"gold\",outcome=\"failed\"} 0
+iqs_serve_tenant_requests_total{tenant=\"gold\",outcome=\"shed_quota\"} 0
+iqs_serve_tenant_requests_total{tenant=\"gold\",outcome=\"deadline_missed\"} 0
+iqs_serve_tenant_requests_total{tenant=\"bulk\",outcome=\"submitted\"} 1
+iqs_serve_tenant_requests_total{tenant=\"bulk\",outcome=\"completed\"} 0
+iqs_serve_tenant_requests_total{tenant=\"bulk\",outcome=\"failed\"} 0
+iqs_serve_tenant_requests_total{tenant=\"bulk\",outcome=\"shed_quota\"} 5
+iqs_serve_tenant_requests_total{tenant=\"bulk\",outcome=\"deadline_missed\"} 0
 # HELP iqs_serve_updates_applied_total Update operations applied
 # TYPE iqs_serve_updates_applied_total counter
 iqs_serve_updates_applied_total 0
@@ -860,6 +1018,34 @@ iqs_serve_queue_wait_ns_bucket{le=\"+Inf\"} 1
 iqs_serve_queue_wait_ns_count 1
 ";
         assert_eq!(text, golden);
+    }
+
+    #[test]
+    fn tenant_counters_ride_the_json_wire_format() {
+        let m = Metrics::with_tenants(&["gold", "bulk"]);
+        m.tenants[0].submitted.fetch_add(8, Ordering::Relaxed);
+        m.tenants[0].completed.fetch_add(7, Ordering::Relaxed);
+        m.tenants[1].shed_quota.fetch_add(3, Ordering::Relaxed);
+        let snap = m.snapshot(0);
+        let json = snap.to_json();
+        // `tenants` is the last field, so tenant-less snapshots keep the
+        // leading field order other assertions (and dashboards) rely on.
+        assert!(json.starts_with("{\"submitted\":0,"), "unexpected shape: {json}");
+        assert!(json.contains("\"tenants\":[{\"name\":\"gold\""), "missing tenants: {json}");
+        let back = MetricsSnapshot::from_json(&json).expect("round trip");
+        assert_eq!(back, snap);
+        // Interval diff and pooling match tenants by name.
+        let interval = snap.minus(&snap).unwrap();
+        assert_eq!(interval.tenants[0].submitted, 0);
+        assert_eq!(interval.tenants[1].shed_quota, 0);
+        let pooled = snap.plus(&snap);
+        assert_eq!(pooled.tenants[0].completed, 14);
+        assert_eq!(pooled.tenants[1].shed_quota, 6);
+        // Pooling disjoint tenant sets unions the rows.
+        let other = Metrics::with_tenants(&["edge"]).snapshot(0);
+        assert_eq!(snap.plus(&other).tenants.len(), 3);
+        // Display mentions each tenant by name.
+        assert!(snap.to_string().contains("tenant bulk: 0 submitted"));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Per-tenant quality of service: named tenants with token-bucket
+//! admission quotas and optional per-tenant deadlines.
+//!
+//! Tenancy is *submission metadata*, not wire format: a tenant-scoped
+//! [`crate::Client`] (see [`crate::Client::for_tenant`]) stamps every
+//! submission with its tenant id, exactly like the latency origin and
+//! deadline already ride beside the [`crate::Request`]. The request JSON
+//! stays byte-identical to the pre-QoS wire format (pinned by the
+//! `iqs-net` golden frames), so mixed-version clusters keep speaking.
+//!
+//! Admission is a classic token bucket evaluated on the **service
+//! clock**: tokens accrue at `rate_per_sec` up to `burst`, one token per
+//! admitted request. Because refill is computed from elapsed clock time
+//! (not a background thread), the policy is fully deterministic under a
+//! virtual clock — the same request schedule replays to the same
+//! admit/shed decisions, which is what lets the `qos_fairness` gate pin
+//! its report byte-for-byte. A shed request is refused *before* it
+//! touches the queue ([`crate::ServeError::QuotaExceeded`]), so one
+//! tenant's excess can never occupy capacity another tenant's in-quota
+//! traffic needs; EDF pickup (see `queue.rs`) bounds the residual
+//! interference to the single entry a worker already holds.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Declarative QoS configuration for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// The tenant's name: resolved by [`crate::Client::for_tenant`] and
+    /// used as the `tenant` label on the per-tenant metric families.
+    pub name: String,
+    /// Sustained admission rate in requests per second.
+    /// `f64::INFINITY` disables the quota for this tenant.
+    pub rate_per_sec: f64,
+    /// Bucket depth: the largest burst admitted at once. Clamped to at
+    /// least 1 (a tenant that can never admit anything is a
+    /// misconfiguration, not a policy).
+    pub burst: f64,
+    /// Deadline applied to this tenant's calls, overriding the server's
+    /// `default_deadline`. `None` falls back to the server default.
+    pub deadline: Option<Duration>,
+}
+
+impl TenantSpec {
+    /// A tenant admitted at `rate_per_sec` with a burst allowance of
+    /// `burst` requests.
+    pub fn limited(name: &str, rate_per_sec: f64, burst: f64) -> TenantSpec {
+        TenantSpec { name: name.to_string(), rate_per_sec, burst, deadline: None }
+    }
+
+    /// A tenant with no admission quota (still individually metered).
+    pub fn unlimited(name: &str) -> TenantSpec {
+        TenantSpec {
+            name: name.to_string(),
+            rate_per_sec: f64::INFINITY,
+            burst: f64::INFINITY,
+            deadline: None,
+        }
+    }
+
+    /// Sets the tenant's deadline, replacing the server default for this
+    /// tenant's calls.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> TenantSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// One tenant's runtime admission state: the spec plus its token bucket.
+pub(crate) struct TenantState {
+    pub(crate) spec: TenantSpec,
+    bucket: Mutex<Bucket>,
+}
+
+impl TenantState {
+    pub(crate) fn new(spec: TenantSpec, now: Instant) -> TenantState {
+        let burst = spec.burst.max(1.0);
+        TenantState { bucket: Mutex::new(Bucket { tokens: burst, last: now }), spec }
+    }
+
+    /// Token-bucket admission at instant `now` on the service clock:
+    /// refills from elapsed time, then takes one token or refuses.
+    /// Deterministic — no hidden time source, no background refill.
+    pub(crate) fn admit(&self, now: Instant) -> bool {
+        if self.spec.rate_per_sec.is_infinite() {
+            return true;
+        }
+        let burst = self.spec.burst.max(1.0);
+        let mut bucket = self.bucket.lock().expect("tenant bucket poisoned");
+        let elapsed = now.saturating_duration_since(bucket.last).as_secs_f64();
+        bucket.last = now;
+        bucket.tokens = (bucket.tokens + elapsed * self.spec.rate_per_sec).min(burst);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_admits_burst_then_refills_at_rate() {
+        let t0 = Instant::now();
+        let state = TenantState::new(TenantSpec::limited("t", 10.0, 3.0), t0);
+        // The full burst admits at once...
+        assert!(state.admit(t0));
+        assert!(state.admit(t0));
+        assert!(state.admit(t0));
+        // ...then the bucket is dry at the same instant.
+        assert!(!state.admit(t0));
+        // 100ms at 10 req/s accrues exactly one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(state.admit(t1));
+        assert!(!state.admit(t1));
+        // Idle time caps at the burst, not unbounded credit.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert!(state.admit(t2));
+        assert!(state.admit(t2));
+        assert!(state.admit(t2));
+        assert!(!state.admit(t2));
+    }
+
+    #[test]
+    fn unlimited_tenants_never_shed() {
+        let t0 = Instant::now();
+        let state = TenantState::new(TenantSpec::unlimited("free"), t0);
+        for _ in 0..10_000 {
+            assert!(state.admit(t0));
+        }
+    }
+
+    #[test]
+    fn burst_below_one_still_admits_singly() {
+        let t0 = Instant::now();
+        let state = TenantState::new(TenantSpec::limited("tiny", 1.0, 0.0), t0);
+        assert!(state.admit(t0), "burst clamps to 1, so one request admits");
+        assert!(!state.admit(t0));
+        assert!(state.admit(t0 + Duration::from_secs(1)));
+    }
+}

@@ -1,5 +1,6 @@
-//! The service's internal plumbing: a bounded MPMC request queue and a
-//! one-shot reply cell, both on `std` primitives only.
+//! The service's internal plumbing: a bounded MPMC request queue with
+//! deadline-aware pickup and a one-shot reply cell, both on `std`
+//! primitives only.
 //!
 //! The queue is deliberately *bounded with rejection*: when producers
 //! outpace the worker pool the excess is refused at admission time
@@ -8,9 +9,22 @@
 //! for *everyone*; admission control converts it into prompt `Overloaded`
 //! errors for the excess while in-budget requests keep their latency —
 //! the behaviour experiment E17 measures.
+//!
+//! Pickup order is earliest-deadline-first (EDF): an entry pushed with a
+//! deadline ([`BoundedQueue::try_push_at`]) outranks every deadline-less
+//! entry, earlier deadlines outrank later ones, and *ties resolve FIFO*
+//! by admission sequence number. Deadline-less entries keep strict FIFO
+//! among themselves, so a queue used without deadlines behaves exactly
+//! as the plain bounded FIFO it used to be. EDF is what makes per-tenant
+//! QoS composable with deadlines: a tenant saturating the queue with
+//! late-deadline work cannot delay another tenant's tighter-deadline
+//! request past the one entry a worker has already picked up
+//! (non-preemptive EDF's one-quantum bound).
 
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -21,14 +35,53 @@ pub(crate) enum PushRefused<T> {
     Closed(T),
 }
 
+/// A queue entry: the item plus its EDF priority key. Ordering is by
+/// `(deadline, seq)` only — earlier deadline first, `None` after every
+/// `Some` (no deadline = infinitely late deadline), ties FIFO by `seq`.
+/// `BinaryHeap` is a max-heap, so the comparison is inverted: the most
+/// urgent entry is the *greatest*.
+struct Entry<T> {
+    deadline: Option<Instant>,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let by_deadline = match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => b.cmp(&a),
+            (Some(_), None) => Ordering::Greater,
+            (None, Some(_)) => Ordering::Less,
+            (None, None) => Ordering::Equal,
+        };
+        by_deadline.then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 struct QueueInner<T> {
-    items: VecDeque<T>,
+    items: BinaryHeap<Entry<T>>,
+    next_seq: u64,
     closed: bool,
 }
 
-/// A bounded multi-producer multi-consumer FIFO. Producers never block
-/// (they are refused instead); consumers block until an item arrives or
-/// the queue is closed *and* drained.
+/// A bounded multi-producer multi-consumer queue with EDF pickup.
+/// Producers never block (they are refused instead); consumers block
+/// until an item arrives or the queue is closed *and* drained. Entries
+/// without deadlines dequeue in strict FIFO order.
 pub(crate) struct BoundedQueue<T> {
     inner: Mutex<QueueInner<T>>,
     not_empty: Condvar,
@@ -39,7 +92,8 @@ impl<T> BoundedQueue<T> {
     pub(crate) fn new(capacity: usize) -> Self {
         BoundedQueue {
             inner: Mutex::new(QueueInner {
-                items: VecDeque::with_capacity(capacity),
+                items: BinaryHeap::with_capacity(capacity),
+                next_seq: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -47,8 +101,20 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Enqueues `item`, or refuses it without blocking.
+    /// Enqueues `item` with no deadline (lowest EDF priority, FIFO among
+    /// its peers), or refuses it without blocking.
+    #[cfg(test)]
     pub(crate) fn try_push(&self, item: T) -> Result<(), PushRefused<T>> {
+        self.try_push_at(item, None)
+    }
+
+    /// Enqueues `item` with an optional deadline for EDF pickup, or
+    /// refuses it without blocking.
+    pub(crate) fn try_push_at(
+        &self,
+        item: T,
+        deadline: Option<Instant>,
+    ) -> Result<(), PushRefused<T>> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         if inner.closed {
             return Err(PushRefused::Closed(item));
@@ -56,20 +122,23 @@ impl<T> BoundedQueue<T> {
         if inner.items.len() >= self.capacity {
             return Err(PushRefused::Full(item));
         }
-        inner.items.push_back(item);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.items.push(Entry { deadline, seq, item });
         drop(inner);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Dequeues the next item, blocking while the queue is open and
-    /// empty. Returns `None` once the queue is closed and fully drained —
-    /// the worker-exit signal that makes shutdown drain in-flight work.
+    /// Dequeues the most urgent item (EDF, FIFO on ties), blocking while
+    /// the queue is open and empty. Returns `None` once the queue is
+    /// closed and fully drained — the worker-exit signal that makes
+    /// shutdown drain in-flight work.
     pub(crate) fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(item) = inner.items.pop_front() {
-                return Some(item);
+            if let Some(entry) = inner.items.pop() {
+                return Some(entry.item);
             }
             if inner.closed {
                 return None;
@@ -176,6 +245,25 @@ mod tests {
         q.try_push(3).unwrap();
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_with_fifo_ties_and_none_last() {
+        use std::time::Duration;
+        let base = Instant::now();
+        let q = BoundedQueue::new(8);
+        q.try_push_at("no-deadline-a", None).unwrap();
+        q.try_push_at("late", Some(base + Duration::from_secs(30))).unwrap();
+        q.try_push_at("tie-first", Some(base + Duration::from_secs(10))).unwrap();
+        q.try_push_at("tie-second", Some(base + Duration::from_secs(10))).unwrap();
+        q.try_push_at("early", Some(base + Duration::from_secs(1))).unwrap();
+        q.try_push_at("no-deadline-b", None).unwrap();
+        assert_eq!(q.pop(), Some("early"));
+        assert_eq!(q.pop(), Some("tie-first"), "deadline ties resolve FIFO");
+        assert_eq!(q.pop(), Some("tie-second"));
+        assert_eq!(q.pop(), Some("late"));
+        assert_eq!(q.pop(), Some("no-deadline-a"), "deadline-less entries rank last, FIFO");
+        assert_eq!(q.pop(), Some("no-deadline-b"));
     }
 
     #[test]

@@ -36,6 +36,7 @@ use rand::SeedableRng;
 use crate::api::{Request, Response};
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::qos::{TenantSpec, TenantState};
 use crate::queue::{BoundedQueue, OneShot, PushRefused};
 use crate::registry::{IndexRegistry, IndexView};
 
@@ -59,6 +60,11 @@ pub struct ServerConfig {
     /// default is the real clock; tests install a
     /// [`iqs_testkit::VirtualClock`] handle and advance time explicitly.
     pub clock: ClockHandle,
+    /// Per-tenant QoS: named tenants with token-bucket admission quotas
+    /// and optional deadlines. Empty (the default) disables tenancy —
+    /// every entry point behaves exactly as before. Scope a client to a
+    /// tenant with [`Client::for_tenant`].
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +76,7 @@ impl Default for ServerConfig {
             max_sample_size: 1 << 20,
             seed: 0x1b5_5e7e,
             clock: ClockHandle::real(),
+            tenants: Vec::new(),
         }
     }
 }
@@ -89,6 +96,9 @@ struct Job {
     /// Trace context the request carries through the queue to the
     /// worker. Untraced for plain calls.
     ctx: Ctx,
+    /// Index into the configured tenants; `None` for untenanted
+    /// submissions (plain `server.client()` handles).
+    tenant: Option<u32>,
 }
 
 struct Shared {
@@ -99,6 +109,7 @@ struct Shared {
     accepting: AtomicBool,
     max_sample_size: u32,
     clock: ClockHandle,
+    tenants: Vec<TenantState>,
 }
 
 impl Shared {
@@ -109,17 +120,31 @@ impl Shared {
         deadline: Option<Instant>,
         reply: Option<OneShot<Result<Response, ServeError>>>,
         ctx: Ctx,
+        tenant: Option<u32>,
     ) -> Result<(), ServeError> {
         self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = tenant {
+            self.metrics.tenants[t as usize].submitted.fetch_add(1, Ordering::Relaxed);
+        }
         if !self.accepting.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
-        let job = Job { request, origin, enqueued: self.clock.now(), deadline, reply, ctx };
+        // Quota check before the queue: a shed request never occupies
+        // capacity that another tenant's in-quota traffic could use.
+        if let Some(t) = tenant {
+            let state = &self.tenants[t as usize];
+            if !state.admit(self.clock.now()) {
+                self.metrics.tenants[t as usize].shed_quota.fetch_add(1, Ordering::Relaxed);
+                recorder::emit(ctx, Phase::ShedQuota, u64::from(t), 0);
+                return Err(ServeError::QuotaExceeded(state.spec.name.clone()));
+            }
+        }
+        let job = Job { request, origin, enqueued: self.clock.now(), deadline, reply, ctx, tenant };
         // Emit before the push: once the job is visible, a worker may
         // record its Pickup, and the Enqueue record must already hold a
         // smaller sequence number for traces to order deterministically.
         recorder::emit(ctx, Phase::Enqueue, 0, 0);
-        match self.queue.try_push(job) {
+        match self.queue.try_push_at(job, deadline) {
             Ok(()) => {
                 self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
                 Ok(())
@@ -142,9 +167,36 @@ impl Shared {
 pub struct Client {
     shared: Arc<Shared>,
     default_deadline: Option<Duration>,
+    /// Tenant this handle submits as; `None` = untenanted (no quota, no
+    /// per-tenant counters).
+    tenant: Option<u32>,
 }
 
 impl Client {
+    /// A clone of this handle scoped to the named tenant: every
+    /// submission through it is metered against the tenant's token
+    /// bucket, counted in the tenant's metric row, and (when the tenant
+    /// spec carries a deadline) deadlined accordingly.
+    ///
+    /// # Errors
+    /// [`ServeError::InvalidRequest`] when no tenant with that name was
+    /// configured on the server.
+    pub fn for_tenant(&self, name: &str) -> Result<Client, ServeError> {
+        let Some(idx) = self.shared.tenants.iter().position(|t| t.spec.name == name) else {
+            return Err(ServeError::InvalidRequest("no tenant with that name is configured"));
+        };
+        let deadline = self.shared.tenants[idx].spec.deadline.or(self.default_deadline);
+        Ok(Client {
+            shared: Arc::clone(&self.shared),
+            default_deadline: deadline,
+            tenant: Some(idx as u32),
+        })
+    }
+
+    /// The tenant name this handle submits as, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.map(|t| self.shared.tenants[t as usize].spec.name.as_str())
+    }
     /// Submits `request` and blocks until its response arrives. The
     /// configured default deadline (if any) applies.
     ///
@@ -168,7 +220,14 @@ impl Client {
         deadline: Option<Instant>,
     ) -> Result<Response, ServeError> {
         let reply = OneShot::new();
-        self.shared.submit(request, origin, deadline, Some(reply.clone()), Ctx::none())?;
+        self.shared.submit(
+            request,
+            origin,
+            deadline,
+            Some(reply.clone()),
+            Ctx::none(),
+            self.tenant,
+        )?;
         reply.wait()
     }
 
@@ -189,7 +248,9 @@ impl Client {
         let origin = self.shared.clock.now();
         let deadline = self.default_deadline.map(|d| origin + d);
         let reply = OneShot::new();
-        if let Err(e) = self.shared.submit(request, origin, deadline, Some(reply.clone()), ctx) {
+        if let Err(e) =
+            self.shared.submit(request, origin, deadline, Some(reply.clone()), ctx, self.tenant)
+        {
             return (trace, Err(e));
         }
         let result = reply.wait();
@@ -233,7 +294,7 @@ impl Client {
         ctx: Ctx,
     ) -> Result<PendingReply, ServeError> {
         let reply = OneShot::new();
-        self.shared.submit(request, origin, deadline, Some(reply.clone()), ctx)?;
+        self.shared.submit(request, origin, deadline, Some(reply.clone()), ctx, self.tenant)?;
         Ok(PendingReply { reply, clock: self.shared.clock.clone() })
     }
 
@@ -251,7 +312,7 @@ impl Client {
         origin: Instant,
         deadline: Option<Instant>,
     ) -> Result<(), ServeError> {
-        self.shared.submit(request, origin, deadline, None, Ctx::none())
+        self.shared.submit(request, origin, deadline, None, Ctx::none(), self.tenant)
     }
 
     /// A point-in-time copy of the service metrics.
@@ -309,14 +370,17 @@ impl Server {
     /// from here on: all further mutation flows through
     /// [`Request::Update`] publications.
     pub fn start(registry: IndexRegistry, config: ServerConfig) -> Server {
+        let tenant_names: Vec<&str> = config.tenants.iter().map(|t| t.name.as_str()).collect();
+        let now = config.clock.now();
         let shared = Arc::new(Shared {
             registry,
             queue: BoundedQueue::new(config.queue_capacity),
-            metrics: Metrics::new(),
+            metrics: Metrics::with_tenants(&tenant_names),
             slow: SlowLog::default(),
             accepting: AtomicBool::new(true),
             max_sample_size: config.max_sample_size,
             clock: config.clock.clone(),
+            tenants: config.tenants.iter().map(|t| TenantState::new(t.clone(), now)).collect(),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -335,7 +399,11 @@ impl Server {
 
     /// A new submission handle.
     pub fn client(&self) -> Client {
-        Client { shared: Arc::clone(&self.shared), default_deadline: self.default_deadline }
+        Client {
+            shared: Arc::clone(&self.shared),
+            default_deadline: self.default_deadline,
+            tenant: None,
+        }
     }
 
     /// A point-in-time copy of the service metrics.
@@ -413,6 +481,9 @@ fn worker_loop(shared: &Shared, seed: u64) {
         // clock this is what makes deadline misses deterministic.
         if job.deadline.is_some_and(|dl| picked >= dl) {
             shared.metrics.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = job.tenant {
+                shared.metrics.tenants[t as usize].deadline_missed.fetch_add(1, Ordering::Relaxed);
+            }
             recorder::emit(job.ctx, Phase::DeadlineMiss, 0, 0);
             if let Some(reply) = &job.reply {
                 reply.put(Err(ServeError::DeadlineExceeded));
@@ -456,6 +527,13 @@ fn worker_loop(shared: &Shared, seed: u64) {
             Ok(_) => shared.metrics.completed.fetch_add(1, Ordering::Relaxed),
             Err(_) => shared.metrics.failed.fetch_add(1, Ordering::Relaxed),
         };
+        if let Some(t) = job.tenant {
+            let row = &shared.metrics.tenants[t as usize];
+            match &result {
+                Ok(_) => row.completed.fetch_add(1, Ordering::Relaxed),
+                Err(_) => row.failed.fetch_add(1, Ordering::Relaxed),
+            };
+        }
         if let Some(reply) = &job.reply {
             reply.put(result);
         }

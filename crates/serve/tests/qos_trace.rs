@@ -1,0 +1,52 @@
+//! Quota rejections leave flight-recorder evidence: a traced call shed
+//! by its tenant's token bucket emits a [`Phase::ShedQuota`] record
+//! carrying the tenant index, reconstructable with
+//! [`TraceView::quota_sheds`]. Kept as the only test in this binary —
+//! the recorder is process-global.
+//!
+//! [`Phase::ShedQuota`]: iqs_obs::recorder::Phase::ShedQuota
+//! [`TraceView::quota_sheds`]: iqs_obs::TraceView::quota_sheds
+
+use iqs_obs::{recorder, TraceView};
+use iqs_serve::{IndexRegistry, Request, ServeError, Server, ServerConfig, TenantSpec};
+use iqs_testkit::VirtualClock;
+
+#[test]
+fn quota_sheds_are_traced_with_the_tenant_index() {
+    let vc = VirtualClock::new();
+    recorder::install(&vc.handle(), 4096);
+
+    let mut registry = IndexRegistry::new();
+    registry
+        .register_range_static("keys", (0..64).map(|i| (f64::from(i), 1.0)).collect())
+        .expect("register");
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            workers: 1,
+            seed: 7,
+            clock: vc.handle(),
+            tenants: vec![TenantSpec::unlimited("metered"), TenantSpec::limited("tiny", 1.0, 1.0)],
+            ..ServerConfig::default()
+        },
+    );
+    let tiny = server.client().for_tenant("tiny").expect("tenant");
+    let request = || Request::SampleWr { index: "keys".into(), range: None, s: 2 };
+
+    // Burst of one: the first traced call is admitted, the second is
+    // shed by the bucket on the frozen clock.
+    let (admitted, got) = tiny.call_traced(request());
+    assert!(got.is_ok());
+    let (shed, got) = tiny.call_traced(request());
+    assert!(matches!(got, Err(ServeError::QuotaExceeded(name)) if name == "tiny"));
+
+    let _ = server.shutdown();
+    recorder::disable();
+    let records = recorder::drain();
+
+    // `tiny` is tenant index 1; the shed trace carries exactly one such
+    // record, the admitted trace none.
+    assert_eq!(TraceView::build(&records, shed).quota_sheds(), vec![1]);
+    assert!(TraceView::build(&records, admitted).quota_sheds().is_empty());
+    assert_eq!(recorder::ctl_action_name(1), "split", "action-code table stays stable");
+}

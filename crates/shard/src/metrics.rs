@@ -79,7 +79,7 @@ pub struct RouterMetrics {
 
 /// One replica's service metrics, tagged with its position in the
 /// topology at snapshot time.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ReplicaMetrics {
     /// Shard index in the current topology.
     pub shard: usize,
@@ -224,7 +224,7 @@ mod tests {
             router: counters.snapshot(),
             cluster: serve.plus(&serve),
             replicas: vec![
-                ReplicaMetrics { shard: 0, replica: 0, tripped: false, serve },
+                ReplicaMetrics { shard: 0, replica: 0, tripped: false, serve: serve.clone() },
                 ReplicaMetrics { shard: 1, replica: 0, tripped: true, serve },
             ],
         };
@@ -253,7 +253,7 @@ mod tests {
             router: counters.snapshot(),
             cluster: serve.plus(&serve),
             replicas: vec![
-                ReplicaMetrics { shard: 0, replica: 0, tripped: false, serve },
+                ReplicaMetrics { shard: 0, replica: 0, tripped: false, serve: serve.clone() },
                 ReplicaMetrics { shard: 1, replica: 0, tripped: true, serve },
             ],
         };

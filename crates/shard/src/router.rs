@@ -35,7 +35,7 @@
 //! conditioned on the split.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -55,7 +55,8 @@ use crate::link::{PendingLeg, ShardSpec};
 use crate::merge::{Counted, Sampled};
 use crate::metrics::{ClusterMetrics, ReplicaMetrics, RouterCounters};
 use crate::placement::{
-    build_shard, cut_points, split_point, Replica, ShardHandle, Topology, SEED_GOLDEN, SHARD_INDEX,
+    build_replica, build_shard, cut_points, split_point, Replica, ShardHandle, Topology,
+    SEED_GOLDEN, SHARD_INDEX,
 };
 
 /// Rejection rounds `sample_wor` attempts before giving up on a
@@ -411,6 +412,15 @@ pub struct ShardedService {
     inner: Arc<Inner>,
 }
 
+impl Clone for ShardedService {
+    /// Cheap handle clone sharing the same topology, counters, and
+    /// rebalance lock — so a controller can own a handle while clients
+    /// keep their own.
+    fn clone(&self) -> ShardedService {
+        ShardedService { inner: Arc::clone(&self.inner) }
+    }
+}
+
 /// A handle for issuing cluster queries. Each client owns the RNG that
 /// drives its top-level multinomial splits (seeded from the service
 /// master seed), so clients are independent and need no locking.
@@ -733,6 +743,46 @@ impl ShardedService {
         Ok(n)
     }
 
+    /// Replaces replica `replica` of shard `shard` with a freshly built
+    /// one — new single-node service, fresh health and fault state, a
+    /// never-before-used seed stream — publishing the swap with the same
+    /// zero-failed-reads guarantee as [`ShardedService::split_shard`]:
+    /// readers drain against the old replica until their last handle
+    /// drops. This is the re-replication primitive the controller uses
+    /// to route around breaker-tripped or lease-expired replicas.
+    ///
+    /// # Errors
+    /// [`ShardError::UnknownShard`] for a bad shard index;
+    /// [`ShardError::UnknownReplica`] for a bad replica index;
+    /// [`ShardError::InvalidRequest`] for a remote shard — the router
+    /// holds no element slice to rebuild from.
+    pub fn rebuild_replica(&self, shard: usize, replica: usize) -> Result<(), ShardError> {
+        let _guard = self.inner.rebalance.lock().expect("rebalance lock poisoned");
+        let topo = self.inner.topo.load();
+        let handle = topo.shards.get(shard).ok_or(ShardError::UnknownShard(shard))?;
+        if replica >= handle.replicas.len() {
+            return Err(ShardError::UnknownReplica { shard, replica });
+        }
+        if handle.elements.is_empty() {
+            return Err(ShardError::InvalidRequest("remote shards cannot be rebalanced"));
+        }
+        let fresh = build_replica(&handle.elements, &self.inner.config, &self.inner.server_seq)?;
+        let mut replicas = handle.replicas.clone();
+        replicas[replica] = fresh;
+        let rebuilt = Arc::new(ShardHandle {
+            lo_key: handle.lo_key,
+            hi_key: handle.hi_key,
+            total_weight: handle.total_weight,
+            elements: Arc::clone(&handle.elements),
+            replicas,
+            rr: AtomicUsize::new(0),
+        });
+        let mut shards = topo.shards.clone();
+        shards[shard] = rebuilt;
+        self.publish(Topology { shards });
+        Ok(())
+    }
+
     fn publish(&self, topology: Topology) {
         self.inner.topo.store(topology);
         // Safe here: rebalances hold the mutex, so no concurrent store.
@@ -752,7 +802,7 @@ impl ShardedService {
                 let serve = rep.link.metrics();
                 cluster = Some(match cluster {
                     Some(acc) => acc.plus(&serve),
-                    None => serve,
+                    None => serve.clone(),
                 });
                 replicas.push(ReplicaMetrics {
                     shard: si,
@@ -1143,6 +1193,35 @@ mod tests {
         assert!(matches!(svc.split_shard(9), Err(ShardError::UnknownShard(9))));
         assert!(matches!(svc.merge_shards(1), Err(ShardError::UnknownShard(2))));
         assert_eq!(svc.metrics().router.rebalances, 2);
+    }
+
+    #[test]
+    fn rebuild_replica_replaces_a_dead_replica_in_place() {
+        let svc = ShardedService::new(
+            grid(30),
+            ShardConfig { shards: 3, replicas: 1, ..ShardConfig::default() },
+        )
+        .expect("build");
+        let faults = svc.fault_plan();
+        let mut client = svc.client();
+        faults.kill(1, 0).expect("kill");
+        assert!(client.sample_wr(None, 90).expect("degraded").degraded);
+        let spans = svc.shard_spans();
+        let weights = svc.shard_weights();
+        svc.rebuild_replica(1, 0).expect("rebuild");
+        // Fresh replica: healthy again, same partition, reads whole.
+        assert_eq!(svc.shard_spans(), spans);
+        assert_eq!(svc.shard_weights(), weights);
+        assert_eq!(faults.active(), 0, "rebuild discards the injected fault");
+        let healed = client.sample_wr(None, 90).expect("healed");
+        assert!(!healed.degraded);
+        assert_eq!(healed.ids.len(), 90);
+        assert_eq!(svc.metrics().router.rebalances, 1);
+        assert!(matches!(svc.rebuild_replica(9, 0), Err(ShardError::UnknownShard(9))));
+        assert!(matches!(
+            svc.rebuild_replica(0, 5),
+            Err(ShardError::UnknownReplica { shard: 0, replica: 5 })
+        ));
     }
 
     #[test]

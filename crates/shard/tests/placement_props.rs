@@ -3,8 +3,14 @@
 //! spans in strictly increasing key order with no gap and no overlap,
 //! every element in exactly one shard, and total sampling weight
 //! conserved to float tolerance.
+//!
+//! The invariants themselves live in
+//! [`iqs_testkit::oracle::check_partition`], shared with the controller
+//! suite so autonomous rebalancing is held to exactly the same oracle as
+//! these hand-driven sequences.
 
 use iqs_shard::{ShardConfig, ShardError, ShardedService};
+use iqs_testkit::oracle::check_partition;
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 
@@ -17,44 +23,12 @@ fn concatenated(svc: &ShardedService) -> Vec<(u64, f64, f64)> {
         .collect()
 }
 
-/// Asserts every partition invariant against the baseline element list.
-fn assert_partition(svc: &ShardedService, baseline: &[(u64, f64, f64)]) {
-    // No gap, no overlap, nothing lost, nothing duplicated: the shard
-    // slices concatenate back to exactly the key-sorted dataset.
-    prop_assert_eq!(&concatenated(svc), &baseline.to_vec(), "shards no longer tile the dataset");
-
-    // Spans are the slices' real key extremes and strictly ascend —
-    // adjacent spans cannot touch because a run of equal keys is never
-    // straddled by a cut.
-    let spans = svc.shard_spans();
-    prop_assert_eq!(spans.len(), svc.shard_count());
-    let mut prev_hi = f64::NEG_INFINITY;
-    for (idx, &(lo, hi)) in spans.iter().enumerate() {
-        let slice = svc.shard_elements(idx).expect("index in range");
-        prop_assert!(!slice.is_empty(), "shard {} is empty", idx);
-        prop_assert_eq!(lo, slice.first().expect("non-empty").1, "shard {} lo span", idx);
-        prop_assert_eq!(hi, slice.last().expect("non-empty").1, "shard {} hi span", idx);
-        prop_assert!(lo <= hi, "shard {} span inverted", idx);
-        prop_assert!(prev_hi < lo || idx == 0, "shard {} overlaps its left neighbour", idx);
-        prev_hi = hi;
-    }
-
-    // Weight conservation: cached per-shard weights tile the total, and
-    // the total matches a direct sum over the elements.
-    let direct: f64 = baseline.iter().map(|&(_, _, w)| w).sum();
-    let tiled: f64 = svc.shard_weights().iter().sum();
-    prop_assert!(
-        (tiled - direct).abs() <= 1e-9 * direct.max(1.0),
-        "shard weights {} drifted from direct sum {}",
-        tiled,
-        direct
-    );
-    prop_assert!(
-        (svc.total_weight() - direct).abs() <= 1e-9 * direct.max(1.0),
-        "cached total {} drifted from direct sum {}",
-        svc.total_weight(),
-        direct
-    );
+/// Runs the shared partition oracle against the service's live topology.
+fn partition_violation(svc: &ShardedService, baseline: &[(u64, f64, f64)]) -> Result<(), String> {
+    let slices: Vec<Vec<(u64, f64, f64)>> = (0..svc.shard_count())
+        .map(|idx| svc.shard_elements(idx).expect("index in range").to_vec())
+        .collect();
+    check_partition(&svc.shard_spans(), &svc.shard_weights(), &slices, baseline, svc.total_weight())
 }
 
 proptest! {
@@ -92,7 +66,7 @@ proptest! {
         let mut sorted_want = sorted_input;
         sorted_want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         prop_assert_eq!(sorted_baseline, sorted_want, "build dropped or invented elements");
-        assert_partition(&svc, &baseline);
+        prop_assert_eq!(partition_violation(&svc, &baseline), Ok(()));
 
         for &(op, raw_idx) in &ops {
             let count = svc.shard_count();
@@ -120,7 +94,7 @@ proptest! {
                     }
                 }
             }
-            assert_partition(&svc, &baseline);
+            prop_assert_eq!(partition_violation(&svc, &baseline), Ok(()));
         }
 
         // Reads agree with the partition after the whole op sequence.

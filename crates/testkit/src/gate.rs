@@ -59,6 +59,8 @@ pub const MANIFEST: &[&str] = &[
     "net_sim_cluster_chi_square",
     "net_multi_process_chi_square",
     "tiered_cold_path_chi_square",
+    "ctl_rebalance_chi_square",
+    "qos_fairness",
     "testkit_gate_selfcheck",
 ];
 

@@ -103,6 +103,73 @@ pub fn two_level_reference(
     Some(out)
 }
 
+/// Verifies that a shard layout is a *partition* of the dataset, over
+/// plain data so both the placement property suite and the controller
+/// suite check the same invariants with the same oracle:
+///
+/// * the per-shard slices concatenate back to exactly `baseline` (no
+///   gap, no overlap, nothing lost, nothing duplicated);
+/// * every span is its slice's real key extremes and spans strictly
+///   ascend (adjacent spans never touch — an equal-key run is never
+///   straddled);
+/// * cached per-shard `weights` tile the direct element-weight sum, and
+///   the cached `total` matches it, both to `1e-9` relative tolerance.
+///
+/// Returns a description of the first violated invariant.
+///
+/// # Errors
+/// A human-readable description of the violation, naming the shard.
+pub fn check_partition(
+    spans: &[(f64, f64)],
+    weights: &[f64],
+    slices: &[Vec<(u64, f64, f64)>],
+    baseline: &[(u64, f64, f64)],
+    total: f64,
+) -> Result<(), String> {
+    if spans.len() != slices.len() || weights.len() != slices.len() {
+        return Err(format!(
+            "layout is inconsistent: {} spans, {} weights, {} slices",
+            spans.len(),
+            weights.len(),
+            slices.len()
+        ));
+    }
+    let concatenated: Vec<(u64, f64, f64)> = slices.iter().flatten().copied().collect();
+    if concatenated != baseline {
+        return Err("shards no longer tile the dataset".to_string());
+    }
+    let mut prev_hi = f64::NEG_INFINITY;
+    for (idx, (&(lo, hi), slice)) in spans.iter().zip(slices).enumerate() {
+        let Some((first, last)) = slice.first().zip(slice.last()) else {
+            return Err(format!("shard {idx} is empty"));
+        };
+        if lo != first.1 || hi != last.1 {
+            return Err(format!(
+                "shard {idx} span [{lo}, {hi}] is not its slice's key extremes \
+                 [{}, {}]",
+                first.1, last.1
+            ));
+        }
+        if lo > hi {
+            return Err(format!("shard {idx} span [{lo}, {hi}] is inverted"));
+        }
+        if idx > 0 && prev_hi >= lo {
+            return Err(format!("shard {idx} overlaps its left neighbour ({prev_hi} >= {lo})"));
+        }
+        prev_hi = hi;
+    }
+    let direct: f64 = baseline.iter().map(|&(_, _, w)| w).sum();
+    let tiled: f64 = weights.iter().sum();
+    let tol = 1e-9 * direct.max(1.0);
+    if (tiled - direct).abs() > tol {
+        return Err(format!("shard weights {tiled} drifted from direct sum {direct}"));
+    }
+    if (total - direct).abs() > tol {
+        return Err(format!("cached total {total} drifted from direct sum {direct}"));
+    }
+    Ok(())
+}
+
 /// Verifies that a sampler's allocation-free batch path replays its
 /// sequential path exactly: `sample_wr_into` from a generator seeded
 /// with `seed` must return precisely the ranks `sample_wr` returns from
@@ -186,6 +253,37 @@ mod tests {
             two_level_reference(&legs, 20.0, 90.0, 4, 3, |s, i| s ^ i as u64).is_none(),
             "the gap between spans holds no weight"
         );
+    }
+
+    #[test]
+    fn check_partition_accepts_a_tiling_and_names_violations() {
+        let baseline = elements(6);
+        let slices = vec![baseline[..3].to_vec(), baseline[3..].to_vec()];
+        let spans = vec![(0.0, 2.0), (3.0, 5.0)];
+        let weights: Vec<f64> = slices.iter().map(|s| s.iter().map(|&(_, _, w)| w).sum()).collect();
+        let total: f64 = weights.iter().sum();
+        check_partition(&spans, &weights, &slices, &baseline, total).expect("valid partition");
+
+        // Overlapping spans are named by shard index.
+        let bad = check_partition(&[(0.0, 3.0), (3.0, 5.0)], &weights, &slices, &baseline, total)
+            .expect_err("span not the slice extremes");
+        assert!(bad.contains("shard 0"), "got: {bad}");
+
+        // A dropped element breaks the tiling.
+        let short = &baseline[..5];
+        assert!(check_partition(&spans, &weights, &slices, short, total)
+            .expect_err("lost element")
+            .contains("tile"));
+
+        // Drifted weights are caught.
+        let mut off = weights.clone();
+        off[0] += 1.0;
+        assert!(check_partition(&spans, &off, &slices, &baseline, total)
+            .expect_err("weight drift")
+            .contains("drifted"));
+        assert!(check_partition(&spans, &weights, &slices, &baseline, total + 1.0)
+            .expect_err("total drift")
+            .contains("cached total"));
     }
 
     #[test]

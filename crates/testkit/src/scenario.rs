@@ -1,0 +1,312 @@
+//! Scripted chaos workload scenarios, replayed byte-identically under
+//! one seed.
+//!
+//! A [`Scenario`] is a sequence of [`PhaseSpec`]s — so many controller
+//! ticks of load at a given intensity, skew, and fault script. The DSL
+//! is *shard-agnostic*: hotspots are key-space fractions and faults
+//! name a key fraction plus a replica index, so the same script replays
+//! against any topology (the driver maps fractions to live shards at
+//! injection time). Query generation is a pure function of
+//! `(scenario seed, phase, tick, query index)`, so two runs of the same
+//! scenario under the same seed issue byte-identical query streams —
+//! the property the A/B chaos matrix (controller on vs off) and the CI
+//! determinism diff both rest on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::seed;
+
+/// A fault the script injects, expressed without reference to any
+/// concrete topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScriptedFault {
+    /// The replica refuses every request (connection-dead semantics).
+    Kill,
+    /// The replica answers, but each reply is delayed by this many
+    /// milliseconds — a "zombie" that drags every query it serves past
+    /// its deadline without tripping fail-fast paths.
+    Delay(u64),
+}
+
+/// One fault injection: which replica of the shard owning a key
+/// fraction, what to do to it, and when.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultScript {
+    /// Key-space fraction in `[0, 1)` identifying the target shard (the
+    /// shard whose span contains `lo + key_frac * (hi - lo)`).
+    pub key_frac: f64,
+    /// Replica index within that shard.
+    pub replica: usize,
+    /// The fault to inject.
+    pub fault: ScriptedFault,
+    /// Phase-relative tick at which the fault is injected (it stays
+    /// active for the rest of the phase unless the driver heals it).
+    pub at_tick: usize,
+}
+
+/// A moving hot window in key space.
+#[derive(Clone, Copy, Debug)]
+pub struct Hotspot {
+    /// Window center as a key-space fraction in `[0, 1]` at phase start.
+    pub center_frac: f64,
+    /// Window width as a key-space fraction.
+    pub width_frac: f64,
+    /// Share of queries aimed into the window (the rest are uniform).
+    pub hot_share: f64,
+    /// Center drift per tick, as a key-space fraction (positive moves
+    /// right; the center wraps around `[0, 1]`).
+    pub drift_per_tick: f64,
+}
+
+/// So many ticks of load at one intensity, skew, and fault script.
+#[derive(Clone, Debug)]
+pub struct PhaseSpec {
+    /// Phase label (appears in reports).
+    pub name: &'static str,
+    /// Controller ticks this phase lasts.
+    pub ticks: usize,
+    /// Queries issued per tick.
+    pub queries_per_tick: usize,
+    /// Skew, if any; `None` issues uniform random ranges.
+    pub hotspot: Option<Hotspot>,
+    /// Faults injected during this phase.
+    pub faults: Vec<FaultScript>,
+}
+
+/// A named, seeded, multi-phase chaos scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario label (one cell of the matrix).
+    pub name: &'static str,
+    /// The phases, replayed in order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl Scenario {
+    /// Total controller ticks across all phases.
+    #[must_use]
+    pub fn total_ticks(&self) -> usize {
+        self.phases.iter().map(|p| p.ticks).sum()
+    }
+
+    /// The query ranges for one tick of one phase, as key-space
+    /// fraction pairs `(lo_frac, hi_frac)` with `lo <= hi`. Pure in
+    /// `(scenario_seed, phase index, tick)`: the same arguments always
+    /// return the same ranges, independent of global state, topology,
+    /// or wall time.
+    #[must_use]
+    pub fn ranges_for_tick(
+        &self,
+        scenario_seed: u64,
+        phase: usize,
+        tick: usize,
+    ) -> Vec<(f64, f64)> {
+        let spec = &self.phases[phase];
+        let tick_seed = seed::derive(
+            seed::derive(scenario_seed, spec.name),
+            &format!("phase{phase}-tick{tick}"),
+        );
+        let mut rng = StdRng::seed_from_u64(tick_seed);
+        let mut out = Vec::with_capacity(spec.queries_per_tick);
+        for _ in 0..spec.queries_per_tick {
+            let range = match spec.hotspot {
+                Some(h) if rng.random_bool(h.hot_share.clamp(0.0, 1.0)) => {
+                    let center = (h.center_frac + h.drift_per_tick * tick as f64).rem_euclid(1.0);
+                    let half = h.width_frac / 2.0;
+                    let lo = (center - half).max(0.0);
+                    let hi = (center + half).min(1.0);
+                    // A random subrange of the hot window keeps hot
+                    // queries from all being identical.
+                    let a = rng.random_range(lo..hi);
+                    let b = rng.random_range(lo..hi);
+                    (a.min(b), a.max(b))
+                }
+                _ => {
+                    let a: f64 = rng.random_range(0.0..1.0);
+                    let b: f64 = rng.random_range(0.0..1.0);
+                    (a.min(b), a.max(b))
+                }
+            };
+            out.push(range);
+        }
+        out
+    }
+
+    /// The standard four-cell chaos matrix the autopilot experiment
+    /// replays: static skew, a drifting hotspot, a flash crowd, and a
+    /// replica-kill/zombie script. Dimensions are deliberately modest —
+    /// every cell runs twice (controller on and off) in CI.
+    #[must_use]
+    pub fn matrix() -> Vec<Scenario> {
+        vec![
+            Scenario {
+                name: "skewed",
+                phases: vec![PhaseSpec {
+                    name: "static_hotspot",
+                    ticks: 12,
+                    queries_per_tick: 60,
+                    hotspot: Some(Hotspot {
+                        center_frac: 0.15,
+                        width_frac: 0.1,
+                        hot_share: 0.8,
+                        drift_per_tick: 0.0,
+                    }),
+                    faults: Vec::new(),
+                }],
+            },
+            Scenario {
+                name: "shifting_hotspot",
+                phases: vec![
+                    PhaseSpec {
+                        name: "hot_left",
+                        ticks: 8,
+                        queries_per_tick: 60,
+                        hotspot: Some(Hotspot {
+                            center_frac: 0.1,
+                            width_frac: 0.1,
+                            hot_share: 0.8,
+                            drift_per_tick: 0.0,
+                        }),
+                        faults: Vec::new(),
+                    },
+                    PhaseSpec {
+                        name: "drift_right",
+                        ticks: 10,
+                        queries_per_tick: 60,
+                        hotspot: Some(Hotspot {
+                            center_frac: 0.2,
+                            width_frac: 0.1,
+                            hot_share: 0.8,
+                            drift_per_tick: 0.07,
+                        }),
+                        faults: Vec::new(),
+                    },
+                ],
+            },
+            Scenario {
+                name: "flash_crowd",
+                phases: vec![
+                    PhaseSpec {
+                        name: "calm",
+                        ticks: 5,
+                        queries_per_tick: 30,
+                        hotspot: None,
+                        faults: Vec::new(),
+                    },
+                    PhaseSpec {
+                        name: "crowd",
+                        ticks: 8,
+                        queries_per_tick: 240,
+                        hotspot: Some(Hotspot {
+                            center_frac: 0.5,
+                            width_frac: 0.08,
+                            hot_share: 0.9,
+                            drift_per_tick: 0.0,
+                        }),
+                        faults: Vec::new(),
+                    },
+                    PhaseSpec {
+                        name: "aftermath",
+                        ticks: 5,
+                        queries_per_tick: 30,
+                        hotspot: None,
+                        faults: Vec::new(),
+                    },
+                ],
+            },
+            Scenario {
+                name: "replica_kill",
+                phases: vec![
+                    PhaseSpec {
+                        name: "healthy",
+                        ticks: 4,
+                        queries_per_tick: 60,
+                        hotspot: None,
+                        faults: Vec::new(),
+                    },
+                    PhaseSpec {
+                        name: "zombie",
+                        ticks: 12,
+                        queries_per_tick: 60,
+                        hotspot: None,
+                        faults: vec![FaultScript {
+                            key_frac: 0.25,
+                            replica: 0,
+                            fault: ScriptedFault::Delay(40),
+                            at_tick: 0,
+                        }],
+                    },
+                ],
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_streams_replay_byte_identically_under_one_seed() {
+        for sc in Scenario::matrix() {
+            for (pi, phase) in sc.phases.iter().enumerate() {
+                for tick in 0..phase.ticks.min(3) {
+                    let a = sc.ranges_for_tick(42, pi, tick);
+                    let b = sc.ranges_for_tick(42, pi, tick);
+                    assert_eq!(a, b, "{}/{} tick {tick} must replay", sc.name, phase.name);
+                    assert_eq!(a.len(), phase.queries_per_tick);
+                    assert!(a.iter().all(|&(lo, hi)| (0.0..=1.0).contains(&lo) && lo <= hi));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_and_ticks_give_different_streams() {
+        let sc = &Scenario::matrix()[0];
+        assert_ne!(sc.ranges_for_tick(1, 0, 0), sc.ranges_for_tick(2, 0, 0));
+        assert_ne!(sc.ranges_for_tick(1, 0, 0), sc.ranges_for_tick(1, 0, 1));
+    }
+
+    #[test]
+    fn hotspots_concentrate_queries_and_drift() {
+        let sc = Scenario {
+            name: "t",
+            phases: vec![PhaseSpec {
+                name: "p",
+                ticks: 10,
+                queries_per_tick: 200,
+                hotspot: Some(Hotspot {
+                    center_frac: 0.2,
+                    width_frac: 0.1,
+                    hot_share: 0.9,
+                    drift_per_tick: 0.05,
+                }),
+                faults: Vec::new(),
+            }],
+        };
+        let early = sc.ranges_for_tick(7, 0, 0);
+        let in_window =
+            early.iter().filter(|&&(lo, hi)| lo >= 0.15 - 1e-9 && hi <= 0.25 + 1e-9).count();
+        assert!(in_window > 150, "hot share must dominate: {in_window}/200");
+        // By tick 8 the center has moved to 0.6; the original window
+        // empties out.
+        let late = sc.ranges_for_tick(7, 0, 8);
+        let still_there =
+            late.iter().filter(|&&(lo, hi)| lo >= 0.15 - 1e-9 && hi <= 0.25 + 1e-9).count();
+        assert!(still_there < in_window / 4, "hotspot must drift away: {still_there}");
+    }
+
+    #[test]
+    fn the_matrix_covers_the_four_advertised_cells() {
+        let names: Vec<&str> = Scenario::matrix().iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["skewed", "shifting_hotspot", "flash_crowd", "replica_kill"]);
+        for sc in Scenario::matrix() {
+            assert!(sc.total_ticks() > 0);
+        }
+        // The kill cell actually scripts a fault.
+        let kill = &Scenario::matrix()[3];
+        assert!(kill.phases.iter().any(|p| !p.faults.is_empty()));
+    }
+}

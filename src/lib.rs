@@ -20,6 +20,7 @@
 
 pub use iqs_alias as alias;
 pub use iqs_core as core;
+pub use iqs_ctl as ctl;
 pub use iqs_em as em;
 pub use iqs_net as net;
 pub use iqs_obs as obs;

@@ -9,6 +9,7 @@ use std::error::Error;
 
 use iqs::alias::WeightError;
 use iqs::core::QueryError;
+use iqs::ctl::CtlError;
 use iqs::net::{FrameError, NetError};
 use iqs::serve::ServeError;
 use iqs::shard::ShardError;
@@ -32,6 +33,7 @@ fn all_public_error_enums_are_boxable_errors() {
     assert_boxable::<FrameError>();
     assert_boxable::<NetError>();
     assert_boxable::<TierError>();
+    assert_boxable::<CtlError>();
 }
 
 #[test]
@@ -55,6 +57,11 @@ fn errors_round_trip_through_dyn_error() {
     assert!(tier_err.source().is_some(), "TierError::Query exposes the structure source");
     let through_serve = ServeError::from(TierError::from(QueryError::EmptyRange));
     assert!(through_serve.source().is_some(), "tier errors chain through ServeError");
+
+    // A shard error wrapped by the controller keeps its source.
+    let ctl_err: Box<dyn Error + Send + Sync> =
+        Box::new(CtlError::from(ShardError::UnknownShard(3)));
+    assert!(ctl_err.source().is_some(), "CtlError::Shard exposes the shard source");
 
     // A frame error wrapped by the transport layer keeps its source.
     let net_err: Box<dyn Error + Send + Sync> =

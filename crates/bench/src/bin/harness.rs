@@ -131,6 +131,9 @@ fn main() {
     if want("e23") {
         e23_autopilot();
     }
+    if want("e24") {
+        e24_telemetry_slo();
+    }
 }
 
 // =====================================================================
@@ -2091,5 +2094,245 @@ fn e23_autopilot() {
          cell, either arm. Caveats: 1-vCPU runner — wall-clock latencies are noisy and\n  \
          the closed-loop driver understates contention; the deterministic form of this\n  \
          matrix (virtual clock, byte-identical A/B) runs in CI as chaos_matrix.rs.\n"
+    );
+}
+
+// =====================================================================
+// E24 — telemetry plane: shipping overhead A/B + burn detection latency.
+// =====================================================================
+fn e24_telemetry_slo() {
+    use iqs_net::{
+        announce_once, shard_specs, ship_telemetry, Announce, RegistryHandler, ReplicaServer,
+        ServiceRegistry, SimNet, TelemetryHandler,
+    };
+    use iqs_obs::{recorder, Phase, Record};
+    use iqs_serve::{HistogramSnapshot, IndexRegistry, Server, ServerConfig};
+    use iqs_shard::{ShardConfig, ShardedService, SHARD_INDEX};
+    use iqs_slo::{ClusterTelemetry, Objective, SloEngine, SloKey, TelemetryShipper};
+    use iqs_testkit::VirtualClock;
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    // CI sets E24_SMOKE=1 to run the same code with short loops.
+    let smoke = std::env::var("E24_SMOKE").is_ok();
+    let rounds = if smoke { 8 } else { 120 };
+    let queries_per_round = if smoke { 10 } else { 50 };
+    let s = 16u32;
+    let cuts: [(usize, usize); 3] = [(0, 341), (341, 682), (682, 1024)];
+    let elements: Vec<(u64, f64, f64)> =
+        (0..1024).map(|i| (i as u64, i as f64, 1.0 + (i % 10) as f64)).collect();
+
+    println!("E24  telemetry plane — shipping overhead A/B + burn detection latency");
+    println!(
+        "     3 remote shards over SimNet, {rounds} rounds x {queries_per_round} queries, s = {s}"
+    );
+
+    // Replica-side phases that reach the router only via telemetry.
+    fn ships(r: &Record) -> bool {
+        r.replica().is_some()
+            && matches!(
+                r.phase,
+                Phase::Enqueue
+                    | Phase::Pickup
+                    | Phase::DeadlineMiss
+                    | Phase::RngCost
+                    | Phase::WorkDone
+                    | Phase::ColdDraw
+            )
+    }
+
+    // Part A — the same scripted workload under three regimes: flight
+    // recorder disabled ("off"), recorder on with a per-round drain but
+    // nothing shipped ("record"), and recorder on plus a per-round
+    // fold-and-ship of every replica's records and metric diffs
+    // ("ship"). The workload is deterministic on the virtual clock;
+    // only the wall time differs — the off/record gap prices the
+    // recorder, the record/ship gap prices the telemetry plane itself.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Arm {
+        Off,
+        Record,
+        Ship,
+    }
+    let arm = |mode: Arm| -> (f64, u64) {
+        let clock = VirtualClock::new();
+        recorder::install(&clock.handle(), 1 << 16);
+        if mode == Arm::Off {
+            recorder::disable();
+        }
+        let net = SimNet::new(clock.handle());
+        let registry = Arc::new(ServiceRegistry::new(clock.handle()));
+        net.bind("sim://registry", Arc::new(RegistryHandler::new(Arc::clone(&registry))));
+        let collector = Arc::new(Mutex::new(ClusterTelemetry::new(1 << 16).expect("config")));
+        net.bind("sim://telemetry", Arc::new(TelemetryHandler::new(Arc::clone(&collector))));
+        let transport = net.transport();
+        let mut servers = Vec::new();
+        for (si, &(a, b)) in cuts.iter().enumerate() {
+            let mut indexes = IndexRegistry::new();
+            indexes.register_range_keyed(SHARD_INDEX, elements[a..b].to_vec()).unwrap();
+            let server = Server::start(
+                indexes,
+                ServerConfig {
+                    workers: 1,
+                    queue_capacity: 256,
+                    seed: 24 + si as u64,
+                    clock: clock.handle(),
+                    ..ServerConfig::default()
+                },
+            );
+            let total = server.registry().total_weight(SHARD_INDEX).unwrap();
+            let addr = format!("sim://s{si}r0");
+            net.bind(&addr, Arc::new(ReplicaServer::new(server.client(), clock.handle())));
+            announce_once(
+                &*transport,
+                "sim://registry",
+                &Announce {
+                    addr,
+                    lo_key: a as f64,
+                    hi_key: (b - 1) as f64,
+                    total_weight: total,
+                    epoch: 1,
+                    ttl_ms: 3_600_000,
+                },
+                clock.handle().now() + Duration::from_secs(1),
+            )
+            .expect("announce");
+            servers.push(server);
+        }
+        let svc = ShardedService::from_links(
+            shard_specs(&registry, &transport),
+            ShardConfig { seed: 240, clock: clock.handle(), ..ShardConfig::default() },
+        )
+        .expect("remote topology");
+        let mut shippers: Vec<TelemetryShipper> = (0..cuts.len())
+            .map(|si| {
+                TelemetryShipper::new(&format!("sim://s{si}r0"), si as u32, 0, 1 << 14).unwrap()
+            })
+            .collect();
+        let mut client = svc.client();
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for _ in 0..queries_per_round {
+                let drawn = client.sample_wr(None, s).expect("read");
+                assert_eq!(drawn.missing, 0);
+            }
+            clock.advance(Duration::from_secs(1));
+            if mode != Arm::Off {
+                let drained = recorder::drain();
+                if mode == Arm::Ship {
+                    for (si, shipper) in shippers.iter_mut().enumerate() {
+                        let mine: Vec<Record> = drained
+                            .iter()
+                            .filter(|r| ships(r) && r.shard() == Some(si as u32))
+                            .copied()
+                            .collect();
+                        shipper.absorb(&mine);
+                        let batch = shipper.next_batch(&servers[si].metrics()).expect("monotone");
+                        ship_telemetry(
+                            &*transport,
+                            "sim://telemetry",
+                            &batch,
+                            clock.handle().now() + Duration::from_secs(1),
+                        )
+                        .expect("collector reachable");
+                        shipper.commit();
+                    }
+                }
+            }
+        }
+        let ns_per_query = start.elapsed().as_nanos() as f64 / (rounds * queries_per_round) as f64;
+        recorder::disable();
+        let batches = collector.lock().unwrap().stats().batches;
+        (ns_per_query, batches)
+    };
+    let (off_ns, off_batches) = arm(Arm::Off);
+    let (rec_ns, rec_batches) = arm(Arm::Record);
+    let (ship_ns, ship_batches) = arm(Arm::Ship);
+    assert_eq!(off_batches, 0);
+    assert_eq!(rec_batches, 0);
+    assert_eq!(ship_batches, (rounds * cuts.len()) as u64);
+    println!("\n  per-query wall clock (whole loop incl. drain/fold/encode/ship):");
+    println!("{:>10} {:>14} {:>10} {:>12}", "telemetry", "ns/query", "batches", "vs off");
+    for (name, ns, batches) in [
+        ("off", off_ns, off_batches),
+        ("record", rec_ns, rec_batches),
+        ("ship", ship_ns, ship_batches),
+    ] {
+        println!(
+            "{:>10} {:>14.0} {:>10} {:>+11.1}%",
+            name,
+            ns,
+            batches,
+            (ns / off_ns - 1.0) * 100.0
+        );
+        csv_row(
+            "e24_telemetry.csv",
+            "arm,rounds,queries_per_round,s,ns_per_query,batches",
+            &format!("{name},{rounds},{queries_per_round},{s},{ns:.0},{batches}"),
+        );
+    }
+    println!(
+        "  recorder costs {:+.1}%; shipping itself adds {:+.1}% on top",
+        (rec_ns / off_ns - 1.0) * 100.0,
+        (ship_ns / rec_ns - 1.0) * 100.0
+    );
+
+    // Part B — burn detection latency: a healthy stream turns bad at a
+    // known tick; how many virtual-clock ticks until the multi-window
+    // engine alerts? Deterministic — exact bad counts, no RNG.
+    println!("\n  burn detection latency (objective: 1 ms at 90%, fast 2s/x2.0, slow 6s/x1.0):");
+    println!("{:>12} {:>16}", "bad fraction", "ticks to alert");
+    let regress_tick = 6usize;
+    let per_tick = 1000usize;
+    for bad_pct in [2usize, 10, 25, 50] {
+        let vc = VirtualClock::new();
+        let mut engine = SloEngine::new(&vc.handle());
+        let key = SloKey::Shard(0);
+        engine
+            .set_objective(
+                key.clone(),
+                Objective {
+                    threshold: Duration::from_millis(1),
+                    target: 0.9,
+                    fast_window: Duration::from_secs(2),
+                    slow_window: Duration::from_secs(6),
+                    fast_burn: 2.0,
+                    slow_burn: 1.0,
+                },
+            )
+            .unwrap();
+        let mut cumulative = HistogramSnapshot::default();
+        let good = iqs_obs::log2_bucket(100_000); // 0.1 ms: under threshold
+        let bad = iqs_obs::log2_bucket(5_000_000); // 5 ms: over threshold
+        let mut detected = None;
+        for tick in 0..30usize {
+            let bad_n = if tick >= regress_tick { per_tick * bad_pct / 100 } else { 0 };
+            cumulative.buckets[good] += (per_tick - bad_n) as u64;
+            cumulative.buckets[bad] += bad_n as u64;
+            engine.observe(&key, cumulative);
+            if engine.evaluate().unwrap().shard_status(0).unwrap().alerting {
+                detected = Some(tick - regress_tick);
+                break;
+            }
+            vc.advance(Duration::from_secs(1));
+        }
+        let shown = detected.map_or("never".into(), |t| format!("{t}"));
+        println!("{:>11}% {:>16}", bad_pct, shown);
+        csv_row(
+            "e24_burn_detection.csv",
+            "bad_pct,per_tick,ticks_to_alert",
+            &format!("{bad_pct},{per_tick},{}", detected.map_or(-1, |t| t as i64)),
+        );
+    }
+    println!(
+        "\n  E24 claim: against ~24 us in-process scatter queries, the flight recorder costs\n  \
+         ~40% and the per-round fold/encode/ship path ~25% more — roughly 10 us per query\n  \
+         each, a fixed CPU cost that would be noise against a real network round-trip but\n  \
+         is an honest double-digit tax on this function-call fabric. Detection latency is\n  \
+         budget-relative: a 2% bad fraction stays inside the 10% error budget and never\n  \
+         alerts, 10% burns at exactly 1x (under the 2x fast line) and also never alerts,\n  \
+         while fractions past the fast-burn line alert 1-2 virtual-clock ticks after the\n  \
+         regression. Caveats: 1-vCPU runner wall times are noisy run to run; the\n  \
+         detection table is exact (virtual clock, no RNG) and replays byte-identically.\n"
     );
 }

@@ -15,7 +15,11 @@
 //!   combined share under the merge threshold), and
 //! * **re-replicates** around breaker-tripped replicas by rebuilding a
 //!   fresh replica in place, which also discards the fault that tripped
-//!   it.
+//!   it, and
+//! * **acts on SLO burn** ([`Controller::tick_with_health`]): a shard
+//!   held in burn-rate alert by an `iqs-slo` [`HealthReport`] for
+//!   [`CtlConfig::burn_ticks`] consecutive ticks gets its replicas
+//!   rebuilt, with the alert recorded as [`Phase::SloBurnAlert`].
 //!
 //! The split and merge thresholds form a *hysteresis band*: a shard
 //! only splits above `split_share`, a pair only merges when its
@@ -57,6 +61,7 @@ use std::time::Duration;
 
 use iqs_obs::{recorder, Ctx, Phase, PromWriter};
 use iqs_shard::{ShardError, ShardedService};
+use iqs_slo::HealthReport;
 use iqs_testkit::ClockHandle;
 
 /// Everything that can go wrong in the controller.
@@ -120,6 +125,11 @@ pub struct CtlConfig {
     /// entirely (no streak updates): share estimates from a handful of
     /// queries are noise. Default 32.
     pub min_interval_queries: u64,
+    /// Consecutive ticks a shard must stay in SLO burn-rate alert
+    /// (per the [`HealthReport`] handed to
+    /// [`Controller::tick_with_health`]) before the controller rebuilds
+    /// its replicas. Default 2.
+    pub burn_ticks: u32,
 }
 
 impl Default for CtlConfig {
@@ -133,6 +143,7 @@ impl Default for CtlConfig {
             min_shards: 1,
             max_shards: 12,
             min_interval_queries: 32,
+            burn_ticks: 2,
         }
     }
 }
@@ -152,6 +163,9 @@ impl CtlConfig {
         }
         if self.min_shards == 0 || self.max_shards < self.min_shards {
             return Err(CtlError::Config("need 1 <= min_shards <= max_shards"));
+        }
+        if self.burn_ticks == 0 {
+            return Err(CtlError::Config("burn_ticks must be at least 1"));
         }
         Ok(())
     }
@@ -201,6 +215,7 @@ struct CtlCounters {
     merges: AtomicU64,
     rebuilds: AtomicU64,
     held: AtomicU64,
+    burn_alerts: AtomicU64,
 }
 
 /// A point-in-time copy of the controller's counters.
@@ -217,6 +232,9 @@ pub struct CtlMetricsSnapshot {
     /// Ticks that observed load but held inside the hysteresis band
     /// (no action taken).
     pub held: u64,
+    /// Sustained SLO burn-rate alerts acted on (each triggers replica
+    /// rebuilds on the offending shard).
+    pub burn_alerts: u64,
 }
 
 impl CtlMetricsSnapshot {
@@ -238,6 +256,8 @@ impl CtlMetricsSnapshot {
             "counter",
         );
         w.sample("iqs_ctl_held_ticks_total", &[], self.held);
+        w.header("iqs_ctl_burn_alerts_total", "Sustained SLO burn-rate alerts acted on", "counter");
+        w.sample("iqs_ctl_burn_alerts_total", &[], self.burn_alerts);
         w.finish()
     }
 }
@@ -258,6 +278,8 @@ pub struct Controller {
     prev: Option<Vec<u64>>,
     hot_streaks: Vec<u32>,
     cold_streaks: Vec<u32>,
+    /// Consecutive ticks each shard has been in SLO burn alert.
+    burn_streaks: Vec<u32>,
 }
 
 impl Controller {
@@ -284,6 +306,7 @@ impl Controller {
             prev: None,
             hot_streaks: Vec::new(),
             cold_streaks: Vec::new(),
+            burn_streaks: Vec::new(),
         })
     }
 
@@ -304,12 +327,14 @@ impl Controller {
             merges: self.counters.merges.load(Ordering::Relaxed),
             rebuilds: self.counters.rebuilds.load(Ordering::Relaxed),
             held: self.counters.held.load(Ordering::Relaxed),
+            burn_alerts: self.counters.burn_alerts.load(Ordering::Relaxed),
         }
     }
 
     fn reset_streaks(&mut self, shards: usize) {
         self.hot_streaks = vec![0; shards];
         self.cold_streaks = vec![0; shards];
+        self.burn_streaks = vec![0; shards];
     }
 
     fn record(&self, decision: Decision) {
@@ -324,15 +349,38 @@ impl Controller {
         recorder::emit(self.ctx, Phase::CtlDecision, decision.action_code(), b);
     }
 
-    /// Runs one control interval: rebuilds every breaker-tripped
-    /// replica, then examines the interval's per-shard load shares and
-    /// performs at most one split or merge. Returns the decisions
-    /// taken, in execution order (possibly empty).
+    /// Runs one control interval without SLO health input; identical to
+    /// [`Controller::tick_with_health`] with `None`.
     ///
     /// # Errors
     /// [`CtlError::Shard`] when a rebalancing call fails; the topology
     /// is never left half-changed (each underlying action is atomic).
     pub fn tick(&mut self) -> Result<Vec<Decision>, CtlError> {
+        self.tick_with_health(None)
+    }
+
+    /// Runs one control interval: rebuilds every breaker-tripped
+    /// replica, then acts on sustained SLO burn-rate alerts from
+    /// `health` (rebuilding the offending shard's replicas after
+    /// [`CtlConfig::burn_ticks`] consecutive alerting ticks), then
+    /// examines the interval's per-shard load shares and performs at
+    /// most one split or merge. Returns the decisions taken, in
+    /// execution order (possibly empty).
+    ///
+    /// The burn policy is breaker-shaped on purpose: a shard whose tail
+    /// latency burns its error budget across both windows is treated
+    /// like a tripped replica — its serving state is rebuilt — rather
+    /// than resharded, because burn without a load-share imbalance
+    /// points at a sick replica (cold tier thrash, fault injection,
+    /// stale cache), not at the key layout.
+    ///
+    /// # Errors
+    /// [`CtlError::Shard`] when a rebalancing call fails; the topology
+    /// is never left half-changed (each underlying action is atomic).
+    pub fn tick_with_health(
+        &mut self,
+        health: Option<&HealthReport>,
+    ) -> Result<Vec<Decision>, CtlError> {
         self.counters.ticks.fetch_add(1, Ordering::Relaxed);
         let mut decisions = Vec::new();
 
@@ -357,6 +405,51 @@ impl Controller {
             let shards = self.svc.shard_count();
             self.reset_streaks(shards);
             return Ok(decisions);
+        }
+
+        // SLO burn-rate alerts next: sustained budget burn on a shard's
+        // tail is rebuilt like a breaker trip (see method docs).
+        if self.burn_streaks.len() != m.shards {
+            self.burn_streaks = vec![0; m.shards];
+        }
+        if let Some(health) = health {
+            let alerting = health.alerting_shards();
+            for shard in 0..m.shards {
+                self.burn_streaks[shard] = if alerting.contains(&(shard as u32)) {
+                    self.burn_streaks[shard] + 1
+                } else {
+                    0
+                };
+            }
+            let burning =
+                (0..m.shards).find(|&shard| self.burn_streaks[shard] >= self.config.burn_ticks);
+            if let Some(shard) = burning {
+                let fast_burn =
+                    health.shard_status(shard as u32).map_or(0.0, |status| status.fast_burn);
+                self.counters.burn_alerts.fetch_add(1, Ordering::Relaxed);
+                recorder::emit(
+                    self.ctx.leg(shard, 0),
+                    Phase::SloBurnAlert,
+                    shard as u64,
+                    fast_burn.to_bits(),
+                );
+                let replicas = m
+                    .replicas
+                    .iter()
+                    .filter(|r| r.shard == shard)
+                    .map(|r| r.replica)
+                    .collect::<Vec<_>>();
+                for replica in replicas {
+                    self.svc.rebuild_replica(shard, replica)?;
+                    let d = Decision::Rebuild { shard, replica };
+                    self.record(d);
+                    decisions.push(d);
+                }
+                self.prev = None;
+                let shards = self.svc.shard_count();
+                self.reset_streaks(shards);
+                return Ok(decisions);
+            }
         }
 
         // Per-shard cumulative submitted counts → interval deltas.
@@ -568,14 +661,58 @@ mod tests {
     }
 
     #[test]
+    fn sustained_burn_alerts_rebuild_the_shard() {
+        use iqs_slo::{HealthReport, SloKey, SloStatus};
+        let (svc, mut ctl, _) = controller(2, CtlConfig { burn_ticks: 2, ..CtlConfig::default() });
+        let burning = HealthReport {
+            statuses: vec![SloStatus {
+                key: SloKey::Shard(1),
+                fast_burn: 3.5,
+                slow_burn: 1.2,
+                fast_total: 100,
+                slow_total: 400,
+                alerting: true,
+            }],
+        };
+        let healthy = HealthReport::default();
+        // One alerting tick only starts the streak.
+        assert_eq!(ctl.tick_with_health(Some(&burning)).expect("tick"), vec![]);
+        // A healthy tick resets it: one anomalous window never acts.
+        assert_eq!(ctl.tick_with_health(Some(&healthy)).expect("tick"), vec![]);
+        assert_eq!(ctl.tick_with_health(Some(&burning)).expect("tick"), vec![]);
+        let decisions = ctl.tick_with_health(Some(&burning)).expect("tick");
+        assert_eq!(decisions, vec![Decision::Rebuild { shard: 1, replica: 0 }]);
+        assert_eq!(svc.shard_count(), 2, "burn rebuilds replicas, never reshards");
+        let m = ctl.metrics();
+        assert_eq!(m.burn_alerts, 1);
+        assert_eq!(m.rebuilds, 1);
+        assert_eq!(m.splits + m.merges, 0);
+    }
+
+    #[test]
+    fn burn_config_must_allow_at_least_one_tick() {
+        let (svc, _, clock) = controller(2, CtlConfig::default());
+        let bad = CtlConfig { burn_ticks: 0, ..CtlConfig::default() };
+        assert!(matches!(Controller::new(svc, clock, bad), Err(CtlError::Config(_))));
+    }
+
+    #[test]
     fn prometheus_exposition_counts_actions() {
-        let snap = CtlMetricsSnapshot { ticks: 9, splits: 2, merges: 1, rebuilds: 3, held: 4 };
+        let snap = CtlMetricsSnapshot {
+            ticks: 9,
+            splits: 2,
+            merges: 1,
+            rebuilds: 3,
+            held: 4,
+            burn_alerts: 5,
+        };
         let text = snap.to_prometheus();
         assert!(text.contains("iqs_ctl_ticks_total 9\n"));
         assert!(text.contains("iqs_ctl_actions_total{action=\"split\"} 2\n"));
         assert!(text.contains("iqs_ctl_actions_total{action=\"merge\"} 1\n"));
         assert!(text.contains("iqs_ctl_actions_total{action=\"rebuild_replica\"} 3\n"));
         assert!(text.contains("iqs_ctl_held_ticks_total 4\n"));
+        assert!(text.contains("iqs_ctl_burn_alerts_total 5\n"));
         // JSON round trip for the harness.
         let json = serde_json::to_string(&snap).expect("serialize");
         let back: CtlMetricsSnapshot = serde_json::from_str(&json).expect("parse");

@@ -104,6 +104,7 @@ fn ctl_rebalance_chi_square() {
                 min_shards: 1,
                 max_shards: 6,
                 min_interval_queries: 8,
+                burn_ticks: 2,
             },
         )
         .expect("valid config");

@@ -66,6 +66,7 @@ proptest! {
                 min_shards: 1,
                 max_shards: 6,
                 min_interval_queries: 4,
+                burn_ticks: 2,
             },
         )
         .expect("valid config");

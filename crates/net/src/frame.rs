@@ -4,7 +4,7 @@
 //! offset  size  field
 //!      0     2  magic          b"IQ"
 //!      2     1  version        1
-//!      3     1  kind           Request / Ok / Err / Announce / Ack / Metrics
+//!      3     1  kind           Request / Ok / Err / Announce / Ack / Metrics / Telemetry
 //!      4     4  span           u32 LE — obs span (shard/replica encoding)
 //!      8     8  trace          u64 LE — obs trace id (0 = untraced)
 //!     16     8  deadline_ns    u64 LE — remaining budget, relative (0 = none)
@@ -57,6 +57,10 @@ pub enum Kind {
     /// A metrics request (empty payload) or
     /// [`MetricsSnapshot`](iqs_serve::MetricsSnapshot) reply.
     Metrics = 6,
+    /// A telemetry batch (`iqs_slo::TelemetryBatch`): a metrics diff
+    /// plus trace-leg summaries shipped replica → router, acked with
+    /// [`Kind::Ack`].
+    Telemetry = 7,
 }
 
 impl Kind {
@@ -68,6 +72,7 @@ impl Kind {
             4 => Ok(Kind::Announce),
             5 => Ok(Kind::Ack),
             6 => Ok(Kind::Metrics),
+            7 => Ok(Kind::Telemetry),
             other => Err(FrameError::BadKind(other)),
         }
     }

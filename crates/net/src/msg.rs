@@ -3,6 +3,7 @@
 //! directly.
 
 use iqs_serve::{MetricsSnapshot, Request, Response, ServeError};
+use iqs_slo::TelemetryBatch;
 use serde::de::Parser;
 use serde::{Deserialize, Serialize};
 
@@ -84,6 +85,14 @@ pub fn encode_announce(announce: &Announce) -> Vec<u8> {
 #[must_use]
 pub fn encode_ack(ack: &Ack) -> Vec<u8> {
     encode_frame(Kind::Ack, 0, 0, 0, &to_json(ack))
+}
+
+/// Encodes a telemetry batch (replica → router metrics diff plus
+/// trace-leg summaries); acked with [`encode_ack`]. Decode with
+/// [`from_json::<TelemetryBatch>`].
+#[must_use]
+pub fn encode_telemetry(batch: &TelemetryBatch) -> Vec<u8> {
+    encode_frame(Kind::Telemetry, 0, 0, 0, &to_json(batch))
 }
 
 #[cfg(test)]

@@ -18,19 +18,20 @@
 //! breaker path with honest accounting rather than hanging on a dead
 //! address.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use iqs_obs::Ctx;
 use iqs_serve::{Client, MetricsSnapshot, Request, Response, ServeError};
 use iqs_shard::{PendingLeg, ReplicaLink, ShardSpec, SHARD_INDEX};
+use iqs_slo::{ClusterTelemetry, TelemetryBatch};
 use iqs_testkit::ClockHandle;
 
 use crate::error::NetError;
 use crate::frame::{decode_frame, Kind, DEFAULT_MAX_PAYLOAD};
 use crate::msg::{
     decode_reply, encode_ack, encode_announce, encode_metrics_reply, encode_metrics_request,
-    encode_reply, encode_request, from_json,
+    encode_reply, encode_request, encode_telemetry, from_json,
 };
 use crate::registry::{Ack, Announce, ServiceRegistry};
 use crate::transport::{FrameHandler, Transport};
@@ -260,6 +261,67 @@ impl FrameHandler for RegistryHandler {
             Err(e) => refused(e.to_string()),
         }
     }
+}
+
+/// A [`FrameHandler`] exposing a [`ClusterTelemetry`] collector to the
+/// network: telemetry batches in, ack frames out. Bound next to the
+/// [`RegistryHandler`] on the router side, so replicas piggyback
+/// telemetry shipping on their announce cadence.
+pub struct TelemetryHandler {
+    collector: Arc<Mutex<ClusterTelemetry>>,
+}
+
+impl TelemetryHandler {
+    /// Wraps a shared collector; the router side keeps its own handle
+    /// to read cluster metrics and assembled trace legs.
+    #[must_use]
+    pub fn new(collector: Arc<Mutex<ClusterTelemetry>>) -> TelemetryHandler {
+        TelemetryHandler { collector }
+    }
+}
+
+impl FrameHandler for TelemetryHandler {
+    fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        let refused = |detail: String| encode_reply(&Err(ServeError::Remote(detail)), 0, 0);
+        let (header, payload) = match decode_frame(frame, DEFAULT_MAX_PAYLOAD) {
+            Ok(decoded) => decoded,
+            Err(e) => return refused(e.to_string()),
+        };
+        if header.kind != Kind::Telemetry {
+            return refused(format!("telemetry collector cannot serve {:?} frames", header.kind));
+        }
+        match from_json::<TelemetryBatch>(payload) {
+            Ok(batch) => {
+                let accepted =
+                    self.collector.lock().expect("telemetry collector poisoned").ingest(&batch);
+                // `accepted: false` (a duplicate) still acks the seq —
+                // the shipper commits either way, because the batch's
+                // interval has been applied exactly once.
+                encode_ack(&Ack { accepted, epoch: batch.seq })
+            }
+            Err(e) => refused(e.to_string()),
+        }
+    }
+}
+
+/// Ships one telemetry batch to a remote collector and returns its ack;
+/// the caller commits the shipper on success and retries (with the same
+/// sequence number, superset interval) on failure. Replicas call this
+/// on the same cadence as [`announce_once`].
+///
+/// # Errors
+/// Transport failures, or a non-ack reply ([`NetError::Decode`]).
+pub fn ship_telemetry(
+    transport: &dyn Transport,
+    collector_addr: &str,
+    batch: &TelemetryBatch,
+    deadline: Instant,
+) -> Result<Ack, NetError> {
+    let (header, payload) = transport.call(collector_addr, encode_telemetry(batch), deadline)?;
+    if header.kind != Kind::Ack {
+        return Err(NetError::Decode(format!("expected an ack frame, got {:?}", header.kind)));
+    }
+    from_json::<Ack>(&payload)
 }
 
 /// Sends one announcement to a remote registry and returns its ack.

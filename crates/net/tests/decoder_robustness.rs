@@ -8,7 +8,8 @@ use iqs_net::frame::{
 };
 use iqs_net::msg;
 use iqs_net::{FrameError, NetError};
-use iqs_serve::{Request, Response};
+use iqs_serve::{MetricsSnapshot, Request, Response};
+use iqs_slo::{TelemetryBatch, TelemetryShipper};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 
@@ -19,6 +20,12 @@ fn valid_frame() -> Vec<u8> {
         0x0002_0001,
         5_000_000,
     )
+}
+
+fn valid_telemetry_frame() -> Vec<u8> {
+    let mut shipper = TelemetryShipper::new("sim://replica-0-0", 0, 0, 16).expect("config");
+    let batch = shipper.next_batch(&MetricsSnapshot::default()).expect("monotone");
+    msg::encode_telemetry(&batch)
 }
 
 proptest! {
@@ -116,10 +123,41 @@ fn corrupt_payloads_are_typed_errors() {
         assert!(matches!(msg::decode_reply(header.kind, text), Err(NetError::Decode(_))));
         assert!(matches!(msg::from_json::<Request>(text), Err(NetError::Decode(_))));
         assert!(matches!(msg::from_json::<Response>(text), Err(NetError::Decode(_))));
+        assert!(matches!(msg::from_json::<TelemetryBatch>(text), Err(NetError::Decode(_))));
     }
     // Non-UTF-8 payload bytes are a frame-layer BadPayload.
     let mut frame = encode_frame(Kind::Ok, 0, 0, 0, "ab");
     frame[HEADER_LEN] = 0xff;
     frame[HEADER_LEN + 1] = 0xfe;
     assert!(matches!(decode_frame(&frame, DEFAULT_MAX_PAYLOAD), Err(FrameError::BadPayload(_))));
+}
+
+/// The telemetry kind obeys the same frame discipline as every other
+/// kind: valid frames decode as [`Kind::Telemetry`], the next kind byte
+/// up is refused, and every truncation reports exact counts.
+#[test]
+fn telemetry_frames_share_the_frame_discipline() {
+    let frame = valid_telemetry_frame();
+    let (header, payload) = decode_frame(&frame, DEFAULT_MAX_PAYLOAD).expect("valid");
+    assert_eq!(header.kind, Kind::Telemetry);
+    let batch: TelemetryBatch = msg::from_json(payload).expect("payload parses");
+    assert_eq!(batch.seq, 1);
+
+    // Kind 7 is the last registered kind; 8 must stay refused until a
+    // version bump registers it.
+    let mut bumped = frame.clone();
+    bumped[3] = 8;
+    assert!(matches!(decode_frame(&bumped, DEFAULT_MAX_PAYLOAD), Err(FrameError::BadKind(8))));
+
+    for cut in 0..frame.len() {
+        match decode_frame(&frame[..cut], DEFAULT_MAX_PAYLOAD) {
+            Err(FrameError::Truncated { needed, have }) => {
+                assert_eq!(have, cut as u64);
+                let expected_need =
+                    if cut < HEADER_LEN { HEADER_LEN as u64 } else { frame.len() as u64 };
+                assert_eq!(needed, expected_need, "cut at {cut}");
+            }
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
 }

@@ -20,6 +20,11 @@
 //!   Prometheus-style text [`PromWriter`] used by the tier crates'
 //!   metric expositions, and a [`SlowLog`] keeping the top-k slowest
 //!   trace ids per interval plus per-latency-bucket exemplars.
+//! * [`summary`] — compact [`LegSummary`] folds of remote replicas'
+//!   drained records, sized for the telemetry wire; the router side
+//!   re-expands them so [`TraceView::build_with_remote`] assembles a
+//!   whole-cluster trace including remote legs' queue/pickup/draw
+//!   timings.
 //!
 //! Timestamps come from [`iqs_testkit::ClockHandle`], so a run on a
 //! virtual clock under a fixed seed produces **byte-identical** trace
@@ -46,8 +51,10 @@
 
 pub mod export;
 pub mod recorder;
+pub mod summary;
 pub mod trace;
 
 pub use export::{log2_bucket, records_to_jsonl, PromWriter, SlowEntry, SlowLog};
 pub use recorder::{Ctx, Phase, Record, UNTRACED};
+pub use summary::LegSummary;
 pub use trace::{LegView, TraceView};

@@ -103,6 +103,10 @@ pub enum Phase {
     /// Per-tenant admission control shed the request before it reached
     /// the queue. `a`=tenant index.
     ShedQuota = 19,
+    /// The SLO engine's burn rate crossed its alert threshold and the
+    /// controller acted (or was asked to act) on it. `a`=shard index,
+    /// `b`=fast-window burn rate as `f64::to_bits`.
+    SloBurnAlert = 20,
 }
 
 impl Phase {
@@ -129,6 +133,7 @@ impl Phase {
             17 => Phase::ColdDraw,
             18 => Phase::CtlDecision,
             19 => Phase::ShedQuota,
+            20 => Phase::SloBurnAlert,
             _ => return None,
         })
     }
@@ -156,6 +161,7 @@ impl Phase {
             Phase::ColdDraw => "cold_draw",
             Phase::CtlDecision => "ctl_decision",
             Phase::ShedQuota => "shed_quota",
+            Phase::SloBurnAlert => "slo_burn_alert",
         }
     }
 }
@@ -653,11 +659,11 @@ mod tests {
         assert_eq!(span_shard(ctx.leg(3, 1).span), Some(3));
         assert_eq!(span_replica(ctx.leg(3, 1).span), Some(1));
         assert_eq!(ctx.shard(3).replica(1), ctx.leg(3, 1));
-        for v in 1..=19u8 {
+        for v in 1..=20u8 {
             assert_eq!(Phase::from_u8(v).map(|p| p as u8), Some(v));
         }
         assert_eq!(Phase::from_u8(0), None);
-        assert_eq!(Phase::from_u8(20), None);
+        assert_eq!(Phase::from_u8(21), None);
         assert_eq!(unpack_cost(pack_cost(3, 7, 11, 13)), (3, 7, 11, 13));
         assert_eq!(unpack_cost(pack_cost(1 << 40, 0, 0, 2)), (0xffff, 0, 0, 2));
         assert_eq!(unpack_io(pack_io(5, 2, 400, 9)), (5, 2, 400, 9));

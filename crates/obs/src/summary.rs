@@ -1,0 +1,237 @@
+//! Compact per-leg summaries of remote flight-recorder records.
+//!
+//! A remote replica drains its own recorder, but shipping every raw
+//! [`Record`] back to the router would put an unbounded, per-event
+//! stream on the wire. Instead each drained batch is folded into one
+//! [`LegSummary`] per `(trace, span)` — the queue/pickup/draw timings
+//! and cost counters a cluster-wide [`crate::TraceView`] actually
+//! needs — and the summaries ride the telemetry frame. The router side
+//! re-expands them into synthetic records via [`LegSummary::to_records`]
+//! so every existing trace accessor works on an assembled cluster view.
+
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::{pack_cost, pack_io, unpack_cost, unpack_io, Phase, Record};
+
+/// One remote leg's worth of flight-recorder activity, folded into a
+/// fixed-size wire record.
+///
+/// Sums saturate: `cost` and `io` re-pack the 16-bit-per-field packed
+/// payloads, so a leg that overflows a field clamps at the same
+/// `0xffff` ceiling the recorder itself uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LegSummary {
+    /// Trace id the leg belongs to.
+    pub trace: u64,
+    /// The leg's span exactly as it crossed the wire (see
+    /// [`crate::Ctx`] for the encoding).
+    pub span: u32,
+    /// Smallest sequence number of the folded records — an ordering
+    /// anchor within the source recorder, *not* meaningful across
+    /// processes.
+    pub first_seq: u64,
+    /// `t_ns` of the first [`Phase::Pickup`] record (the first folded
+    /// record's timestamp when none).
+    pub pickup_t_ns: u64,
+    /// `t_ns` of the last [`Phase::WorkDone`] record (the last folded
+    /// record's timestamp when none).
+    pub done_t_ns: u64,
+    /// Total queue wait (sum of [`Phase::Pickup`] payloads), ns.
+    pub queue_wait_ns: u64,
+    /// Total service time (sum of [`Phase::WorkDone`] payloads), ns.
+    pub service_ns: u64,
+    /// Whether every [`Phase::WorkDone`] on the leg succeeded
+    /// (vacuously true when the leg recorded none).
+    pub ok: bool,
+    /// Deadline misses observed at pickup.
+    pub deadline_misses: u64,
+    /// Total RNG words consumed ([`Phase::RngCost`] `a` payloads).
+    pub rng_words: u64,
+    /// Re-packed sum of the leg's cost counters (see [`pack_cost`]).
+    pub cost: u64,
+    /// Total cold-tier samples served ([`Phase::ColdDraw`] `a`).
+    pub cold_samples: u64,
+    /// Re-packed sum of the leg's cold-tier I/O counters (see
+    /// [`pack_io`]).
+    pub io: u64,
+}
+
+impl LegSummary {
+    /// Folds a drained record batch into one summary per
+    /// `(trace, span)` group, ordered by each group's first appearance
+    /// in `records`. Callers drain a quiescent recorder sorted by
+    /// sequence (as [`crate::recorder::drain`] returns), so the order
+    /// is deterministic.
+    #[must_use]
+    pub fn summarize(records: &[Record]) -> Vec<LegSummary> {
+        let mut out: Vec<LegSummary> = Vec::new();
+        for r in records {
+            let summary = match out.iter_mut().find(|s| s.trace == r.trace && s.span == r.span) {
+                Some(s) => s,
+                None => {
+                    out.push(LegSummary {
+                        trace: r.trace,
+                        span: r.span,
+                        first_seq: r.seq,
+                        pickup_t_ns: r.t_ns,
+                        done_t_ns: r.t_ns,
+                        queue_wait_ns: 0,
+                        service_ns: 0,
+                        ok: true,
+                        deadline_misses: 0,
+                        rng_words: 0,
+                        cost: 0,
+                        cold_samples: 0,
+                        io: 0,
+                    });
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            summary.first_seq = summary.first_seq.min(r.seq);
+            summary.done_t_ns = summary.done_t_ns.max(r.t_ns);
+            match r.phase {
+                Phase::Pickup => {
+                    summary.pickup_t_ns = r.t_ns;
+                    summary.queue_wait_ns = summary.queue_wait_ns.saturating_add(r.a);
+                }
+                Phase::DeadlineMiss => summary.deadline_misses += 1,
+                Phase::RngCost => {
+                    summary.rng_words = summary.rng_words.saturating_add(r.a);
+                    summary.cost = pack_sum(summary.cost, r.b, unpack_cost, pack_cost);
+                }
+                Phase::WorkDone => {
+                    summary.service_ns = summary.service_ns.saturating_add(r.a);
+                    summary.ok &= r.b != 0;
+                    summary.done_t_ns = summary.done_t_ns.max(r.t_ns);
+                }
+                Phase::ColdDraw => {
+                    summary.cold_samples = summary.cold_samples.saturating_add(r.a);
+                    summary.io = pack_sum(summary.io, r.b, unpack_io, pack_io);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Re-expands the summary into synthetic records for cluster trace
+    /// assembly: a [`Phase::Pickup`], a [`Phase::RngCost`], an optional
+    /// [`Phase::ColdDraw`] and [`Phase::DeadlineMiss`], and a
+    /// [`Phase::WorkDone`], at consecutive sequence numbers starting at
+    /// `seq_base`. The sequence numbers are ordering anchors assigned by
+    /// the assembler — *not* the source recorder's — while `t_ns`
+    /// carries the genuine remote timings.
+    #[must_use]
+    pub fn to_records(&self, seq_base: u64) -> Vec<Record> {
+        let rec = |seq: u64, phase: Phase, t_ns: u64, a: u64, b: u64| Record {
+            seq,
+            trace: self.trace,
+            span: self.span,
+            phase,
+            t_ns,
+            a,
+            b,
+        };
+        let mut out = vec![
+            rec(seq_base, Phase::Pickup, self.pickup_t_ns, self.queue_wait_ns, 0),
+            rec(seq_base + 1, Phase::RngCost, self.done_t_ns, self.rng_words, self.cost),
+        ];
+        if self.cold_samples > 0 || self.io > 0 {
+            let seq = seq_base + out.len() as u64;
+            out.push(rec(seq, Phase::ColdDraw, self.done_t_ns, self.cold_samples, self.io));
+        }
+        if self.deadline_misses > 0 {
+            let seq = seq_base + out.len() as u64;
+            out.push(rec(seq, Phase::DeadlineMiss, self.done_t_ns, self.deadline_misses, 0));
+        }
+        let seq = seq_base + out.len() as u64;
+        out.push(rec(seq, Phase::WorkDone, self.done_t_ns, self.service_ns, u64::from(self.ok)));
+        out
+    }
+}
+
+/// Unpacks both packed payloads, adds field-wise, and re-packs — the
+/// saturating sum of two 4×16-bit packed words.
+fn pack_sum(
+    acc: u64,
+    add: u64,
+    unpack: fn(u64) -> (u64, u64, u64, u64),
+    pack: fn(u64, u64, u64, u64) -> u64,
+) -> u64 {
+    let (a0, a1, a2, a3) = unpack(acc);
+    let (b0, b1, b2, b3) = unpack(add);
+    pack(a0 + b0, a1 + b1, a2 + b2, a3 + b3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Ctx;
+
+    fn rec(seq: u64, ctx: Ctx, phase: Phase, a: u64, b: u64) -> Record {
+        Record { seq, trace: ctx.trace, span: ctx.span, phase, t_ns: seq * 10, a, b }
+    }
+
+    #[test]
+    fn summarize_folds_by_trace_and_span() {
+        let q = Ctx::query(7);
+        let leg = q.leg(2, 1);
+        let other = Ctx::query(8).leg(0, 0);
+        let records = vec![
+            rec(1, leg, Phase::Enqueue, 0, 0),
+            rec(2, leg, Phase::Pickup, 30, 0),
+            rec(3, leg, Phase::RngCost, 16, pack_cost(1, 2, 3, 4)),
+            rec(4, leg, Phase::ColdDraw, 8, pack_io(5, 0, 2, 5)),
+            rec(5, leg, Phase::WorkDone, 400, 1),
+            rec(6, other, Phase::WorkDone, 100, 0),
+        ];
+        let summaries = LegSummary::summarize(&records);
+        assert_eq!(summaries.len(), 2);
+        let s = &summaries[0];
+        assert_eq!((s.trace, s.span), (7, leg.span));
+        assert_eq!(s.first_seq, 1);
+        assert_eq!(s.pickup_t_ns, 20);
+        assert_eq!(s.done_t_ns, 50);
+        assert_eq!(s.queue_wait_ns, 30);
+        assert_eq!(s.service_ns, 400);
+        assert!(s.ok);
+        assert_eq!(s.rng_words, 16);
+        assert_eq!(unpack_cost(s.cost), (1, 2, 3, 4));
+        assert_eq!(s.cold_samples, 8);
+        assert_eq!(unpack_io(s.io), (5, 0, 2, 5));
+        // The failed leg of the other trace reads back not-ok.
+        assert!(!summaries[1].ok);
+    }
+
+    #[test]
+    fn to_records_round_trips_through_summarize() {
+        let leg = Ctx::query(9).leg(1, 0);
+        let records = vec![
+            rec(1, leg, Phase::Pickup, 25, 0),
+            rec(2, leg, Phase::RngCost, 64, pack_cost(2, 0, 7, 0)),
+            rec(3, leg, Phase::ColdDraw, 4, pack_io(3, 1, 9, 3)),
+            rec(4, leg, Phase::DeadlineMiss, 0, 0),
+            rec(5, leg, Phase::WorkDone, 900, 1),
+        ];
+        let summary = LegSummary::summarize(&records)[0];
+        let expanded = summary.to_records(100);
+        assert_eq!(expanded.len(), 5);
+        assert!(expanded.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert_eq!(expanded[0].seq, 100);
+        // Folding the synthetic records reproduces the summary modulo
+        // the assembler-assigned sequence anchor.
+        let refolded = LegSummary::summarize(&expanded)[0];
+        assert_eq!(LegSummary { first_seq: summary.first_seq, ..refolded }, summary);
+    }
+
+    #[test]
+    fn packed_sums_saturate_like_the_recorder() {
+        let leg = Ctx::query(3).leg(0, 0);
+        let records = vec![
+            rec(1, leg, Phase::RngCost, 1, pack_cost(0xffff, 0, 1, 0)),
+            rec(2, leg, Phase::RngCost, 1, pack_cost(0xffff, 0, 1, 0)),
+        ];
+        let s = LegSummary::summarize(&records)[0];
+        assert_eq!(unpack_cost(s.cost), (0xffff, 0, 2, 0));
+    }
+}

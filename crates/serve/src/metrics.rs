@@ -133,6 +133,22 @@ impl HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].saturating_add(other.buckets[i])),
         }
     }
+
+    /// Bucket-wise in-place accumulation `self += other`, saturating at
+    /// `u64::MAX` — the dual of [`HistogramSnapshot::minus`] and the
+    /// allocation-free form of [`HistogramSnapshot::plus`], for folding
+    /// many replica histograms into one cluster view.
+    ///
+    /// Merged snapshots keep the per-snapshot quantile semantics: an
+    /// all-zero merge result is *empty* (`quantile` returns `None`, it
+    /// never invents a duration), and samples pooled into bucket 63 stay
+    /// open-ended (a quantile landing there reports `2^63` ns as a
+    /// lower bound — see [`HistogramSnapshot::quantile`]).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(*o);
+        }
+    }
 }
 
 impl Default for HistogramSnapshot {
@@ -514,6 +530,14 @@ impl MetricsSnapshot {
         }
     }
 
+    /// In-place [`MetricsSnapshot::plus`]: folds `other` into `self`
+    /// without building an intermediate snapshot per replica — the form
+    /// the sharded router's cluster aggregation and the telemetry
+    /// collector's per-source accumulation use.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        *self = self.plus(other);
+    }
+
     /// Serializes to one JSON object (counters inline, histograms as
     /// bucket arrays).
     pub fn to_json(&self) -> String {
@@ -879,6 +903,98 @@ mod tests {
         assert_eq!(pooled.latency.buckets[2], 2);
         let zero = MetricsSnapshot::default();
         assert_eq!(zero.plus(&pooled), pooled);
+    }
+
+    #[test]
+    fn merge_is_the_in_place_plus_and_minus_recovers_it() {
+        let h = LogHistogram::new();
+        h.record(Duration::from_nanos(10));
+        h.record(Duration::from_micros(10));
+        let a = h.snapshot();
+        let g = LogHistogram::new();
+        g.record(Duration::from_nanos(10));
+        g.record(Duration::from_millis(10));
+        g.record(Duration::from_secs(10));
+        let b = g.snapshot();
+
+        // merge ≡ plus, both ways round (bucket-wise add commutes).
+        let mut ab = a;
+        ab.merge(&b);
+        assert_eq!(ab, a.plus(&b));
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), a.count() + b.count());
+
+        // merge is the dual of minus: subtracting one operand recovers
+        // the other exactly.
+        assert_eq!(ab.minus(&b).expect("merged minus operand"), a);
+        assert_eq!(ab.minus(&a).expect("merged minus operand"), b);
+
+        // Saturation, not wraparound, at the counter ceiling.
+        let mut top = HistogramSnapshot { buckets: [u64::MAX - 1; HIST_BUCKETS] };
+        top.merge(&b);
+        assert!(top.buckets.iter().all(|&c| c == u64::MAX || c == u64::MAX - 1));
+
+        // The MetricsSnapshot form folds like plus too.
+        let m = Metrics::new();
+        m.submitted.fetch_add(3, Ordering::Relaxed);
+        m.latency.record(Duration::from_nanos(7));
+        let s = m.snapshot(1);
+        let mut folded = MetricsSnapshot::default();
+        folded.merge(&s);
+        folded.merge(&s);
+        assert_eq!(folded, s.plus(&s));
+    }
+
+    proptest::proptest! {
+        /// Property: for arbitrary bucket counts, merge agrees with plus,
+        /// commutes, saturates instead of wrapping, and `minus` undoes it
+        /// whenever no bucket saturated.
+        #[test]
+        fn merge_matches_plus_for_arbitrary_buckets(
+            a in proptest::collection::vec(0u64..=u64::MAX - 1, HIST_BUCKETS),
+            b in proptest::collection::vec(0u64..=u64::MAX - 1, HIST_BUCKETS),
+        ) {
+            let a = HistogramSnapshot { buckets: std::array::from_fn(|i| a[i]) };
+            let b = HistogramSnapshot { buckets: std::array::from_fn(|i| b[i]) };
+            let mut merged = a;
+            merged.merge(&b);
+            proptest::prop_assert_eq!(merged, a.plus(&b));
+            proptest::prop_assert_eq!(merged, b.plus(&a));
+            let saturated = a.buckets.iter().zip(b.buckets.iter()).any(|(&x, &y)| x.checked_add(y).is_none());
+            if !saturated {
+                proptest::prop_assert_eq!(merged.minus(&b).expect("no saturation"), a);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_snapshot_quantile_edges() {
+        // All-zero merge result: still an *empty* histogram — quantiles
+        // are None at every q, exactly like a fresh snapshot. A merged
+        // cluster view over idle replicas must not invent a latency.
+        let mut zero = HistogramSnapshot::default();
+        zero.merge(&HistogramSnapshot::default());
+        assert_eq!(zero.count(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(zero.quantile(q), None, "q = {q}");
+        }
+
+        // Top-bucket-only merge: every quantile reports bucket 63's
+        // nominal upper bound 2^63 ns — a documented *lower* bound on
+        // the true value (the bucket is open-ended) — and never
+        // Duration::MAX, so downstream arithmetic cannot overflow.
+        let h = LogHistogram::new();
+        h.record(Duration::MAX);
+        let one = h.snapshot();
+        let mut pooled = one;
+        pooled.merge(&one);
+        assert_eq!(pooled.count(), 2);
+        assert_eq!(pooled.buckets[HIST_BUCKETS - 1], 2);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(pooled.quantile(q), Some(Duration::from_nanos(1u64 << 63)), "q = {q}");
+        }
     }
 
     #[test]

@@ -504,7 +504,8 @@ impl ShardedService {
     /// Shards built this way carry no element slice, so seeded replay
     /// and split/merge rebalancing refuse them with
     /// [`ShardError::InvalidRequest`]; every query path works
-    /// unchanged.
+    /// unchanged, and [`ShardedService::rebuild_replica`] degrades to a
+    /// link re-wrap with fresh breaker state (see its docs).
     ///
     /// # Errors
     /// [`ShardError::Config`] for an empty spec list, a shard with no
@@ -751,11 +752,17 @@ impl ShardedService {
     /// drops. This is the re-replication primitive the controller uses
     /// to route around breaker-tripped or lease-expired replicas.
     ///
+    /// On a link-backed shard (built by [`ShardedService::from_links`])
+    /// the router holds no element slice, so "rebuild" is the remote
+    /// analogue of node replacement: the same wire link is re-wrapped
+    /// with fresh breaker health and fault state, giving the remote
+    /// endpoint a clean slate exactly as a local rebuild would. The
+    /// remote process itself is not restarted — that is the operator's
+    /// (or the registry lease's) job.
+    ///
     /// # Errors
     /// [`ShardError::UnknownShard`] for a bad shard index;
-    /// [`ShardError::UnknownReplica`] for a bad replica index;
-    /// [`ShardError::InvalidRequest`] for a remote shard — the router
-    /// holds no element slice to rebuild from.
+    /// [`ShardError::UnknownReplica`] for a bad replica index.
     pub fn rebuild_replica(&self, shard: usize, replica: usize) -> Result<(), ShardError> {
         let _guard = self.inner.rebalance.lock().expect("rebalance lock poisoned");
         let topo = self.inner.topo.load();
@@ -763,10 +770,11 @@ impl ShardedService {
         if replica >= handle.replicas.len() {
             return Err(ShardError::UnknownReplica { shard, replica });
         }
-        if handle.elements.is_empty() {
-            return Err(ShardError::InvalidRequest("remote shards cannot be rebalanced"));
-        }
-        let fresh = build_replica(&handle.elements, &self.inner.config, &self.inner.server_seq)?;
+        let fresh = if handle.elements.is_empty() {
+            Arc::new(Replica::new(Arc::clone(&handle.replicas[replica].link)))
+        } else {
+            build_replica(&handle.elements, &self.inner.config, &self.inner.server_seq)?
+        };
         let mut replicas = handle.replicas.clone();
         replicas[replica] = fresh;
         let rebuilt = Arc::new(ShardHandle {
@@ -800,10 +808,10 @@ impl ShardedService {
         for (si, shard) in topo.shards.iter().enumerate() {
             for (ri, rep) in shard.replicas.iter().enumerate() {
                 let serve = rep.link.metrics();
-                cluster = Some(match cluster {
-                    Some(acc) => acc.plus(&serve),
-                    None => serve.clone(),
-                });
+                match cluster.as_mut() {
+                    Some(acc) => acc.merge(&serve),
+                    None => cluster = Some(serve.clone()),
+                }
                 replicas.push(ReplicaMetrics {
                     shard: si,
                     replica: ri,

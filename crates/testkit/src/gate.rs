@@ -61,6 +61,8 @@ pub const MANIFEST: &[&str] = &[
     "tiered_cold_path_chi_square",
     "ctl_rebalance_chi_square",
     "qos_fairness",
+    "slo_burn_rate_determinism",
+    "slo_cluster_trace_chi_square",
     "testkit_gate_selfcheck",
 ];
 

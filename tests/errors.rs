@@ -13,6 +13,7 @@ use iqs::ctl::CtlError;
 use iqs::net::{FrameError, NetError};
 use iqs::serve::ServeError;
 use iqs::shard::ShardError;
+use iqs::slo::SloError;
 use iqs::spatial::SpatialError;
 use iqs::tier::TierError;
 use iqs::tree::{BstError, TreeError};
@@ -34,6 +35,7 @@ fn all_public_error_enums_are_boxable_errors() {
     assert_boxable::<NetError>();
     assert_boxable::<TierError>();
     assert_boxable::<CtlError>();
+    assert_boxable::<SloError>();
 }
 
 #[test]
@@ -62,6 +64,15 @@ fn errors_round_trip_through_dyn_error() {
     let ctl_err: Box<dyn Error + Send + Sync> =
         Box::new(CtlError::from(ShardError::UnknownShard(3)));
     assert!(ctl_err.source().is_some(), "CtlError::Shard exposes the shard source");
+
+    // A histogram diff error wrapped by the SLO engine keeps its source.
+    let slo_err: Box<dyn Error + Send + Sync> =
+        Box::new(SloError::from(iqs::serve::HistogramDiffError {
+            bucket: 5,
+            later: 1,
+            earlier: 3,
+        }));
+    assert!(slo_err.source().is_some(), "SloError::Window exposes the histogram diff source");
 
     // A frame error wrapped by the transport layer keeps its source.
     let net_err: Box<dyn Error + Send + Sync> =
